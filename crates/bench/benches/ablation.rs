@@ -1,0 +1,103 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Intensity propagation model** — the dissertation's exponential
+//!    Eq. 4.1/4.2 pair vs the linear alternative (§4.4 notes the
+//!    exponential pair is "one example of such functions"). Measures graph
+//!    build time; correctness equivalence is covered by tests.
+//! 2. **The PEPS pairwise cache** — set-intersection construction through
+//!    the memoised executor vs the naive construction that issues one
+//!    relational count query per pair (what a direct reading of §5.5
+//!    against MySQL would do).
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use dblp_workload::{extract, gen, load};
+use hypre_core::prelude::*;
+use relstore::ColRef;
+
+fn bench_intensity_model(c: &mut Criterion) {
+    let dataset = gen::generate(&gen::GeneratorConfig {
+        papers: 1200,
+        authors: 500,
+        venues: 30,
+        ..gen::GeneratorConfig::default()
+    });
+    let workload = extract::extract(&dataset, &extract::ExtractionConfig::default());
+
+    let mut g = c.benchmark_group("ablation_intensity_fn");
+    g.sample_size(10);
+    for (label, model) in [
+        ("exponential", IntensityModel::Exponential),
+        ("linear", IntensityModel::Linear),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || HypreGraph::with_config(model, DefaultValueStrategy::default()),
+                |mut graph| {
+                    graph
+                        .load(&workload.quantitative, &workload.qualitative)
+                        .unwrap();
+                    black_box(graph.node_count())
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_pairwise_cache(c: &mut Criterion) {
+    let dataset = gen::generate(&gen::GeneratorConfig {
+        papers: 1200,
+        authors: 500,
+        venues: 30,
+        ..gen::GeneratorConfig::default()
+    });
+    let workload = extract::extract(&dataset, &extract::ExtractionConfig::default());
+    let db = load::load(&dataset).unwrap();
+    let mut graph = HypreGraph::new();
+    graph
+        .load(&workload.quantitative, &workload.qualitative)
+        .unwrap();
+    let user = *graph.users().first().expect("users exist");
+    let richest = graph
+        .users()
+        .into_iter()
+        .max_by_key(|u| graph.positive_profile(*u).len())
+        .unwrap_or(user);
+    let atoms = graph.positive_profile(richest);
+
+    let mut g = c.benchmark_group("ablation_pair_cache");
+    g.sample_size(10);
+    g.bench_function("set_intersection_build", |b| {
+        b.iter(|| {
+            let exec = Executor::new(&db, BaseQuery::dblp());
+            black_box(PairwiseCache::build(&atoms, &exec).unwrap().applicable_count())
+        });
+    });
+    g.bench_function("naive_sql_per_pair", |b| {
+        // One COUNT(DISTINCT pid) query per pair, no memoisation — the
+        // cost the cache removes.
+        b.iter(|| {
+            let base = BaseQuery::dblp();
+            let mut applicable = 0usize;
+            for (i, a) in atoms.iter().enumerate() {
+                for bq in atoms.iter().skip(i + 1) {
+                    let pred = a.predicate.clone().and(bq.predicate.clone());
+                    let n = base
+                        .select_for(&pred)
+                        .count_distinct(&db, &ColRef::parse("dblp.pid"))
+                        .unwrap();
+                    if n > 0 {
+                        applicable += 1;
+                    }
+                }
+            }
+            black_box(applicable)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_intensity_model, bench_pairwise_cache);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Benches for the exploratory combination algorithms (Figs. 18–36):
+//! Combine-Two under both semantics, Partially-Combine-All, Bias-Random,
+//! and the utility/coverage metric computations they feed.
+
+use std::sync::OnceLock;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hypre_bench::experiments::{coverage_report, utility_series};
+use hypre_bench::Fixture;
+use hypre_core::prelude::*;
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(Fixture::small)
+}
+
+fn bench_combination(c: &mut Criterion) {
+    let fx = fixture();
+    let user = fx.rich_user;
+    let atoms = fx.graph.positive_profile(user);
+
+    let mut g = c.benchmark_group("combination_algorithms");
+    g.sample_size(10);
+    g.bench_function("combine_two/and", |b| {
+        let exec = fx.executor();
+        b.iter(|| {
+            black_box(combine_two(&atoms, &exec, CombineSemantics::And).unwrap().len())
+        });
+    });
+    g.bench_function("combine_two/and_or", |b| {
+        let exec = fx.executor();
+        b.iter(|| {
+            black_box(
+                combine_two(&atoms, &exec, CombineSemantics::AndOr)
+                    .unwrap()
+                    .len(),
+            )
+        });
+    });
+    g.bench_function("partially_combine_all", |b| {
+        let exec = fx.executor();
+        b.iter(|| black_box(partially_combine_all(&atoms, &exec).unwrap().len()));
+    });
+    g.bench_function("bias_random/one_run", |b| {
+        let exec = fx.executor();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(bias_random(&atoms, &exec, seed).unwrap().valid)
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("metrics");
+    g.sample_size(10);
+    g.bench_function("utility_series/figs18_25", |b| {
+        b.iter(|| black_box(utility_series(fx, user, &[2, 5, 10]).unwrap().len()));
+    });
+    g.bench_function("coverage/fig28", |b| {
+        b.iter(|| black_box(coverage_report(fx, user).unwrap().hypre));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_combination);
+criterion_main!(benches);

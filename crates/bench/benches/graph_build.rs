@@ -1,0 +1,74 @@
+//! Table 11 / Fig. 13 benches: building the HYPRE graph from an extracted
+//! workload — the batched quantitative pass vs the transactional
+//! qualitative pass — and raw batched node insertion scaling.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use dblp_workload::{extract, gen};
+use hypre_bench::experiments::fig13_insertion_scaling;
+use hypre_core::prelude::*;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let dataset = gen::generate(&gen::GeneratorConfig {
+        papers: 1500,
+        authors: 600,
+        venues: 30,
+        ..gen::GeneratorConfig::default()
+    });
+    let workload = extract::extract(&dataset, &extract::ExtractionConfig::default());
+
+    let mut g = c.benchmark_group("table11_ingest");
+    g.sample_size(10);
+    g.bench_function("quantitative_pass", |b| {
+        b.iter_batched(
+            HypreGraph::new,
+            |mut graph| {
+                graph.load(&workload.quantitative, &[]).unwrap();
+                black_box(graph.node_count())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("qualitative_pass", |b| {
+        // Qualitative insertion includes cycle checks and intensity
+        // propagation; measured on top of a pre-built quantitative layer,
+        // exactly like the dissertation's two-step load.
+        b.iter_batched(
+            || {
+                let mut graph = HypreGraph::new();
+                graph.load(&workload.quantitative, &[]).unwrap();
+                graph
+            },
+            |mut graph| {
+                graph.load(&[], &workload.qualitative).unwrap();
+                black_box(graph.edge_count())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("full_load", |b| {
+        b.iter_batched(
+            HypreGraph::new,
+            |mut graph| {
+                let report = graph
+                    .load(&workload.quantitative, &workload.qualitative)
+                    .unwrap();
+                black_box(report.qualitative)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig13_insertion_scaling");
+    g.sample_size(10);
+    for total in [50_000usize, 100_000, 200_000] {
+        g.bench_function(format!("{total}_nodes_10k_batches"), |b| {
+            b.iter(|| black_box(fig13_insertion_scaling(total, 10_000).len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_graph_build);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! PEPS benches (Figs. 37–40): pairwise-cache construction, Top-K latency
+//! for both variants across K, and the TA baseline over the same data.
+
+use std::sync::OnceLock;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hypre_bench::ta_glue::{build_graded_lists, f_and_agg};
+use hypre_bench::Fixture;
+use hypre_core::prelude::*;
+use hypre_topk::{nra, threshold_algorithm};
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(Fixture::small)
+}
+
+fn bench_peps(c: &mut Criterion) {
+    let fx = fixture();
+    let user = fx.rich_user;
+    let atoms = fx.graph.positive_profile(user);
+    let exec = fx.executor();
+    let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+
+    let mut g = c.benchmark_group("peps");
+    g.sample_size(10);
+    g.bench_function("pairwise_cache/build", |b| {
+        b.iter(|| {
+            let fresh_exec = fx.executor();
+            black_box(PairwiseCache::build(&atoms, &fresh_exec).unwrap().applicable_count())
+        });
+    });
+    for k in [10usize, 100, 400] {
+        g.bench_function(format!("top_k/approximate/k{k}"), |b| {
+            b.iter(|| {
+                let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Approximate);
+                black_box(peps.top_k(k).unwrap().len())
+            });
+        });
+        g.bench_function(format!("top_k/complete/k{k}"), |b| {
+            b.iter(|| {
+                let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
+                black_box(peps.top_k(k).unwrap().len())
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("topk_baselines");
+    g.sample_size(10);
+    let lists = build_graded_lists(&exec, &atoms).unwrap();
+    for k in [10usize, 100, 400] {
+        g.bench_function(format!("ta/k{k}"), |b| {
+            b.iter(|| black_box(threshold_algorithm(&lists, k, f_and_agg).len()));
+        });
+        g.bench_function(format!("nra/k{k}"), |b| {
+            b.iter(|| black_box(nra(&lists, k, f_and_agg).len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_peps);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Micro-benchmarks for the two substrates: predicate parsing/evaluation
+//! and indexed query execution in `relstore`, and index lookups, BFS
+//! reachability and batched insertion in `graphstore` (the engine-level
+//! costs behind Table 11 and Fig. 13).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dblp_workload::{gen, load};
+use graphstore::{BatchInserter, PropertyGraph, PropValue};
+use relstore::{parse_predicate, ColRef, SelectQuery};
+
+fn bench_relstore(c: &mut Criterion) {
+    let dataset = gen::generate(&gen::GeneratorConfig {
+        papers: 2000,
+        authors: 800,
+        venues: 30,
+        ..gen::GeneratorConfig::default()
+    });
+    let db = load::load(&dataset).unwrap();
+    let venue = dataset.papers[0].venue.clone();
+
+    let mut g = c.benchmark_group("relstore");
+    g.bench_function("parse_predicate/mixed_clause", |b| {
+        let text = "(dblp.venue='VLDB' OR dblp.venue='PODS') AND \
+                    (dblp_author.aid=128 OR dblp_author.aid=116) AND \
+                    dblp.year BETWEEN 2000 AND 2010";
+        b.iter(|| parse_predicate(black_box(text)).unwrap());
+    });
+    g.bench_function("count_distinct/indexed_venue", |b| {
+        let q = SelectQuery::from("dblp")
+            .filter(parse_predicate(&format!("dblp.venue='{venue}'")).unwrap());
+        b.iter(|| q.count_distinct(black_box(&db), &ColRef::parse("dblp.pid")).unwrap());
+    });
+    g.bench_function("count_distinct/join_author", |b| {
+        let q = SelectQuery::from("dblp")
+            .join(
+                "dblp_author",
+                ColRef::parse("dblp.pid"),
+                ColRef::parse("dblp_author.pid"),
+            )
+            .filter(parse_predicate("dblp_author.aid=7").unwrap());
+        b.iter(|| q.count_distinct(black_box(&db), &ColRef::parse("dblp.pid")).unwrap());
+    });
+    g.bench_function("count_distinct/range_year", |b| {
+        let q = SelectQuery::from("dblp")
+            .filter(parse_predicate("dblp.year BETWEEN 2000 AND 2005").unwrap());
+        b.iter(|| q.count_distinct(black_box(&db), &ColRef::parse("dblp.pid")).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_graphstore(c: &mut Criterion) {
+    // A layered DAG: 10 k nodes, ~20 k PREFERS edges.
+    let mut graph = PropertyGraph::new();
+    graph.create_index("uidIndex", "uid").unwrap();
+    let nodes: Vec<_> = (0..10_000)
+        .map(|i| {
+            graph.create_node(
+                ["uidIndex"],
+                [
+                    ("uid", PropValue::Int(i % 100)),
+                    ("intensity", PropValue::Float((i % 97) as f64 / 97.0)),
+                ],
+            )
+        })
+        .collect();
+    for i in 0..nodes.len() {
+        for step in [1usize, 37] {
+            if i + step < nodes.len() {
+                graph
+                    .create_edge(nodes[i], nodes[i + step], "PREFERS", [("intensity", 0.1)])
+                    .unwrap();
+            }
+        }
+    }
+
+    let mut g = c.benchmark_group("graphstore");
+    g.bench_function("index_lookup/uid", |b| {
+        b.iter(|| {
+            graph
+                .index_lookup("uidIndex", "uid", &PropValue::Int(black_box(42)))
+                .unwrap()
+        });
+    });
+    g.bench_function("bfs/has_path_far", |b| {
+        b.iter(|| {
+            graphstore::traverse::has_path(
+                black_box(&graph),
+                nodes[0],
+                nodes[9_999],
+                Some("PREFERS"),
+            )
+        });
+    });
+    g.bench_function("bfs/cycle_guard", |b| {
+        b.iter(|| {
+            graphstore::traverse::would_create_cycle(
+                black_box(&graph),
+                nodes[9_999],
+                nodes[0],
+                Some("PREFERS"),
+            )
+        });
+    });
+    g.sample_size(20);
+    g.bench_function("batch_insert/50k_nodes", |b| {
+        b.iter(|| {
+            let mut fresh = PropertyGraph::with_capacity(50_000);
+            let mut ins = BatchInserter::new(&mut fresh, 10_000);
+            for i in 0..50_000u64 {
+                ins.add_node(["uidIndex"], [("uid", PropValue::Int(i as i64 % 1000))]);
+            }
+            let (ids, _) = ins.finish();
+            black_box(ids.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_relstore, bench_graphstore);
+criterion_main!(benches);

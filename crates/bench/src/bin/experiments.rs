@@ -1,0 +1,383 @@
+//! Regenerates every table and figure of the dissertation's evaluation
+//! chapter against the standard seeded fixture.
+//!
+//! ```text
+//! experiments [--small] [SECTION ...]
+//! ```
+//!
+//! Sections: `table10 table11 table12 fig13 fig17 fig18 fig20_25 fig26_27
+//! fig28 fig29_31 fig32_34 fig35_36 fig37_38 fig39_40`. With no section
+//! arguments, everything runs (the full standard corpus takes a couple of
+//! minutes; `--small` uses the reduced corpus).
+
+use std::collections::HashSet;
+
+use dblp_workload::table10;
+use hypre_bench::experiments::*;
+use hypre_bench::report::{banner, f4, ms, render_series, TextTable};
+use hypre_bench::Fixture;
+use hypre_core::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let sections: HashSet<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let want = |s: &str| sections.is_empty() || sections.contains(s);
+
+    eprintln!(
+        "building {} fixture (seeded synthetic DBLP + extraction + graph ingest)…",
+        if small { "small" } else { "standard" }
+    );
+    let fx = if small {
+        Fixture::small()
+    } else {
+        Fixture::standard()
+    };
+    eprintln!(
+        "fixture ready: {} papers, {} users with preferences, study users {} / {}",
+        fx.dataset.papers.len(),
+        fx.workload.preference_counts().len(),
+        fx.rich_user,
+        fx.modest_user
+    );
+
+    if want("table10") {
+        run_table10(&fx);
+    }
+    if want("table11") {
+        run_table11(&fx);
+    }
+    if want("table12") {
+        run_table12(&fx);
+    }
+    if want("fig13") {
+        run_fig13(small);
+    }
+    if want("fig17") {
+        run_fig17(&fx);
+    }
+    if want("fig18") {
+        run_fig18_19(&fx);
+    }
+    if want("fig20_25") {
+        run_fig20_25(&fx);
+    }
+    if want("fig26_27") {
+        run_fig26_27(&fx);
+    }
+    if want("fig28") {
+        run_fig28(&fx);
+    }
+    if want("fig29_31") {
+        run_fig29_31(&fx);
+    }
+    if want("fig32_34") {
+        run_fig32_34(&fx);
+    }
+    if want("fig35_36") {
+        run_fig35_36(&fx);
+    }
+    if want("fig37_38") {
+        run_fig37_38(&fx);
+    }
+    if want("fig39_40") {
+        run_fig39_40(&fx, small);
+    }
+}
+
+fn run_table10(fx: &Fixture) {
+    banner("Table 10 — Statistics for the DBLP database");
+    let mut t = TextTable::new(&["Relation", "Arity", "Cardinality", "Secondary"]);
+    for row in table10(&fx.dataset, &fx.workload) {
+        t.row(vec![
+            row.relation.to_owned(),
+            row.arity.to_string(),
+            row.cardinality.to_string(),
+            row.secondary
+                .map(|(label, n)| format!("{n} {label}"))
+                .unwrap_or_default(),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn run_table11(fx: &Fixture) {
+    banner("Table 11 — Insertion time (batched quantitative vs per-transaction qualitative)");
+    let mut t = TextTable::new(&["Insertion type", "Preferences", "Time", "Prefs/sec"]);
+    let rate = |n: usize, d: std::time::Duration| {
+        if d.as_secs_f64() > 0.0 {
+            format!("{:.0}", n as f64 / d.as_secs_f64())
+        } else {
+            "-".into()
+        }
+    };
+    t.row(vec![
+        "Quantitative (batch)".into(),
+        fx.ingest.quantitative.to_string(),
+        ms(fx.ingest.quantitative_time),
+        rate(fx.ingest.quantitative, fx.ingest.quantitative_time),
+    ]);
+    t.row(vec![
+        "Qualitative (transactional)".into(),
+        fx.ingest.qualitative.to_string(),
+        ms(fx.ingest.qualitative_time),
+        rate(fx.ingest.qualitative, fx.ingest.qualitative_time),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "conflicts: {} CYCLE edges, {} DISCARD edges",
+        fx.ingest.cycle_edges, fx.ingest.discard_edges
+    );
+}
+
+fn run_table12(fx: &Fixture) {
+    banner("Table 12 — Possible DEFAULT_VALUEs");
+    for user in fx.study_users() {
+        let mut t = TextTable::new(&["Strategy", "Seed value"]);
+        for (label, v) in table12_rows(fx, user) {
+            t.row(vec![label.to_owned(), f4(v)]);
+        }
+        println!("{user}:");
+        print!("{}", t.render());
+    }
+}
+
+fn run_fig13(small: bool) {
+    banner("Fig. 13 — Node insertion time vs graph size (scaled)");
+    let (total, batch) = if small {
+        (200_000, 20_000)
+    } else {
+        (1_000_000, 100_000)
+    };
+    let stats = fig13_insertion_scaling(total, batch);
+    let series: Vec<(f64, f64)> = stats
+        .iter()
+        .map(|s| {
+            (
+                s.total_nodes_after as f64 / 1000.0,
+                s.elapsed.as_secs_f64() * 1e3,
+            )
+        })
+        .collect();
+    print!(
+        "{}",
+        render_series("(k nodes inserted, batch time ms)", &series)
+    );
+}
+
+fn run_fig17(fx: &Fixture) {
+    banner("Fig. 17 — Distribution of number of preferences per user");
+    let mut t = TextTable::new(&["Preferences (≤)", "Users"]);
+    for (bucket, users) in fig17_distribution(fx, 10) {
+        t.row(vec![bucket.to_string(), users.to_string()]);
+    }
+    print!("{}", t.render());
+}
+
+fn run_fig18_19(fx: &Fixture) {
+    banner("Figs. 18–19 — Utility value per combination order (arity 2/5/10)");
+    for user in fx.study_users() {
+        println!("{user}:");
+        let series = utility_series(fx, user, &[2, 5, 10]).expect("profile runs");
+        for (arity, points) in series {
+            let pts: Vec<(f64, f64)> = points
+                .iter()
+                .map(|p| (p.order as f64, p.utility))
+                .collect();
+            print!("{}", render_series(&format!("{arity} preferences"), &pts));
+        }
+    }
+}
+
+fn run_fig20_25(fx: &Fixture) {
+    banner("Figs. 20–25 — #tuples and combined intensity per combination (arity 2/5/10)");
+    let user = fx.rich_user;
+    println!("{user}:");
+    let series = utility_series(fx, user, &[2, 5, 10]).expect("profile runs");
+    for (arity, points) in series {
+        let tuples: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (p.order as f64, p.tuples as f64))
+            .collect();
+        let intensity: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (p.order as f64, p.intensity))
+            .collect();
+        print!(
+            "{}",
+            render_series(&format!("arity {arity}: #tuples"), &tuples)
+        );
+        print!(
+            "{}",
+            render_series(&format!("arity {arity}: intensity"), &intensity)
+        );
+    }
+}
+
+fn run_fig26_27(fx: &Fixture) {
+    banner("Figs. 26–27 — Quantitative preferences before vs after HYPRE conversion");
+    for user in fx.study_users() {
+        let c = conversion_series(fx, user);
+        println!(
+            "{user}: {} quantitative-table preferences → {} scored graph nodes",
+            c.from_quantitative_table.len(),
+            c.from_graph.len()
+        );
+    }
+}
+
+fn run_fig28(fx: &Fixture) {
+    banner("Fig. 28 — Coverage over the dataset (QT / QL / QT+QL / HYPRE)");
+    let mut t = TextTable::new(&["User", "QT", "QL", "QT+QL", "HYPRE", "gain vs QT"]);
+    for user in fx.study_users() {
+        let r = coverage_report(fx, user).expect("coverage runs");
+        t.row(vec![
+            user.to_string(),
+            r.quantitative.to_string(),
+            r.qualitative.to_string(),
+            r.combined.to_string(),
+            r.hypre.to_string(),
+            format!("{:.0}%", r.gain_over_quantitative() * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+fn run_fig29_31(fx: &Fixture) {
+    banner("Figs. 29–31 — Combine-Two intensity variation (AND vs AND_OR)");
+    for user in fx.study_users() {
+        let figs = combine_two_figs(fx, user).expect("combine-two runs");
+        println!(
+            "{user}: {} applicable AND pairs, {} applicable AND_OR pairs",
+            figs.and_records.len(),
+            figs.and_or_records.len()
+        );
+        for anchor in 0..3usize {
+            let pts: Vec<(f64, f64)> = figs
+                .and_or_records
+                .iter()
+                .filter(|r| r.members.first() == Some(&anchor))
+                .take(20)
+                .enumerate()
+                .map(|(i, r)| (i as f64, r.intensity))
+                .collect();
+            if !pts.is_empty() {
+                print!(
+                    "{}",
+                    render_series(&format!("anchor preference {anchor} (AND_OR)"), &pts)
+                );
+            }
+        }
+    }
+}
+
+fn run_fig32_34(fx: &Fixture) {
+    banner("Figs. 32–34 — Partially-Combine-All intensity variation");
+    for user in fx.study_users() {
+        let records = partially_combine_all_figs(fx, user).expect("PCA runs");
+        println!("{user}: {} combinations executed", records.len());
+        for arity_band in [(2usize, 2usize), (5, 5), (10, usize::MAX)] {
+            let pts: Vec<(f64, f64)> = records
+                .iter()
+                .filter(|r| r.arity() >= arity_band.0 && r.arity() <= arity_band.1)
+                .enumerate()
+                .map(|(i, r)| (i as f64, r.intensity))
+                .collect();
+            let label = if arity_band.1 == usize::MAX {
+                format!("arity >= {}", arity_band.0)
+            } else {
+                format!("arity {}", arity_band.0)
+            };
+            if !pts.is_empty() {
+                print!("{}", render_series(&label, &pts));
+            }
+        }
+    }
+}
+
+fn run_fig35_36(fx: &Fixture) {
+    banner("Figs. 35–36 — Bias-Random: valid vs invalid combinations (100 seeded runs)");
+    for user in fx.study_users() {
+        let runs = bias_random_figs(fx, user, 100).expect("bias-random runs");
+        let mut t = TextTable::new(&["Valid combinations", "Invalid attempts", "Runs"]);
+        let mut grouped: std::collections::BTreeMap<(usize, usize), usize> =
+            std::collections::BTreeMap::new();
+        for (v, i) in &runs {
+            *grouped.entry((*v, *i)).or_default() += 1;
+        }
+        for ((v, i), n) in grouped {
+            t.row(vec![v.to_string(), i.to_string(), n.to_string()]);
+        }
+        println!("{user}:");
+        print!("{}", t.render());
+    }
+}
+
+fn run_fig37_38(fx: &Fixture) {
+    banner("Figs. 37–38 — PEPS vs TA (hybrid profile) + §7.6.2 metrics");
+    for user in fx.study_users() {
+        let r = peps_vs_ta(fx, user, PepsVariant::Complete).expect("comparison runs");
+        println!(
+            "{user}: threshold {:.4} → PEPS ranks {} tuples, TA ranks {}",
+            r.threshold,
+            r.peps.len(),
+            r.ta.len()
+        );
+        println!(
+            "  similarity {:.0}%, positional overlap {:.0}%, order concordance {:.0}%",
+            r.similarity * 100.0,
+            r.overlap * 100.0,
+            r.concordance * 100.0
+        );
+        let peps_pts: Vec<(f64, f64)> = r
+            .peps
+            .iter()
+            .take(25)
+            .enumerate()
+            .map(|(i, (_, g))| (i as f64, *g))
+            .collect();
+        let ta_pts: Vec<(f64, f64)> = r
+            .ta
+            .iter()
+            .take(25)
+            .enumerate()
+            .map(|(i, (_, g))| (i as f64, *g))
+            .collect();
+        print!("{}", render_series("PEPS intensity (first 25)", &peps_pts));
+        print!("{}", render_series("TA intensity (first 25)", &ta_pts));
+        let (sim, ovl) = qt_only_equivalence(fx, user).expect("qt-only comparison");
+        println!(
+            "  quantitative-only control: similarity {:.0}%, overlap {:.0}%",
+            sim * 100.0,
+            ovl * 100.0
+        );
+    }
+}
+
+fn run_fig39_40(fx: &Fixture, small: bool) {
+    banner("Figs. 39–40 — PEPS latency vs K");
+    let ks: Vec<usize> = if small {
+        vec![10, 100, 200, 400]
+    } else {
+        vec![10, 100, 200, 300, 400, 500, 600, 700, 800]
+    };
+    let reps = if small { 3 } else { 10 };
+    for user in fx.study_users() {
+        let pts = peps_latency(fx, user, &ks, reps).expect("latency sweep runs");
+        let mut t = TextTable::new(&["K", "Approx PEPS", "Complete PEPS", "Quantitative-only"]);
+        for p in pts {
+            t.row(vec![
+                p.k.to_string(),
+                ms(p.approximate),
+                ms(p.complete),
+                ms(p.quantitative_only),
+            ]);
+        }
+        println!("{user}:");
+        print!("{}", t.render());
+    }
+}

@@ -1,0 +1,21 @@
+//! # hypre-bench — experiment harness for the HYPRE reproduction
+//!
+//! Shared infrastructure for the `experiments` binary (which regenerates
+//! every table and figure of the dissertation's evaluation chapter) and
+//! the Criterion micro-benches:
+//!
+//! * [`fixture`] — the seeded standard corpus + graph + study users;
+//! * [`ta_glue`] — building the §7.6.1 graded lists for the TA baseline;
+//! * [`report`] — paper-style text tables and series;
+//! * [`experiments`] — one function per table/figure, returning printable
+//!   structures so the binary, tests and benches share one implementation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod fixture;
+pub mod report;
+pub mod ta_glue;
+
+pub use fixture::Fixture;

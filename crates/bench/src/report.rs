@@ -1,0 +1,130 @@
+//! Plain-text table and series rendering for the `experiments` binary —
+//! the output mirrors the dissertation's tables and plot series.
+
+use std::fmt::Write as _;
+
+/// A simple aligned-text table builder.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let hline = |out: &mut String| {
+            for w in &widths {
+                let _ = write!(out, "+{}", "-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        hline(&mut out);
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "| {h:<width$} ", width = widths[i]);
+        }
+        out.push_str("|\n");
+        hline(&mut out);
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                let _ = write!(out, "| {cell:<width$} ", width = widths[i]);
+            }
+            out.push_str("|\n");
+        }
+        hline(&mut out);
+        out
+    }
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Renders an `(x, y)` series as a compact text block, ten points per line.
+pub fn render_series(label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("{label} ({} points)\n", points.len());
+    for chunk in points.chunks(5) {
+        let line: Vec<String> = chunk
+            .iter()
+            .map(|(x, y)| format!("({x:.0}, {y:.4})"))
+            .collect();
+        let _ = writeln!(out, "  {}", line.join(" "));
+    }
+    out
+}
+
+/// Formats a float with four decimals.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a duration in milliseconds with two decimals.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.2} ms", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["Relation", "Cardinality"]);
+        t.row(vec!["dblp".into(), "4000".into()]);
+        t.row(vec!["dblp_author".into(), "8121".into()]);
+        let r = t.render();
+        assert!(r.contains("| dblp "));
+        assert!(r.contains("| Relation "));
+        assert_eq!(r.lines().filter(|l| l.starts_with('+')).count(), 3);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn series_chunks_points() {
+        let pts: Vec<(f64, f64)> = (0..7).map(|i| (i as f64, i as f64 / 2.0)).collect();
+        let s = render_series("fig", &pts);
+        assert!(s.contains("7 points"));
+        assert_eq!(s.lines().count(), 3, "header + two chunks");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f4(0.5), "0.5000");
+        assert_eq!(ms(std::time::Duration::from_millis(1500)), "1500.00 ms");
+    }
+}

@@ -1,0 +1,274 @@
+//! The Bias-Random-Selection algorithm (Algorithm 5): grows AND
+//! combinations by flipping an intensity-biased coin over the remaining
+//! preferences.
+//!
+//! Its purpose in the dissertation is diagnostic: without knowing which
+//! combinations are applicable, even an intensity-biased random search
+//! wastes most of its queries on combinations that return nothing
+//! (Figs. 35–36 plot valid vs invalid combinations tried per run). The
+//! implementation guarantees termination by consuming each candidate at
+//! most once per attempt.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use relstore::Predicate;
+
+use crate::combine::{f_and, PrefAtom};
+use crate::error::Result;
+use crate::exec::Executor;
+
+use super::CombinationRecord;
+
+/// Outcome of one Bias-Random run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasRandomStats {
+    /// Applicable combinations recorded (with their final extent).
+    pub records: Vec<CombinationRecord>,
+    /// Number of combination attempts that returned tuples.
+    pub valid: usize,
+    /// Number of combination attempts that returned nothing.
+    pub invalid: usize,
+}
+
+/// Clamp range for the per-preference acceptance probability. Without a
+/// floor, zero-intensity preferences would never be drawn and the walk
+/// could stall; without a ceiling, an intensity-1 preference would always
+/// be taken first, removing the randomness the experiment studies.
+const PROB_FLOOR: f64 = 0.05;
+const PROB_CEIL: f64 = 0.95;
+
+/// Runs Bias-Random-Selection with a deterministic seed.
+///
+/// For every anchor preference (in profile order) the algorithm repeatedly
+/// draws a partner from the remaining preferences — accepting candidate
+/// `j` with probability proportional to its intensity — and extends the
+/// AND combination until an extension stops returning tuples, at which
+/// point the last applicable combination is recorded.
+pub fn bias_random(
+    atoms: &[PrefAtom],
+    exec: &Executor<'_>,
+    seed: u64,
+) -> Result<BiasRandomStats> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = BiasRandomStats {
+        records: Vec::new(),
+        valid: 0,
+        invalid: 0,
+    };
+
+    for first in 0..atoms.len() {
+        // Candidates that follow the anchor in the profile order.
+        let mut remaining: Vec<usize> = (first + 1..atoms.len()).collect();
+
+        // Step 1–2: find an applicable seed pair "first AND second".
+        let mut members: Vec<usize> = Vec::new();
+        while let Some(second) = flip_coin(&mut rng, atoms, &mut remaining) {
+            let units = [&atoms[first].predicate, &atoms[second].predicate];
+            if exec.is_applicable_and(&units)? {
+                stats.valid += 1;
+                members = vec![first, second];
+                break;
+            }
+            stats.invalid += 1;
+        }
+        if members.is_empty() {
+            continue; // no applicable pair for this anchor
+        }
+        let mut intensity = f_and(atoms[first].intensity, atoms[members[1]].intensity);
+
+        // Steps 3–6: extend until an extension fails or candidates run out.
+        loop {
+            let Some(next) = flip_coin(&mut rng, atoms, &mut remaining) else {
+                // No more candidates: record the held combination (step 6).
+                record(&mut stats, exec, atoms, members, intensity)?;
+                break;
+            };
+            let mut extended = members.clone();
+            extended.push(next);
+            let units: Vec<&Predicate> =
+                extended.iter().map(|&m| &atoms[m].predicate).collect();
+            if exec.is_applicable_and(&units)? {
+                stats.valid += 1;
+                members = extended;
+                intensity = f_and(intensity, atoms[next].intensity);
+            } else {
+                stats.invalid += 1;
+                // Step 4: run the last applicable combination and restart
+                // with the next anchor.
+                record(&mut stats, exec, atoms, members, intensity)?;
+                break;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// The biased coin flip: sweeps the remaining candidates (profile order,
+/// i.e. descending intensity) accepting each with probability proportional
+/// to its intensity; falls back to the highest-intensity candidate if the
+/// sweep rejects everything, and consumes whichever candidate it returns.
+fn flip_coin(rng: &mut StdRng, atoms: &[PrefAtom], remaining: &mut Vec<usize>) -> Option<usize> {
+    if remaining.is_empty() {
+        return None;
+    }
+    for pos in 0..remaining.len() {
+        let idx = remaining[pos];
+        let p = atoms[idx].intensity.clamp(PROB_FLOOR, PROB_CEIL);
+        if rng.gen_bool(p) {
+            remaining.remove(pos);
+            return Some(idx);
+        }
+    }
+    // Nothing accepted this sweep: take the front (highest intensity).
+    Some(remaining.remove(0))
+}
+
+fn record(
+    stats: &mut BiasRandomStats,
+    exec: &Executor<'_>,
+    atoms: &[PrefAtom],
+    mut members: Vec<usize>,
+    intensity: f64,
+) -> Result<()> {
+    let units: Vec<&Predicate> = members.iter().map(|&m| &atoms[m].predicate).collect();
+    let tuples = exec.count_and(&units)?;
+    members.sort_unstable();
+    let predicate = Predicate::all(members.iter().map(|&m| atoms[m].predicate.clone()));
+    stats.records.push(CombinationRecord {
+        members,
+        predicate,
+        intensity,
+        tuples,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::BaseQuery;
+    use relstore::{parse_predicate, DataType, Database, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let papers = db
+            .create_table(
+                "dblp",
+                Schema::of(&[
+                    ("pid", DataType::Int),
+                    ("venue", DataType::Str),
+                    ("year", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        for (pid, venue, year) in [
+            (1, "VLDB", 2005),
+            (2, "VLDB", 2010),
+            (3, "SIGMOD", 2010),
+            (4, "PODS", 2008),
+            (5, "PODS", 2011),
+            (6, "ICDE", 2010),
+        ] {
+            papers
+                .insert(vec![pid.into(), venue.into(), year.into()])
+                .unwrap();
+        }
+        db
+    }
+
+    fn atoms() -> Vec<PrefAtom> {
+        vec![
+            PrefAtom::new(0, parse_predicate("dblp.year>=2008").unwrap(), 0.55),
+            PrefAtom::new(1, parse_predicate("dblp.venue='VLDB'").unwrap(), 0.5),
+            PrefAtom::new(2, parse_predicate("dblp.venue='SIGMOD'").unwrap(), 0.45),
+            PrefAtom::new(3, parse_predicate("dblp.year>=2010").unwrap(), 0.4),
+            PrefAtom::new(4, parse_predicate("dblp.venue='PODS'").unwrap(), 0.35),
+            PrefAtom::new(5, parse_predicate("dblp.year<=2010").unwrap(), 0.3),
+        ]
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let db = db();
+        let base = BaseQuery::single("dblp", relstore::ColRef::parse("dblp.pid"));
+        let e1 = Executor::new(&db, base.clone());
+        let e2 = Executor::new(&db, base);
+        let a = bias_random(&atoms(), &e1, 42).unwrap();
+        let b = bias_random(&atoms(), &e2, 42).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let db = db();
+        let base = BaseQuery::single("dblp", relstore::ColRef::parse("dblp.pid"));
+        let exec = Executor::new(&db, base);
+        let runs: Vec<BiasRandomStats> = (0..50)
+            .map(|s| bias_random(&atoms(), &exec, s).unwrap())
+            .collect();
+        let distinct: std::collections::HashSet<String> = runs
+            .iter()
+            .map(|r| format!("{:?}", r.records.iter().map(|c| &c.members).collect::<Vec<_>>()))
+            .collect();
+        assert!(distinct.len() > 1, "seeds should vary the walk");
+    }
+
+    #[test]
+    fn records_are_applicable_combinations() {
+        let db = db();
+        let base = BaseQuery::single("dblp", relstore::ColRef::parse("dblp.pid"));
+        let exec = Executor::new(&db, base);
+        let stats = bias_random(&atoms(), &exec, 7).unwrap();
+        assert!(!stats.records.is_empty());
+        for rec in &stats.records {
+            assert!(rec.applicable(), "recorded combos return tuples: {rec:?}");
+            assert!(rec.arity() >= 2, "combinations have at least two members");
+            assert!(rec.members.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn counts_valid_and_invalid_attempts() {
+        let db = db();
+        let base = BaseQuery::single("dblp", relstore::ColRef::parse("dblp.pid"));
+        let exec = Executor::new(&db, base);
+        let stats = bias_random(&atoms(), &exec, 3).unwrap();
+        assert!(stats.valid >= stats.records.len());
+        assert!(stats.valid + stats.invalid > 0);
+    }
+
+    #[test]
+    fn handles_tiny_profiles() {
+        let db = db();
+        let base = BaseQuery::single("dblp", relstore::ColRef::parse("dblp.pid"));
+        let exec = Executor::new(&db, base);
+        assert!(bias_random(&[], &exec, 1).unwrap().records.is_empty());
+        let one = vec![PrefAtom::new(
+            0,
+            parse_predicate("dblp.venue='VLDB'").unwrap(),
+            0.5,
+        )];
+        let stats = bias_random(&one, &exec, 1).unwrap();
+        assert!(stats.records.is_empty(), "no pairs possible");
+        assert_eq!(stats.valid + stats.invalid, 0);
+    }
+
+    #[test]
+    fn terminates_on_fully_contradictory_profiles() {
+        // All predicates pairwise contradictory → every pair attempt is
+        // invalid, and the run must still terminate.
+        let db = db();
+        let base = BaseQuery::single("dblp", relstore::ColRef::parse("dblp.pid"));
+        let exec = Executor::new(&db, base);
+        let atoms = vec![
+            PrefAtom::new(0, parse_predicate("dblp.venue='A'").unwrap(), 0.9),
+            PrefAtom::new(1, parse_predicate("dblp.venue='B'").unwrap(), 0.8),
+            PrefAtom::new(2, parse_predicate("dblp.venue='C'").unwrap(), 0.7),
+        ];
+        let stats = bias_random(&atoms, &exec, 5).unwrap();
+        assert!(stats.records.is_empty());
+        assert!(stats.invalid > 0);
+        assert_eq!(stats.valid, 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! The preference-combination algorithms of Chapter 5.
+//!
+//! Three exploratory algorithms demonstrate why ordering preferences by
+//! intensity alone is insufficient, and PEPS is the practical Top-K
+//! algorithm built on those lessons:
+//!
+//! | Algorithm | Module | Dissertation |
+//! |---|---|---|
+//! | Combine-Two (AND and AND_OR) | [`combine_two`] | Algorithms 2–3 |
+//! | Partially-Combine-All | [`partially_combine_all`] | Algorithm 4 |
+//! | Bias-Random-Selection | [`bias_random`] | Algorithm 5 |
+//! | PEPS (Complete & Approximate) | [`peps`] | Algorithm 6 |
+//!
+//! Every algorithm consumes a user's intensity-descending positive profile
+//! (`Vec<PrefAtom>`) and an [`crate::exec::Executor`], and reports
+//! [`CombinationRecord`]s — the `<#predicates, #tuples, combined intensity>`
+//! triples the dissertation's experiment figures plot.
+
+pub mod bias_random;
+pub mod combine_two;
+pub mod partially_combine_all;
+pub mod peps;
+
+use relstore::Predicate;
+
+/// One evaluated preference combination: the record every Chapter 5
+/// algorithm emits per enhanced query it runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinationRecord {
+    /// Profile indices of the member preferences, ascending.
+    pub members: Vec<usize>,
+    /// The combined predicate.
+    pub predicate: Predicate,
+    /// The combined intensity.
+    pub intensity: f64,
+    /// `COUNT(DISTINCT key)` of the enhanced query.
+    pub tuples: u64,
+}
+
+impl CombinationRecord {
+    /// Number of member predicates (the `#predicates` of the record).
+    pub fn arity(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the combination is applicable (Definition 15).
+    pub fn applicable(&self) -> bool {
+        self.tuples > 0
+    }
+}

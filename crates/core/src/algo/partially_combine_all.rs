@@ -1,0 +1,321 @@
+//! The Partially-Combine-All algorithm (Algorithm 4): grows mixed-clause
+//! combinations over the whole profile, one preference at a time.
+//!
+//! The algorithm walks the intensity-descending profile and maintains the
+//! list of every combination it has already run (`queriesRan`). For each
+//! new preference it applies one of three rules:
+//!
+//! 1. **New attribute** — re-run every previous combination with the new
+//!    predicate conjoined (`AND`), maximising the number of inflationary
+//!    conjunctions.
+//! 2. **Known attribute, single-attribute last combination** — `OR` the
+//!    predicate into the last combination only (the combined intensity
+//!    would drop, so no other combination is revisited).
+//! 3. **Known attribute, multi-attribute last combination** —
+//!    a. re-run every previous combination that does *not* constrain this
+//!       attribute with the predicate conjoined, and
+//!    b. `OR` the predicate into the attribute group of the most recent
+//!       combination that does constrain it.
+//!
+//! A combination is represented structurally as attribute groups (`OR`
+//! within a group, `AND` across groups), so the combined intensity applies
+//! `f∨` within groups and `f∧` across them, as §4.6.1 prescribes.
+
+use std::collections::BTreeSet;
+
+use relstore::{ColRef, Predicate};
+
+use crate::combine::{f_and_all, f_or_fold, PrefAtom};
+use crate::error::Result;
+use crate::exec::Executor;
+
+use super::CombinationRecord;
+
+type AttrKey = BTreeSet<ColRef>;
+
+/// One growing combination: attribute groups of profile indices.
+#[derive(Debug, Clone, PartialEq)]
+struct Combo {
+    groups: Vec<(AttrKey, Vec<usize>)>,
+}
+
+impl Combo {
+    fn single(key: AttrKey, idx: usize) -> Self {
+        Combo {
+            groups: vec![(key, vec![idx])],
+        }
+    }
+
+    fn with_new_group(&self, key: AttrKey, idx: usize) -> Self {
+        let mut c = self.clone();
+        c.groups.push((key, vec![idx]));
+        c
+    }
+
+    fn with_or_into(&self, key: &AttrKey, idx: usize) -> Self {
+        let mut c = self.clone();
+        let group = c
+            .groups
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .expect("caller checked the attribute is present");
+        group.1.push(idx);
+        c
+    }
+
+    fn contains_attr(&self, key: &AttrKey) -> bool {
+        self.groups.iter().any(|(k, _)| k == key)
+    }
+
+    fn is_multi_group(&self) -> bool {
+        self.groups.len() > 1
+    }
+
+    fn predicate(&self, atoms: &[PrefAtom]) -> Predicate {
+        let mut pred = Predicate::True;
+        for (_, members) in &self.groups {
+            let group = Predicate::any(members.iter().map(|&i| atoms[i].predicate.clone()));
+            pred = pred.and(group);
+        }
+        pred
+    }
+
+    fn intensity(&self, atoms: &[PrefAtom]) -> f64 {
+        f_and_all(
+            self.groups
+                .iter()
+                .map(|(_, members)| f_or_fold(members.iter().map(|&i| atoms[i].intensity))),
+        )
+    }
+
+    fn members(&self) -> Vec<usize> {
+        let mut m: Vec<usize> = self
+            .groups
+            .iter()
+            .flat_map(|(_, members)| members.iter().copied())
+            .collect();
+        m.sort_unstable();
+        m
+    }
+}
+
+/// Runs Partially-Combine-All over the profile, returning one record per
+/// combination executed, in execution order (the x-axis of Figs. 32–34).
+pub fn partially_combine_all(
+    atoms: &[PrefAtom],
+    exec: &Executor<'_>,
+) -> Result<Vec<CombinationRecord>> {
+    let mut ran: Vec<Combo> = Vec::new();
+    let mut records: Vec<CombinationRecord> = Vec::new();
+    let mut attributes_used: Vec<AttrKey> = Vec::new();
+
+    for (idx, atom) in atoms.iter().enumerate() {
+        let key: AttrKey = atom.predicate.attributes();
+        let mut to_run: Vec<Combo> = Vec::new();
+
+        if ran.is_empty() {
+            to_run.push(Combo::single(key.clone(), idx));
+            attributes_used.push(key);
+        } else if !attributes_used.contains(&key) {
+            // Rule 1: conjoin onto every previous combination.
+            for combo in &ran {
+                to_run.push(combo.with_new_group(key.clone(), idx));
+            }
+            attributes_used.push(key);
+        } else {
+            let last = ran.last().expect("ran is non-empty");
+            if !last.is_multi_group() {
+                // Rule 2: OR into the last combination only.
+                if last.contains_attr(&key) {
+                    to_run.push(last.with_or_into(&key, idx));
+                } else {
+                    // The last combination constrains a *different* single
+                    // attribute; fall back to conjoining onto it, which is
+                    // what "append using AND" degenerates to here.
+                    to_run.push(last.with_new_group(key.clone(), idx));
+                }
+            } else {
+                // Rule 3a: conjoin onto every combination lacking the attribute.
+                let snapshot = ran.clone();
+                for combo in snapshot.iter().filter(|c| !c.contains_attr(&key)) {
+                    to_run.push(combo.with_new_group(key.clone(), idx));
+                }
+                // Rule 3b: OR into the most recent combination with the attribute.
+                if let Some(combo) = snapshot.iter().rev().find(|c| c.contains_attr(&key)) {
+                    to_run.push(combo.with_or_into(&key, idx));
+                }
+            }
+        }
+
+        for combo in to_run {
+            let predicate = combo.predicate(atoms);
+            let groups: Vec<Vec<&Predicate>> = combo
+                .groups
+                .iter()
+                .map(|(_, members)| members.iter().map(|&i| &atoms[i].predicate).collect())
+                .collect();
+            let tuples = exec.count_mixed(&groups)?;
+            records.push(CombinationRecord {
+                members: combo.members(),
+                predicate,
+                intensity: combo.intensity(atoms),
+                tuples,
+            });
+            ran.push(combo);
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::{f_and, f_or};
+    use crate::exec::BaseQuery;
+    use relstore::{parse_predicate, DataType, Database, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let papers = db
+            .create_table(
+                "dblp",
+                Schema::of(&[("pid", DataType::Int), ("venue", DataType::Str)]),
+            )
+            .unwrap();
+        for (pid, venue) in [(1, "INFOCOM"), (2, "INFOCOM"), (3, "PODS")] {
+            papers.insert(vec![pid.into(), venue.into()]).unwrap();
+        }
+        let link = db
+            .create_table(
+                "dblp_author",
+                Schema::of(&[("pid", DataType::Int), ("aid", DataType::Int)]),
+            )
+            .unwrap();
+        for (pid, aid) in [(1, 2222), (2, 4787), (3, 2222)] {
+            link.insert(vec![pid.into(), aid.into()]).unwrap();
+        }
+        db
+    }
+
+    fn atom(i: usize, pred: &str, intensity: f64) -> PrefAtom {
+        PrefAtom::new(i, parse_predicate(pred).unwrap(), intensity)
+    }
+
+    #[test]
+    fn traces_the_papers_example() {
+        // Profile: venue=INFOCOM, aid=2222, aid=4787 — §5.3.2's worked
+        // example produces exactly four combinations:
+        //   1. venue
+        //   2. venue AND aid=2222
+        //   3. venue AND aid=4787
+        //   4. venue AND (aid=2222 OR aid=4787)
+        let db = db();
+        let exec = Executor::new(&db, BaseQuery::dblp());
+        let atoms = vec![
+            atom(0, "dblp.venue='INFOCOM'", 0.5),
+            atom(1, "dblp_author.aid=2222", 0.4),
+            atom(2, "dblp_author.aid=4787", 0.3),
+        ];
+        let records = partially_combine_all(&atoms, &exec).unwrap();
+        let texts: Vec<String> = records.iter().map(|r| r.predicate.to_string()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "dblp.venue='INFOCOM'",
+                "dblp.venue='INFOCOM' AND dblp_author.aid=2222",
+                "dblp.venue='INFOCOM' AND dblp_author.aid=4787",
+                "dblp.venue='INFOCOM' AND (dblp_author.aid=2222 OR dblp_author.aid=4787)",
+            ]
+        );
+        assert_eq!(
+            records.iter().map(|r| r.tuples).collect::<Vec<_>>(),
+            vec![2, 1, 1, 2]
+        );
+        // intensities: p0; f∧(p0,p1); f∧(p0,p2); f∧(p0, f∨(p1,p2))
+        assert!((records[0].intensity - 0.5).abs() < 1e-12);
+        assert!((records[1].intensity - f_and(0.5, 0.4)).abs() < 1e-12);
+        assert!((records[2].intensity - f_and(0.5, 0.3)).abs() < 1e-12);
+        assert!((records[3].intensity - f_and(0.5, f_or(0.4, 0.3))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_attribute_profile_runs_linear(        ) {
+        // Proof case [1]: all preferences on one attribute → one query per
+        // preference, each OR-extending the last.
+        let db = db();
+        let exec = Executor::new(&db, BaseQuery::dblp());
+        let atoms = vec![
+            atom(0, "dblp.venue='INFOCOM'", 0.5),
+            atom(1, "dblp.venue='PODS'", 0.4),
+            atom(2, "dblp.venue='VLDB'", 0.3),
+        ];
+        let records = partially_combine_all(&atoms, &exec).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].members, vec![0, 1, 2]);
+        assert!(records[2].predicate.to_string().matches("OR").count() == 2);
+    }
+
+    #[test]
+    fn leading_distinct_attribute_runs_2n_minus_2() {
+        // Proof case [2]: v, a1, a2, …, a_{n-1} → 2n−2 records.
+        let db = db();
+        let exec = Executor::new(&db, BaseQuery::dblp());
+        let atoms = vec![
+            atom(0, "dblp.venue='INFOCOM'", 0.9),
+            atom(1, "dblp_author.aid=2222", 0.5),
+            atom(2, "dblp_author.aid=4787", 0.4),
+            atom(3, "dblp_author.aid=9", 0.3),
+        ];
+        let records = partially_combine_all(&atoms, &exec).unwrap();
+        assert_eq!(records.len(), 2 * atoms.len() - 2);
+        // the last record is the full mixed clause
+        let last = records.last().unwrap();
+        assert_eq!(last.members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn trailing_distinct_attribute_conjoins_all_prior() {
+        // Proof case [3]: a1, a2, v → v is conjoined onto every prior combo.
+        let db = db();
+        let exec = Executor::new(&db, BaseQuery::dblp());
+        let atoms = vec![
+            atom(0, "dblp_author.aid=2222", 0.5),
+            atom(1, "dblp_author.aid=4787", 0.4),
+            atom(2, "dblp.venue='INFOCOM'", 0.3),
+        ];
+        let records = partially_combine_all(&atoms, &exec).unwrap();
+        let texts: Vec<String> = records.iter().map(|r| r.predicate.to_string()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "dblp_author.aid=2222",
+                "dblp_author.aid=2222 OR dblp_author.aid=4787",
+                "dblp_author.aid=2222 AND dblp.venue='INFOCOM'",
+                "(dblp_author.aid=2222 OR dblp_author.aid=4787) AND dblp.venue='INFOCOM'",
+            ]
+        );
+    }
+
+    #[test]
+    fn records_expose_arity_counts() {
+        let db = db();
+        let exec = Executor::new(&db, BaseQuery::dblp());
+        let atoms = vec![
+            atom(0, "dblp.venue='INFOCOM'", 0.5),
+            atom(1, "dblp_author.aid=2222", 0.4),
+            atom(2, "dblp_author.aid=4787", 0.3),
+        ];
+        let records = partially_combine_all(&atoms, &exec).unwrap();
+        let of_two: Vec<_> = records.iter().filter(|r| r.arity() == 2).collect();
+        let of_three: Vec<_> = records.iter().filter(|r| r.arity() == 3).collect();
+        assert_eq!(of_two.len(), 2);
+        assert_eq!(of_three.len(), 1);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let db = db();
+        let exec = Executor::new(&db, BaseQuery::dblp());
+        assert!(partially_combine_all(&[], &exec).unwrap().is_empty());
+    }
+}

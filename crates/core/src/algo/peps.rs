@@ -1,0 +1,492 @@
+//! PEPS — the Practical and Efficient Preference Selection algorithm
+//! (§5.5, Algorithm 6): the dissertation's Top-K algorithm over a HYPRE
+//! profile.
+//!
+//! PEPS works in *rounds*, one per profile preference in descending
+//! intensity order. Round `s` uses the seed preference's intensity as a
+//! threshold `τ_s` and pulls from the pre-computed pairwise list
+//! ([`crate::exec::PairwiseCache`]) every applicable pair that can matter
+//! at this threshold:
+//!
+//! * **Approximate PEPS** keeps only pairs whose combined intensity already
+//!   exceeds `τ_s` — faster, but a chain whose pair starts below the
+//!   threshold and grows past it later is discovered late (or, with early
+//!   termination, never), which is exactly the approximation the
+//!   dissertation accepts (§5.5.2).
+//! * **Complete PEPS** additionally keeps pairs whose *optimistic bound* —
+//!   `f∧` of the pair with every remaining preference, the closed-form
+//!   generalisation of Proposition 6 — exceeds `τ_s`, so no combination
+//!   that could still beat the threshold is lost (§5.5.1).
+//!
+//! Selected pairs are expanded depth-first into multi-predicate AND
+//! combinations, chaining through the pairwise list (`pairs_from(last)`)
+//! and checking full-combination applicability through the executor's
+//! memoised counts. *Every* applicable combination encountered is emitted
+//! (not only maximal ones): a tuple's best score is the `f∧` of the full
+//! set of preferences it matches, and emitting all combinations guarantees
+//! that set is always represented — this is what makes Complete PEPS agree
+//! exactly with Fagin's TA on quantitative-only profiles (§7.6.3).
+//!
+//! Rounds stop early once `k` tuples are ranked and the `k`-th best score
+//! is at least the current threshold: every future combination is capped
+//! by that threshold, so the Top-K set can no longer change.
+
+use std::collections::{HashMap, HashSet};
+
+use relstore::Value;
+
+use crate::combine::{f_and, PrefAtom};
+use crate::error::{HypreError, Result};
+use crate::exec::{Executor, PairwiseCache};
+
+use super::CombinationRecord;
+
+/// Which PEPS variant to run (§5.5.1 vs §5.5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PepsVariant {
+    /// Keeps every pair that might still beat the threshold (Prop. 6 bound).
+    Complete,
+    /// Keeps only pairs already beating the threshold.
+    Approximate,
+}
+
+/// Proposition 6: the minimum number of conjuncts of intensity `p2` needed
+/// for an `f∧` combination to reach `p1`, `K = log(1−p1) / log(1−p2)`.
+///
+/// Defined for `0 < p2 ≤ p1 < 1`; returns `f64::INFINITY` when `p2 = 0`
+/// (a zero-intensity preference can never lift a combination).
+pub fn proposition6_bound(p1: f64, p2: f64) -> f64 {
+    if p2 <= 0.0 {
+        return f64::INFINITY;
+    }
+    if p1 >= 1.0 {
+        return f64::INFINITY;
+    }
+    (1.0 - p1).ln() / (1.0 - p2).ln()
+}
+
+/// A ranked tuple: identity plus the combined intensity of the best
+/// applicable combination that matches it.
+pub type RankedTuple = (Value, f64);
+
+/// The PEPS engine, borrowing a profile, an executor and the pairwise cache.
+pub struct Peps<'a, 'db> {
+    atoms: &'a [PrefAtom],
+    exec: &'a Executor<'db>,
+    pairs: &'a PairwiseCache,
+    variant: PepsVariant,
+}
+
+impl<'a, 'db> Peps<'a, 'db> {
+    /// Creates a PEPS engine.
+    pub fn new(
+        atoms: &'a [PrefAtom],
+        exec: &'a Executor<'db>,
+        pairs: &'a PairwiseCache,
+        variant: PepsVariant,
+    ) -> Self {
+        Peps {
+            atoms,
+            exec,
+            pairs,
+            variant,
+        }
+    }
+
+    /// Enumerates *all* applicable combinations (every round, no early
+    /// stop), sorted by descending combined intensity — the dissertation's
+    /// ORDER list. Singleton combinations are included so the ranking is
+    /// total over every tuple any preference touches.
+    pub fn ordered_combinations(&self) -> Result<Vec<CombinationRecord>> {
+        let mut emitted: HashSet<Vec<usize>> = HashSet::new();
+        let mut order: Vec<CombinationRecord> = Vec::new();
+        for s in 0..self.atoms.len() {
+            self.run_round(s, &mut emitted, &mut order)?;
+        }
+        sort_order(&mut order);
+        Ok(order)
+    }
+
+    /// Returns the Top-K tuples by combined intensity (descending; ties by
+    /// ascending tuple value for determinism).
+    ///
+    /// # Errors
+    /// [`HypreError::ZeroK`] when `k == 0`.
+    pub fn top_k(&self, k: usize) -> Result<Vec<RankedTuple>> {
+        if k == 0 {
+            return Err(HypreError::ZeroK);
+        }
+        let mut emitted: HashSet<Vec<usize>> = HashSet::new();
+        let mut ranked: HashMap<Value, f64> = HashMap::new();
+        for s in 0..self.atoms.len() {
+            let mut round: Vec<CombinationRecord> = Vec::new();
+            self.run_round(s, &mut emitted, &mut round)?;
+            sort_order(&mut round);
+            for combo in &round {
+                if !combo.applicable() {
+                    continue;
+                }
+                for tuple in self.exec.tuples_and(&self.units(&combo.members))? {
+                    ranked
+                        .entry(tuple)
+                        .and_modify(|v| *v = v.max(combo.intensity))
+                        .or_insert(combo.intensity);
+                }
+            }
+            // Early termination: every combination a later round can emit
+            // is capped by this round's threshold.
+            let threshold = self.atoms[s].intensity;
+            if ranked.len() >= k && kth_best(&ranked, k) >= threshold {
+                break;
+            }
+        }
+        let mut out: Vec<RankedTuple> = ranked.into_iter().collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+
+    /// Runs one round: seeds pairs admitted at threshold `τ_s`, expands
+    /// them depth-first, and emits the seed's singleton combination.
+    fn run_round(
+        &self,
+        s: usize,
+        emitted: &mut HashSet<Vec<usize>>,
+        out: &mut Vec<CombinationRecord>,
+    ) -> Result<()> {
+        let threshold = self.atoms[s].intensity;
+        let seeds: Vec<(usize, usize, f64)> = self
+            .pairs
+            .entries()
+            .iter()
+            .filter(|e| e.applicable())
+            .filter(|e| self.admits(e.i, e.j, e.intensity, threshold))
+            .map(|e| (e.i, e.j, e.intensity))
+            .collect();
+        for (i, j, intensity) in seeds {
+            let members = vec![i, j];
+            if emitted.contains(&members) {
+                continue;
+            }
+            self.expand(members, intensity, emitted, out)?;
+        }
+        // The seed preference by itself (the fallback that guarantees k
+        // tuples can always be reached eventually).
+        let singleton = vec![s];
+        if !emitted.contains(&singleton) {
+            let tuples = self.exec.count(&self.atoms[s].predicate)?;
+            if tuples > 0 {
+                emitted.insert(singleton.clone());
+                out.push(CombinationRecord {
+                    members: singleton,
+                    predicate: self.atoms[s].predicate.clone(),
+                    intensity: self.atoms[s].intensity,
+                    tuples,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The variant's pair-admission rule at a threshold.
+    fn admits(&self, i: usize, j: usize, pair_intensity: f64, threshold: f64) -> bool {
+        if pair_intensity > threshold {
+            return true;
+        }
+        match self.variant {
+            PepsVariant::Approximate => false,
+            PepsVariant::Complete => self.optimistic_bound(i, j, pair_intensity) > threshold,
+        }
+    }
+
+    /// The best combined intensity any super-combination of the pair could
+    /// reach: `f∧` with every other preference in the profile. This is the
+    /// closed-form of Proposition 6's "enough extra predicates" test.
+    fn optimistic_bound(&self, i: usize, j: usize, pair_intensity: f64) -> f64 {
+        let mut residual = 1.0 - pair_intensity;
+        for (m, atom) in self.atoms.iter().enumerate() {
+            if m != i && m != j && atom.intensity > 0.0 {
+                residual *= 1.0 - atom.intensity;
+            }
+        }
+        1.0 - residual
+    }
+
+    /// The member preference predicates of a combination.
+    fn units(&self, members: &[usize]) -> Vec<&relstore::Predicate> {
+        members.iter().map(|&m| &self.atoms[m].predicate).collect()
+    }
+
+    /// Depth-first expansion: emits the current combination and recurses
+    /// into every applicable single-preference extension, chaining through
+    /// the pairwise list on the last member.
+    fn expand(
+        &self,
+        members: Vec<usize>,
+        intensity: f64,
+        emitted: &mut HashSet<Vec<usize>>,
+        out: &mut Vec<CombinationRecord>,
+    ) -> Result<()> {
+        if !emitted.insert(members.clone()) {
+            return Ok(());
+        }
+        let units = self.units(&members);
+        let tuples = self.exec.count_and(&units)?;
+        out.push(CombinationRecord {
+            members: members.clone(),
+            predicate: relstore::Predicate::all(
+                members.iter().map(|&m| self.atoms[m].predicate.clone()),
+            ),
+            intensity,
+            tuples,
+        });
+        let last = *members.last().expect("combinations are non-empty");
+        // Collect extension candidates first: pairs_from borrows the cache,
+        // and recursion needs `emitted`/`out` mutable.
+        let candidates: Vec<usize> = self
+            .pairs
+            .pairs_from(last)
+            .map(|e| e.j)
+            .filter(|m| !members.contains(m))
+            .collect();
+        for m in candidates {
+            let mut ext_members = members.clone();
+            ext_members.push(m);
+            if emitted.contains(&ext_members) {
+                continue;
+            }
+            let ext_units = self.units(&ext_members);
+            if self.exec.is_applicable_and(&ext_units)? {
+                let ext_intensity = f_and(intensity, self.atoms[m].intensity);
+                self.expand(ext_members, ext_intensity, emitted, out)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn sort_order(order: &mut [CombinationRecord]) {
+    order.sort_by(|a, b| {
+        b.intensity
+            .total_cmp(&a.intensity)
+            .then_with(|| a.members.len().cmp(&b.members.len()))
+            .then_with(|| a.members.cmp(&b.members))
+    });
+}
+
+fn kth_best(ranked: &HashMap<Value, f64>, k: usize) -> f64 {
+    let mut scores: Vec<f64> = ranked.values().copied().collect();
+    scores.sort_by(|a, b| b.total_cmp(a));
+    scores.get(k - 1).copied().unwrap_or(f64::NEG_INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::BaseQuery;
+    use relstore::{parse_predicate, ColRef, DataType, Database, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let papers = db
+            .create_table(
+                "dblp",
+                Schema::of(&[
+                    ("pid", DataType::Int),
+                    ("venue", DataType::Str),
+                    ("year", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        for (pid, venue, year) in [
+            (1, "VLDB", 2010),
+            (2, "VLDB", 2005),
+            (3, "SIGMOD", 2010),
+            (4, "PODS", 2010),
+            (5, "PODS", 2004),
+            (6, "ICDE", 1999),
+        ] {
+            papers
+                .insert(vec![pid.into(), venue.into(), year.into()])
+                .unwrap();
+        }
+        db
+    }
+
+    fn profile() -> Vec<PrefAtom> {
+        vec![
+            PrefAtom::new(0, parse_predicate("dblp.year>=2005").unwrap(), 0.6),
+            PrefAtom::new(1, parse_predicate("dblp.venue='VLDB'").unwrap(), 0.5),
+            PrefAtom::new(2, parse_predicate("dblp.venue='PODS'").unwrap(), 0.3),
+            PrefAtom::new(3, parse_predicate("dblp.year>=2010").unwrap(), 0.2),
+        ]
+    }
+
+    fn setup(db: &Database) -> (Executor<'_>, Vec<PrefAtom>) {
+        let exec = Executor::new(db, BaseQuery::single("dblp", ColRef::parse("dblp.pid")));
+        (exec, profile())
+    }
+
+    /// Brute-force reference: each tuple's score is f∧ over all matching
+    /// preferences.
+    fn reference_ranking(db: &Database, atoms: &[PrefAtom]) -> Vec<RankedTuple> {
+        let exec = Executor::new(db, BaseQuery::single("dblp", ColRef::parse("dblp.pid")));
+        crate::enhance::score_tuples(&exec, atoms).unwrap()
+    }
+
+    #[test]
+    fn proposition6_bound_properties() {
+        // reaching 0.8 with 0.5-strength conjuncts needs ≥ ~2.32 of them
+        let k = proposition6_bound(0.8, 0.5);
+        assert!(k > 2.0 && k < 3.0, "{k}");
+        // verify it is a valid lower bound: ceil(k) conjuncts suffice
+        let n = k.ceil() as usize;
+        let reached = 1.0 - (1.0 - 0.5f64).powi(n as i32);
+        assert!(reached >= 0.8);
+        // and one fewer does not
+        let reached = 1.0 - (1.0 - 0.5f64).powi(n as i32 - 1);
+        assert!(reached < 0.8);
+        // degenerate inputs
+        assert!(proposition6_bound(0.5, 0.0).is_infinite());
+        assert!(proposition6_bound(1.0, 0.5).is_infinite());
+    }
+
+    #[test]
+    fn complete_peps_matches_brute_force_ranking() {
+        let db = db();
+        let (exec, atoms) = setup(&db);
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
+        let got = peps.top_k(10).unwrap();
+        let want = reference_ranking(&db, &atoms);
+        assert_eq!(got.len(), want.len());
+        for ((gt, gi), (wt, wi)) in got.iter().zip(want.iter()) {
+            assert_eq!(gt, wt, "tuple order");
+            assert!((gi - wi).abs() < 1e-12, "intensity for {gt}: {gi} vs {wi}");
+        }
+    }
+
+    #[test]
+    fn top_k_truncates_and_orders() {
+        let db = db();
+        let (exec, atoms) = setup(&db);
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
+        let top2 = peps.top_k(2).unwrap();
+        assert_eq!(top2.len(), 2);
+        assert!(top2[0].1 >= top2[1].1);
+        let all = peps.top_k(100).unwrap();
+        assert_eq!(&all[..2], &top2[..]);
+    }
+
+    #[test]
+    fn zero_k_is_an_error() {
+        let db = db();
+        let (exec, atoms) = setup(&db);
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
+        assert!(matches!(peps.top_k(0), Err(HypreError::ZeroK)));
+    }
+
+    #[test]
+    fn ordered_combinations_descend_and_are_applicable_or_singleton() {
+        let db = db();
+        let (exec, atoms) = setup(&db);
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
+        let order = peps.ordered_combinations().unwrap();
+        assert!(!order.is_empty());
+        assert!(order.windows(2).all(|w| w[0].intensity >= w[1].intensity));
+        // expansions are applicable by construction
+        for rec in order.iter().filter(|r| r.arity() >= 2) {
+            assert!(rec.applicable(), "{rec:?}");
+        }
+        // no duplicate member sets
+        let sets: HashSet<&Vec<usize>> = order.iter().map(|r| &r.members).collect();
+        assert_eq!(sets.len(), order.len());
+    }
+
+    #[test]
+    fn approximate_subset_of_complete() {
+        let db = db();
+        let (exec, atoms) = setup(&db);
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        let complete = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete)
+            .ordered_combinations()
+            .unwrap();
+        let approx = Peps::new(&atoms, &exec, &pairs, PepsVariant::Approximate)
+            .ordered_combinations()
+            .unwrap();
+        let complete_sets: HashSet<&Vec<usize>> = complete.iter().map(|r| &r.members).collect();
+        for rec in &approx {
+            assert!(
+                complete_sets.contains(&rec.members),
+                "approximate emitted a combination complete missed: {rec:?}"
+            );
+        }
+        assert!(approx.len() <= complete.len());
+    }
+
+    #[test]
+    fn approximate_agrees_on_this_workload() {
+        // On this small profile the approximate variant loses nothing —
+        // mirroring the dissertation's finding that the two variants rank
+        // identically with only a small time difference.
+        let db = db();
+        let (exec, atoms) = setup(&db);
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        let a = Peps::new(&atoms, &exec, &pairs, PepsVariant::Approximate)
+            .top_k(6)
+            .unwrap();
+        let c = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete)
+            .top_k(6)
+            .unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn contradictory_pairs_never_emitted() {
+        let db = db();
+        let (exec, atoms) = setup(&db);
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        let order = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete)
+            .ordered_combinations()
+            .unwrap();
+        // VLDB ∧ PODS can never appear
+        assert!(order
+            .iter()
+            .all(|r| !(r.members.contains(&1) && r.members.contains(&2))));
+    }
+
+    #[test]
+    fn full_match_set_combination_is_emitted() {
+        // Paper 1 (VLDB, 2010) matches prefs {0: year>=2005, 1: VLDB,
+        // 3: year>=2010}; its full match set must be emitted so the tuple
+        // scores f∧(0.6, 0.5, 0.2).
+        let db = db();
+        let (exec, atoms) = setup(&db);
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        let order = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete)
+            .ordered_combinations()
+            .unwrap();
+        assert!(order.iter().any(|r| r.members == vec![0, 1, 3]));
+        let top = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete)
+            .top_k(1)
+            .unwrap();
+        assert_eq!(top[0].0, Value::Int(1));
+        let expect = crate::combine::f_and_all([0.6, 0.5, 0.2]);
+        assert!((top[0].1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_returns_nothing() {
+        let db = db();
+        let exec = Executor::new(&db, BaseQuery::single("dblp", ColRef::parse("dblp.pid")));
+        let pairs = PairwiseCache::default();
+        let peps = Peps::new(&[], &exec, &pairs, PepsVariant::Complete);
+        assert!(peps.top_k(5).unwrap().is_empty());
+        assert!(peps.ordered_combinations().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,329 @@
+//! Preference composition: the combined-intensity functions of §4.6.1.
+//!
+//! When preferences are conjoined (`AND`) the dissertation uses the
+//! *inflationary* function `f∧(p1, p2) = 1 − (1−p1)(1−p2)` (Eq. 4.3): a
+//! tuple matching both preferences is better than one matching either. When
+//! preferences are disjoined (`OR`) it uses the *reserved* average
+//! `f∨(p1, p2) = (p1 + p2)/2` (Eq. 4.4): the tuple may match only the
+//! weaker predicate, so the score is penalised to the mean.
+//!
+//! Two algebraic facts drive the combination algorithms and are re-proved
+//! here as tests (plus property tests at the crate level):
+//!
+//! * **Proposition 1** — `f∧` composition is order-independent:
+//!   `f∧(p1, …, pn) = 1 − ∏(1−pi)`.
+//! * **Proposition 2** — `f∨` composition is order-*dependent*, with
+//!   `f∨(p1, f∨(p2, p3)) ≥ f∨(p2, f∨(p1, p3)) ≥ f∨(p3, f∨(p1, p2))`
+//!   when `p1 ≥ p2 ≥ p3`.
+
+use relstore::Predicate;
+
+/// Eq. 4.3 — inflationary conjunction score.
+pub fn f_and(p1: f64, p2: f64) -> f64 {
+    1.0 - (1.0 - p1) * (1.0 - p2)
+}
+
+/// Eq. 4.4 — reserved disjunction score.
+pub fn f_or(p1: f64, p2: f64) -> f64 {
+    (p1 + p2) / 2.0
+}
+
+/// `f∧` folded over any number of operands (order-independent by
+/// Proposition 1). Returns `0` for an empty iterator — the score of a tuple
+/// matching no preferences.
+pub fn f_and_all(intensities: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = 1.0;
+    let mut any = false;
+    for p in intensities {
+        acc *= 1.0 - p;
+        any = true;
+    }
+    if any {
+        1.0 - acc
+    } else {
+        0.0
+    }
+}
+
+/// `f∨` folded left-to-right in the *given* order (order matters by
+/// Proposition 2): `f∨(p_n, f∨(p_{n-1}, …))`, i.e. each new operand is
+/// averaged against the running score. Returns `0` for an empty iterator.
+pub fn f_or_fold(intensities: impl IntoIterator<Item = f64>) -> f64 {
+    let mut iter = intensities.into_iter();
+    let Some(first) = iter.next() else {
+        return 0.0;
+    };
+    iter.fold(first, f_or)
+}
+
+/// How a set of preference predicates is combined into one `WHERE` clause
+/// (§4.6 and §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CombineSemantics {
+    /// Conjoin everything (`AND` semantics; Algorithm 3).
+    And,
+    /// Mixed clause (`AND_OR` semantics; Algorithm 2): predicates on the
+    /// same attribute are `OR`-ed (a tuple can't satisfy two venues at
+    /// once), predicates on different attributes are `AND`-ed.
+    #[default]
+    AndOr,
+}
+
+/// A preference predicate plus its quantitative intensity — the atom every
+/// combination algorithm manipulates. `index` is the preference's position
+/// in the user's intensity-descending profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefAtom {
+    /// Position in the intensity-descending profile (0 = strongest).
+    pub index: usize,
+    /// The stored SQL predicate.
+    pub predicate: Predicate,
+    /// The quantitative intensity attached to the predicate's node.
+    pub intensity: f64,
+}
+
+impl PrefAtom {
+    /// Creates an atom.
+    pub fn new(index: usize, predicate: Predicate, intensity: f64) -> Self {
+        PrefAtom {
+            index,
+            predicate,
+            intensity,
+        }
+    }
+
+    /// Whether two atoms constrain the same attribute set — the grouping
+    /// key of the mixed-clause semantics.
+    pub fn same_attribute(&self, other: &PrefAtom) -> bool {
+        self.predicate.attributes() == other.predicate.attributes()
+    }
+}
+
+/// A combined predicate with its combined intensity — the output unit of
+/// every combination algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Combination {
+    /// Profile indices of the member preferences, ascending.
+    pub members: Vec<usize>,
+    /// The combined `WHERE` fragment.
+    pub predicate: Predicate,
+    /// The combined intensity.
+    pub intensity: f64,
+}
+
+impl Combination {
+    /// Number of member preferences.
+    pub fn arity(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Combines two atoms under the chosen semantics, returning the pair
+/// predicate and combined intensity. Under [`CombineSemantics::AndOr`],
+/// same-attribute atoms are `OR`-ed with `f∨` and different-attribute atoms
+/// `AND`-ed with `f∧`; under [`CombineSemantics::And`], always `AND`/`f∧`.
+pub fn combine_pair(a: &PrefAtom, b: &PrefAtom, semantics: CombineSemantics) -> Combination {
+    let use_or = semantics == CombineSemantics::AndOr && a.same_attribute(b);
+    let (predicate, intensity) = if use_or {
+        (
+            a.predicate.clone().or(b.predicate.clone()),
+            f_or(a.intensity, b.intensity),
+        )
+    } else {
+        (
+            a.predicate.clone().and(b.predicate.clone()),
+            f_and(a.intensity, b.intensity),
+        )
+    };
+    let mut members = vec![a.index, b.index];
+    members.sort_unstable();
+    Combination {
+        members,
+        predicate,
+        intensity,
+    }
+}
+
+/// Builds the mixed clause of §4.6 over a whole profile: atoms grouped by
+/// attribute, `OR` within a group, `AND` across groups; the combined
+/// intensity applies `f∨` within each group (in the given order) and `f∧`
+/// across groups.
+pub fn mixed_clause(atoms: &[PrefAtom]) -> Combination {
+    let mut groups: Vec<(std::collections::BTreeSet<relstore::ColRef>, Vec<&PrefAtom>)> =
+        Vec::new();
+    for atom in atoms {
+        let key = atom.predicate.attributes();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(atom),
+            None => groups.push((key, vec![atom])),
+        }
+    }
+    let mut predicate = Predicate::True;
+    let mut intensity_terms = Vec::with_capacity(groups.len());
+    let mut members = Vec::with_capacity(atoms.len());
+    for (_, group) in &groups {
+        let group_pred = Predicate::any(group.iter().map(|a| a.predicate.clone()));
+        predicate = predicate.and(group_pred);
+        intensity_terms.push(f_or_fold(group.iter().map(|a| a.intensity)));
+        members.extend(group.iter().map(|a| a.index));
+    }
+    members.sort_unstable();
+    Combination {
+        members,
+        predicate,
+        intensity: f_and_all(intensity_terms),
+    }
+}
+
+/// The theoretical upper bound of Proposition 3: number of non-empty
+/// AND-combinations of `n` preferences, `2^n − 1`.
+pub fn and_combination_bound(n: u32) -> u128 {
+    2u128.pow(n) - 1
+}
+
+/// The theoretical upper bound of Proposition 4: number of combinations of
+/// `n` preferences under both `AND` and `OR`, `(3^n − 1)/2`.
+pub fn and_or_combination_bound(n: u32) -> u128 {
+    (3u128.pow(n) - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::parse_predicate;
+
+    fn atom(i: usize, pred: &str, intensity: f64) -> PrefAtom {
+        PrefAtom::new(i, parse_predicate(pred).unwrap(), intensity)
+    }
+
+    #[test]
+    fn f_and_matches_paper_example6() {
+        // Example 6: f∧(f∧(0.8, 0.5), 0.2) = f∧(0.9, 0.2) = 0.92
+        let v = f_and(f_and(0.8, 0.5), 0.2);
+        assert!((v - 0.92).abs() < 1e-12);
+        assert!((f_and(0.8, 0.5) - 0.9).abs() < 1e-12);
+        assert!((f_and(0.5, 0.2) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_and_is_inflationary_on_positives() {
+        for (a, b) in [(0.1, 0.2), (0.5, 0.5), (0.9, 0.05)] {
+            let c = f_and(a, b);
+            assert!(c >= a && c >= b, "f_and({a},{b})={c}");
+            assert!(c <= 1.0);
+        }
+    }
+
+    #[test]
+    fn f_or_is_reserved() {
+        for (a, b) in [(0.1, 0.2), (0.5, 0.5), (0.9, 0.05)] {
+            let c = f_or(a, b);
+            assert!(c >= a.min(b) && c <= a.max(b), "f_or({a},{b})={c}");
+        }
+    }
+
+    #[test]
+    fn proposition1_order_independence() {
+        let ps = [0.7, 0.3, 0.5, 0.2];
+        let closed = 1.0 - ps.iter().map(|p| 1.0 - p).product::<f64>();
+        // all 3 association orders of the first three values (paper cases)
+        let c1 = f_and(ps[0], f_and(ps[1], ps[2]));
+        let c2 = f_and(ps[1], f_and(ps[0], ps[2]));
+        let c3 = f_and(ps[2], f_and(ps[0], ps[1]));
+        assert!((c1 - c2).abs() < 1e-12 && (c2 - c3).abs() < 1e-12);
+        assert!((f_and_all(ps) - closed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proposition2_order_dependence_chain() {
+        let (p1, p2, p3) = (0.9, 0.5, 0.1);
+        let a = f_or(p1, f_or(p2, p3)); // (2p1+p2+p3)/4
+        let b = f_or(p2, f_or(p1, p3));
+        let c = f_or(p3, f_or(p1, p2));
+        assert!(a >= b && b >= c, "{a} {b} {c}");
+        assert!((a - (2.0 * p1 + p2 + p3) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_folds() {
+        assert_eq!(f_and_all(std::iter::empty()), 0.0);
+        assert_eq!(f_or_fold(std::iter::empty()), 0.0);
+        assert_eq!(f_and_all([0.4]), 0.4);
+        assert_eq!(f_or_fold([0.4]), 0.4);
+    }
+
+    #[test]
+    fn combine_pair_and_or_semantics() {
+        let venue_a = atom(0, "dblp.venue='INFOCOM'", 0.23);
+        let venue_b = atom(1, "dblp.venue='PODS'", 0.14);
+        let author = atom(2, "dblp_author.aid=128", 0.19);
+
+        // same attribute → OR + f∨
+        let c = combine_pair(&venue_a, &venue_b, CombineSemantics::AndOr);
+        assert!(c.predicate.to_string().contains("OR"));
+        assert!((c.intensity - f_or(0.23, 0.14)).abs() < 1e-12);
+        assert_eq!(c.members, vec![0, 1]);
+
+        // different attribute → AND + f∧
+        let c = combine_pair(&venue_a, &author, CombineSemantics::AndOr);
+        assert!(c.predicate.to_string().contains("AND"));
+        assert!((c.intensity - f_and(0.23, 0.19)).abs() < 1e-12);
+
+        // AND semantics forces conjunction even on same attribute
+        let c = combine_pair(&venue_a, &venue_b, CombineSemantics::And);
+        assert!(c.predicate.to_string().contains("AND"));
+        assert!((c.intensity - f_and(0.23, 0.14)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_clause_matches_section_4_6() {
+        // The uid=2 example from Table 7: two venue prefs, two author prefs
+        // → (venue OR venue) AND (aid OR aid).
+        let atoms = vec![
+            atom(0, "dblp.venue='INFOCOM'", 0.23),
+            atom(1, "dblp_author.aid=128", 0.19),
+            atom(2, "dblp.venue='PODS'", 0.14),
+            atom(3, "dblp_author.aid=116", 0.14),
+        ];
+        let c = mixed_clause(&atoms);
+        let text = c.predicate.to_string();
+        assert_eq!(
+            text,
+            "(dblp.venue='INFOCOM' OR dblp.venue='PODS') AND \
+             (dblp_author.aid=128 OR dblp_author.aid=116)"
+        );
+        let expect = f_and(f_or(0.23, 0.14), f_or(0.19, 0.14));
+        assert!((c.intensity - expect).abs() < 1e-12);
+        assert_eq!(c.members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mixed_clause_single_group() {
+        let atoms = vec![
+            atom(0, "dblp.venue='A'", 0.5),
+            atom(1, "dblp.venue='B'", 0.3),
+        ];
+        let c = mixed_clause(&atoms);
+        assert!(!c.predicate.to_string().contains("AND"));
+        assert!((c.intensity - f_or(0.5, 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combination_bounds() {
+        // Proposition 3 / 4 closed forms, checked for small n.
+        assert_eq!(and_combination_bound(1), 1);
+        assert_eq!(and_combination_bound(5), 31);
+        assert_eq!(and_or_combination_bound(1), 1);
+        assert_eq!(and_or_combination_bound(2), 4);
+        assert_eq!(and_or_combination_bound(5), 121);
+    }
+
+    #[test]
+    fn same_attribute_detection() {
+        let a = atom(0, "dblp.venue='A'", 0.1);
+        let b = atom(1, "dblp.venue='B'", 0.2);
+        let c = atom(2, "dblp_author.aid=1", 0.3);
+        assert!(a.same_attribute(&b));
+        assert!(!a.same_attribute(&c));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the HYPRE core library.
+
+use std::fmt;
+
+use graphstore::GraphError;
+use relstore::RelError;
+
+/// Errors produced by HYPRE graph maintenance, preference combination and
+/// query enhancement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HypreError {
+    /// A quantitative intensity outside `[-1, 1]` or NaN.
+    IntensityOutOfRange(f64),
+    /// A qualitative intensity outside `[0, 1]` or NaN (signed inputs are
+    /// normalised first via Proposition 7; this fires past that range).
+    QualIntensityOutOfRange(f64),
+    /// The two sides of a qualitative preference are the same predicate.
+    SelfPreference(String),
+    /// The referenced user has no preferences in the graph.
+    UnknownUser(u64),
+    /// An underlying relational-engine error.
+    Rel(RelError),
+    /// An underlying graph-engine error.
+    Graph(GraphError),
+    /// Top-K was asked for `k = 0`.
+    ZeroK,
+}
+
+impl fmt::Display for HypreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypreError::IntensityOutOfRange(v) => {
+                write!(f, "intensity {v} outside [-1, 1]")
+            }
+            HypreError::QualIntensityOutOfRange(v) => {
+                write!(f, "qualitative intensity {v} outside [0, 1]")
+            }
+            HypreError::SelfPreference(p) => {
+                write!(f, "qualitative preference relates predicate '{p}' to itself")
+            }
+            HypreError::UnknownUser(uid) => write!(f, "no preferences stored for user {uid}"),
+            HypreError::Rel(e) => write!(f, "relational engine: {e}"),
+            HypreError::Graph(e) => write!(f, "graph engine: {e}"),
+            HypreError::ZeroK => write!(f, "top-k requires k >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for HypreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HypreError::Rel(e) => Some(e),
+            HypreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for HypreError {
+    fn from(e: RelError) -> Self {
+        HypreError::Rel(e)
+    }
+}
+
+impl From<GraphError> for HypreError {
+    fn from(e: GraphError) -> Self {
+        HypreError::Graph(e)
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, HypreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: HypreError = RelError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("relational"));
+        let e: HypreError = GraphError::NodeNotFound(3).into();
+        assert!(e.to_string().contains("graph"));
+        assert!(HypreError::IntensityOutOfRange(1.5).to_string().contains("1.5"));
+    }
+}

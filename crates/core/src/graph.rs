@@ -1,0 +1,1005 @@
+//! The HYPRE graph: the unified preference store (Definition 14) and its
+//! maintenance algorithms.
+//!
+//! Every node is a `(user, predicate, intensity?)` triple stored as a
+//! property-graph node labeled `uidIndex` (the dissertation indexes nodes
+//! by the `uid` property under that label, §4.3). A quantitative preference
+//! is a node with an intensity; a qualitative preference is a directed edge
+//! `left → right` whose `intensity` property is the edge strength. Edges
+//! carry one of three labels:
+//!
+//! * `PREFERS` — a live qualitative preference, traversed by ranking;
+//! * `CYCLE`   — the edge would have closed a cycle in the PREFERS
+//!   subgraph (conflicting behaviour, §6.2.3) and is kept but inert;
+//! * `DISCARD` — the edge contradicts the endpoints' intensities
+//!   (`intensity(left) < intensity(right)`) and neither endpoint could be
+//!   recomputed without propagating the conflict.
+//!
+//! ## Reconciling the dissertation's pseudocode
+//!
+//! Algorithm 1, Algorithm 7 and the prose of §4.4/§6.3 disagree in small
+//! ways (e.g. Algorithm 7 would flag every system-seeded node as a
+//! conflict, which contradicts §6.3's Scenario 3). This implementation
+//! follows the prose, which is self-consistent:
+//!
+//! 1. `createOrReturnNodeId` deduplicates nodes on `(uid, predicate)`;
+//!    re-adding a quantitative preference *averages* the intensities
+//!    (§4.5 step 1).
+//! 2. A new qualitative edge that closes a PREFERS-cycle is inserted with
+//!    label `CYCLE` and never traversed (Algorithm 1 line 6).
+//! 3. If exactly one endpoint lacks an intensity it is computed from the
+//!    other via Eq. 4.1/4.2 (Scenario 2).
+//! 4. If both endpoints lack intensities, the right node is seeded with the
+//!    configured [`DefaultValueStrategy`] and the left computed from it
+//!    (Scenario 3; seeding the right and growing the left keeps the edge
+//!    invariant by construction).
+//! 5. If both endpoints have intensities and `left ≥ right` the edge is
+//!    simply `PREFERS`. Otherwise the *incompatible intensities* conflict
+//!    (§6.2.3) applies: if one endpoint has no other PREFERS connection its
+//!    intensity is recomputed (Figures 14/15) — repairing rather than
+//!    propagating the conflict — else the edge is inserted as `DISCARD`.
+//!
+//! The edge invariant maintained throughout: **for every PREFERS edge,
+//! `intensity(left) ≥ intensity(right)` whenever both are defined, and the
+//! PREFERS subgraph is acyclic.** [`HypreGraph::check_invariants`] asserts
+//! both (used by tests and property tests).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use graphstore::{EdgeId, NodeId, PropertyGraph, PropValue};
+use relstore::{parse_predicate, Predicate};
+
+use crate::combine::PrefAtom;
+use crate::error::{HypreError, Result};
+use crate::intensity::{DefaultValueStrategy, Intensity, IntensityModel, Position, QualIntensity};
+use crate::preference::{Provenance, QualitativePref, QuantitativePref, UserId};
+
+/// The label every preference node carries (and the index scope).
+pub const NODE_LABEL: &str = "uidIndex";
+
+/// Edge classification (the dissertation's PREFERS / CYCLE / DISCARD).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// A live qualitative preference.
+    Prefers,
+    /// Inserted but inert: would have closed a cycle.
+    Cycle,
+    /// Inserted but inert: incompatible with the endpoint intensities.
+    Discard,
+}
+
+impl EdgeKind {
+    /// The graph edge label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EdgeKind::Prefers => "PREFERS",
+            EdgeKind::Cycle => "CYCLE",
+            EdgeKind::Discard => "DISCARD",
+        }
+    }
+
+    /// Decodes a graph edge label.
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "PREFERS" => Some(EdgeKind::Prefers),
+            "CYCLE" => Some(EdgeKind::Cycle),
+            "DISCARD" => Some(EdgeKind::Discard),
+            _ => None,
+        }
+    }
+}
+
+/// A preference node read back out of the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredPreference {
+    /// The graph node.
+    pub node: NodeId,
+    /// The stored predicate.
+    pub predicate: Predicate,
+    /// The intensity, if one has been assigned.
+    pub intensity: Option<f64>,
+    /// Where the intensity came from.
+    pub provenance: Option<Provenance>,
+}
+
+/// The result of inserting one qualitative preference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualInsertOutcome {
+    /// The created edge.
+    pub edge: EdgeId,
+    /// How the edge was classified.
+    pub kind: EdgeKind,
+    /// The left (preferred) node.
+    pub left: NodeId,
+    /// The right node.
+    pub right: NodeId,
+    /// `(node, new intensity)` if an endpoint intensity was computed or
+    /// recomputed during insertion.
+    pub recomputed: Vec<(NodeId, f64)>,
+}
+
+/// Timing and conflict counters for a bulk load (Table 11).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestReport {
+    /// Quantitative preferences inserted.
+    pub quantitative: usize,
+    /// Qualitative preferences inserted.
+    pub qualitative: usize,
+    /// Wall-clock time of the quantitative pass.
+    pub quantitative_time: Duration,
+    /// Wall-clock time of the qualitative pass.
+    pub qualitative_time: Duration,
+    /// Edges classified `CYCLE`.
+    pub cycle_edges: usize,
+    /// Edges classified `DISCARD`.
+    pub discard_edges: usize,
+}
+
+/// The HYPRE preference graph: all users' profiles in one property graph.
+pub struct HypreGraph {
+    graph: PropertyGraph,
+    model: IntensityModel,
+    default_strategy: DefaultValueStrategy,
+    /// `(uid, canonical predicate) → node` — the `createOrReturnNodeId`
+    /// lookup. The dissertation serves this from the Neo4j `uidIndex`
+    /// followed by a predicate filter; a dedicated map gives the same
+    /// result in O(1).
+    node_by_pred: HashMap<(u64, String), NodeId>,
+}
+
+impl Default for HypreGraph {
+    fn default() -> Self {
+        HypreGraph::new()
+    }
+}
+
+impl HypreGraph {
+    /// Creates an empty graph with the dissertation's defaults
+    /// (exponential propagation, fixed `0.5` seed).
+    pub fn new() -> Self {
+        HypreGraph::with_config(IntensityModel::Exponential, DefaultValueStrategy::default())
+    }
+
+    /// Creates an empty graph with explicit propagation and seeding policy.
+    pub fn with_config(model: IntensityModel, default_strategy: DefaultValueStrategy) -> Self {
+        let mut graph = PropertyGraph::new();
+        graph
+            .create_index(NODE_LABEL, "uid")
+            .expect("fresh graph has no indexes");
+        HypreGraph {
+            graph,
+            model,
+            default_strategy,
+            node_by_pred: HashMap::new(),
+        }
+    }
+
+    /// The underlying property graph (read-only).
+    pub fn graph(&self) -> &PropertyGraph {
+        &self.graph
+    }
+
+    /// The configured propagation model.
+    pub fn model(&self) -> IntensityModel {
+        self.model
+    }
+
+    /// The configured default-value strategy.
+    pub fn default_strategy(&self) -> DefaultValueStrategy {
+        self.default_strategy
+    }
+
+    /// Number of preference nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of qualitative edges (all kinds).
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    // ------------------------------------------------------------------
+    // insertion
+    // ------------------------------------------------------------------
+
+    /// Inserts a quantitative preference (§4.5 step 1).
+    ///
+    /// If the `(user, predicate)` node already exists its intensity is
+    /// updated: averaged with the new value when one was already present,
+    /// set otherwise. Either way the stored value is marked user-provided.
+    pub fn add_quantitative(&mut self, pref: &QuantitativePref) -> NodeId {
+        let (node, _created) = self.create_or_get_node(pref.user, &pref.predicate);
+        let new_value = match self.node_intensity(node) {
+            Some((old, Provenance::UserProvided)) => (old + pref.intensity.value()) / 2.0,
+            _ => pref.intensity.value(),
+        };
+        self.set_intensity(node, new_value, Provenance::UserProvided);
+        node
+    }
+
+    /// Inserts a qualitative preference (Algorithm 1 reconciled with
+    /// §4.4/§6.3 — see the module docs for the exact case analysis).
+    pub fn add_qualitative(&mut self, pref: &QualitativePref) -> Result<QualInsertOutcome> {
+        let (left, _) = self.create_or_get_node(pref.user, &pref.left);
+        let (right, _) = self.create_or_get_node(pref.user, &pref.right);
+        if left == right {
+            return Err(HypreError::SelfPreference(pref.left.canonical()));
+        }
+        let ql = pref.intensity;
+
+        // Duplicate edge: refresh the strength instead of stacking edges.
+        if let Some(existing) = self
+            .graph
+            .find_edge(left, right, Some(EdgeKind::Prefers.label()))
+        {
+            let id = existing.id();
+            self.graph
+                .set_edge_prop(id, "intensity", ql.value())
+                .expect("edge exists");
+            return Ok(QualInsertOutcome {
+                edge: id,
+                kind: EdgeKind::Prefers,
+                left,
+                right,
+                recomputed: Vec::new(),
+            });
+        }
+
+        // Conflicting behaviour: the edge would close a PREFERS cycle.
+        if graphstore::traverse::would_create_cycle(
+            &self.graph,
+            left,
+            right,
+            Some(EdgeKind::Prefers.label()),
+        ) {
+            let edge = self.insert_edge(left, right, EdgeKind::Cycle, ql);
+            return Ok(QualInsertOutcome {
+                edge,
+                kind: EdgeKind::Cycle,
+                left,
+                right,
+                recomputed: Vec::new(),
+            });
+        }
+
+        let li = self.node_intensity(left);
+        let ri = self.node_intensity(right);
+        let mut recomputed = Vec::new();
+        let kind = match (li, ri) {
+            (None, None) => {
+                // Scenario 3: seed the right node, grow the left from it.
+                let seed = self
+                    .default_strategy
+                    .seed(&self.user_intensities(pref.user));
+                self.set_intensity(right, seed.value(), Provenance::DefaultSeed);
+                let l = self.model.propagate(Position::Left, ql, seed);
+                self.set_intensity(left, l.value(), Provenance::SystemComputed);
+                recomputed.push((right, seed.value()));
+                recomputed.push((left, l.value()));
+                EdgeKind::Prefers
+            }
+            (None, Some((r, _))) => {
+                // Scenario 2, new left node.
+                let l = self
+                    .model
+                    .propagate(Position::Left, ql, Intensity::saturating(r));
+                self.set_intensity(left, l.value(), Provenance::SystemComputed);
+                recomputed.push((left, l.value()));
+                EdgeKind::Prefers
+            }
+            (Some((l, _)), None) => {
+                // Scenario 2, new right node.
+                let r = self
+                    .model
+                    .propagate(Position::Right, ql, Intensity::saturating(l));
+                self.set_intensity(right, r.value(), Provenance::SystemComputed);
+                recomputed.push((right, r.value()));
+                EdgeKind::Prefers
+            }
+            (Some((l, _)), Some((r, _))) => {
+                if l >= r {
+                    EdgeKind::Prefers
+                } else {
+                    // Incompatible intensities. Repair through a free
+                    // endpoint (no other PREFERS connection), else discard.
+                    let prefers = Some(EdgeKind::Prefers.label());
+                    if self.graph.degree(left, prefers) == 0 {
+                        let new_l = self
+                            .model
+                            .propagate(Position::Left, ql, Intensity::saturating(r));
+                        self.set_intensity(left, new_l.value(), Provenance::SystemComputed);
+                        recomputed.push((left, new_l.value()));
+                        EdgeKind::Prefers
+                    } else if self.graph.degree(right, prefers) == 0 {
+                        let new_r = self
+                            .model
+                            .propagate(Position::Right, ql, Intensity::saturating(l));
+                        self.set_intensity(right, new_r.value(), Provenance::SystemComputed);
+                        recomputed.push((right, new_r.value()));
+                        EdgeKind::Prefers
+                    } else {
+                        EdgeKind::Discard
+                    }
+                }
+            }
+        };
+        let edge = self.insert_edge(left, right, kind, ql);
+        Ok(QualInsertOutcome {
+            edge,
+            kind,
+            left,
+            right,
+            recomputed,
+        })
+    }
+
+    /// Algorithm 7 verbatim: `FALSE` (no conflict) only when the left
+    /// intensity strictly dominates *and* both values are user-provided.
+    /// Exposed for auditing; insertion uses the reconciled prose semantics
+    /// (module docs).
+    pub fn algorithm7_check_conflict(
+        left: (f64, Provenance),
+        right: (f64, Provenance),
+    ) -> bool {
+        !(left.0 > right.0
+            && left.1 == Provenance::UserProvided
+            && right.1 == Provenance::UserProvided)
+    }
+
+    /// Bulk-loads a workload: all quantitative preferences first (timed as
+    /// one batch pass), then all qualitative preferences one transaction at
+    /// a time — the two-step procedure of §4.5/§6.3, producing the Table 11
+    /// measurements.
+    pub fn load(
+        &mut self,
+        quants: &[QuantitativePref],
+        quals: &[QualitativePref],
+    ) -> Result<IngestReport> {
+        let mut report = IngestReport::default();
+        let t0 = Instant::now();
+        for q in quants {
+            self.add_quantitative(q);
+            report.quantitative += 1;
+        }
+        report.quantitative_time = t0.elapsed();
+        let t1 = Instant::now();
+        for q in quals {
+            let out = self.add_qualitative(q)?;
+            report.qualitative += 1;
+            match out.kind {
+                EdgeKind::Cycle => report.cycle_edges += 1,
+                EdgeKind::Discard => report.discard_edges += 1,
+                EdgeKind::Prefers => {}
+            }
+        }
+        report.qualitative_time = t1.elapsed();
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // node accessors
+    // ------------------------------------------------------------------
+
+    /// Finds the node for `(user, predicate)` if present.
+    pub fn find_node(&self, user: UserId, predicate: &Predicate) -> Option<NodeId> {
+        self.node_by_pred
+            .get(&(user.0, predicate.canonical()))
+            .copied()
+    }
+
+    /// The stored intensity and provenance of a node, if assigned.
+    pub fn node_intensity(&self, node: NodeId) -> Option<(f64, Provenance)> {
+        let n = self.graph.node(node).ok()?;
+        let intensity = n.prop("intensity")?.as_f64()?;
+        let provenance = n
+            .prop("provenance")
+            .and_then(PropValue::as_str)
+            .and_then(Provenance::parse)
+            .unwrap_or(Provenance::UserProvided);
+        Some((intensity, provenance))
+    }
+
+    /// Reads a node back as a [`StoredPreference`].
+    pub fn stored_preference(&self, node: NodeId) -> Result<StoredPreference> {
+        let n = self.graph.node(node)?;
+        let predicate = n
+            .prop("predicate")
+            .and_then(PropValue::as_str)
+            .map(parse_predicate)
+            .transpose()?
+            .unwrap_or(Predicate::True);
+        let ip = self.node_intensity(node);
+        Ok(StoredPreference {
+            node,
+            predicate,
+            intensity: ip.map(|(v, _)| v),
+            provenance: ip.map(|(_, p)| p),
+        })
+    }
+
+    /// All user ids with at least one node, ascending.
+    pub fn users(&self) -> Vec<UserId> {
+        let mut uids: Vec<u64> = self
+            .graph
+            .nodes()
+            .filter_map(|n| n.prop("uid").and_then(PropValue::as_i64))
+            .map(|v| v as u64)
+            .collect();
+        uids.sort_unstable();
+        uids.dedup();
+        uids.into_iter().map(UserId).collect()
+    }
+
+    /// All nodes belonging to a user, in node-id order.
+    pub fn user_nodes(&self, user: UserId) -> Vec<NodeId> {
+        self.graph
+            .index_lookup(NODE_LABEL, "uid", &PropValue::Int(user.0 as i64))
+            .unwrap_or_default()
+    }
+
+    /// All intensity values currently stored for a user (any provenance) —
+    /// the input to [`DefaultValueStrategy::seed`].
+    pub fn user_intensities(&self, user: UserId) -> Vec<f64> {
+        self.user_nodes(user)
+            .into_iter()
+            .filter_map(|n| self.node_intensity(n).map(|(v, _)| v))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // profiles
+    // ------------------------------------------------------------------
+
+    /// The user's full profile: every node, with or without intensity,
+    /// ordered by descending intensity (unscored nodes last), ties broken
+    /// by node id.
+    pub fn profile(&self, user: UserId) -> Vec<StoredPreference> {
+        let mut prefs: Vec<StoredPreference> = self
+            .user_nodes(user)
+            .into_iter()
+            .filter_map(|n| self.stored_preference(n).ok())
+            .collect();
+        prefs.sort_by(|a, b| {
+            match (a.intensity, b.intensity) {
+                (Some(x), Some(y)) => y.total_cmp(&x),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            }
+            .then(a.node.cmp(&b.node))
+        });
+        prefs
+    }
+
+    /// The combination-ready profile: strictly positive intensities only
+    /// (negative preferences filter *out* of enhancement, §4.3, and a zero
+    /// intensity is indifference), as [`PrefAtom`]s indexed 0.. in
+    /// descending-intensity order.
+    pub fn positive_profile(&self, user: UserId) -> Vec<PrefAtom> {
+        self.profile(user)
+            .into_iter()
+            .filter_map(|p| p.intensity.map(|v| (p, v)))
+            .filter(|&(_, v)| v > 0.0)
+            .enumerate()
+            .map(|(i, (p, v))| PrefAtom::new(i, p.predicate, v))
+            .collect()
+    }
+
+    /// The user's negative preferences (intensity < 0) — used as hard
+    /// exclusion filters by query enhancement.
+    pub fn negative_preferences(&self, user: UserId) -> Vec<StoredPreference> {
+        self.profile(user)
+            .into_iter()
+            .filter(|p| p.intensity.is_some_and(|v| v < 0.0))
+            .collect()
+    }
+
+    /// Counts for Figs. 26/27: `(user-provided quantitative nodes, all
+    /// scored nodes)`. The gap is the coverage HYPRE gains by converting
+    /// qualitative preferences into quantitative ones.
+    pub fn quantitative_counts(&self, user: UserId) -> (usize, usize) {
+        let mut user_provided = 0usize;
+        let mut scored = 0usize;
+        for n in self.user_nodes(user) {
+            if let Some((_, prov)) = self.node_intensity(n) {
+                scored += 1;
+                if prov == Provenance::UserProvided {
+                    user_provided += 1;
+                }
+            }
+        }
+        (user_provided, scored)
+    }
+
+    /// Per-kind edge counts for a user's subgraph.
+    pub fn edge_kind_counts(&self, user: UserId) -> HashMap<EdgeKind, usize> {
+        let mut out = HashMap::new();
+        for n in self.user_nodes(user) {
+            for e in self.graph.out_edges(n, None) {
+                if let Some(kind) = EdgeKind::parse(e.label()) {
+                    *out.entry(kind).or_insert(0) += 1;
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // invariants
+    // ------------------------------------------------------------------
+
+    /// Asserts the two structural invariants of the model:
+    ///
+    /// 1. the PREFERS subgraph is acyclic, and
+    /// 2. every PREFERS edge has `intensity(left) ≥ intensity(right)`
+    ///    (when both are defined), with all intensities in `[-1, 1]`.
+    ///
+    /// Returns a human-readable violation description, or `Ok(())`.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let prefers = EdgeKind::Prefers.label();
+        // edge monotonicity + range
+        for e in self.graph.edges().filter(|e| e.label() == prefers) {
+            let li = self.node_intensity(e.from()).map(|(v, _)| v);
+            let ri = self.node_intensity(e.to()).map(|(v, _)| v);
+            if let (Some(l), Some(r)) = (li, ri) {
+                if l < r - 1e-12 {
+                    return Err(format!(
+                        "PREFERS edge {} has left {l} < right {r}",
+                        e.id()
+                    ));
+                }
+            }
+            for v in [li, ri].into_iter().flatten() {
+                if !(-1.0..=1.0).contains(&v) {
+                    return Err(format!("intensity {v} outside [-1,1]"));
+                }
+            }
+        }
+        // acyclicity, checked per weakly-meaningful scope (all nodes)
+        let scope: Vec<NodeId> = self.graph.nodes().map(|n| n.id()).collect();
+        graphstore::traverse::topo_sort(&self.graph, &scope, Some(prefers))
+            .map(|_| ())
+            .map_err(|_| "PREFERS subgraph contains a cycle".to_owned())
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn create_or_get_node(&mut self, user: UserId, predicate: &Predicate) -> (NodeId, bool) {
+        let key = (user.0, predicate.canonical());
+        if let Some(&node) = self.node_by_pred.get(&key) {
+            return (node, false);
+        }
+        let node = self.graph.create_node(
+            [NODE_LABEL],
+            [
+                ("uid", PropValue::Int(user.0 as i64)),
+                ("predicate", PropValue::str(predicate.canonical())),
+            ],
+        );
+        self.node_by_pred.insert(key, node);
+        (node, true)
+    }
+
+    fn set_intensity(&mut self, node: NodeId, value: f64, provenance: Provenance) {
+        self.graph
+            .set_node_prop(node, "intensity", value)
+            .expect("node exists");
+        self.graph
+            .set_node_prop(node, "provenance", provenance.as_str())
+            .expect("node exists");
+        self.revalidate_incident_edges(node);
+    }
+
+    /// Re-validates the edges touching a node after its intensity changed
+    /// (§6.2.3: an edge "can be relabeled, and used later, if the
+    /// preference intensities of the two involved nodes change"):
+    ///
+    /// * a `PREFERS` edge whose endpoints now satisfy `left < right` is
+    ///   demoted to `DISCARD`;
+    /// * a `DISCARD` edge whose endpoints now satisfy `left ≥ right` is
+    ///   promoted back to `PREFERS` — unless doing so would close a cycle
+    ///   in the current PREFERS subgraph.
+    fn revalidate_incident_edges(&mut self, node: NodeId) {
+        let incident: Vec<(EdgeId, NodeId, NodeId, EdgeKind)> = self
+            .graph
+            .out_edges(node, None)
+            .chain(self.graph.in_edges(node, None))
+            .filter_map(|e| EdgeKind::parse(e.label()).map(|k| (e.id(), e.from(), e.to(), k)))
+            .collect();
+        for (id, from, to, kind) in incident {
+            let (Some((l, _)), Some((r, _))) =
+                (self.node_intensity(from), self.node_intensity(to))
+            else {
+                continue;
+            };
+            match kind {
+                EdgeKind::Prefers if l < r => {
+                    self.graph
+                        .set_edge_label(id, EdgeKind::Discard.label())
+                        .expect("edge exists");
+                }
+                EdgeKind::Discard if l >= r => {
+                    if !graphstore::traverse::would_create_cycle(
+                        &self.graph,
+                        from,
+                        to,
+                        Some(EdgeKind::Prefers.label()),
+                    ) {
+                        self.graph
+                            .set_edge_label(id, EdgeKind::Prefers.label())
+                            .expect("edge exists");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn insert_edge(
+        &mut self,
+        left: NodeId,
+        right: NodeId,
+        kind: EdgeKind,
+        ql: QualIntensity,
+    ) -> EdgeId {
+        self.graph
+            .create_edge(left, right, kind.label(), [("intensity", ql.value())])
+            .expect("endpoints exist")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qt(uid: u64, pred: &str, intensity: f64) -> QuantitativePref {
+        QuantitativePref::new(
+            UserId(uid),
+            parse_predicate(pred).unwrap(),
+            Intensity::new(intensity).unwrap(),
+        )
+    }
+
+    fn ql(uid: u64, left: &str, right: &str, intensity: f64) -> QualitativePref {
+        QualitativePref::new(
+            UserId(uid),
+            parse_predicate(left).unwrap(),
+            parse_predicate(right).unwrap(),
+            QualIntensity::new(intensity).unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Builds the §3.3 walkthrough graph (Figures 4–8).
+    fn section33_graph() -> HypreGraph {
+        let mut g = HypreGraph::new();
+        // Quantitative preferences P1–P4 (Fig. 5)
+        g.add_quantitative(&qt(1, "year>=2000 AND year<=2005", 0.3));
+        g.add_quantitative(&qt(1, "year>=2005 AND year<=2009", 0.5));
+        g.add_quantitative(&qt(1, "year>=2009", 0.8));
+        g.add_quantitative(&qt(1, "venue='INFOCOM'", -1.0));
+        g
+    }
+
+    #[test]
+    fn quantitative_insert_and_dedup_averages() {
+        let mut g = section33_graph();
+        assert_eq!(g.node_count(), 4);
+        // duplicate predicate: node reused, intensities averaged (§4.5)
+        let n = g.add_quantitative(&qt(1, "year>=2009", 0.4));
+        assert_eq!(g.node_count(), 4);
+        let (v, prov) = g.node_intensity(n).unwrap();
+        assert!((v - 0.6).abs() < 1e-12);
+        assert_eq!(prov, Provenance::UserProvided);
+    }
+
+    #[test]
+    fn relative_preference_seeds_both_nodes() {
+        // Fig. 6: P5 ≻ P6 @ 0.8, both nodes new. Right gets the default
+        // seed (0.5); left grows via Eq. 4.1: 0.5 · 2^0.8.
+        let mut g = section33_graph();
+        let out = g
+            .add_qualitative(&ql(
+                1,
+                "venue='VLDB' AND year>=2010",
+                "venue='VLDB' AND year<2010",
+                0.8,
+            ))
+            .unwrap();
+        assert_eq!(out.kind, EdgeKind::Prefers);
+        let (r, rp) = g.node_intensity(out.right).unwrap();
+        let (l, lp) = g.node_intensity(out.left).unwrap();
+        assert_eq!(r, 0.5);
+        assert_eq!(rp, Provenance::DefaultSeed);
+        assert!((l - (0.5 * 2f64.powf(0.8)).min(1.0)).abs() < 1e-12);
+        assert_eq!(lp, Provenance::SystemComputed);
+        assert!(l >= r);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn set_preference_computes_new_left_from_existing_right() {
+        // Fig. 7: P7 (venue='VLDB') ≻ P3 (year>=2009, 0.8) @ 0.2.
+        let mut g = section33_graph();
+        let out = g
+            .add_qualitative(&ql(1, "venue='VLDB'", "year>=2009", 0.2))
+            .unwrap();
+        assert_eq!(out.kind, EdgeKind::Prefers);
+        let (l, _) = g.node_intensity(out.left).unwrap();
+        assert!((l - (0.8 * 2f64.powf(0.2)).min(1.0)).abs() < 1e-12);
+        assert_eq!(g.node_count(), 5); // P3 reused
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn existing_left_computes_new_right() {
+        let mut g = section33_graph();
+        // year>=2009 (0.8) ≻ fresh node @ 0.5 → right = 0.8 · 2^-0.5
+        let out = g
+            .add_qualitative(&ql(1, "year>=2009", "venue='ICDE'", 0.5))
+            .unwrap();
+        let (r, rp) = g.node_intensity(out.right).unwrap();
+        assert!((r - 0.8 * 2f64.powf(-0.5)).abs() < 1e-12);
+        assert_eq!(rp, Provenance::SystemComputed);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compatible_intensities_link_without_recompute() {
+        // Fig. 8: P7 (≈0.92) ≻ P8 (venue='SIGMOD', 0.8) @ 0.3.
+        let mut g = section33_graph();
+        g.add_qualitative(&ql(1, "venue='VLDB'", "year>=2009", 0.2))
+            .unwrap();
+        g.add_quantitative(&qt(1, "venue='SIGMOD'", 0.8));
+        let out = g
+            .add_qualitative(&ql(1, "venue='VLDB'", "venue='SIGMOD'", 0.3))
+            .unwrap();
+        assert_eq!(out.kind, EdgeKind::Prefers);
+        assert!(out.recomputed.is_empty());
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cycle_edge_is_labeled_cycle() {
+        let mut g = HypreGraph::new();
+        g.add_qualitative(&ql(1, "a=1", "b=2", 0.5)).unwrap();
+        g.add_qualitative(&ql(1, "b=2", "c=3", 0.5)).unwrap();
+        let out = g.add_qualitative(&ql(1, "c=3", "a=1", 0.5)).unwrap();
+        assert_eq!(out.kind, EdgeKind::Cycle);
+        g.check_invariants().unwrap();
+        let counts = g.edge_kind_counts(UserId(1));
+        assert_eq!(counts.get(&EdgeKind::Cycle), Some(&1));
+        assert_eq!(counts.get(&EdgeKind::Prefers), Some(&2));
+    }
+
+    #[test]
+    fn two_node_cycle_is_caught() {
+        let mut g = HypreGraph::new();
+        g.add_qualitative(&ql(1, "a=1", "b=2", 0.5)).unwrap();
+        let out = g.add_qualitative(&ql(1, "b=2", "a=1", 0.3)).unwrap();
+        assert_eq!(out.kind, EdgeKind::Cycle);
+    }
+
+    #[test]
+    fn incompatible_intensities_repaired_through_free_left() {
+        let mut g = HypreGraph::new();
+        g.add_quantitative(&qt(1, "a=1", 0.2));
+        g.add_quantitative(&qt(1, "b=2", 0.7));
+        // a (0.2) ≻ b (0.7): conflict; both nodes are free → repair left.
+        let out = g.add_qualitative(&ql(1, "a=1", "b=2", 0.4)).unwrap();
+        assert_eq!(out.kind, EdgeKind::Prefers);
+        assert_eq!(out.recomputed.len(), 1);
+        let (l, lp) = g.node_intensity(out.left).unwrap();
+        assert!((l - (0.7 * 2f64.powf(0.4)).min(1.0)).abs() < 1e-12);
+        assert_eq!(lp, Provenance::SystemComputed);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn incompatible_intensities_repaired_through_free_right() {
+        let mut g = HypreGraph::new();
+        g.add_quantitative(&qt(1, "a=1", 0.2));
+        g.add_quantitative(&qt(1, "b=2", 0.7));
+        g.add_quantitative(&qt(1, "c=3", 0.1));
+        // pin `a` with an existing PREFERS edge so only `b` is free
+        g.add_qualitative(&ql(1, "a=1", "c=3", 0.1)).unwrap();
+        let out = g.add_qualitative(&ql(1, "a=1", "b=2", 0.4)).unwrap();
+        assert_eq!(out.kind, EdgeKind::Prefers);
+        let (r, _) = g.node_intensity(out.right).unwrap();
+        // a stays 0.2 (well, repaired earlier? `a ≻ c` has 0.2 > 0.1, no recompute)
+        let (l, _) = g.node_intensity(out.left).unwrap();
+        assert!((l - 0.2).abs() < 1e-12);
+        assert!((r - 0.2 * 2f64.powf(-0.4)).abs() < 1e-12);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn incompatible_intensities_discard_when_both_pinned() {
+        let mut g = HypreGraph::new();
+        for (p, v) in [("a=1", 0.2), ("b=2", 0.7), ("c=3", 0.1), ("d=4", 0.9)] {
+            g.add_quantitative(&qt(1, p, v));
+        }
+        g.add_qualitative(&ql(1, "a=1", "c=3", 0.1)).unwrap(); // pins a
+        g.add_qualitative(&ql(1, "d=4", "b=2", 0.1)).unwrap(); // pins b
+        let out = g.add_qualitative(&ql(1, "a=1", "b=2", 0.4)).unwrap();
+        assert_eq!(out.kind, EdgeKind::Discard);
+        // intensities untouched
+        assert!((g.node_intensity(out.left).unwrap().0 - 0.2).abs() < 1e-12);
+        assert!((g.node_intensity(out.right).unwrap().0 - 0.7).abs() < 1e-12);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_qualitative_edge_refreshes_strength() {
+        let mut g = HypreGraph::new();
+        let first = g.add_qualitative(&ql(1, "a=1", "b=2", 0.5)).unwrap();
+        let second = g.add_qualitative(&ql(1, "a=1", "b=2", 0.9)).unwrap();
+        assert_eq!(first.edge, second.edge);
+        assert_eq!(g.edge_count(), 1);
+        let e = g.graph().edge(first.edge).unwrap();
+        assert_eq!(e.prop("intensity").unwrap().as_f64(), Some(0.9));
+    }
+
+    #[test]
+    fn profiles_sort_descending_and_filter() {
+        let mut g = section33_graph();
+        let profile = g.profile(UserId(1));
+        let vals: Vec<Option<f64>> = profile.iter().map(|p| p.intensity).collect();
+        assert_eq!(vals, vec![Some(0.8), Some(0.5), Some(0.3), Some(-1.0)]);
+        let positive = g.positive_profile(UserId(1));
+        assert_eq!(positive.len(), 3);
+        assert_eq!(positive[0].index, 0);
+        assert!(positive.windows(2).all(|w| w[0].intensity >= w[1].intensity));
+        let negatives = g.negative_preferences(UserId(1));
+        assert_eq!(negatives.len(), 1);
+        // another user sees nothing
+        assert!(g.profile(UserId(99)).is_empty());
+        // unscored node sorts last in full profile
+        g.add_qualitative(&ql(1, "x=1", "year>=2009", 0.0)).unwrap();
+        let _ = g; // x=1 got computed intensity, so nothing unscored remains
+    }
+
+    #[test]
+    fn users_are_isolated() {
+        let mut g = HypreGraph::new();
+        g.add_quantitative(&qt(1, "a=1", 0.5));
+        g.add_quantitative(&qt(2, "a=1", 0.9));
+        assert_eq!(g.node_count(), 2, "same predicate, different users");
+        assert_eq!(g.users(), vec![UserId(1), UserId(2)]);
+        assert_eq!(g.user_nodes(UserId(1)).len(), 1);
+        let (v1, _) = g
+            .node_intensity(g.find_node(UserId(1), &parse_predicate("a=1").unwrap()).unwrap())
+            .unwrap();
+        assert_eq!(v1, 0.5);
+    }
+
+    #[test]
+    fn quantitative_counts_track_conversion() {
+        let mut g = section33_graph();
+        let (user, scored) = g.quantitative_counts(UserId(1));
+        assert_eq!((user, scored), (4, 4));
+        // qualitative with two fresh nodes adds two scored nodes
+        g.add_qualitative(&ql(1, "v='A'", "v='B'", 0.5)).unwrap();
+        let (user, scored) = g.quantitative_counts(UserId(1));
+        assert_eq!(user, 4);
+        assert_eq!(scored, 6);
+    }
+
+    #[test]
+    fn load_reports_counts_and_conflicts() {
+        let mut g = HypreGraph::new();
+        let quants = vec![qt(1, "a=1", 0.5), qt(1, "b=2", 0.3)];
+        let quals = vec![
+            ql(1, "a=1", "b=2", 0.2),
+            ql(1, "b=2", "a=1", 0.2), // cycle
+        ];
+        let report = g.load(&quants, &quals).unwrap();
+        assert_eq!(report.quantitative, 2);
+        assert_eq!(report.qualitative, 2);
+        assert_eq!(report.cycle_edges, 1);
+        assert_eq!(report.discard_edges, 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn quantitative_update_demotes_violated_edges() {
+        // §6.2.3 relabeling: raising the right endpoint of a PREFERS edge
+        // above its left endpoint demotes the edge to DISCARD.
+        let mut g = HypreGraph::new();
+        let out = g.add_qualitative(&ql(1, "a=1", "b=2", 0.0)).unwrap();
+        assert_eq!(out.kind, EdgeKind::Prefers);
+        // both endpoints sit at the default seed (0.5); now the user says
+        // b is actually a 0.9
+        g.add_quantitative(&qt(1, "b=2", 0.9));
+        let edge = g.graph().edge(out.edge).unwrap();
+        assert_eq!(edge.label(), EdgeKind::Discard.label());
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn quantitative_update_promotes_resolved_discards() {
+        let mut g = HypreGraph::new();
+        let out = g.add_qualitative(&ql(1, "a=1", "b=2", 0.0)).unwrap();
+        g.add_quantitative(&qt(1, "b=2", 0.9)); // demotes to DISCARD
+        // the user then upgrades `a` past `b`: the edge becomes valid again
+        g.add_quantitative(&qt(1, "a=1", 0.95));
+        let edge = g.graph().edge(out.edge).unwrap();
+        assert_eq!(edge.label(), EdgeKind::Prefers.label());
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn discard_promotion_never_closes_a_cycle() {
+        let mut g = HypreGraph::new();
+        for (p, v) in [("a=1", 0.3), ("b=2", 0.7)] {
+            g.add_quantitative(&qt(1, p, v));
+        }
+        // pin both nodes so the conflict cannot be repaired
+        g.add_quantitative(&qt(1, "c=3", 0.1));
+        g.add_quantitative(&qt(1, "d=4", 0.9));
+        g.add_qualitative(&ql(1, "a=1", "c=3", 0.1)).unwrap();
+        g.add_qualitative(&ql(1, "d=4", "b=2", 0.1)).unwrap();
+        // a (0.3) ≻ b (0.7): both pinned → DISCARD
+        let down = g.add_qualitative(&ql(1, "a=1", "b=2", 0.2)).unwrap();
+        assert_eq!(down.kind, EdgeKind::Discard);
+        // b ≻ a is consistent with intensities → PREFERS
+        let up = g.add_qualitative(&ql(1, "b=2", "a=1", 0.2)).unwrap();
+        assert_eq!(up.kind, EdgeKind::Prefers);
+        // now raise a to 1.0: the a→b DISCARD would become intensity-valid,
+        // but promoting it would close a cycle with b→a — it must stay
+        // DISCARD; meanwhile b→a (1.0 left? no: b=0.7 < a=1.0) demotes.
+        g.add_quantitative(&qt(1, "a=1", 1.0));
+        g.check_invariants().unwrap();
+        assert_eq!(
+            g.graph().edge(down.edge).unwrap().label(),
+            EdgeKind::Discard.label(),
+        );
+    }
+
+    #[test]
+    fn algorithm7_verbatim() {
+        use Provenance::*;
+        // no conflict: left dominates, both user-provided
+        assert!(!HypreGraph::algorithm7_check_conflict(
+            (0.8, UserProvided),
+            (0.3, UserProvided)
+        ));
+        // conflict: left below right
+        assert!(HypreGraph::algorithm7_check_conflict(
+            (0.2, UserProvided),
+            (0.3, UserProvided)
+        ));
+        // conflict flagged when a value is system-derived
+        assert!(HypreGraph::algorithm7_check_conflict(
+            (0.8, SystemComputed),
+            (0.3, UserProvided)
+        ));
+    }
+
+    #[test]
+    fn default_strategy_uses_existing_profile_values() {
+        let mut g = HypreGraph::with_config(
+            IntensityModel::Exponential,
+            DefaultValueStrategy::AvgPositive,
+        );
+        g.add_quantitative(&qt(1, "a=1", 0.4));
+        g.add_quantitative(&qt(1, "b=2", 0.2));
+        let out = g.add_qualitative(&ql(1, "x=1", "y=2", 0.5)).unwrap();
+        let (r, _) = g.node_intensity(out.right).unwrap();
+        assert!((r - 0.3).abs() < 1e-12, "avg_pos of 0.4, 0.2 = 0.3, got {r}");
+    }
+
+    #[test]
+    fn linear_model_keeps_invariants() {
+        let mut g =
+            HypreGraph::with_config(IntensityModel::Linear, DefaultValueStrategy::default());
+        g.add_quantitative(&qt(1, "a=1", 0.4));
+        g.add_qualitative(&ql(1, "b=2", "a=1", 0.7)).unwrap();
+        g.add_qualitative(&ql(1, "a=1", "c=3", 0.9)).unwrap();
+        g.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,101 @@
+//! # hypre-core — the HYPRE hybrid preference model
+//!
+//! A from-scratch implementation of the model and algorithms of
+//! *"Unifying Qualitative and Quantitative Database Preferences to Enhance
+//! Query Personalization"* (Gheorghiu, 2014):
+//!
+//! * **[`graph`]** — the HYPRE preference graph (Definition 14): per-user
+//!   predicate nodes with intensities, qualitative `PREFERS` edges, cycle
+//!   (`CYCLE`) and incompatibility (`DISCARD`) conflict handling, and the
+//!   incremental construction of Algorithm 1.
+//! * **[`intensity`]** — intensity newtypes, the Eq. 4.1/4.2 propagation
+//!   functions (Algorithm 8) that convert qualitative preferences into
+//!   quantitative ones, and the Table 12 `DEFAULT_VALUE` strategies.
+//! * **[`combine`]** — the combined-intensity algebra: inflationary `f∧`
+//!   (Eq. 4.3), reserved `f∨` (Eq. 4.4), mixed-clause construction, and
+//!   the Proposition 1–4 facts the algorithms rely on.
+//! * **[`enhance`]** — preference-aware query enhancement (§4.6) and
+//!   per-tuple combined-intensity scoring (§4.6.1).
+//! * **[`exec`]** — applicability checking (Definition 15) with memoised
+//!   counts and the pre-computed pairwise combination list of §5.5.
+//! * **[`algo`]** — the Chapter 5 algorithms: Combine-Two,
+//!   Partially-Combine-All, Bias-Random-Selection, and the PEPS Top-K
+//!   algorithm (Complete and Approximate).
+//! * **[`metrics`]** — utility, coverage, similarity and overlap.
+//! * **[`skyline`]** — the attribute-based preference extension (§1.4,
+//!   §8.2) with block-nested-loop skyline evaluation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hypre_core::prelude::*;
+//! use relstore::parse_predicate;
+//!
+//! let mut graph = HypreGraph::new();
+//! let user = UserId(2);
+//! // "I like PODS papers, intensity 0.4"
+//! graph.add_quantitative(&QuantitativePref::new(
+//!     user,
+//!     parse_predicate("dblp.venue='PODS'").unwrap(),
+//!     Intensity::new(0.4).unwrap(),
+//! ));
+//! // "I prefer recent papers over PODS papers, strength 0.5"
+//! graph.add_qualitative(&QualitativePref::new(
+//!     user,
+//!     parse_predicate("dblp.year>=2010").unwrap(),
+//!     parse_predicate("dblp.venue='PODS'").unwrap(),
+//!     QualIntensity::new(0.5).unwrap(),
+//! ).unwrap()).unwrap();
+//!
+//! // The qualitative preference became a quantitative one:
+//! let profile = graph.positive_profile(user);
+//! assert_eq!(profile.len(), 2);
+//! assert!(profile[0].intensity > 0.4);
+//! graph.check_invariants().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algo;
+pub mod combine;
+pub mod enhance;
+pub mod error;
+pub mod exec;
+pub mod graph;
+pub mod intensity;
+pub mod metrics;
+pub mod preference;
+pub mod skyline;
+
+pub use error::{HypreError, Result};
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use crate::algo::bias_random::{bias_random, BiasRandomStats};
+    pub use crate::algo::combine_two::combine_two;
+    pub use crate::algo::partially_combine_all::partially_combine_all;
+    pub use crate::algo::peps::{proposition6_bound, Peps, PepsVariant, RankedTuple};
+    pub use crate::algo::CombinationRecord;
+    pub use crate::combine::{
+        combine_pair, f_and, f_and_all, f_or, f_or_fold, mixed_clause, CombineSemantics,
+        Combination, PrefAtom,
+    };
+    pub use crate::enhance::{enhance_query, score_tuples, EnhancedQuery, ScoredTuple};
+    pub use crate::error::{HypreError, Result};
+    pub use crate::exec::{BaseQuery, Executor, PairEntry, PairwiseCache};
+    pub use crate::graph::{
+        EdgeKind, HypreGraph, IngestReport, QualInsertOutcome, StoredPreference, NODE_LABEL,
+    };
+    pub use crate::intensity::{
+        DefaultValueStrategy, Intensity, IntensityModel, Position, QualIntensity,
+    };
+    pub use crate::metrics::{
+        coverage, order_concordance, overlap, selectivity, similarity, utility, CoverageReport,
+        UTILITY_PAGE_CAP,
+    };
+    pub use crate::preference::{
+        Preference, Provenance, QualitativePref, QuantitativePref, UserId,
+    };
+    pub use crate::skyline::{prioritized_skyline, skyline, AttributePref, Direction};
+}

@@ -1,0 +1,301 @@
+//! Attribute-based preferences and skyline queries — the extension
+//! sketched in §1.4 and §8.2 ("future work") of the dissertation.
+//!
+//! An attribute-based preference names a column and an optimisation
+//! direction instead of a concrete predicate: *"I want the cheapest hotel
+//! that is close to the beach"* becomes `⟨price, min⟩` and
+//! `⟨distance, min⟩`. A set of such preferences induces the classic
+//! dominance relation, and the *skyline* is the set of non-dominated
+//! tuples. Adding a qualitative order over the attribute nodes ("price is
+//! more important than distance") yields a prioritised (lexicographic-ish)
+//! refinement that totally ranks the skyline.
+//!
+//! The implementation is a block-nested-loop skyline over a `relstore`
+//! table — sufficient for the workloads here and faithful to what a
+//! predicate-based HYPRE deployment would bolt on.
+
+use relstore::{ColRef, Database, Table};
+
+use crate::error::{HypreError, Result};
+
+/// Optimisation direction for one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (price, distance …).
+    Min,
+    /// Larger is better (rating, year …).
+    Max,
+}
+
+/// An attribute-based preference: a column plus the function the
+/// dissertation says must accompany it (§3.2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributePref {
+    /// The column to optimise.
+    pub column: ColRef,
+    /// The optimisation direction.
+    pub direction: Direction,
+}
+
+impl AttributePref {
+    /// Creates an attribute preference.
+    pub fn new(column: ColRef, direction: Direction) -> Self {
+        AttributePref { column, direction }
+    }
+
+    /// `⟨column, min⟩`.
+    pub fn min(column: ColRef) -> Self {
+        AttributePref::new(column, Direction::Min)
+    }
+
+    /// `⟨column, max⟩`.
+    pub fn max(column: ColRef) -> Self {
+        AttributePref::new(column, Direction::Max)
+    }
+}
+
+/// Pareto dominance under a set of attribute preferences: `a` dominates
+/// `b` iff `a` is at least as good on every attribute and strictly better
+/// on at least one. Tuples with NULL or non-numeric values in any compared
+/// attribute never dominate and are never dominated (incomparable).
+fn dominates(a: &[f64], b: &[f64], prefs: &[AttributePref]) -> bool {
+    let mut strictly_better = false;
+    for (i, pref) in prefs.iter().enumerate() {
+        let (x, y) = (a[i], b[i]);
+        let better = match pref.direction {
+            Direction::Min => x < y,
+            Direction::Max => x > y,
+        };
+        let worse = match pref.direction {
+            Direction::Min => x > y,
+            Direction::Max => x < y,
+        };
+        if worse {
+            return false;
+        }
+        if better {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+fn project(table: &Table, prefs: &[AttributePref]) -> Result<Vec<(usize, Vec<f64>)>> {
+    let mut col_idx = Vec::with_capacity(prefs.len());
+    for p in prefs {
+        let i = table
+            .schema()
+            .require(Some(table.name()), &p.column.column)?;
+        col_idx.push(i);
+    }
+    let mut rows = Vec::with_capacity(table.len());
+    'rows: for (rid, row) in table.scan() {
+        let mut vals = Vec::with_capacity(col_idx.len());
+        for &ci in &col_idx {
+            match row[ci].as_f64() {
+                Some(v) => vals.push(v),
+                None => continue 'rows, // incomparable; excluded from skyline
+            }
+        }
+        rows.push((rid.0, vals));
+    }
+    Ok(rows)
+}
+
+/// Computes the skyline of `table` under the attribute preferences using a
+/// block-nested-loop: returns the row ids of all non-dominated tuples, in
+/// table order.
+///
+/// # Errors
+/// Unknown table/column errors surface as [`HypreError::Rel`]; an empty
+/// preference list is rejected because dominance would be vacuous.
+pub fn skyline(db: &Database, table: &str, prefs: &[AttributePref]) -> Result<Vec<usize>> {
+    if prefs.is_empty() {
+        return Err(HypreError::Rel(relstore::RelError::EmptyFrom));
+    }
+    let table = db.table(table)?;
+    let rows = project(table, prefs)?;
+    let mut window: Vec<(usize, Vec<f64>)> = Vec::new();
+    for (rid, vals) in rows {
+        if window.iter().any(|(_, w)| dominates(w, &vals, prefs)) {
+            continue;
+        }
+        window.retain(|(_, w)| !dominates(&vals, w, prefs));
+        window.push((rid, vals));
+    }
+    window.sort_by_key(|&(rid, _)| rid);
+    Ok(window.into_iter().map(|(rid, _)| rid).collect())
+}
+
+/// Ranks the skyline with a qualitative order over the attributes (most
+/// important first), as §1.4 suggests: skyline members sort by the first
+/// attribute, ties by the second, and so on; any remaining ties break by
+/// row id.
+pub fn prioritized_skyline(
+    db: &Database,
+    table: &str,
+    prefs: &[AttributePref],
+) -> Result<Vec<usize>> {
+    let sky = skyline(db, table, prefs)?;
+    let table = db.table(table)?;
+    let rows = project(table, prefs)?;
+    let lookup: std::collections::HashMap<usize, Vec<f64>> = rows.into_iter().collect();
+    let mut ranked = sky;
+    ranked.sort_by(|&a, &b| {
+        let (va, vb) = (&lookup[&a], &lookup[&b]);
+        for (i, pref) in prefs.iter().enumerate() {
+            let ord = match pref.direction {
+                Direction::Min => va[i].total_cmp(&vb[i]),
+                Direction::Max => vb[i].total_cmp(&va[i]),
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(&b)
+    });
+    Ok(ranked)
+}
+
+/// A brute-force dominance check used by tests and property tests: row `a`
+/// is in the skyline iff no other row dominates it.
+pub fn is_skyline_member(
+    db: &Database,
+    table: &str,
+    prefs: &[AttributePref],
+    row: usize,
+) -> Result<bool> {
+    let table = db.table(table)?;
+    let rows = project(table, prefs)?;
+    let Some((_, target)) = rows.iter().find(|(rid, _)| *rid == row) else {
+        return Ok(false);
+    };
+    Ok(!rows
+        .iter()
+        .any(|(rid, vals)| *rid != row && dominates(vals, target, prefs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::{DataType, Schema, Value};
+
+    /// Hotels: (id, price, distance-to-beach, rating).
+    fn hotels() -> Database {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "hotels",
+                Schema::of(&[
+                    ("id", DataType::Int),
+                    ("price", DataType::Int),
+                    ("distance", DataType::Int),
+                    ("rating", DataType::Float),
+                ]),
+            )
+            .unwrap();
+        for (id, price, dist, rating) in [
+            (1, 50, 900, 3.0),  // cheap, far
+            (2, 120, 100, 4.5), // pricey, close
+            (3, 80, 400, 4.0),  // balanced
+            (4, 200, 80, 4.8),  // luxury
+            (5, 90, 500, 3.5),  // dominated by 3 (price+distance)
+            (6, 50, 900, 2.0),  // dominated by 1 on rating? (not compared)
+        ] {
+            t.insert(vec![id.into(), price.into(), dist.into(), rating.into()])
+                .unwrap();
+        }
+        db
+    }
+
+    fn price_distance() -> Vec<AttributePref> {
+        vec![
+            AttributePref::min(ColRef::parse("price")),
+            AttributePref::min(ColRef::parse("distance")),
+        ]
+    }
+
+    #[test]
+    fn skyline_excludes_dominated() {
+        let db = hotels();
+        let sky = skyline(&db, "hotels", &price_distance()).unwrap();
+        // row ids: 0-based insert order. Hotel 5 (row 4) is dominated by
+        // hotel 3 (row 2): 80<90 and 400<500.
+        assert!(!sky.contains(&4));
+        // hotels 1..4 are pairwise non-dominated on (price, distance)
+        assert!(sky.contains(&0) && sky.contains(&1) && sky.contains(&2) && sky.contains(&3));
+        // hotel 6 ties hotel 1 exactly on both attributes → neither dominates
+        assert!(sky.contains(&5));
+    }
+
+    #[test]
+    fn skyline_with_max_direction() {
+        let db = hotels();
+        let prefs = vec![
+            AttributePref::min(ColRef::parse("price")),
+            AttributePref::max(ColRef::parse("rating")),
+        ];
+        let sky = skyline(&db, "hotels", &prefs).unwrap();
+        // hotel 6 (row 5): same price as hotel 1, strictly worse rating → out
+        assert!(!sky.contains(&5));
+        assert!(sky.contains(&0));
+        assert!(sky.contains(&3), "best rating survives despite price");
+    }
+
+    #[test]
+    fn skyline_agrees_with_bruteforce() {
+        let db = hotels();
+        let prefs = price_distance();
+        let sky = skyline(&db, "hotels", &prefs).unwrap();
+        for row in 0..6 {
+            assert_eq!(
+                sky.contains(&row),
+                is_skyline_member(&db, "hotels", &prefs, row).unwrap(),
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn prioritized_ranking_orders_by_importance() {
+        let db = hotels();
+        // price more important than distance → cheapest first
+        let ranked = prioritized_skyline(&db, "hotels", &price_distance()).unwrap();
+        assert_eq!(ranked[0], 0, "hotel 1 is cheapest (ties broken by id)");
+        // distance more important → closest first
+        let prefs = vec![
+            AttributePref::min(ColRef::parse("distance")),
+            AttributePref::min(ColRef::parse("price")),
+        ];
+        let ranked = prioritized_skyline(&db, "hotels", &prefs).unwrap();
+        assert_eq!(ranked[0], 3, "hotel 4 is closest");
+    }
+
+    #[test]
+    fn single_attribute_skyline_is_the_optimum() {
+        let db = hotels();
+        let prefs = vec![AttributePref::min(ColRef::parse("price"))];
+        let sky = skyline(&db, "hotels", &prefs).unwrap();
+        assert_eq!(sky, vec![0, 5], "both hotels at the minimum price of 50");
+    }
+
+    #[test]
+    fn errors_on_empty_prefs_and_bad_columns() {
+        let db = hotels();
+        assert!(skyline(&db, "hotels", &[]).is_err());
+        let bad = vec![AttributePref::min(ColRef::parse("stars"))];
+        assert!(skyline(&db, "hotels", &bad).is_err());
+        assert!(skyline(&db, "nope", &price_distance()).is_err());
+    }
+
+    #[test]
+    fn non_numeric_rows_are_excluded() {
+        let mut db = hotels();
+        db.table_mut("hotels")
+            .unwrap()
+            .insert(vec![7.into(), Value::Null, 10.into(), 5.0.into()])
+            .unwrap();
+        let sky = skyline(&db, "hotels", &price_distance()).unwrap();
+        assert!(!sky.contains(&6), "NULL price row is incomparable");
+    }
+}

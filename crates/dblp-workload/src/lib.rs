@@ -1,0 +1,44 @@
+//! # dblp-workload — the HYPRE evaluation workload
+//!
+//! The dissertation evaluates HYPRE on the DBLP-Citation-network V4 dump
+//! (1.6 M papers, 2011 snapshot) with preferences *extracted from the
+//! data itself* (§6.1–6.2). That dump is proprietary and oversized for a
+//! reproduction, so this crate provides:
+//!
+//! * **[`gen`]** — a seeded synthetic generator with the distributional
+//!   shape the experiments depend on (Zipfian venues, venue-centric
+//!   author communities, long-tailed productivity, preferential-attachment
+//!   citations);
+//! * **[`load`]** — loading into the four `relstore` relations of §6.1
+//!   with the appropriate indexes;
+//! * **[`extract`]** — the verbatim §6.2 extraction pipeline (top-5 venue
+//!   shares, citation ratios with the 0.1 cut, negative-venue products,
+//!   consecutive-difference qualitative preferences);
+//! * **[`stats`]** — the Table 10 summary;
+//! * **[`tsv`]** — TSV export/import for reproducible corpora.
+//!
+//! ```
+//! use dblp_workload::{gen, extract, load};
+//!
+//! let dataset = gen::generate(&gen::GeneratorConfig::tiny(7));
+//! let workload = extract::extract(&dataset, &extract::ExtractionConfig::default());
+//! let db = load::load(&dataset).unwrap();
+//! assert!(db.table("dblp").unwrap().len() > 0);
+//! assert!(!workload.quantitative.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod extract;
+pub mod gen;
+pub mod load;
+pub mod model;
+pub mod stats;
+pub mod tsv;
+
+pub use extract::{extract, ExtractedWorkload, ExtractionConfig};
+pub use gen::{generate, GeneratorConfig};
+pub use load::load;
+pub use model::{Author, Citation, DblpDataset, Paper, PaperAuthor};
+pub use stats::{table10, StatRow};

@@ -1,0 +1,127 @@
+//! The four DBLP relations of §6.1, as plain data.
+
+/// One paper: `dblp(pid, title, year, venue)` (the abstract column of the
+/// original dataset carries no signal for any experiment and is omitted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Paper {
+    /// Paper id.
+    pub pid: u64,
+    /// Title.
+    pub title: String,
+    /// Publication year.
+    pub year: i64,
+    /// Venue name.
+    pub venue: String,
+}
+
+/// One author: `author(aid, full_name)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Author {
+    /// Author id.
+    pub aid: u64,
+    /// Full name.
+    pub full_name: String,
+}
+
+/// One citation edge: paper `pid` cites paper `cid`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Citation {
+    /// The citing paper.
+    pub pid: u64,
+    /// The cited paper.
+    pub cid: u64,
+}
+
+/// One authorship link: `dblp_author(pid, aid)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PaperAuthor {
+    /// The paper.
+    pub pid: u64,
+    /// The author.
+    pub aid: u64,
+}
+
+/// A complete DBLP-shaped dataset.
+#[derive(Debug, Clone, Default)]
+pub struct DblpDataset {
+    /// `dblp` rows.
+    pub papers: Vec<Paper>,
+    /// `author` rows.
+    pub authors: Vec<Author>,
+    /// `citation` rows.
+    pub citations: Vec<Citation>,
+    /// `dblp_author` rows.
+    pub paper_authors: Vec<PaperAuthor>,
+}
+
+impl DblpDataset {
+    /// The distinct venues present, sorted.
+    pub fn venues(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.papers.iter().map(|p| p.venue.as_str()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Authors of one paper.
+    pub fn authors_of(&self, pid: u64) -> impl Iterator<Item = u64> + '_ {
+        self.paper_authors
+            .iter()
+            .filter(move |pa| pa.pid == pid)
+            .map(|pa| pa.aid)
+    }
+
+    /// Papers of one author.
+    pub fn papers_of(&self, aid: u64) -> impl Iterator<Item = u64> + '_ {
+        self.paper_authors
+            .iter()
+            .filter(move |pa| pa.aid == aid)
+            .map(|pa| pa.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DblpDataset {
+        DblpDataset {
+            papers: vec![
+                Paper {
+                    pid: 1,
+                    title: "A".into(),
+                    year: 2000,
+                    venue: "VLDB".into(),
+                },
+                Paper {
+                    pid: 2,
+                    title: "B".into(),
+                    year: 2001,
+                    venue: "PODS".into(),
+                },
+            ],
+            authors: vec![Author {
+                aid: 10,
+                full_name: "Ada".into(),
+            }],
+            citations: vec![Citation { pid: 2, cid: 1 }],
+            paper_authors: vec![
+                PaperAuthor { pid: 1, aid: 10 },
+                PaperAuthor { pid: 2, aid: 10 },
+            ],
+        }
+    }
+
+    #[test]
+    fn venue_listing_dedups() {
+        let d = tiny();
+        assert_eq!(d.venues(), vec!["PODS", "VLDB"]);
+    }
+
+    #[test]
+    fn author_paper_navigation() {
+        let d = tiny();
+        assert_eq!(d.authors_of(1).collect::<Vec<_>>(), vec![10]);
+        assert_eq!(d.papers_of(10).count(), 2);
+    }
+}

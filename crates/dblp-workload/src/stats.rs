@@ -1,0 +1,88 @@
+//! Dataset statistics — the Table 10 summary.
+
+use std::collections::HashSet;
+
+use crate::extract::ExtractedWorkload;
+use crate::model::DblpDataset;
+
+/// One Table 10 row: relation name, arity, cardinality, and an optional
+/// secondary count (distinct papers for `citation`, distinct users for the
+/// preference tables).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatRow {
+    /// Relation name.
+    pub relation: &'static str,
+    /// Number of attributes.
+    pub arity: usize,
+    /// Number of rows.
+    pub cardinality: usize,
+    /// `(label, count)` secondary statistic, if the paper reports one.
+    pub secondary: Option<(&'static str, usize)>,
+}
+
+/// Computes the Table 10 statistics for a dataset plus its extracted
+/// preference workload.
+pub fn table10(dataset: &DblpDataset, workload: &ExtractedWorkload) -> Vec<StatRow> {
+    let distinct_cited: HashSet<u64> = dataset.citations.iter().map(|c| c.pid).collect();
+    let (qt_users, ql_users) = workload.distinct_users();
+    vec![
+        StatRow {
+            relation: "dblp",
+            arity: 4,
+            cardinality: dataset.papers.len(),
+            secondary: None,
+        },
+        StatRow {
+            relation: "author",
+            arity: 2,
+            cardinality: dataset.authors.len(),
+            secondary: None,
+        },
+        StatRow {
+            relation: "citation",
+            arity: 2,
+            cardinality: dataset.citations.len(),
+            secondary: Some(("distinct citing papers", distinct_cited.len())),
+        },
+        StatRow {
+            relation: "dblp_author",
+            arity: 2,
+            cardinality: dataset.paper_authors.len(),
+            secondary: None,
+        },
+        StatRow {
+            relation: "quantitative_pref",
+            arity: 4,
+            cardinality: workload.quantitative.len(),
+            secondary: Some(("distinct users", qt_users)),
+        },
+        StatRow {
+            relation: "qualitative_pref",
+            arity: 5,
+            cardinality: workload.qualitative.len(),
+            secondary: Some(("distinct users", ql_users)),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{extract, ExtractionConfig};
+    use crate::gen::{generate, GeneratorConfig};
+
+    #[test]
+    fn rows_match_dataset_shape() {
+        let dataset = generate(&GeneratorConfig::tiny(31));
+        let workload = extract(&dataset, &ExtractionConfig::default());
+        let rows = table10(&dataset, &workload);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].relation, "dblp");
+        assert_eq!(rows[0].cardinality, dataset.papers.len());
+        assert_eq!(rows[4].cardinality, workload.quantitative.len());
+        let (qt_users, _) = workload.distinct_users();
+        assert_eq!(rows[4].secondary, Some(("distinct users", qt_users)));
+        // arities mirror the paper's schema
+        assert_eq!(rows.iter().map(|r| r.arity).collect::<Vec<_>>(), vec![4, 2, 2, 2, 4, 5]);
+    }
+}

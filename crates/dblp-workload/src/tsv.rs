@@ -1,0 +1,226 @@
+//! TSV persistence for datasets: export a generated corpus so experiments
+//! can be re-run against the identical bytes, or import one produced
+//! elsewhere. Hand-rolled (tab-separated, `\t`/`\n`/`\\` escaped) to keep
+//! the crate dependency-light.
+
+use std::fmt::Write as _;
+
+use crate::model::{Author, Citation, DblpDataset, Paper, PaperAuthor};
+
+/// Errors raised while parsing TSV text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TSV parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Serialises the dataset to a single TSV document with section headers
+/// (`#papers`, `#authors`, `#citations`, `#paper_authors`).
+pub fn to_tsv(dataset: &DblpDataset) -> String {
+    let mut out = String::new();
+    out.push_str("#papers\n");
+    for p in &dataset.papers {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}",
+            p.pid,
+            escape(&p.title),
+            p.year,
+            escape(&p.venue)
+        );
+    }
+    out.push_str("#authors\n");
+    for a in &dataset.authors {
+        let _ = writeln!(out, "{}\t{}", a.aid, escape(&a.full_name));
+    }
+    out.push_str("#citations\n");
+    for c in &dataset.citations {
+        let _ = writeln!(out, "{}\t{}", c.pid, c.cid);
+    }
+    out.push_str("#paper_authors\n");
+    for pa in &dataset.paper_authors {
+        let _ = writeln!(out, "{}\t{}", pa.pid, pa.aid);
+    }
+    out
+}
+
+/// Parses a TSV document produced by [`to_tsv`].
+pub fn from_tsv(text: &str) -> Result<DblpDataset, TsvError> {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        None,
+        Papers,
+        Authors,
+        Citations,
+        PaperAuthors,
+    }
+    let mut section = Section::None;
+    let mut dataset = DblpDataset::default();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let err = |message: String| TsvError {
+            line: lineno,
+            message,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "#papers" => {
+                section = Section::Papers;
+                continue;
+            }
+            "#authors" => {
+                section = Section::Authors;
+                continue;
+            }
+            "#citations" => {
+                section = Section::Citations;
+                continue;
+            }
+            "#paper_authors" => {
+                section = Section::PaperAuthors;
+                continue;
+            }
+            _ => {}
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let parse_u64 = |s: &str| {
+            s.parse::<u64>()
+                .map_err(|e| err(format!("bad integer '{s}': {e}")))
+        };
+        match section {
+            Section::None => return Err(err("data before a section header".into())),
+            Section::Papers => {
+                if fields.len() != 4 {
+                    return Err(err(format!("expected 4 fields, got {}", fields.len())));
+                }
+                dataset.papers.push(Paper {
+                    pid: parse_u64(fields[0])?,
+                    title: unescape(fields[1]),
+                    year: fields[2]
+                        .parse()
+                        .map_err(|e| err(format!("bad year: {e}")))?,
+                    venue: unescape(fields[3]),
+                });
+            }
+            Section::Authors => {
+                if fields.len() != 2 {
+                    return Err(err(format!("expected 2 fields, got {}", fields.len())));
+                }
+                dataset.authors.push(Author {
+                    aid: parse_u64(fields[0])?,
+                    full_name: unescape(fields[1]),
+                });
+            }
+            Section::Citations => {
+                if fields.len() != 2 {
+                    return Err(err(format!("expected 2 fields, got {}", fields.len())));
+                }
+                dataset.citations.push(Citation {
+                    pid: parse_u64(fields[0])?,
+                    cid: parse_u64(fields[1])?,
+                });
+            }
+            Section::PaperAuthors => {
+                if fields.len() != 2 {
+                    return Err(err(format!("expected 2 fields, got {}", fields.len())));
+                }
+                dataset.paper_authors.push(PaperAuthor {
+                    pid: parse_u64(fields[0])?,
+                    aid: parse_u64(fields[1])?,
+                });
+            }
+        }
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GeneratorConfig};
+
+    #[test]
+    fn roundtrip_generated_dataset() {
+        let d = generate(&GeneratorConfig::tiny(51));
+        let text = to_tsv(&d);
+        let back = from_tsv(&text).unwrap();
+        assert_eq!(d.papers, back.papers);
+        assert_eq!(d.authors, back.authors);
+        assert_eq!(d.citations, back.citations);
+        assert_eq!(d.paper_authors, back.paper_authors);
+    }
+
+    #[test]
+    fn escaping_roundtrips_hostile_titles() {
+        let mut d = DblpDataset::default();
+        d.papers.push(crate::model::Paper {
+            pid: 1,
+            title: "Tabs\tand\nnewlines \\ backslashes".into(),
+            year: 2000,
+            venue: "A\tB".into(),
+        });
+        let back = from_tsv(&to_tsv(&d)).unwrap();
+        assert_eq!(d.papers, back.papers);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = from_tsv("#papers\nnot\tenough\tfields\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("4 fields"));
+        let err = from_tsv("1\t2\n").unwrap_err();
+        assert!(err.message.contains("section"));
+        let err = from_tsv("#citations\nx\t1\n").unwrap_err();
+        assert!(err.message.contains("bad integer"));
+    }
+
+    #[test]
+    fn empty_document_parses_empty() {
+        let d = from_tsv("").unwrap();
+        assert!(d.papers.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Batched node insertion with per-batch timing.
+//!
+//! The dissertation's prototype inserts quantitative preferences through
+//! Neo4j's batch API — 100 k nodes per transaction — because "every batch
+//! insertion is considered one transaction and is kept in memory until the
+//! insertion is complete" (§6.3). Table 11 and Fig. 13 report the resulting
+//! throughput. [`BatchInserter`] reproduces the same discipline: nodes are
+//! buffered and committed in fixed-size batches, and each commit's wall
+//! clock is recorded so the bench harness can regenerate those series.
+
+use std::time::{Duration, Instant};
+
+use crate::graph::{NodeId, PropertyGraph};
+use crate::prop::PropValue;
+
+/// Timing record for one committed batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStat {
+    /// Nodes in this batch.
+    pub nodes: usize,
+    /// Wall-clock time of the commit.
+    pub elapsed: Duration,
+    /// Total nodes in the graph after the commit.
+    pub total_nodes_after: usize,
+}
+
+/// Buffers node specifications and commits them in fixed-size batches.
+pub struct BatchInserter<'g> {
+    graph: &'g mut PropertyGraph,
+    batch_size: usize,
+    pending: Vec<(Vec<String>, Vec<(String, PropValue)>)>,
+    stats: Vec<BatchStat>,
+    inserted_ids: Vec<NodeId>,
+}
+
+impl<'g> BatchInserter<'g> {
+    /// Creates an inserter committing every `batch_size` nodes.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    pub fn new(graph: &'g mut PropertyGraph, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchInserter {
+            graph,
+            batch_size,
+            pending: Vec::with_capacity(batch_size),
+            stats: Vec::new(),
+            inserted_ids: Vec::new(),
+        }
+    }
+
+    /// Queues one node; commits automatically when the batch fills.
+    pub fn add_node(
+        &mut self,
+        labels: impl IntoIterator<Item = impl Into<String>>,
+        props: impl IntoIterator<Item = (impl Into<String>, impl Into<PropValue>)>,
+    ) {
+        self.pending.push((
+            labels.into_iter().map(Into::into).collect(),
+            props
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        ));
+        if self.pending.len() >= self.batch_size {
+            self.commit_batch();
+        }
+    }
+
+    /// Commits any partial batch and returns `(inserted node ids, stats)`.
+    pub fn finish(mut self) -> (Vec<NodeId>, Vec<BatchStat>) {
+        if !self.pending.is_empty() {
+            self.commit_batch();
+        }
+        (self.inserted_ids, self.stats)
+    }
+
+    fn commit_batch(&mut self) {
+        let batch: Vec<_> = self.pending.drain(..).collect();
+        let n = batch.len();
+        let start = Instant::now();
+        for (labels, props) in batch {
+            let id = self.graph.create_node(labels, props);
+            self.inserted_ids.push(id);
+        }
+        let elapsed = start.elapsed();
+        self.stats.push(BatchStat {
+            nodes: n,
+            elapsed,
+            total_nodes_after: self.graph.node_count(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_in_fixed_batches() {
+        let mut g = PropertyGraph::new();
+        let mut b = BatchInserter::new(&mut g, 10);
+        for i in 0..25 {
+            b.add_node(["pref"], [("uid", PropValue::Int(i))]);
+        }
+        let (ids, stats) = b.finish();
+        assert_eq!(ids.len(), 25);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].nodes, 10);
+        assert_eq!(stats[1].nodes, 10);
+        assert_eq!(stats[2].nodes, 5);
+        assert_eq!(stats[2].total_nodes_after, 25);
+        assert_eq!(g.node_count(), 25);
+    }
+
+    #[test]
+    fn exact_multiple_leaves_no_partial_batch() {
+        let mut g = PropertyGraph::new();
+        let mut b = BatchInserter::new(&mut g, 5);
+        for i in 0..10 {
+            b.add_node(["pref"], [("uid", PropValue::Int(i))]);
+        }
+        let (_, stats) = b.finish();
+        assert_eq!(stats.len(), 2);
+        assert!(stats.iter().all(|s| s.nodes == 5));
+    }
+
+    #[test]
+    fn inserted_nodes_carry_properties() {
+        let mut g = PropertyGraph::new();
+        let mut b = BatchInserter::new(&mut g, 2);
+        b.add_node(["uidIndex"], [("uid", PropValue::Int(2)), ("intensity", PropValue::Float(0.3))]);
+        let (ids, _) = b.finish();
+        let n = g.node(ids[0]).unwrap();
+        assert_eq!(n.prop("intensity"), Some(&PropValue::Float(0.3)));
+        assert!(n.has_label("uidIndex"));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        let mut g = PropertyGraph::new();
+        let _ = BatchInserter::new(&mut g, 0);
+    }
+}

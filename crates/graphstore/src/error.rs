@@ -1,0 +1,55 @@
+//! Error type for graph operations.
+
+use std::fmt;
+
+/// Errors produced by the property-graph engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The referenced node does not exist (or was deleted).
+    NodeNotFound(u64),
+    /// The referenced edge does not exist (or was deleted).
+    EdgeNotFound(u64),
+    /// An index on this `(label, property)` pair already exists.
+    DuplicateIndex {
+        /// The node label the index is scoped to.
+        label: String,
+        /// The indexed property key.
+        property: String,
+    },
+    /// The PREFERS-style subgraph was expected to be acyclic but is not.
+    CycleDetected,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeNotFound(id) => write!(f, "node {id} not found"),
+            GraphError::EdgeNotFound(id) => write!(f, "edge {id} not found"),
+            GraphError::DuplicateIndex { label, property } => {
+                write!(f, "index on {label}({property}) already exists")
+            }
+            GraphError::CycleDetected => write!(f, "cycle detected in acyclic subgraph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(GraphError::NodeNotFound(7).to_string(), "node 7 not found");
+        assert!(GraphError::DuplicateIndex {
+            label: "uidIndex".into(),
+            property: "uid".into()
+        }
+        .to_string()
+        .contains("uidIndex(uid)"));
+    }
+}

@@ -1,0 +1,678 @@
+//! The property graph: labeled nodes and edges with typed properties,
+//! adjacency lists and maintained label+property indexes.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use crate::error::{GraphError, Result};
+use crate::prop::PropValue;
+
+/// Stable node identifier. Ids are never reused after deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+/// Stable edge identifier. Ids are never reused after deletion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A node: labels (Neo4j-style, typically one) plus a property map.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: NodeId,
+    labels: Vec<String>,
+    props: BTreeMap<String, PropValue>,
+}
+
+impl Node {
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Whether the node carries `label`.
+    pub fn has_label(&self, label: &str) -> bool {
+        self.labels.iter().any(|l| l == label)
+    }
+
+    /// A property value by key.
+    pub fn prop(&self, key: &str) -> Option<&PropValue> {
+        self.props.get(key)
+    }
+
+    /// All properties in key order.
+    pub fn props(&self) -> impl Iterator<Item = (&str, &PropValue)> {
+        self.props.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// A directed, labeled edge with a property map.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    id: EdgeId,
+    from: NodeId,
+    to: NodeId,
+    label: String,
+    props: BTreeMap<String, PropValue>,
+}
+
+impl Edge {
+    /// The edge id.
+    pub fn id(&self) -> EdgeId {
+        self.id
+    }
+
+    /// Source node.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// Target node.
+    pub fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// The edge label (relationship type).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// A property value by key.
+    pub fn prop(&self, key: &str) -> Option<&PropValue> {
+        self.props.get(key)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct IndexKey {
+    label: String,
+    property: String,
+}
+
+/// An embedded property-graph engine.
+///
+/// This is the Neo4j substitute of the HYPRE reproduction: it supports the
+/// operations the dissertation's prototype uses — node/edge CRUD with
+/// properties, label+property indexes (the `uidIndex(uid)` of §4.3),
+/// label-filtered adjacency and degrees, and the traversals in
+/// [`crate::traverse`].
+#[derive(Debug, Default, Clone)]
+pub struct PropertyGraph {
+    nodes: Vec<Option<Node>>,
+    edges: Vec<Option<Edge>>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+    indexes: HashMap<IndexKey, HashMap<PropValue, Vec<NodeId>>>,
+    live_nodes: usize,
+    live_edges: usize,
+}
+
+impl PropertyGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        PropertyGraph::default()
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        PropertyGraph {
+            nodes: Vec::with_capacity(nodes),
+            out_adj: Vec::with_capacity(nodes),
+            in_adj: Vec::with_capacity(nodes),
+            ..PropertyGraph::default()
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of live edges.
+    pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    // ------------------------------------------------------------------
+    // node CRUD
+    // ------------------------------------------------------------------
+
+    /// Creates a node with the given labels and properties.
+    pub fn create_node<L, K, V>(&mut self, labels: L, props: impl IntoIterator<Item = (K, V)>) -> NodeId
+    where
+        L: IntoIterator,
+        L::Item: Into<String>,
+        K: Into<String>,
+        V: Into<PropValue>,
+    {
+        let id = NodeId(self.nodes.len() as u64);
+        let node = Node {
+            id,
+            labels: labels.into_iter().map(Into::into).collect(),
+            props: props
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        };
+        self.index_node(&node);
+        self.nodes.push(Some(node));
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        self.live_nodes += 1;
+        id
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(GraphError::NodeNotFound(id.0))
+    }
+
+    /// Whether the node exists.
+    pub fn has_node(&self, id: NodeId) -> bool {
+        self.nodes
+            .get(id.0 as usize)
+            .is_some_and(Option::is_some)
+    }
+
+    /// Sets (or replaces) one node property, maintaining any index on it.
+    pub fn set_node_prop(
+        &mut self,
+        id: NodeId,
+        key: impl Into<String>,
+        value: impl Into<PropValue>,
+    ) -> Result<()> {
+        let key = key.into();
+        let value = value.into();
+        let node = self
+            .nodes
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(GraphError::NodeNotFound(id.0))?;
+        let old = node.props.insert(key.clone(), value.clone());
+        let labels = node.labels.clone();
+        for label in labels {
+            let ik = IndexKey {
+                label,
+                property: key.clone(),
+            };
+            if let Some(index) = self.indexes.get_mut(&ik) {
+                if let Some(old_v) = &old {
+                    if let Some(list) = index.get_mut(old_v) {
+                        list.retain(|&n| n != id);
+                    }
+                }
+                index.entry(value.clone()).or_default().push(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes one node property, maintaining any index on it. Returns the
+    /// previous value if present.
+    pub fn remove_node_prop(&mut self, id: NodeId, key: &str) -> Result<Option<PropValue>> {
+        let node = self
+            .nodes
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(GraphError::NodeNotFound(id.0))?;
+        let old = node.props.remove(key);
+        let labels = node.labels.clone();
+        if let Some(old_v) = &old {
+            for label in labels {
+                let ik = IndexKey {
+                    label,
+                    property: key.to_owned(),
+                };
+                if let Some(index) = self.indexes.get_mut(&ik) {
+                    if let Some(list) = index.get_mut(old_v) {
+                        list.retain(|&n| n != id);
+                    }
+                }
+            }
+        }
+        Ok(old)
+    }
+
+    /// Deletes a node and all its incident edges (Neo4j `DETACH DELETE`).
+    pub fn remove_node(&mut self, id: NodeId) -> Result<()> {
+        let node = self
+            .nodes
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(GraphError::NodeNotFound(id.0))?
+            .clone();
+        let incident: Vec<EdgeId> = self.out_adj[id.0 as usize]
+            .iter()
+            .chain(self.in_adj[id.0 as usize].iter())
+            .copied()
+            .collect();
+        for e in incident {
+            // An edge may appear in both lists (self-loop); tolerate.
+            let _ = self.remove_edge(e);
+        }
+        self.unindex_node(&node);
+        self.nodes[id.0 as usize] = None;
+        self.live_nodes -= 1;
+        Ok(())
+    }
+
+    /// Iterates over live nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter_map(Option::as_ref)
+    }
+
+    // ------------------------------------------------------------------
+    // edge CRUD
+    // ------------------------------------------------------------------
+
+    /// Creates a directed labeled edge.
+    pub fn create_edge<K, V>(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        label: impl Into<String>,
+        props: impl IntoIterator<Item = (K, V)>,
+    ) -> Result<EdgeId>
+    where
+        K: Into<String>,
+        V: Into<PropValue>,
+    {
+        if !self.has_node(from) {
+            return Err(GraphError::NodeNotFound(from.0));
+        }
+        if !self.has_node(to) {
+            return Err(GraphError::NodeNotFound(to.0));
+        }
+        let id = EdgeId(self.edges.len() as u64);
+        self.edges.push(Some(Edge {
+            id,
+            from,
+            to,
+            label: label.into(),
+            props: props
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        }));
+        self.out_adj[from.0 as usize].push(id);
+        self.in_adj[to.0 as usize].push(id);
+        self.live_edges += 1;
+        Ok(id)
+    }
+
+    /// Immutable access to an edge.
+    pub fn edge(&self, id: EdgeId) -> Result<&Edge> {
+        self.edges
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(GraphError::EdgeNotFound(id.0))
+    }
+
+    /// Replaces an edge's label (HYPRE relabels conflict edges `DISCARD` →
+    /// `PREFERS` when intensities later change, §6.2.3).
+    pub fn set_edge_label(&mut self, id: EdgeId, label: impl Into<String>) -> Result<()> {
+        let edge = self
+            .edges
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(GraphError::EdgeNotFound(id.0))?;
+        edge.label = label.into();
+        Ok(())
+    }
+
+    /// Sets (or replaces) one edge property.
+    pub fn set_edge_prop(
+        &mut self,
+        id: EdgeId,
+        key: impl Into<String>,
+        value: impl Into<PropValue>,
+    ) -> Result<()> {
+        let edge = self
+            .edges
+            .get_mut(id.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(GraphError::EdgeNotFound(id.0))?;
+        edge.props.insert(key.into(), value.into());
+        Ok(())
+    }
+
+    /// Deletes an edge.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Result<()> {
+        let edge = self
+            .edges
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(GraphError::EdgeNotFound(id.0))?;
+        let (from, to) = (edge.from, edge.to);
+        self.out_adj[from.0 as usize].retain(|&e| e != id);
+        self.in_adj[to.0 as usize].retain(|&e| e != id);
+        self.edges[id.0 as usize] = None;
+        self.live_edges -= 1;
+        Ok(())
+    }
+
+    /// Iterates over live edges in id order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter().filter_map(Option::as_ref)
+    }
+
+    // ------------------------------------------------------------------
+    // adjacency
+    // ------------------------------------------------------------------
+
+    /// Outgoing edges of a node, optionally restricted to one label.
+    pub fn out_edges<'g>(
+        &'g self,
+        id: NodeId,
+        label: Option<&'g str>,
+    ) -> impl Iterator<Item = &'g Edge> + 'g {
+        self.out_adj
+            .get(id.0 as usize)
+            .into_iter()
+            .flatten()
+            .filter_map(move |&e| self.edges[e.0 as usize].as_ref())
+            .filter(move |e| label.is_none_or(|l| e.label == l))
+    }
+
+    /// Incoming edges of a node, optionally restricted to one label.
+    pub fn in_edges<'g>(
+        &'g self,
+        id: NodeId,
+        label: Option<&'g str>,
+    ) -> impl Iterator<Item = &'g Edge> + 'g {
+        self.in_adj
+            .get(id.0 as usize)
+            .into_iter()
+            .flatten()
+            .filter_map(move |&e| self.edges[e.0 as usize].as_ref())
+            .filter(move |e| label.is_none_or(|l| e.label == l))
+    }
+
+    /// Out-degree under a label filter.
+    pub fn out_degree(&self, id: NodeId, label: Option<&str>) -> usize {
+        self.out_edges(id, label).count()
+    }
+
+    /// In-degree under a label filter.
+    pub fn in_degree(&self, id: NodeId, label: Option<&str>) -> usize {
+        self.in_edges(id, label).count()
+    }
+
+    /// Total degree (in + out) under a label filter — the `degree()` used by
+    /// Algorithm 1 of the dissertation.
+    pub fn degree(&self, id: NodeId, label: Option<&str>) -> usize {
+        self.in_degree(id, label) + self.out_degree(id, label)
+    }
+
+    /// The first edge `from → to` with the given label, if any.
+    pub fn find_edge<'g>(&'g self, from: NodeId, to: NodeId, label: Option<&'g str>) -> Option<&'g Edge> {
+        self.out_edges(from, label).find(|e| e.to == to)
+    }
+
+    // ------------------------------------------------------------------
+    // indexing
+    // ------------------------------------------------------------------
+
+    /// Creates an index on `(label, property)` and backfills it. Mirrors
+    /// Neo4j's `CREATE INDEX ON :label(property)`.
+    pub fn create_index(&mut self, label: impl Into<String>, property: impl Into<String>) -> Result<()> {
+        let ik = IndexKey {
+            label: label.into(),
+            property: property.into(),
+        };
+        match self.indexes.entry(ik.clone()) {
+            Entry::Occupied(_) => Err(GraphError::DuplicateIndex {
+                label: ik.label,
+                property: ik.property,
+            }),
+            Entry::Vacant(slot) => {
+                let mut index: HashMap<PropValue, Vec<NodeId>> = HashMap::new();
+                for node in self.nodes.iter().filter_map(Option::as_ref) {
+                    if node.has_label(&ik.label) {
+                        if let Some(v) = node.props.get(&ik.property) {
+                            index.entry(v.clone()).or_default().push(node.id);
+                        }
+                    }
+                }
+                slot.insert(index);
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether an index exists on `(label, property)`.
+    pub fn has_index(&self, label: &str, property: &str) -> bool {
+        self.indexes.contains_key(&IndexKey {
+            label: label.to_owned(),
+            property: property.to_owned(),
+        })
+    }
+
+    /// Indexed lookup: nodes with `label` whose `property` equals `value`.
+    /// Returns `None` when no such index exists (callers fall back to scan).
+    pub fn index_lookup(&self, label: &str, property: &str, value: &PropValue) -> Option<Vec<NodeId>> {
+        let ik = IndexKey {
+            label: label.to_owned(),
+            property: property.to_owned(),
+        };
+        self.indexes
+            .get(&ik)
+            .map(|ix| ix.get(value).cloned().unwrap_or_default())
+    }
+
+    fn index_node(&mut self, node: &Node) {
+        for (ik, index) in self.indexes.iter_mut() {
+            if node.has_label(&ik.label) {
+                if let Some(v) = node.props.get(&ik.property) {
+                    index.entry(v.clone()).or_default().push(node.id);
+                }
+            }
+        }
+    }
+
+    fn unindex_node(&mut self, node: &Node) {
+        for (ik, index) in self.indexes.iter_mut() {
+            if node.has_label(&ik.label) {
+                if let Some(v) = node.props.get(&ik.property) {
+                    if let Some(list) = index.get_mut(v) {
+                        list.retain(|&n| n != node.id);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // scans
+    // ------------------------------------------------------------------
+
+    /// Nodes carrying `label`, via full scan (use [`PropertyGraph::index_lookup`]
+    /// + [`crate::query::NodeQuery`] for indexed paths).
+    pub fn nodes_with_label<'g>(&'g self, label: &'g str) -> impl Iterator<Item = &'g Node> + 'g {
+        self.nodes().filter(move |n| n.has_label(label))
+    }
+
+    /// The set of distinct edge labels present in the graph.
+    pub fn edge_labels(&self) -> HashSet<&str> {
+        self.edges().map(|e| e.label.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (PropertyGraph, NodeId, NodeId, NodeId) {
+        let mut g = PropertyGraph::new();
+        let a = g.create_node(["pref"], [("uid", PropValue::Int(2)), ("name", "a".into())]);
+        let b = g.create_node(["pref"], [("uid", PropValue::Int(2)), ("name", "b".into())]);
+        let c = g.create_node(["pref"], [("uid", PropValue::Int(3)), ("name", "c".into())]);
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn node_crud() {
+        let (g, a, _, _) = small();
+        assert_eq!(g.node_count(), 3);
+        let n = g.node(a).unwrap();
+        assert!(n.has_label("pref"));
+        assert_eq!(n.prop("uid"), Some(&PropValue::Int(2)));
+        assert_eq!(n.prop("missing"), None);
+        assert!(g.node(NodeId(99)).is_err());
+    }
+
+    #[test]
+    fn edge_crud_and_adjacency() {
+        let (mut g, a, b, c) = small();
+        let e1 = g
+            .create_edge(a, b, "PREFERS", [("intensity", PropValue::Float(0.8))])
+            .unwrap();
+        let _e2 = g.create_edge(a, c, "DISCARD", [("intensity", PropValue::Float(0.1))]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(a, None), 2);
+        assert_eq!(g.out_degree(a, Some("PREFERS")), 1);
+        assert_eq!(g.in_degree(b, Some("PREFERS")), 1);
+        assert_eq!(g.degree(a, Some("PREFERS")), 1);
+        let edge = g.edge(e1).unwrap();
+        assert_eq!(edge.from(), a);
+        assert_eq!(edge.to(), b);
+        assert_eq!(edge.prop("intensity"), Some(&PropValue::Float(0.8)));
+        assert!(g.find_edge(a, b, Some("PREFERS")).is_some());
+        assert!(g.find_edge(b, a, Some("PREFERS")).is_none());
+    }
+
+    #[test]
+    fn edge_to_missing_node_fails() {
+        let (mut g, a, _, _) = small();
+        assert!(g.create_edge(a, NodeId(42), "X", [] as [(&str, PropValue); 0]).is_err());
+    }
+
+    #[test]
+    fn edge_relabel_and_props() {
+        let (mut g, a, b, _) = small();
+        let e = g.create_edge(a, b, "PREFERS", [] as [(&str, PropValue); 0]).unwrap();
+        g.set_edge_label(e, "DISCARD").unwrap();
+        assert_eq!(g.edge(e).unwrap().label(), "DISCARD");
+        g.set_edge_prop(e, "intensity", 0.25).unwrap();
+        assert_eq!(g.edge(e).unwrap().prop("intensity"), Some(&PropValue::Float(0.25)));
+        assert_eq!(g.out_degree(a, Some("PREFERS")), 0);
+        assert_eq!(g.out_degree(a, Some("DISCARD")), 1);
+    }
+
+    #[test]
+    fn remove_edge_updates_adjacency() {
+        let (mut g, a, b, _) = small();
+        let e = g.create_edge(a, b, "PREFERS", [] as [(&str, PropValue); 0]).unwrap();
+        g.remove_edge(e).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.out_degree(a, None), 0);
+        assert_eq!(g.in_degree(b, None), 0);
+        assert!(g.edge(e).is_err());
+        assert!(g.remove_edge(e).is_err());
+    }
+
+    #[test]
+    fn detach_delete_node() {
+        let (mut g, a, b, c) = small();
+        g.create_edge(a, b, "P", [] as [(&str, PropValue); 0]).unwrap();
+        g.create_edge(c, a, "P", [] as [(&str, PropValue); 0]).unwrap();
+        g.remove_node(a).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.out_degree(c, None), 0);
+        assert!(!g.has_node(a));
+    }
+
+    #[test]
+    fn self_loop_allowed_and_removable() {
+        let (mut g, a, _, _) = small();
+        let e = g.create_edge(a, a, "SELF", [] as [(&str, PropValue); 0]).unwrap();
+        assert_eq!(g.out_degree(a, None), 1);
+        assert_eq!(g.in_degree(a, None), 1);
+        g.remove_node(a).unwrap();
+        assert!(g.edge(e).is_err());
+    }
+
+    #[test]
+    fn index_lookup_and_maintenance() {
+        let (mut g, a, b, c) = small();
+        g.create_index("pref", "uid").unwrap();
+        assert!(g.has_index("pref", "uid"));
+        let hits = g.index_lookup("pref", "uid", &PropValue::Int(2)).unwrap();
+        assert_eq!(hits, vec![a, b]);
+        // new node is indexed
+        let d = g.create_node(["pref"], [("uid", PropValue::Int(2))]);
+        let hits = g.index_lookup("pref", "uid", &PropValue::Int(2)).unwrap();
+        assert_eq!(hits, vec![a, b, d]);
+        // prop update moves the entry
+        g.set_node_prop(b, "uid", 3).unwrap();
+        let hits2 = g.index_lookup("pref", "uid", &PropValue::Int(3)).unwrap();
+        assert!(hits2.contains(&b) && hits2.contains(&c));
+        assert!(!g
+            .index_lookup("pref", "uid", &PropValue::Int(2))
+            .unwrap()
+            .contains(&b));
+        // node removal unindexes
+        g.remove_node(a).unwrap();
+        assert!(!g
+            .index_lookup("pref", "uid", &PropValue::Int(2))
+            .unwrap()
+            .contains(&a));
+        // missing index returns None
+        assert!(g.index_lookup("pref", "name", &PropValue::str("a")).is_none());
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let (mut g, ..) = small();
+        g.create_index("pref", "uid").unwrap();
+        assert!(matches!(
+            g.create_index("pref", "uid"),
+            Err(GraphError::DuplicateIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_node_prop_unindexes() {
+        let (mut g, a, ..) = small();
+        g.create_index("pref", "uid").unwrap();
+        let old = g.remove_node_prop(a, "uid").unwrap();
+        assert_eq!(old, Some(PropValue::Int(2)));
+        assert!(!g
+            .index_lookup("pref", "uid", &PropValue::Int(2))
+            .unwrap()
+            .contains(&a));
+    }
+
+    #[test]
+    fn label_scans_and_edge_labels() {
+        let (mut g, a, b, _) = small();
+        g.create_node(["other"], [("uid", PropValue::Int(9))]);
+        assert_eq!(g.nodes_with_label("pref").count(), 3);
+        assert_eq!(g.nodes_with_label("other").count(), 1);
+        g.create_edge(a, b, "PREFERS", [] as [(&str, PropValue); 0]).unwrap();
+        g.create_edge(b, a, "CYCLE", [] as [(&str, PropValue); 0]).unwrap();
+        let labels = g.edge_labels();
+        assert!(labels.contains("PREFERS") && labels.contains("CYCLE"));
+    }
+}

@@ -1,0 +1,54 @@
+//! # graphstore — an embedded property-graph engine
+//!
+//! `graphstore` is the graph substrate of the HYPRE reproduction: it plays
+//! the role Neo4j 2.0 plays in the dissertation (§4.3). It provides
+//!
+//! * labeled nodes and directed labeled edges with typed properties
+//!   ([`PropertyGraph`], [`PropValue`]),
+//! * label+property hash indexes — the dissertation's `uidIndex(uid)` —
+//!   maintained across inserts, property updates and deletes,
+//! * label-filtered adjacency and degree accessors (the `degree()` calls of
+//!   Algorithm 1),
+//! * traversals: BFS reachability, shortest paths, cycle guards and
+//!   topological sorting ([`traverse`]),
+//! * batched insertion with per-batch timing ([`BatchInserter`]) mirroring
+//!   the 100 k-node Neo4j transactions of §6.3, and
+//! * a fluent query layer ([`NodeQuery`]) standing in for the Cypher
+//!   queries quoted in the dissertation.
+//!
+//! ## Example
+//!
+//! ```
+//! use graphstore::{PropertyGraph, PropValue, NodeQuery, Dir, traverse};
+//!
+//! let mut g = PropertyGraph::new();
+//! g.create_index("uidIndex", "uid").unwrap();
+//! let a = g.create_node(["uidIndex"], [("uid", PropValue::Int(2)),
+//!                                      ("intensity", PropValue::Float(0.8))]);
+//! let b = g.create_node(["uidIndex"], [("uid", PropValue::Int(2)),
+//!                                      ("intensity", PropValue::Float(0.3))]);
+//! g.create_edge(a, b, "PREFERS", [("intensity", PropValue::Float(0.5))]).unwrap();
+//!
+//! assert!(traverse::has_path(&g, a, b, Some("PREFERS")));
+//! let profile = NodeQuery::new(&g)
+//!     .label("uidIndex").prop_eq("uid", 2)
+//!     .order_by("intensity", Dir::Desc)
+//!     .run();
+//! assert_eq!(profile, vec![a, b]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod batch;
+pub mod error;
+pub mod graph;
+pub mod prop;
+pub mod query;
+pub mod traverse;
+
+pub use batch::{BatchInserter, BatchStat};
+pub use error::{GraphError, Result};
+pub use graph::{Edge, EdgeId, Node, NodeId, PropertyGraph};
+pub use prop::PropValue;
+pub use query::{Dir, NodeQuery};

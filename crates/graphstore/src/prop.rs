@@ -1,0 +1,175 @@
+//! Property values attached to graph nodes and edges.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically typed property value.
+///
+/// Equality is strict per variant; floats compare by bit pattern so values
+/// can serve as index keys (`Hash` is consistent with `Eq`).
+#[derive(Debug, Clone)]
+pub enum PropValue {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl PropValue {
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Self {
+        PropValue::Str(s.into())
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            PropValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (ints widen to floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            PropValue::Int(i) => Some(*i as f64),
+            PropValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            PropValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            PropValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for PropValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (PropValue::Int(a), PropValue::Int(b)) => a == b,
+            (PropValue::Float(a), PropValue::Float(b)) => a.to_bits() == b.to_bits(),
+            (PropValue::Str(a), PropValue::Str(b)) => a == b,
+            (PropValue::Bool(a), PropValue::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for PropValue {}
+
+impl Hash for PropValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            PropValue::Int(i) => i.hash(state),
+            PropValue::Float(f) => f.to_bits().hash(state),
+            PropValue::Str(s) => s.hash(state),
+            PropValue::Bool(b) => b.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for PropValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropValue::Int(i) => write!(f, "{i}"),
+            PropValue::Float(x) => write!(f, "{x}"),
+            PropValue::Str(s) => write!(f, "\"{s}\""),
+            PropValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for PropValue {
+    fn from(v: i64) -> Self {
+        PropValue::Int(v)
+    }
+}
+
+impl From<i32> for PropValue {
+    fn from(v: i32) -> Self {
+        PropValue::Int(v as i64)
+    }
+}
+
+impl From<u64> for PropValue {
+    fn from(v: u64) -> Self {
+        PropValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for PropValue {
+    fn from(v: f64) -> Self {
+        PropValue::Float(v)
+    }
+}
+
+impl From<&str> for PropValue {
+    fn from(v: &str) -> Self {
+        PropValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for PropValue {
+    fn from(v: String) -> Self {
+        PropValue::Str(v)
+    }
+}
+
+impl From<bool> for PropValue {
+    fn from(v: bool) -> Self {
+        PropValue::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &PropValue) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(PropValue::Int(3).as_i64(), Some(3));
+        assert_eq!(PropValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(PropValue::Float(0.5).as_f64(), Some(0.5));
+        assert_eq!(PropValue::str("x").as_str(), Some("x"));
+        assert_eq!(PropValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(PropValue::str("x").as_i64(), None);
+    }
+
+    #[test]
+    fn strict_equality_and_hash() {
+        assert_ne!(PropValue::Int(1), PropValue::Float(1.0));
+        assert_eq!(PropValue::Float(0.5), PropValue::Float(0.5));
+        assert_eq!(hash_of(&PropValue::str("a")), hash_of(&PropValue::str("a")));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PropValue::Int(2).to_string(), "2");
+        assert_eq!(PropValue::str("uid").to_string(), "\"uid\"");
+        assert_eq!(PropValue::Bool(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,265 @@
+//! Graph traversals: label-filtered BFS reachability, path reconstruction,
+//! cycle detection and topological ordering.
+//!
+//! HYPRE's insertion algorithm (Algorithm 1) asks exactly one reachability
+//! question per qualitative preference — "is there a PREFERS-path from the
+//! right node to the left node?" — and its ranking pass wants the PREFERS
+//! subgraph to stay a DAG. These helpers answer both.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::error::{GraphError, Result};
+use crate::graph::{NodeId, PropertyGraph};
+
+/// Whether a path `from ⇝ to` exists following only edges with `label`
+/// (or any label when `None`). A node trivially reaches itself.
+pub fn has_path(graph: &PropertyGraph, from: NodeId, to: NodeId, label: Option<&str>) -> bool {
+    if from == to {
+        return graph.has_node(from);
+    }
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(from);
+    queue.push_back(from);
+    while let Some(n) = queue.pop_front() {
+        for e in graph.out_edges(n, label) {
+            let next = e.to();
+            if next == to {
+                return true;
+            }
+            if seen.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    false
+}
+
+/// One shortest path `from ⇝ to` under the label filter, as a node sequence
+/// including both endpoints; `None` if unreachable.
+pub fn shortest_path(
+    graph: &PropertyGraph,
+    from: NodeId,
+    to: NodeId,
+    label: Option<&str>,
+) -> Option<Vec<NodeId>> {
+    if !graph.has_node(from) || !graph.has_node(to) {
+        return None;
+    }
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut queue = VecDeque::new();
+    parent.insert(from, from);
+    queue.push_back(from);
+    while let Some(n) = queue.pop_front() {
+        for e in graph.out_edges(n, label) {
+            let next = e.to();
+            if let std::collections::hash_map::Entry::Vacant(slot) = parent.entry(next) {
+                slot.insert(n);
+                if next == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while cur != from {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// All nodes reachable from `from` (inclusive) under the label filter.
+pub fn reachable_set(graph: &PropertyGraph, from: NodeId, label: Option<&str>) -> HashSet<NodeId> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    if !graph.has_node(from) {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    seen.insert(from);
+    queue.push_back(from);
+    while let Some(n) = queue.pop_front() {
+        for e in graph.out_edges(n, label) {
+            if seen.insert(e.to()) {
+                queue.push_back(e.to());
+            }
+        }
+    }
+    seen
+}
+
+/// Whether inserting the edge `from → to` would close a cycle in the
+/// label-filtered subgraph — i.e. whether `to` already reaches `from`.
+/// This is the guard on line 6 of the dissertation's Algorithm 1.
+pub fn would_create_cycle(
+    graph: &PropertyGraph,
+    from: NodeId,
+    to: NodeId,
+    label: Option<&str>,
+) -> bool {
+    // A self-edge is a (degenerate) cycle.
+    if from == to {
+        return true;
+    }
+    has_path(graph, to, from, label)
+}
+
+/// Topologically sorts the nodes in `scope` using only `label`-edges whose
+/// endpoints are both in `scope`. Ties broken by ascending node id so the
+/// order is deterministic.
+///
+/// # Errors
+/// [`GraphError::CycleDetected`] if the scoped subgraph has a cycle.
+pub fn topo_sort(
+    graph: &PropertyGraph,
+    scope: &[NodeId],
+    label: Option<&str>,
+) -> Result<Vec<NodeId>> {
+    let in_scope: HashSet<NodeId> = scope.iter().copied().collect();
+    let mut indegree: HashMap<NodeId, usize> = scope.iter().map(|&n| (n, 0)).collect();
+    for &n in scope {
+        for e in graph.out_edges(n, label) {
+            if in_scope.contains(&e.to()) {
+                *indegree.get_mut(&e.to()).expect("scoped") += 1;
+            }
+        }
+    }
+    // Min-heap on node id for determinism; a sorted Vec used as a stack of
+    // ready nodes keeps this dependency-free.
+    let mut ready: Vec<NodeId> = indegree
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    ready.sort_unstable_by(|a, b| b.cmp(a)); // pop() takes the smallest
+    let mut out = Vec::with_capacity(scope.len());
+    while let Some(n) = ready.pop() {
+        out.push(n);
+        let mut newly_ready = Vec::new();
+        for e in graph.out_edges(n, label) {
+            if let Some(d) = indegree.get_mut(&e.to()) {
+                *d -= 1;
+                if *d == 0 {
+                    newly_ready.push(e.to());
+                }
+            }
+        }
+        if !newly_ready.is_empty() {
+            ready.extend(newly_ready);
+            ready.sort_unstable_by(|a, b| b.cmp(a));
+        }
+    }
+    if out.len() == scope.len() {
+        Ok(out)
+    } else {
+        Err(GraphError::CycleDetected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::PropValue;
+
+    const NO_PROPS: [(&str, PropValue); 0] = [];
+
+    /// a → b → c, a → c, d isolated; plus an X-labeled edge c → a.
+    fn diamondish() -> (PropertyGraph, [NodeId; 4]) {
+        let mut g = PropertyGraph::new();
+        let a = g.create_node(["n"], NO_PROPS);
+        let b = g.create_node(["n"], NO_PROPS);
+        let c = g.create_node(["n"], NO_PROPS);
+        let d = g.create_node(["n"], NO_PROPS);
+        g.create_edge(a, b, "P", NO_PROPS).unwrap();
+        g.create_edge(b, c, "P", NO_PROPS).unwrap();
+        g.create_edge(a, c, "P", NO_PROPS).unwrap();
+        g.create_edge(c, a, "X", NO_PROPS).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn reachability_respects_labels() {
+        let (g, [a, b, c, d]) = diamondish();
+        assert!(has_path(&g, a, c, Some("P")));
+        assert!(!has_path(&g, c, a, Some("P")));
+        assert!(has_path(&g, c, a, None)); // via the X edge
+        assert!(!has_path(&g, a, d, None));
+        assert!(has_path(&g, b, b, Some("P"))); // trivial self-reach
+    }
+
+    #[test]
+    fn shortest_path_finds_minimal_hops() {
+        let (g, [a, b, c, _]) = diamondish();
+        assert_eq!(shortest_path(&g, a, c, Some("P")), Some(vec![a, c]));
+        assert_eq!(shortest_path(&g, a, b, Some("P")), Some(vec![a, b]));
+        assert_eq!(shortest_path(&g, c, b, Some("P")), None);
+        assert_eq!(shortest_path(&g, a, a, Some("P")), Some(vec![a]));
+    }
+
+    #[test]
+    fn reachable_set_includes_start() {
+        let (g, [a, b, c, d]) = diamondish();
+        let r = reachable_set(&g, a, Some("P"));
+        assert_eq!(r, [a, b, c].into_iter().collect());
+        let r = reachable_set(&g, d, Some("P"));
+        assert_eq!(r, [d].into_iter().collect());
+    }
+
+    #[test]
+    fn cycle_guard_matches_algorithm_one() {
+        let (g, [a, b, c, d]) = diamondish();
+        // adding c → a under P would close a cycle (a ⇝ c exists)
+        assert!(would_create_cycle(&g, c, a, Some("P")));
+        // adding a → d is fine
+        assert!(!would_create_cycle(&g, a, d, Some("P")));
+        // self edge is a cycle
+        assert!(would_create_cycle(&g, b, b, Some("P")));
+    }
+
+    #[test]
+    fn topo_sort_orders_dag() {
+        let (g, [a, b, c, d]) = diamondish();
+        let order = topo_sort(&g, &[a, b, c, d], Some("P")).unwrap();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        assert!(pos[&a] < pos[&b]);
+        assert!(pos[&b] < pos[&c]);
+        assert!(pos[&a] < pos[&c]);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn topo_sort_detects_cycles() {
+        let (mut g, [a, b, c, d]) = diamondish();
+        g.create_edge(c, a, "P", NO_PROPS).unwrap();
+        assert_eq!(
+            topo_sort(&g, &[a, b, c, d], Some("P")),
+            Err(GraphError::CycleDetected)
+        );
+        // Unlabeled view also cyclic via X edge
+        assert!(topo_sort(&g, &[a, b, c], None).is_err());
+    }
+
+    #[test]
+    fn topo_sort_scope_limits_edges() {
+        let (g, [a, b, _c, _]) = diamondish();
+        // With only {a, b} in scope, the b→c edge is ignored.
+        let order = topo_sort(&g, &[a, b], Some("P")).unwrap();
+        assert_eq!(order, vec![a, b]);
+    }
+
+    #[test]
+    fn deterministic_topo_order() {
+        let mut g = PropertyGraph::new();
+        let nodes: Vec<NodeId> = (0..6).map(|_| g.create_node(["n"], NO_PROPS)).collect();
+        // all independent: expect ascending id order
+        let order = topo_sort(&g, &nodes, None).unwrap();
+        assert_eq!(order, nodes);
+    }
+}

@@ -1,0 +1,120 @@
+//! The database catalogue: a set of named tables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{RelError, Result};
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// An in-memory database: a catalogue of named [`Table`]s.
+///
+/// Tables are stored in a `BTreeMap` so iteration (statistics, display) is
+/// deterministic.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a table and returns a mutable handle for loading rows.
+    ///
+    /// # Errors
+    /// [`RelError::DuplicateTable`] if the name is taken.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<&mut Table> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(RelError::DuplicateTable(name));
+        }
+        let table = Table::new(name.clone(), schema);
+        Ok(self.tables.entry(name).or_insert(table))
+    }
+
+    /// Immutable handle to a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
+    }
+
+    /// Mutable handle to a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| RelError::UnknownTable(name.to_owned()))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// All tables in sorted-name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "database [{} tables]", self.tables.len())?;
+        for t in self.tables.values() {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        db.create_table("t", Schema::of(&[("id", DataType::Int)]))
+            .unwrap();
+        assert!(db.has_table("t"));
+        assert!(db.table("t").is_ok());
+        assert!(db.table("u").is_err());
+        assert_eq!(db.table_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut db = Database::new();
+        db.create_table("t", Schema::of(&[("id", DataType::Int)]))
+            .unwrap();
+        assert!(matches!(
+            db.create_table("t", Schema::of(&[("id", DataType::Int)])),
+            Err(RelError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let mut db = Database::new();
+        for name in ["zeta", "alpha", "mid"] {
+            db.create_table(name, Schema::of(&[("id", DataType::Int)]))
+                .unwrap();
+        }
+        let names: Vec<_> = db.table_names().collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Error type shared by every `relstore` operation.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Errors produced by schema manipulation, data loading, predicate parsing
+/// and query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelError {
+    /// A table with this name already exists in the database.
+    DuplicateTable(String),
+    /// The referenced table does not exist.
+    UnknownTable(String),
+    /// The referenced column does not exist (table context in the message).
+    UnknownColumn {
+        /// Table the lookup was scoped to, if any.
+        table: Option<String>,
+        /// The missing column name.
+        column: String,
+    },
+    /// An unqualified column name matched more than one table in the query.
+    AmbiguousColumn(String),
+    /// A row had the wrong number of cells for the table schema.
+    ArityMismatch {
+        /// Number of columns the schema declares.
+        expected: usize,
+        /// Number of cells the row carried.
+        got: usize,
+    },
+    /// A cell value was not assignable to the declared column type.
+    TypeMismatch {
+        /// The offending column.
+        column: String,
+        /// The declared type.
+        expected: DataType,
+        /// A rendering of the offending value.
+        value: String,
+    },
+    /// The predicate text could not be parsed; carries position and reason.
+    Parse {
+        /// Byte offset in the input where the error was detected.
+        at: usize,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// An index was requested on a column that already has one.
+    DuplicateIndex {
+        /// Table holding the index.
+        table: String,
+        /// Indexed column.
+        column: String,
+    },
+    /// A query referenced no tables.
+    EmptyFrom,
+    /// A join condition referenced a table absent from the FROM list.
+    JoinTableNotInFrom(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
+            RelError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            RelError::UnknownColumn { table, column } => match table {
+                Some(t) => write!(f, "unknown column '{t}.{column}'"),
+                None => write!(f, "unknown column '{column}'"),
+            },
+            RelError::AmbiguousColumn(c) => {
+                write!(f, "column '{c}' is ambiguous; qualify it with a table name")
+            }
+            RelError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} cells but the schema declares {expected}")
+            }
+            RelError::TypeMismatch {
+                column,
+                expected,
+                value,
+            } => write!(
+                f,
+                "value {value} is not assignable to column '{column}' of type {expected}"
+            ),
+            RelError::Parse { at, message } => {
+                write!(f, "predicate parse error at byte {at}: {message}")
+            }
+            RelError::DuplicateIndex { table, column } => {
+                write!(f, "index on '{table}.{column}' already exists")
+            }
+            RelError::EmptyFrom => write!(f, "query has an empty FROM list"),
+            RelError::JoinTableNotInFrom(t) => {
+                write!(f, "join condition references table '{t}' not in FROM")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, RelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelError::UnknownColumn {
+            table: Some("dblp".into()),
+            column: "venue".into(),
+        };
+        assert_eq!(e.to_string(), "unknown column 'dblp.venue'");
+        let e = RelError::TypeMismatch {
+            column: "year".into(),
+            expected: DataType::Int,
+            value: "'PVLDB'".into(),
+        };
+        assert!(e.to_string().contains("year"));
+        assert!(e.to_string().contains("INT"));
+    }
+}

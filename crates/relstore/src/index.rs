@@ -1,0 +1,109 @@
+//! Secondary indexes: hash (point lookups) and BTree (point + range).
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use crate::table::RowId;
+use crate::value::Value;
+
+/// Which index structure to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash map from value to row-id postings; O(1) point lookups.
+    Hash,
+    /// Ordered map; point lookups plus inclusive range scans.
+    BTree,
+}
+
+/// A maintained secondary index over one column.
+#[derive(Debug, Clone)]
+pub enum Index {
+    /// See [`IndexKind::Hash`].
+    Hash(HashMap<Value, Vec<RowId>>),
+    /// See [`IndexKind::BTree`].
+    BTree(BTreeMap<Value, Vec<RowId>>),
+}
+
+impl Index {
+    /// Creates an empty index of the requested kind.
+    pub fn new(kind: IndexKind) -> Self {
+        match kind {
+            IndexKind::Hash => Index::Hash(HashMap::new()),
+            IndexKind::BTree => Index::BTree(BTreeMap::new()),
+        }
+    }
+
+    /// Adds a `(value, row)` posting.
+    pub fn insert(&mut self, value: Value, row: RowId) {
+        match self {
+            Index::Hash(m) => m.entry(value).or_default().push(row),
+            Index::BTree(m) => m.entry(value).or_default().push(row),
+        }
+    }
+
+    /// Row ids holding exactly `value` (strict equality; the executor handles
+    /// numeric coercion before consulting the index).
+    pub fn get(&self, value: &Value) -> &[RowId] {
+        match self {
+            Index::Hash(m) => m.get(value).map(Vec::as_slice).unwrap_or(&[]),
+            Index::BTree(m) => m.get(value).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    /// Row ids with values in `[lo, hi]`, ascending by value. Only BTree
+    /// indexes answer ranges; hash indexes return `None`.
+    pub fn range(&self, lo: &Value, hi: &Value) -> Option<Vec<RowId>> {
+        match self {
+            Index::Hash(_) => None,
+            Index::BTree(m) => {
+                let mut out = Vec::new();
+                for (_, rows) in m.range((Bound::Included(lo.clone()), Bound::Included(hi.clone())))
+                {
+                    out.extend_from_slice(rows);
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn key_count(&self) -> usize {
+        match self {
+            Index::Hash(m) => m.len(),
+            Index::BTree(m) => m.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_point_lookup() {
+        let mut ix = Index::new(IndexKind::Hash);
+        ix.insert(Value::str("VLDB"), RowId(0));
+        ix.insert(Value::str("VLDB"), RowId(2));
+        ix.insert(Value::str("PODS"), RowId(1));
+        assert_eq!(ix.get(&Value::str("VLDB")), &[RowId(0), RowId(2)]);
+        assert_eq!(ix.get(&Value::str("SIGMOD")), &[] as &[RowId]);
+        assert_eq!(ix.key_count(), 2);
+        assert!(ix.range(&Value::Int(0), &Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn btree_range_lookup() {
+        let mut ix = Index::new(IndexKind::BTree);
+        for (y, r) in [(2000, 0), (2003, 1), (2005, 2), (2009, 3)] {
+            ix.insert(Value::Int(y), RowId(r));
+        }
+        let hits = ix.range(&Value::Int(2001), &Value::Int(2005)).unwrap();
+        assert_eq!(hits, vec![RowId(1), RowId(2)]);
+        // inclusive on both ends
+        let hits = ix.range(&Value::Int(2000), &Value::Int(2009)).unwrap();
+        assert_eq!(hits.len(), 4);
+        // empty range
+        let hits = ix.range(&Value::Int(2010), &Value::Int(2020)).unwrap();
+        assert!(hits.is_empty());
+    }
+}

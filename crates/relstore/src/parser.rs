@@ -1,0 +1,568 @@
+//! A recursive-descent parser turning predicate text (the form HYPRE stores
+//! in graph nodes, e.g. `dblp.venue='VLDB' AND dblp.year>=2010`) back into a
+//! [`Predicate`] AST.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! predicate := or_expr
+//! or_expr   := and_expr ( OR and_expr )*
+//! and_expr  := unary ( AND unary )*
+//! unary     := NOT unary | primary
+//! primary   := '(' or_expr ')'
+//!            | TRUE | FALSE
+//!            | colref cmp_op literal
+//!            | colref BETWEEN literal AND literal
+//!            | colref [NOT] IN '(' literal ( ',' literal )* ')'
+//! colref    := ident ( '.' ident )?
+//! literal   := integer | float | string | NULL
+//! ```
+//!
+//! `BETWEEN lo AND hi` binds its `AND` to the `BETWEEN`, as in SQL.
+
+use crate::error::{RelError, Result};
+use crate::predicate::{CmpOp, ColRef, Predicate};
+use crate::value::Value;
+
+/// Parses predicate text into a [`Predicate`].
+///
+/// # Errors
+/// Returns [`RelError::Parse`] with a byte position and message on any
+/// lexical or syntactic problem, including trailing input.
+pub fn parse_predicate(input: &str) -> Result<Predicate> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let pred = p.or_expr()?;
+    match p.peek() {
+        None => Ok(pred),
+        Some(t) => Err(err(t.at, format!("unexpected trailing input '{}'", t.kind))),
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Op(CmpOp),
+    LParen,
+    RParen,
+    Comma,
+    And,
+    Or,
+    Not,
+    Between,
+    In,
+    True,
+    False,
+    Null,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Op(o) => write!(f, "{o}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::And => write!(f, "AND"),
+            Tok::Or => write!(f, "OR"),
+            Tok::Not => write!(f, "NOT"),
+            Tok::Between => write!(f, "BETWEEN"),
+            Tok::In => write!(f, "IN"),
+            Tok::True => write!(f, "TRUE"),
+            Tok::False => write!(f, "FALSE"),
+            Tok::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    kind: Tok,
+    at: usize,
+}
+
+fn err(at: usize, message: impl Into<String>) -> RelError {
+    RelError::Parse {
+        at,
+        message: message.into(),
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                toks.push(Spanned { kind: Tok::LParen, at: i });
+                i += 1;
+            }
+            ')' => {
+                toks.push(Spanned { kind: Tok::RParen, at: i });
+                i += 1;
+            }
+            ',' => {
+                toks.push(Spanned { kind: Tok::Comma, at: i });
+                i += 1;
+            }
+            '=' => {
+                toks.push(Spanned { kind: Tok::Op(CmpOp::Eq), at: i });
+                i += 1;
+            }
+            '<' => {
+                let (tok, len) = match bytes.get(i + 1).map(|&b| b as char) {
+                    Some('=') => (Tok::Op(CmpOp::Le), 2),
+                    Some('>') => (Tok::Op(CmpOp::Ne), 2),
+                    _ => (Tok::Op(CmpOp::Lt), 1),
+                };
+                toks.push(Spanned { kind: tok, at: i });
+                i += len;
+            }
+            '>' => {
+                let (tok, len) = match bytes.get(i + 1).map(|&b| b as char) {
+                    Some('=') => (Tok::Op(CmpOp::Ge), 2),
+                    _ => (Tok::Op(CmpOp::Gt), 1),
+                };
+                toks.push(Spanned { kind: tok, at: i });
+                i += len;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned { kind: Tok::Op(CmpOp::Ne), at: i });
+                    i += 2;
+                } else {
+                    return Err(err(i, "unexpected '!' (did you mean '!=')"));
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i).map(|&b| b as char) {
+                        None => return Err(err(start, "unterminated string literal")),
+                        Some(q) if q == quote => {
+                            // doubled quote is an escape: 'O''Hara'
+                            if bytes.get(i + 1).map(|&b| b as char) == Some(quote) {
+                                s.push(quote);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // advance one UTF-8 scalar
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().expect("non-empty");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                toks.push(Spanned { kind: Tok::Str(s), at: start });
+            }
+            '0'..='9' | '-' | '+' => {
+                let start = i;
+                if c == '-' || c == '+' {
+                    i += 1;
+                    if !bytes.get(i).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                        return Err(err(start, "expected digits after sign"));
+                    }
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    // distinguish `1.5` from an identifier dot, digits must follow
+                    if bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                        is_float = true;
+                        i += 1;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'-' || bytes[j] == b'+') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let tok = if is_float {
+                    Tok::Float(
+                        text.parse::<f64>()
+                            .map_err(|e| err(start, format!("bad float literal: {e}")))?,
+                    )
+                } else {
+                    Tok::Int(
+                        text.parse::<i64>()
+                            .map_err(|e| err(start, format!("bad integer literal: {e}")))?,
+                    )
+                };
+                toks.push(Spanned { kind: tok, at: start });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_alphanumeric() || ch == '_' || ch == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let kind = match word.to_ascii_uppercase().as_str() {
+                    "AND" => Tok::And,
+                    "OR" => Tok::Or,
+                    "NOT" => Tok::Not,
+                    "BETWEEN" => Tok::Between,
+                    "IN" => Tok::In,
+                    "TRUE" => Tok::True,
+                    "FALSE" => Tok::False,
+                    "NULL" => Tok::Null,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                toks.push(Spanned { kind, at: start });
+            }
+            other => return Err(err(i, format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self) -> usize {
+        self.peek().map(|t| t.at).unwrap_or(self.input_len)
+    }
+
+    fn eat(&mut self, kind: &Tok) -> bool {
+        if self.peek().map(|t| &t.kind) == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: Tok) -> Result<()> {
+        let at = self.at();
+        match self.next() {
+            Some(t) if t.kind == kind => Ok(()),
+            Some(t) => Err(err(t.at, format!("expected {kind}, found '{}'", t.kind))),
+            None => Err(err(at, format!("expected {kind}, found end of input"))),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Predicate> {
+        let mut acc = self.and_expr()?;
+        while self.eat(&Tok::Or) {
+            acc = acc.or(self.and_expr()?);
+        }
+        Ok(acc)
+    }
+
+    fn and_expr(&mut self) -> Result<Predicate> {
+        let mut acc = self.unary()?;
+        while self.eat(&Tok::And) {
+            acc = acc.and(self.unary()?);
+        }
+        Ok(acc)
+    }
+
+    fn unary(&mut self) -> Result<Predicate> {
+        if self.eat(&Tok::Not) {
+            Ok(self.unary()?.not())
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Predicate> {
+        let at = self.at();
+        match self.next() {
+            Some(Spanned { kind: Tok::LParen, .. }) => {
+                let inner = self.or_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            Some(Spanned { kind: Tok::True, .. }) => Ok(Predicate::True),
+            Some(Spanned { kind: Tok::False, .. }) => Ok(Predicate::False),
+            Some(Spanned { kind: Tok::Ident(name), at }) => {
+                let col = ColRef::parse(&name);
+                self.column_tail(col, at)
+            }
+            Some(t) => Err(err(
+                t.at,
+                format!("expected a column reference or '(', found '{}'", t.kind),
+            )),
+            None => Err(err(at, "expected a predicate, found end of input")),
+        }
+    }
+
+    fn column_tail(&mut self, col: ColRef, col_at: usize) -> Result<Predicate> {
+        let at = self.at();
+        match self.next() {
+            Some(Spanned { kind: Tok::Op(op), .. }) => {
+                let lit = self.literal()?;
+                Ok(Predicate::Cmp(col, op, lit))
+            }
+            Some(Spanned { kind: Tok::Between, .. }) => {
+                let lo = self.literal()?;
+                self.expect(Tok::And)?;
+                let hi = self.literal()?;
+                Ok(Predicate::Between(col, lo, hi))
+            }
+            Some(Spanned { kind: Tok::In, .. }) => self.in_tail(col, false),
+            Some(Spanned { kind: Tok::Not, .. }) => {
+                self.expect(Tok::In)?;
+                self.in_tail(col, true)
+            }
+            Some(t) => Err(err(
+                t.at,
+                format!(
+                    "expected an operator after column '{col}', found '{}'",
+                    t.kind
+                ),
+            )),
+            None => Err(err(
+                at.max(col_at),
+                format!("expected an operator after column '{col}'"),
+            )),
+        }
+    }
+
+    fn in_tail(&mut self, col: ColRef, negated: bool) -> Result<Predicate> {
+        self.expect(Tok::LParen)?;
+        let mut vals = vec![self.literal()?];
+        while self.eat(&Tok::Comma) {
+            vals.push(self.literal()?);
+        }
+        self.expect(Tok::RParen)?;
+        let p = Predicate::InList(col, vals);
+        Ok(if negated { p.not() } else { p })
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        let at = self.at();
+        match self.next() {
+            Some(Spanned { kind: Tok::Int(i), .. }) => Ok(Value::Int(i)),
+            Some(Spanned { kind: Tok::Float(x), .. }) => Ok(Value::Float(x)),
+            Some(Spanned { kind: Tok::Str(s), .. }) => Ok(Value::Str(s)),
+            Some(Spanned { kind: Tok::Null, .. }) => Ok(Value::Null),
+            Some(t) => Err(err(t.at, format!("expected a literal, found '{}'", t.kind))),
+            None => Err(err(at, "expected a literal, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> Predicate {
+        let p = parse_predicate(text).unwrap_or_else(|e| panic!("parse '{text}': {e}"));
+        let printed = p.to_string();
+        let reparsed =
+            parse_predicate(&printed).unwrap_or_else(|e| panic!("reparse '{printed}': {e}"));
+        assert_eq!(p, reparsed, "display/parse round-trip for '{text}'");
+        p
+    }
+
+    #[test]
+    fn parses_simple_comparison() {
+        let p = roundtrip("dblp.venue='VLDB'");
+        assert_eq!(
+            p,
+            Predicate::eq(ColRef::qualified("dblp", "venue"), "VLDB")
+        );
+    }
+
+    #[test]
+    fn parses_all_operators() {
+        for (text, op) in [
+            ("a=1", CmpOp::Eq),
+            ("a<>1", CmpOp::Ne),
+            ("a!=1", CmpOp::Ne),
+            ("a<1", CmpOp::Lt),
+            ("a<=1", CmpOp::Le),
+            ("a>1", CmpOp::Gt),
+            ("a>=1", CmpOp::Ge),
+        ] {
+            let p = parse_predicate(text).unwrap();
+            assert_eq!(p, Predicate::cmp(ColRef::bare("a"), op, 1), "{text}");
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let p = roundtrip("a=1 OR b=2 AND c=3");
+        assert_eq!(
+            p,
+            Predicate::eq(ColRef::bare("a"), 1).or(Predicate::eq(ColRef::bare("b"), 2)
+                .and(Predicate::eq(ColRef::bare("c"), 3)))
+        );
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let p = roundtrip("(a=1 OR b=2) AND c=3");
+        assert_eq!(
+            p,
+            Predicate::eq(ColRef::bare("a"), 1)
+                .or(Predicate::eq(ColRef::bare("b"), 2))
+                .and(Predicate::eq(ColRef::bare("c"), 3))
+        );
+    }
+
+    #[test]
+    fn between_binds_its_and() {
+        let p = roundtrip("year BETWEEN 2000 AND 2005 AND venue='VLDB'");
+        assert_eq!(
+            p,
+            Predicate::between(ColRef::bare("year"), 2000, 2005)
+                .and(Predicate::eq(ColRef::bare("venue"), "VLDB"))
+        );
+    }
+
+    #[test]
+    fn in_list_and_not_in() {
+        let p = roundtrip("make IN ('BMW', 'Honda')");
+        assert_eq!(
+            p,
+            Predicate::in_list(ColRef::bare("make"), ["BMW", "Honda"])
+        );
+        let p = parse_predicate("make NOT IN ('VW')").unwrap();
+        assert_eq!(
+            p,
+            Predicate::in_list(ColRef::bare("make"), ["VW"]).not()
+        );
+    }
+
+    #[test]
+    fn not_and_nested_not() {
+        let p = roundtrip("NOT venue='INFOCOM'");
+        assert_eq!(
+            p,
+            Predicate::eq(ColRef::bare("venue"), "INFOCOM").not()
+        );
+        let p = parse_predicate("NOT NOT a=1").unwrap();
+        assert_eq!(p, Predicate::eq(ColRef::bare("a"), 1));
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(
+            parse_predicate("x=-5").unwrap(),
+            Predicate::eq(ColRef::bare("x"), -5)
+        );
+        assert_eq!(
+            parse_predicate("x=2.5").unwrap(),
+            Predicate::eq(ColRef::bare("x"), 2.5)
+        );
+        assert_eq!(
+            parse_predicate("x=1e3").unwrap(),
+            Predicate::eq(ColRef::bare("x"), 1000.0)
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let p = parse_predicate("name='O''Hara'").unwrap();
+        assert_eq!(p, Predicate::eq(ColRef::bare("name"), "O'Hara"));
+        let p = parse_predicate("name=\"double\"").unwrap();
+        assert_eq!(p, Predicate::eq(ColRef::bare("name"), "double"));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let p = parse_predicate("a=1 and b=2 or not c=3").unwrap();
+        assert_eq!(p.atom_count(), 3);
+    }
+
+    #[test]
+    fn true_false_literals() {
+        assert_eq!(parse_predicate("TRUE").unwrap(), Predicate::True);
+        assert_eq!(parse_predicate("false").unwrap(), Predicate::False);
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_predicate("a=1 AND").unwrap_err();
+        assert!(matches!(e, RelError::Parse { .. }), "{e}");
+        let e = parse_predicate("a = ").unwrap_err();
+        assert!(e.to_string().contains("literal"), "{e}");
+        let e = parse_predicate("a=1 b=2").unwrap_err();
+        assert!(e.to_string().contains("trailing"), "{e}");
+        let e = parse_predicate("'a string is not a predicate'").unwrap_err();
+        assert!(e.to_string().contains("column reference"), "{e}");
+        let e = parse_predicate("name='abc").unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn paper_examples_parse() {
+        // Predicates quoted verbatim in the dissertation.
+        for text in [
+            "year>=2000 AND year<=2005",
+            "venue='INFOCOM'",
+            "dblp.venue='VLDB' AND dblp.year>=2010",
+            "dblp.venue=\"INFOCOM\" OR dblp.venue=\"PODS\"",
+            "(dblp.venue='INFOCOM' OR dblp.venue='PODS') AND (author.aid=128 OR author.aid=116)",
+            "price BETWEEN 7000 AND 16000 AND mileage BETWEEN 20000 AND 50000",
+            "make IN ('BMW', 'Honda')",
+            "dblp_author.aid=2222",
+        ] {
+            parse_predicate(text).unwrap_or_else(|e| panic!("'{text}': {e}"));
+        }
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let p = parse_predicate("name='Šárka 数据'").unwrap();
+        assert_eq!(p, Predicate::eq(ColRef::bare("name"), "Šárka 数据"));
+    }
+}

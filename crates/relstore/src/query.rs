@@ -1,0 +1,695 @@
+//! The query executor: single-table scans and hash-joined multi-table
+//! selects with predicate filters and `COUNT(DISTINCT …)` aggregation.
+//!
+//! The dissertation's workload issues exactly one query shape (§5.3):
+//!
+//! ```sql
+//! SELECT count(distinct dblp.pid)        -- or SELECT *
+//! FROM dblp JOIN dblp_author ON dblp.pid = dblp_author.pid
+//! WHERE <preference predicate combination>
+//! ```
+//!
+//! [`SelectQuery`] executes this shape (and its generalisation to any number
+//! of inner equi-joined tables) with hash joins, and accelerates the driving
+//! table's scan with an index when the filter contains a usable top-level
+//! equality conjunct.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::database::Database;
+use crate::error::{RelError, Result};
+use crate::predicate::{CmpOp, ColRef, ColumnResolver, Predicate};
+use crate::table::{RowId, Table};
+use crate::value::Value;
+
+/// An inner equi-join condition `left = right` between two qualified columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinCond {
+    /// One side of the equality.
+    pub left: ColRef,
+    /// The other side.
+    pub right: ColRef,
+}
+
+impl JoinCond {
+    /// Creates a join condition; both sides must be table-qualified.
+    pub fn on(left: ColRef, right: ColRef) -> Self {
+        JoinCond { left, right }
+    }
+}
+
+/// A select query over one or more inner-joined tables.
+#[derive(Debug, Clone)]
+pub struct SelectQuery {
+    from: Vec<String>,
+    joins: Vec<JoinCond>,
+    filter: Predicate,
+}
+
+impl SelectQuery {
+    /// Starts a query over a single table.
+    pub fn from(table: impl Into<String>) -> Self {
+        SelectQuery {
+            from: vec![table.into()],
+            joins: Vec::new(),
+            filter: Predicate::True,
+        }
+    }
+
+    /// Adds an inner equi-join against another table.
+    pub fn join(mut self, table: impl Into<String>, left: ColRef, right: ColRef) -> Self {
+        self.from.push(table.into());
+        self.joins.push(JoinCond::on(left, right));
+        self
+    }
+
+    /// Sets the `WHERE` predicate (replacing any previous filter).
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.filter = predicate;
+        self
+    }
+
+    /// Conjoins another predicate onto the current filter.
+    pub fn and_filter(mut self, predicate: Predicate) -> Self {
+        self.filter = std::mem::replace(&mut self.filter, Predicate::True).and(predicate);
+        self
+    }
+
+    /// The tables in the FROM list, in join order.
+    pub fn tables(&self) -> &[String] {
+        &self.from
+    }
+
+    /// The current filter predicate.
+    pub fn predicate(&self) -> &Predicate {
+        &self.filter
+    }
+
+    /// Runs the query, materialising all joined rows that pass the filter.
+    pub fn run(&self, db: &Database) -> Result<ResultSet> {
+        let bound = self.bind(db)?;
+        let mut out = ResultSet::new(&bound);
+        self.execute(db, &bound, |joined| {
+            out.rows.push(joined.concat_values());
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// `SELECT COUNT(*)` — the number of joined rows passing the filter.
+    pub fn count(&self, db: &Database) -> Result<u64> {
+        let bound = self.bind(db)?;
+        let mut n = 0u64;
+        self.execute(db, &bound, |_| {
+            n += 1;
+            Ok(())
+        })?;
+        Ok(n)
+    }
+
+    /// `SELECT COUNT(DISTINCT col)` — the workhorse of the dissertation's
+    /// applicable-combination checks.
+    pub fn count_distinct(&self, db: &Database, col: &ColRef) -> Result<u64> {
+        let bound = self.bind(db)?;
+        let target = bound.locate(col)?;
+        let mut seen: HashSet<Value> = HashSet::new();
+        self.execute(db, &bound, |joined| {
+            let v = joined.value_at(target);
+            if !v.is_null() {
+                seen.insert(v.clone());
+            }
+            Ok(())
+        })?;
+        Ok(seen.len() as u64)
+    }
+
+    /// Collects the distinct values of `col` over the filtered join — used
+    /// when the caller needs tuple identities (e.g. coverage sets) rather
+    /// than just counts.
+    pub fn distinct_values(&self, db: &Database, col: &ColRef) -> Result<Vec<Value>> {
+        let bound = self.bind(db)?;
+        let target = bound.locate(col)?;
+        let mut seen: HashSet<Value> = HashSet::new();
+        let mut out = Vec::new();
+        self.execute(db, &bound, |joined| {
+            let v = joined.value_at(target);
+            if !v.is_null() && seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // binding & execution internals
+    // ------------------------------------------------------------------
+
+    fn bind<'db>(&self, db: &'db Database) -> Result<BoundQuery<'db>> {
+        if self.from.is_empty() {
+            return Err(RelError::EmptyFrom);
+        }
+        let mut tables = Vec::with_capacity(self.from.len());
+        for name in &self.from {
+            tables.push(db.table(name)?);
+        }
+        for j in &self.joins {
+            for side in [&j.left, &j.right] {
+                let t = side
+                    .table
+                    .as_deref()
+                    .ok_or_else(|| RelError::AmbiguousColumn(side.column.clone()))?;
+                if !self.from.iter().any(|f| f == t) {
+                    return Err(RelError::JoinTableNotInFrom(t.to_owned()));
+                }
+            }
+        }
+        Ok(BoundQuery {
+            names: self.from.clone(),
+            tables,
+        })
+    }
+
+    /// Drives the join pipeline, invoking `sink` for every joined row that
+    /// passes the filter.
+    fn execute<'db>(
+        &self,
+        _db: &Database,
+        bound: &BoundQuery<'db>,
+        mut sink: impl FnMut(&JoinedRow<'_, 'db>) -> Result<()>,
+    ) -> Result<()> {
+        // Validate the filter's column references once, up front, so that a
+        // typo'd predicate is an error rather than silently matching nothing.
+        for attr in self.filter.attributes() {
+            bound.locate(&attr)?;
+        }
+
+        // Seed: candidate rows of the driving table, via index if possible.
+        let driver = bound.tables[0];
+        let seed: Vec<RowId> = match self.index_seed(driver, &bound.names[0]) {
+            Some(ids) => ids,
+            None => driver.scan().map(|(id, _)| id).collect(),
+        };
+
+        // Build hash tables for each joined table keyed on its join column.
+        // joins[k] connects from[k+1] with some earlier table.
+        let mut built: Vec<JoinBuild<'db>> = Vec::with_capacity(self.joins.len());
+        for (k, cond) in self.joins.iter().enumerate() {
+            let new_name = &bound.names[k + 1];
+            let (new_side, old_side) = if cond.left.table.as_deref() == Some(new_name.as_str()) {
+                (&cond.left, &cond.right)
+            } else if cond.right.table.as_deref() == Some(new_name.as_str()) {
+                (&cond.right, &cond.left)
+            } else {
+                return Err(RelError::JoinTableNotInFrom(new_name.clone()));
+            };
+            let new_table = bound.tables[k + 1];
+            let key_idx = new_table
+                .schema()
+                .require(Some(new_name), &new_side.column)?;
+            let probe = bound.locate(old_side)?;
+            if probe.table_idx > k {
+                // The "old" side must already be bound when this join runs.
+                return Err(RelError::JoinTableNotInFrom(
+                    old_side.table.clone().unwrap_or_default(),
+                ));
+            }
+            let mut hash: HashMap<&'db Value, Vec<RowId>> =
+                HashMap::with_capacity(new_table.len());
+            for (id, row) in new_table.scan() {
+                let key = &row[key_idx];
+                if !key.is_null() {
+                    hash.entry(key).or_default().push(id);
+                }
+            }
+            built.push(JoinBuild {
+                table: new_table,
+                hash,
+                probe,
+            });
+        }
+
+        // Depth-first pipeline over the join chain.
+        let mut rows: Vec<&'db [Value]> = Vec::with_capacity(bound.tables.len());
+        for id in seed {
+            let row = driver.row(id).expect("seed row ids are valid");
+            rows.push(row);
+            self.join_level(bound, &built, 0, &mut rows, &mut sink)?;
+            rows.pop();
+        }
+        Ok(())
+    }
+
+    fn join_level<'a, 'db>(
+        &self,
+        bound: &BoundQuery<'db>,
+        built: &'a [JoinBuild<'db>],
+        level: usize,
+        rows: &mut Vec<&'db [Value]>,
+        sink: &mut impl FnMut(&JoinedRow<'_, 'db>) -> Result<()>,
+    ) -> Result<()> {
+        if level == built.len() {
+            let joined = JoinedRow { bound, rows };
+            if self.filter.eval(&joined)? {
+                let joined = JoinedRow { bound, rows };
+                sink(&joined)?;
+            }
+            return Ok(());
+        }
+        let jb = &built[level];
+        let probe_val = rows[jb.probe.table_idx][jb.probe.col_idx].clone();
+        if probe_val.is_null() {
+            return Ok(()); // inner join drops null keys
+        }
+        if let Some(matches) = jb.hash.get(&probe_val) {
+            for &id in matches {
+                let row = jb.table.row(id).expect("hash row ids are valid");
+                rows.push(row);
+                self.join_level(bound, built, level + 1, rows, sink)?;
+                rows.pop();
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks for a usable top-level conjunct (`col = v` or `col IN (…)` on
+    /// an indexed column of the driving table) and returns the candidate
+    /// row ids it implies. The conjunct is still re-checked by the filter,
+    /// so this is purely an access-path optimisation.
+    fn index_seed(&self, table: &Table, table_name: &str) -> Option<Vec<RowId>> {
+        for conjunct in self.filter.conjuncts() {
+            match conjunct {
+                Predicate::Cmp(col, CmpOp::Eq, v) if refers_to(col, table_name, table) => {
+                    if table.has_index(&col.column) {
+                        return table.index_lookup(&col.column, v).map(<[RowId]>::to_vec);
+                    }
+                }
+                Predicate::Between(col, lo, hi) if refers_to(col, table_name, table) => {
+                    if let Some(ids) = table.index_range(&col.column, lo, hi) {
+                        return Some(ids);
+                    }
+                }
+                Predicate::InList(col, vals) if refers_to(col, table_name, table) => {
+                    if table.has_index(&col.column) {
+                        let mut out = Vec::new();
+                        for v in vals {
+                            if let Some(ids) = table.index_lookup(&col.column, v) {
+                                out.extend_from_slice(ids);
+                            }
+                        }
+                        out.sort_unstable();
+                        out.dedup();
+                        return Some(out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+fn refers_to(col: &ColRef, table_name: &str, table: &Table) -> bool {
+    match &col.table {
+        Some(t) => t == table_name,
+        None => table.schema().contains(&col.column),
+    }
+}
+
+/// A located column: which FROM-table and which column position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Located {
+    table_idx: usize,
+    col_idx: usize,
+}
+
+struct JoinBuild<'db> {
+    table: &'db Table,
+    hash: HashMap<&'db Value, Vec<RowId>>,
+    probe: Located,
+}
+
+/// The FROM list resolved against the database.
+struct BoundQuery<'db> {
+    names: Vec<String>,
+    tables: Vec<&'db Table>,
+}
+
+impl<'db> BoundQuery<'db> {
+    /// Resolves a (possibly unqualified) column reference to a location,
+    /// erroring on unknown or ambiguous names.
+    fn locate(&self, col: &ColRef) -> Result<Located> {
+        match &col.table {
+            Some(t) => {
+                let table_idx = self
+                    .names
+                    .iter()
+                    .position(|n| n == t)
+                    .ok_or_else(|| RelError::UnknownTable(t.clone()))?;
+                let col_idx = self.tables[table_idx]
+                    .schema()
+                    .require(Some(t), &col.column)?;
+                Ok(Located { table_idx, col_idx })
+            }
+            None => {
+                let mut found: Option<Located> = None;
+                for (ti, table) in self.tables.iter().enumerate() {
+                    if let Some(ci) = table.schema().index_of(&col.column) {
+                        if found.is_some() {
+                            return Err(RelError::AmbiguousColumn(col.column.clone()));
+                        }
+                        found = Some(Located {
+                            table_idx: ti,
+                            col_idx: ci,
+                        });
+                    }
+                }
+                found.ok_or_else(|| RelError::UnknownColumn {
+                    table: None,
+                    column: col.column.clone(),
+                })
+            }
+        }
+    }
+}
+
+/// One joined row during execution; resolves predicate column references.
+struct JoinedRow<'a, 'db> {
+    bound: &'a BoundQuery<'db>,
+    rows: &'a [&'db [Value]],
+}
+
+impl<'a, 'db> JoinedRow<'a, 'db> {
+    fn value_at(&self, loc: Located) -> &'db Value {
+        &self.rows[loc.table_idx][loc.col_idx]
+    }
+
+    fn concat_values(&self) -> Vec<Value> {
+        let total: usize = self.rows.iter().map(|r| r.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for r in self.rows {
+            out.extend_from_slice(r);
+        }
+        out
+    }
+}
+
+impl ColumnResolver for JoinedRow<'_, '_> {
+    fn resolve(&self, col: &ColRef) -> Result<&Value> {
+        let loc = self.bound.locate(col)?;
+        Ok(&self.rows[loc.table_idx][loc.col_idx])
+    }
+}
+
+/// Materialised query output: qualified column names plus row values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Qualified output column names, `table.column`, in FROM order.
+    pub columns: Vec<String>,
+    /// Row values, one `Vec<Value>` per joined row, aligned with `columns`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    fn new(bound: &BoundQuery<'_>) -> Self {
+        let mut columns = Vec::new();
+        for (name, table) in bound.names.iter().zip(&bound.tables) {
+            for c in table.schema().columns() {
+                columns.push(format!("{name}.{}", c.name()));
+            }
+        }
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows returned.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a qualified output column.
+    pub fn column_index(&self, qualified: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == qualified)
+    }
+
+    /// The values of one output column across all rows.
+    pub fn column_values(&self, qualified: &str) -> Option<Vec<&Value>> {
+        let i = self.column_index(qualified)?;
+        Some(self.rows.iter().map(|r| &r[i]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::parser::parse_predicate;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    /// A miniature DBLP: 6 papers, 4 authors, a paper-author link table.
+    fn mini_dblp() -> Database {
+        let mut db = Database::new();
+        let dblp = db
+            .create_table(
+                "dblp",
+                Schema::of(&[
+                    ("pid", DataType::Int),
+                    ("title", DataType::Str),
+                    ("year", DataType::Int),
+                    ("venue", DataType::Str),
+                ]),
+            )
+            .unwrap();
+        for (pid, title, year, venue) in [
+            (1, "Materialized Views", 2000, "VLDB"),
+            (2, "Composite Subset Measures", 2006, "VLDB"),
+            (3, "Keymantic", 2010, "PVLDB"),
+            (4, "Proximity Rank Join", 2010, "PVLDB"),
+            (5, "Relational Joins on GPUs", 2008, "SIGMOD"),
+            (6, "Weak Privacy for RFID", 2010, "INFOCOM"),
+        ] {
+            dblp.insert(vec![pid.into(), title.into(), year.into(), venue.into()])
+                .unwrap();
+        }
+        let authors = db
+            .create_table(
+                "dblp_author",
+                Schema::of(&[("pid", DataType::Int), ("aid", DataType::Int)]),
+            )
+            .unwrap();
+        for (pid, aid) in [(1, 100), (1, 101), (2, 100), (3, 102), (4, 102), (4, 103), (5, 103)] {
+            authors.insert(vec![pid.into(), aid.into()]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn single_table_filter() {
+        let db = mini_dblp();
+        let q = SelectQuery::from("dblp")
+            .filter(parse_predicate("dblp.venue='PVLDB'").unwrap());
+        let rs = q.run(&db).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(q.count(&db).unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_filter_returns_all() {
+        let db = mini_dblp();
+        assert_eq!(SelectQuery::from("dblp").count(&db).unwrap(), 6);
+    }
+
+    #[test]
+    fn join_count_distinct_matches_paper_query_shape() {
+        let db = mini_dblp();
+        // SELECT count(distinct dblp.pid) FROM dblp JOIN dblp_author ...
+        // WHERE dblp.venue='VLDB' AND dblp_author.aid=100
+        let q = SelectQuery::from("dblp")
+            .join(
+                "dblp_author",
+                ColRef::parse("dblp.pid"),
+                ColRef::parse("dblp_author.pid"),
+            )
+            .filter(parse_predicate("dblp.venue='VLDB' AND dblp_author.aid=100").unwrap());
+        assert_eq!(
+            q.count_distinct(&db, &ColRef::parse("dblp.pid")).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn join_distinct_deduplicates_multi_author_papers() {
+        let db = mini_dblp();
+        // Paper 4 has two authors; the raw join yields two rows but the
+        // distinct pid count must be 1.
+        let q = SelectQuery::from("dblp")
+            .join(
+                "dblp_author",
+                ColRef::parse("dblp.pid"),
+                ColRef::parse("dblp_author.pid"),
+            )
+            .filter(parse_predicate("dblp.pid=4").unwrap());
+        assert_eq!(q.count(&db).unwrap(), 2);
+        assert_eq!(
+            q.count_distinct(&db, &ColRef::parse("dblp.pid")).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn or_across_attributes() {
+        let db = mini_dblp();
+        let q = SelectQuery::from("dblp")
+            .filter(parse_predicate("dblp.venue='INFOCOM' OR dblp.year=2006").unwrap());
+        assert_eq!(q.count(&db).unwrap(), 2);
+    }
+
+    #[test]
+    fn contradictory_and_returns_zero() {
+        let db = mini_dblp();
+        let q = SelectQuery::from("dblp")
+            .filter(parse_predicate("dblp.venue='VLDB' AND dblp.venue='SIGMOD'").unwrap());
+        assert_eq!(q.count(&db).unwrap(), 0);
+    }
+
+    #[test]
+    fn index_seed_agrees_with_full_scan() {
+        let mut db = mini_dblp();
+        let q = SelectQuery::from("dblp")
+            .filter(parse_predicate("dblp.venue='PVLDB' AND dblp.year=2010").unwrap());
+        let before = q.count(&db).unwrap();
+        db.table_mut("dblp")
+            .unwrap()
+            .create_index("venue", IndexKind::Hash)
+            .unwrap();
+        assert_eq!(q.count(&db).unwrap(), before);
+    }
+
+    #[test]
+    fn btree_seed_for_between() {
+        let mut db = mini_dblp();
+        db.table_mut("dblp")
+            .unwrap()
+            .create_index("year", IndexKind::BTree)
+            .unwrap();
+        let q = SelectQuery::from("dblp")
+            .filter(parse_predicate("dblp.year BETWEEN 2006 AND 2010").unwrap());
+        assert_eq!(q.count(&db).unwrap(), 5);
+    }
+
+    #[test]
+    fn in_list_seed() {
+        let mut db = mini_dblp();
+        db.table_mut("dblp")
+            .unwrap()
+            .create_index("venue", IndexKind::Hash)
+            .unwrap();
+        let q = SelectQuery::from("dblp")
+            .filter(parse_predicate("dblp.venue IN ('VLDB','SIGMOD')").unwrap());
+        assert_eq!(q.count(&db).unwrap(), 3);
+    }
+
+    #[test]
+    fn unqualified_columns_resolve_when_unique() {
+        let db = mini_dblp();
+        let q = SelectQuery::from("dblp").filter(parse_predicate("venue='VLDB'").unwrap());
+        assert_eq!(q.count(&db).unwrap(), 2);
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_is_an_error() {
+        let db = mini_dblp();
+        // `pid` exists in both dblp and dblp_author.
+        let q = SelectQuery::from("dblp")
+            .join(
+                "dblp_author",
+                ColRef::parse("dblp.pid"),
+                ColRef::parse("dblp_author.pid"),
+            )
+            .filter(parse_predicate("pid=1").unwrap());
+        assert!(matches!(
+            q.count(&db),
+            Err(RelError::AmbiguousColumn(c)) if c == "pid"
+        ));
+    }
+
+    #[test]
+    fn unknown_filter_column_is_an_error() {
+        let db = mini_dblp();
+        let q = SelectQuery::from("dblp").filter(parse_predicate("dblp.nope=1").unwrap());
+        assert!(q.count(&db).is_err());
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let db = mini_dblp();
+        assert!(SelectQuery::from("missing").count(&db).is_err());
+    }
+
+    #[test]
+    fn distinct_values_returns_identities() {
+        let db = mini_dblp();
+        let q = SelectQuery::from("dblp")
+            .filter(parse_predicate("dblp.venue='PVLDB'").unwrap());
+        let vals = q.distinct_values(&db, &ColRef::parse("dblp.pid")).unwrap();
+        assert_eq!(vals.len(), 2);
+        assert!(vals.contains(&Value::Int(3)));
+        assert!(vals.contains(&Value::Int(4)));
+    }
+
+    #[test]
+    fn result_set_columns_are_qualified() {
+        let db = mini_dblp();
+        let rs = SelectQuery::from("dblp")
+            .join(
+                "dblp_author",
+                ColRef::parse("dblp.pid"),
+                ColRef::parse("dblp_author.pid"),
+            )
+            .run(&db)
+            .unwrap();
+        assert!(rs.columns.contains(&"dblp.title".to_owned()));
+        assert!(rs.columns.contains(&"dblp_author.aid".to_owned()));
+        let idx = rs.column_index("dblp.pid").unwrap();
+        assert_eq!(idx, 0);
+        assert!(rs.column_values("dblp.venue").is_some());
+    }
+
+    #[test]
+    fn three_way_join() {
+        let mut db = mini_dblp();
+        let names = db
+            .create_table(
+                "author",
+                Schema::of(&[("aid", DataType::Int), ("name", DataType::Str)]),
+            )
+            .unwrap();
+        for (aid, name) in [(100, "Ada"), (101, "Bob"), (102, "Cy"), (103, "Dee")] {
+            names.insert(vec![aid.into(), name.into()]).unwrap();
+        }
+        let q = SelectQuery::from("dblp")
+            .join(
+                "dblp_author",
+                ColRef::parse("dblp.pid"),
+                ColRef::parse("dblp_author.pid"),
+            )
+            .join(
+                "author",
+                ColRef::parse("dblp_author.aid"),
+                ColRef::parse("author.aid"),
+            )
+            .filter(parse_predicate("author.name='Cy'").unwrap());
+        assert_eq!(
+            q.count_distinct(&db, &ColRef::parse("dblp.pid")).unwrap(),
+            2
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Relation schemas: ordered, named, typed columns.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{RelError, Result};
+use crate::value::DataType;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    name: String,
+    dtype: DataType,
+}
+
+impl Column {
+    /// Creates a column definition.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// The column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared type.
+    pub fn data_type(&self) -> DataType {
+        self.dtype
+    }
+}
+
+/// An ordered list of columns with by-name lookup.
+///
+/// Column names are case-sensitive and must be unique within a schema; the
+/// constructor panics on duplicates because a duplicated column name is a
+/// programming error, not a data error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics if two columns share a name.
+    pub fn new(columns: Vec<Column>) -> Self {
+        let mut by_name = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            if by_name.insert(c.name.clone(), i).is_some() {
+                panic!("duplicate column name '{}' in schema", c.name);
+            }
+        }
+        Schema { columns, by_name }
+    }
+
+    /// Convenience constructor from `(&str, DataType)` pairs.
+    pub fn of(cols: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            cols.iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Positional index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Positional index of a column, or an [`RelError::UnknownColumn`] error.
+    pub fn require(&self, table: Option<&str>, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| RelError::UnknownColumn {
+            table: table.map(str::to_owned),
+            column: name.to_owned(),
+        })
+    }
+
+    /// Whether the schema contains a column with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// The column definition at position `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::of(&[
+            ("pid", DataType::Int),
+            ("title", DataType::Str),
+            ("year", DataType::Int),
+        ]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("title"), Some(1));
+        assert_eq!(s.index_of("venue"), None);
+        assert!(s.contains("pid"));
+        assert_eq!(s.column(2).name(), "year");
+    }
+
+    #[test]
+    fn require_reports_table_context() {
+        let s = Schema::of(&[("pid", DataType::Int)]);
+        let err = s.require(Some("dblp"), "venue").unwrap_err();
+        assert_eq!(
+            err,
+            RelError::UnknownColumn {
+                table: Some("dblp".into()),
+                column: "venue".into()
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        let _ = Schema::of(&[("a", DataType::Int), ("a", DataType::Str)]);
+    }
+
+    #[test]
+    fn display_formats_ddl_style() {
+        let s = Schema::of(&[("pid", DataType::Int), ("title", DataType::Str)]);
+        assert_eq!(s.to_string(), "(pid INT, title TEXT)");
+    }
+}

@@ -1,0 +1,306 @@
+//! Heap-resident tables: a schema plus a row store with maintained indexes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{RelError, Result};
+use crate::index::{Index, IndexKind};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Identifies a row within one table. Row ids are dense, stable and never
+/// reused (the engine is append-only, which is all the HYPRE workload needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub usize);
+
+/// A single relation: schema, rows and any secondary indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+    /// Secondary indexes keyed by column position.
+    indexes: HashMap<usize, Index>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Validates and appends a row, maintaining all indexes.
+    ///
+    /// Integer values are widened into `FLOAT` columns; any other type
+    /// mismatch is rejected.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<RowId> {
+        if row.len() != self.schema.arity() {
+            return Err(RelError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        let mut coerced = Vec::with_capacity(row.len());
+        for (i, v) in row.into_iter().enumerate() {
+            let col = self.schema.column(i);
+            if !v.is_assignable_to(col.data_type()) {
+                return Err(RelError::TypeMismatch {
+                    column: col.name().to_owned(),
+                    expected: col.data_type(),
+                    value: v.to_literal().into_owned(),
+                });
+            }
+            coerced.push(v.coerce_to(col.data_type()));
+        }
+        let id = RowId(self.rows.len());
+        for (&col_idx, index) in &mut self.indexes {
+            index.insert(coerced[col_idx].clone(), id);
+        }
+        self.rows.push(coerced);
+        Ok(id)
+    }
+
+    /// Inserts many rows; stops at (and returns) the first error.
+    pub fn insert_many<I>(&mut self, rows: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut n = 0;
+        for row in rows {
+            self.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// The row with the given id.
+    pub fn row(&self, id: RowId) -> Option<&[Value]> {
+        self.rows.get(id.0).map(Vec::as_slice)
+    }
+
+    /// The cell at `(row, column name)`.
+    pub fn cell(&self, id: RowId, column: &str) -> Option<&Value> {
+        let ci = self.schema.index_of(column)?;
+        self.row(id).map(|r| &r[ci])
+    }
+
+    /// Iterates over `(RowId, row)` pairs.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RowId(i), r.as_slice()))
+    }
+
+    /// Creates a secondary index on `column`.
+    ///
+    /// # Errors
+    /// `UnknownColumn` if the column does not exist, `DuplicateIndex` if one
+    /// is already present.
+    pub fn create_index(&mut self, column: &str, kind: IndexKind) -> Result<()> {
+        let ci = self.schema.require(Some(&self.name), column)?;
+        if self.indexes.contains_key(&ci) {
+            return Err(RelError::DuplicateIndex {
+                table: self.name.clone(),
+                column: column.to_owned(),
+            });
+        }
+        let mut index = Index::new(kind);
+        for (id, row) in self.rows.iter().enumerate() {
+            index.insert(row[ci].clone(), RowId(id));
+        }
+        self.indexes.insert(ci, index);
+        Ok(())
+    }
+
+    /// Whether `column` has a secondary index.
+    pub fn has_index(&self, column: &str) -> bool {
+        self.schema
+            .index_of(column)
+            .is_some_and(|ci| self.indexes.contains_key(&ci))
+    }
+
+    /// Point lookup through the index on `column`, if one exists.
+    pub fn index_lookup(&self, column: &str, value: &Value) -> Option<&[RowId]> {
+        let ci = self.schema.index_of(column)?;
+        self.indexes.get(&ci).map(|ix| ix.get(value))
+    }
+
+    /// Range lookup `[lo, hi]` through a BTree index on `column`, if one
+    /// exists (hash indexes return `None`).
+    pub fn index_range(&self, column: &str, lo: &Value, hi: &Value) -> Option<Vec<RowId>> {
+        let ci = self.schema.index_of(column)?;
+        self.indexes.get(&ci)?.range(lo, hi)
+    }
+
+    /// Distinct values present in `column` (scans; used for statistics).
+    pub fn distinct_count(&self, column: &str) -> Result<usize> {
+        let ci = self.schema.require(Some(&self.name), column)?;
+        let mut seen = std::collections::HashSet::with_capacity(self.rows.len());
+        for row in &self.rows {
+            seen.insert(&row[ci]);
+        }
+        Ok(seen.len())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} [{} rows]", self.name, self.schema, self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn movie_table() -> Table {
+        let mut t = Table::new(
+            "movie",
+            Schema::of(&[
+                ("mid", DataType::Str),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("genre", DataType::Str),
+            ]),
+        );
+        for (mid, title, year, genre) in [
+            ("m1", "Casablanca", 1942, "drama"),
+            ("m2", "Psycho", 1960, "horror"),
+            ("m3", "Schindler's List", 1993, "drama"),
+            ("m4", "White Christmas", 1954, "comedy"),
+            ("m5", "The Adventures of Tintin", 2011, "comedy"),
+            ("m6", "The Girl on the Train", 2013, "thriller"),
+        ] {
+            t.insert(vec![mid.into(), title.into(), year.into(), genre.into()])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn insert_scan_roundtrip() {
+        let t = movie_table();
+        assert_eq!(t.len(), 6);
+        let titles: Vec<_> = t
+            .scan()
+            .map(|(_, r)| r[1].as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(titles[0], "Casablanca");
+        assert_eq!(t.cell(RowId(4), "genre"), Some(&Value::str("comedy")));
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let mut t = movie_table();
+        let err = t.insert(vec!["m7".into()]).unwrap_err();
+        assert!(matches!(err, RelError::ArityMismatch { expected: 4, got: 1 }));
+        let err = t
+            .insert(vec!["m7".into(), "T".into(), "not-a-year".into(), "g".into()])
+            .unwrap_err();
+        assert!(matches!(err, RelError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut t = Table::new(
+            "scores",
+            Schema::of(&[("id", DataType::Int), ("score", DataType::Float)]),
+        );
+        t.insert(vec![1.into(), Value::Int(3)]).unwrap();
+        assert_eq!(t.cell(RowId(0), "score"), Some(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn null_allowed_in_any_column() {
+        let mut t = movie_table();
+        t.insert(vec!["m7".into(), Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        assert_eq!(t.cell(RowId(6), "title"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn hash_index_lookup_matches_scan() {
+        let mut t = movie_table();
+        t.create_index("genre", IndexKind::Hash).unwrap();
+        assert!(t.has_index("genre"));
+        let hits = t.index_lookup("genre", &Value::str("comedy")).unwrap();
+        assert_eq!(hits, &[RowId(3), RowId(4)]);
+        assert!(t
+            .index_lookup("genre", &Value::str("opera"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn index_stays_fresh_after_inserts() {
+        let mut t = movie_table();
+        t.create_index("genre", IndexKind::Hash).unwrap();
+        t.insert(vec!["m7".into(), "New".into(), 2014.into(), "comedy".into()])
+            .unwrap();
+        let hits = t.index_lookup("genre", &Value::str("comedy")).unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn btree_index_supports_range() {
+        let mut t = movie_table();
+        t.create_index("year", IndexKind::BTree).unwrap();
+        let hits = t
+            .index_range("year", &Value::Int(1950), &Value::Int(1995))
+            .unwrap();
+        // ascending by year: 1954 (m4), 1960 (m2), 1993 (m3)
+        assert_eq!(hits, vec![RowId(3), RowId(1), RowId(2)]);
+    }
+
+    #[test]
+    fn hash_index_has_no_range() {
+        let mut t = movie_table();
+        t.create_index("year", IndexKind::Hash).unwrap();
+        assert!(t
+            .index_range("year", &Value::Int(1950), &Value::Int(1995))
+            .is_none());
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut t = movie_table();
+        t.create_index("genre", IndexKind::Hash).unwrap();
+        let err = t.create_index("genre", IndexKind::BTree).unwrap_err();
+        assert!(matches!(err, RelError::DuplicateIndex { .. }));
+    }
+
+    #[test]
+    fn distinct_count() {
+        let t = movie_table();
+        assert_eq!(t.distinct_count("genre").unwrap(), 4);
+        assert_eq!(t.distinct_count("mid").unwrap(), 6);
+        assert!(t.distinct_count("nope").is_err());
+    }
+}

@@ -1,0 +1,383 @@
+//! Typed scalar values stored in relation cells and used in predicate literals.
+//!
+//! `relstore` supports three concrete types — 64-bit integers, 64-bit floats
+//! and UTF-8 strings — plus SQL-style `NULL`. The HYPRE workload (DBLP
+//! relations, preference predicates) only needs these. Values implement a
+//! *total* order and a hash consistent with equality so they can serve as
+//! hash-join and `COUNT(DISTINCT …)` keys.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The declared type of a column. `NULL` is permitted in any column and has
+/// no `DataType` of its own, matching SQL semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A dynamically typed scalar cell value.
+///
+/// Equality is *strict* (an `Int(1)` is not equal to a `Float(1.0)`); the
+/// comparison operators used during predicate evaluation perform numeric
+/// coercion separately (see [`Value::compare`]). This keeps `Eq`/`Hash`
+/// consistent so values can be used as `HashMap` keys.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL; compares less than every non-null value in the total order,
+    /// but never matches a comparison predicate (three-valued logic collapses
+    /// `UNKNOWN` to `false`).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. `NaN` is tolerated and ordered via `f64::total_cmp`.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// A convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Returns the concrete type of the value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// Whether this value is SQL `NULL`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this value can be stored in a column of type `dtype`.
+    ///
+    /// `Null` is storable anywhere; an `Int` may be stored in a `Float`
+    /// column (it is widened on insert by [`Value::coerce_to`]).
+    pub fn is_assignable_to(&self, dtype: DataType) -> bool {
+        match (self, dtype) {
+            (Value::Null, _) => true,
+            (Value::Int(_), DataType::Int) | (Value::Int(_), DataType::Float) => true,
+            (Value::Float(_), DataType::Float) => true,
+            (Value::Str(_), DataType::Str) => true,
+            _ => false,
+        }
+    }
+
+    /// Widens the value to the given column type where lossless (`Int` →
+    /// `Float`); returns the value unchanged otherwise.
+    pub fn coerce_to(self, dtype: DataType) -> Value {
+        match (self, dtype) {
+            (Value::Int(i), DataType::Float) => Value::Float(i as f64),
+            (v, _) => v,
+        }
+    }
+
+    /// Numeric view of the value, coercing `Int` to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of the value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// SQL-style comparison used by predicate evaluation.
+    ///
+    /// Returns `None` when either side is `NULL` (three-valued logic:
+    /// comparisons against `NULL` are unknown) or when the operands are of
+    /// incomparable types (e.g. a string against a number). Numeric operands
+    /// of mixed `Int`/`Float` type are compared as `f64`.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Some(x.total_cmp(&y)),
+                _ => None,
+            },
+        }
+    }
+
+    /// SQL-style equality used by predicate evaluation: numeric coercion
+    /// applies, `NULL` never equals anything (including `NULL`).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+
+    /// Renders the value as a predicate literal (strings single-quoted with
+    /// embedded quotes doubled, SQL style).
+    pub fn to_literal(&self) -> Cow<'static, str> {
+        match self {
+            Value::Null => Cow::Borrowed("NULL"),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Float(f) => {
+                // Keep a trailing ".0" so the literal round-trips as a float.
+                if f.fract() == 0.0 && f.is_finite() {
+                    Cow::Owned(format!("{f:.1}"))
+                } else {
+                    Cow::Owned(f.to_string())
+                }
+            }
+            Value::Str(s) => Cow::Owned(format!("'{}'", s.replace('\'', "''"))),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        core::mem::discriminant(self).hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Total order for sorting and BTree indexes: `Null` sorts first, then
+/// numbers (Int/Float interleaved by numeric value, `Int` before an equal
+/// `Float` for determinism), then strings.
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match rank(self).cmp(&rank(other)) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => {
+                let (x, y) = (a.as_f64().unwrap_or(0.0), b.as_f64().unwrap_or(0.0));
+                x.total_cmp(&y).then_with(|| {
+                    // Int sorts before Float of equal numeric value.
+                    let tag = |v: &Value| matches!(v, Value::Float(_)) as u8;
+                    tag(a).cmp(&tag(b))
+                })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn strict_equality_separates_int_and_float() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(Value::Int(1), Value::Int(1));
+        assert_eq!(Value::Float(1.5), Value::Float(1.5));
+    }
+
+    #[test]
+    fn sql_comparison_coerces_numerics() {
+        assert!(Value::Int(1).sql_eq(&Value::Float(1.0)));
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(1.5)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Float(0.5).compare(&Value::Int(1)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).compare(&Value::Null), None);
+        assert!(!Value::Null.sql_eq(&Value::Null));
+    }
+
+    #[test]
+    fn string_number_comparison_is_unknown() {
+        assert_eq!(Value::str("a").compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn hash_is_consistent_with_eq() {
+        let a = Value::str("VLDB");
+        let b = Value::str("VLDB");
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn total_order_ranks_null_numbers_strings() {
+        let mut vals = vec![
+            Value::str("a"),
+            Value::Int(5),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Int(-3),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Int(-3),
+                Value::Float(2.5),
+                Value::Int(5),
+                Value::str("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn int_sorts_before_equal_float() {
+        let mut vals = vec![Value::Float(3.0), Value::Int(3)];
+        vals.sort();
+        assert_eq!(vals, vec![Value::Int(3), Value::Float(3.0)]);
+    }
+
+    #[test]
+    fn literals_round_trip_quoting() {
+        assert_eq!(Value::str("O'Hara").to_literal(), "'O''Hara'");
+        assert_eq!(Value::Int(42).to_literal(), "42");
+        assert_eq!(Value::Float(2.0).to_literal(), "2.0");
+        assert_eq!(Value::Null.to_literal(), "NULL");
+    }
+
+    #[test]
+    fn assignability_and_coercion() {
+        assert!(Value::Int(1).is_assignable_to(DataType::Float));
+        assert!(!Value::Str("x".into()).is_assignable_to(DataType::Int));
+        assert!(Value::Null.is_assignable_to(DataType::Str));
+        assert_eq!(Value::Int(2).coerce_to(DataType::Float), Value::Float(2.0));
+        assert_eq!(Value::str("s").coerce_to(DataType::Float), Value::str("s"));
+    }
+
+    #[test]
+    fn nan_is_ordered_and_hashable() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert_eq!(hash_of(&nan), hash_of(&nan.clone()));
+        // total_cmp puts NaN above +inf
+        assert_eq!(nan.cmp(&Value::Float(f64::INFINITY)), Ordering::Greater);
+    }
+}

@@ -1,0 +1,112 @@
+//! Graded lists: the access structure Fagin-style Top-K algorithms run on.
+//!
+//! The dissertation's TA baseline (§7.6.1) materialises, per attribute, a
+//! list of `(object, grade)` pairs sorted by descending grade, supporting
+//! both *sorted access* (next best object) and *random access* (grade of a
+//! given object). Objects absent from a list implicitly grade `0`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A per-attribute graded list with sorted and random access.
+///
+/// `T` is the object identity (the DBLP workload uses paper ids).
+#[derive(Debug, Clone)]
+pub struct GradedList<T> {
+    sorted: Vec<(T, f64)>,
+    random: HashMap<T, f64>,
+}
+
+impl<T: Clone + Eq + Hash + Ord> GradedList<T> {
+    /// Builds a list from `(object, grade)` pairs, sorting by descending
+    /// grade (ties by ascending object for determinism). Grades must be
+    /// finite; duplicate objects keep their maximum grade.
+    pub fn new(pairs: impl IntoIterator<Item = (T, f64)>) -> Self {
+        let mut random: HashMap<T, f64> = HashMap::new();
+        for (t, g) in pairs {
+            assert!(g.is_finite(), "grades must be finite");
+            random
+                .entry(t)
+                .and_modify(|old| *old = old.max(g))
+                .or_insert(g);
+        }
+        let mut sorted: Vec<(T, f64)> = random.iter().map(|(t, g)| (t.clone(), *g)).collect();
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        GradedList { sorted, random }
+    }
+
+    /// Number of graded objects.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Sorted access: the `i`-th best `(object, grade)` pair.
+    pub fn sorted_access(&self, i: usize) -> Option<(&T, f64)> {
+        self.sorted.get(i).map(|(t, g)| (t, *g))
+    }
+
+    /// Random access: the grade of `object`, `0.0` when ungraded (the
+    /// convention the dissertation's list construction uses).
+    pub fn grade(&self, object: &T) -> f64 {
+        self.random.get(object).copied().unwrap_or(0.0)
+    }
+
+    /// Whether the object appears explicitly in this list.
+    pub fn contains(&self, object: &T) -> bool {
+        self.random.contains_key(object)
+    }
+
+    /// Iterates the list in descending-grade order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, f64)> {
+        self.sorted.iter().map(|(t, g)| (t, *g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_access_descends() {
+        let l = GradedList::new([(1u64, 0.3), (2, 0.9), (3, 0.6)]);
+        assert_eq!(l.sorted_access(0), Some((&2, 0.9)));
+        assert_eq!(l.sorted_access(1), Some((&3, 0.6)));
+        assert_eq!(l.sorted_access(2), Some((&1, 0.3)));
+        assert_eq!(l.sorted_access(3), None);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn random_access_defaults_to_zero() {
+        let l = GradedList::new([(1u64, 0.3)]);
+        assert_eq!(l.grade(&1), 0.3);
+        assert_eq!(l.grade(&42), 0.0);
+        assert!(l.contains(&1));
+        assert!(!l.contains(&42));
+    }
+
+    #[test]
+    fn duplicates_keep_max_grade() {
+        let l = GradedList::new([(1u64, 0.3), (1, 0.7), (1, 0.5)]);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.grade(&1), 0.7);
+    }
+
+    #[test]
+    fn ties_break_by_object_for_determinism() {
+        let l = GradedList::new([(5u64, 0.5), (2, 0.5), (9, 0.5)]);
+        let order: Vec<u64> = l.iter().map(|(t, _)| *t).collect();
+        assert_eq!(order, vec![2, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_grades() {
+        let _ = GradedList::new([(1u64, f64::NAN)]);
+    }
+}

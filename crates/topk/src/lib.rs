@@ -1,0 +1,32 @@
+//! # hypre-topk — Top-K baselines for the HYPRE reproduction
+//!
+//! The dissertation evaluates PEPS against **Fagin's Threshold Algorithm
+//! (TA)** (§7.6.1, Definitions 19–20). This crate implements TA over
+//! graded lists with sorted and random access, plus the no-random-access
+//! variant **NRA** as a documented extension.
+//!
+//! The crate is dependency-free and generic over the object type; the
+//! workload glue (building one graded list per attribute from preference
+//! matches, `f∧`-aggregating author grades per paper) lives with the
+//! experiment harness.
+//!
+//! ```
+//! use hypre_topk::{GradedList, threshold_algorithm};
+//!
+//! let venue = GradedList::new([(1u64, 0.9), (2, 0.6)]);
+//! let author = GradedList::new([(1u64, 0.5), (2, 0.7)]);
+//! let f_and = |g: &[f64]| 1.0 - g.iter().map(|x| 1.0 - x).product::<f64>();
+//! let top = threshold_algorithm(&[venue, author], 1, f_and);
+//! assert_eq!(top[0].0, 1); // f∧(0.9, 0.5) = 0.95 beats f∧(0.6, 0.7) = 0.88
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graded;
+pub mod nra;
+pub mod ta;
+
+pub use graded::GradedList;
+pub use nra::nra;
+pub use ta::{threshold_algorithm, Ranked};

@@ -1,0 +1,157 @@
+//! The No-Random-Access (NRA) algorithm — the sorted-access-only sibling
+//! of TA, included as a documented extension of the baseline suite.
+//!
+//! NRA never random-accesses a list. It maintains, per object seen so
+//! far, the grades known from sorted access; an object's *lower bound*
+//! aggregates known grades with `0` for unseen lists, and its *upper
+//! bound* aggregates with each unseen list's current frontier grade.
+//! The algorithm halts when `k` objects have lower bounds no smaller
+//! than every other object's upper bound (including the "virtual" unseen
+//! object whose upper bound is the aggregate of all frontiers).
+//!
+//! NRA returns the correct Top-K *set*; reported grades are lower bounds
+//! and may be refined less than TA's exact grades when the algorithm
+//! halts early.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::graded::GradedList;
+use crate::ta::Ranked;
+
+/// Runs NRA over the lists with a monotone aggregation function.
+/// Returns up to `k` objects in descending lower-bound grade.
+///
+/// # Panics
+/// Panics if `lists` is empty.
+pub fn nra<T, F>(lists: &[GradedList<T>], k: usize, agg: F) -> Vec<Ranked<T>>
+where
+    T: Clone + Eq + Hash + Ord,
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!lists.is_empty(), "NRA needs at least one graded list");
+    if k == 0 {
+        return Vec::new();
+    }
+    let m = lists.len();
+    // known[t][i] = grade of t in list i if seen under sorted access
+    let mut known: HashMap<T, Vec<Option<f64>>> = HashMap::new();
+    let mut frontier: Vec<f64> = lists
+        .iter()
+        .map(|l| l.sorted_access(0).map(|(_, g)| g).unwrap_or(0.0))
+        .collect();
+    let max_depth = lists.iter().map(GradedList::len).max().unwrap_or(0);
+
+    for depth in 0..max_depth {
+        for (i, list) in lists.iter().enumerate() {
+            if let Some((object, grade)) = list.sorted_access(depth) {
+                known
+                    .entry(object.clone())
+                    .or_insert_with(|| vec![None; m])[i] = Some(grade);
+                frontier[i] = grade;
+            } else {
+                frontier[i] = 0.0;
+            }
+        }
+
+        // Bounds for every seen object.
+        let mut bounded: Vec<(T, f64, f64)> = known
+            .iter()
+            .map(|(t, grades)| {
+                let lower: Vec<f64> = grades.iter().map(|g| g.unwrap_or(0.0)).collect();
+                let upper: Vec<f64> = grades
+                    .iter()
+                    .enumerate()
+                    .map(|(i, g)| g.unwrap_or(frontier[i]))
+                    .collect();
+                (t.clone(), agg(&lower), agg(&upper))
+            })
+            .collect();
+        bounded.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        if bounded.len() >= k {
+            let kth_lower = bounded[k - 1].1;
+            // Upper bound of any unseen object: all grades at the frontier.
+            let unseen_upper = agg(&frontier);
+            let rest_max_upper = bounded[k..]
+                .iter()
+                .map(|(_, _, u)| *u)
+                .fold(unseen_upper, f64::max);
+            if kth_lower >= rest_max_upper {
+                return bounded
+                    .into_iter()
+                    .take(k)
+                    .map(|(t, l, _)| (t, l))
+                    .collect();
+            }
+        }
+    }
+
+    // Lists exhausted: lower bounds are now exact.
+    let mut out: Vec<Ranked<T>> = known
+        .into_iter()
+        .map(|(t, grades)| {
+            let lower: Vec<f64> = grades.iter().map(|g| g.unwrap_or(0.0)).collect();
+            (t, agg(&lower))
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ta::threshold_algorithm;
+    use std::collections::HashSet;
+
+    fn f_and_all(grades: &[f64]) -> f64 {
+        1.0 - grades.iter().map(|g| 1.0 - g).product::<f64>()
+    }
+
+    fn lists() -> Vec<GradedList<u64>> {
+        let a = GradedList::new([(1u64, 0.9), (2, 0.6), (3, 0.4), (4, 0.2), (5, 0.8)]);
+        let b = GradedList::new([(1u64, 0.5), (2, 0.7), (3, 0.1), (4, 0.9), (6, 0.3)]);
+        vec![a, b]
+    }
+
+    #[test]
+    fn top_k_set_matches_ta() {
+        let lists = lists();
+        for k in 1..=6 {
+            let ta: HashSet<u64> = threshold_algorithm(&lists, k, f_and_all)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+            let nra_set: HashSet<u64> = nra(&lists, k, f_and_all)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+            assert_eq!(ta, nra_set, "k={k}");
+        }
+    }
+
+    #[test]
+    fn exhausted_run_reports_exact_grades() {
+        let lists = lists();
+        // k = all objects forces full exhaustion → grades exact
+        let got = nra(&lists, 6, f_and_all);
+        for (t, g) in &got {
+            let exact = f_and_all(&[lists[0].grade(t), lists[1].grade(t)]);
+            assert!((g - exact).abs() < 1e-12, "object {t}");
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(nra(&lists(), 0, f_and_all).is_empty());
+    }
+
+    #[test]
+    fn single_list_degenerates_to_head() {
+        let l = GradedList::new([(1u64, 0.9), (2, 0.5), (3, 0.7)]);
+        let got = nra(&[l], 2, |g| g[0]);
+        assert_eq!(got, vec![(1, 0.9), (3, 0.7)]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Fagin's Threshold Algorithm (TA) — the Top-K baseline of §7.6.1
+//! (Definition 20 of the dissertation).
+//!
+//! TA performs sorted access in parallel to all `m` graded lists. For each
+//! object seen, it random-accesses the other lists, computes the aggregate
+//! grade `t(x₁, …, x_m)` and keeps the best `k`. After each depth `d` it
+//! computes the threshold `τ = t(x̄₁, …, x̄_m)` from the last grades seen
+//! under sorted access and halts as soon as `k` objects grade at least
+//! `τ` — no object below the current frontier can beat them when `t` is
+//! monotone.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::graded::GradedList;
+
+/// A ranked result: object plus aggregate grade.
+pub type Ranked<T> = (T, f64);
+
+/// Runs TA over the lists with a monotone aggregation function `agg`
+/// (the dissertation instantiates `agg = f∧`). Returns up to `k` objects
+/// in descending aggregate grade (ties by ascending object).
+///
+/// `agg` receives one grade per list, in list order; it must be monotone
+/// in each argument for the threshold stop to be correct.
+///
+/// # Panics
+/// Panics if `lists` is empty — aggregation over zero attributes is
+/// meaningless.
+pub fn threshold_algorithm<T, F>(lists: &[GradedList<T>], k: usize, agg: F) -> Vec<Ranked<T>>
+where
+    T: Clone + Eq + Hash + Ord,
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!lists.is_empty(), "TA needs at least one graded list");
+    if k == 0 {
+        return Vec::new();
+    }
+
+    let mut seen: HashSet<T> = HashSet::new();
+    let mut top: Vec<Ranked<T>> = Vec::new(); // kept sorted desc, ≤ k entries
+    let mut grades_buf = vec![0.0f64; lists.len()];
+    let max_depth = lists.iter().map(GradedList::len).max().unwrap_or(0);
+
+    for depth in 0..max_depth {
+        // Step 1: sorted access in parallel; random access for each new
+        // object; remember the k best.
+        for list in lists {
+            let Some((object, _)) = list.sorted_access(depth) else {
+                continue;
+            };
+            if !seen.insert(object.clone()) {
+                continue;
+            }
+            for (slot, l) in grades_buf.iter_mut().zip(lists) {
+                *slot = l.grade(object);
+            }
+            let grade = agg(&grades_buf);
+            insert_top(&mut top, (object.clone(), grade), k);
+        }
+
+        // Step 2: threshold from the frontier grades at this depth.
+        // Exhausted lists contribute grade 0 (they have no further
+        // objects, and absent grades are 0 by convention).
+        for (slot, l) in grades_buf.iter_mut().zip(lists) {
+            *slot = l.sorted_access(depth).map(|(_, g)| g).unwrap_or(0.0);
+        }
+        let threshold = agg(&grades_buf);
+
+        // Step 3: halt once k objects grade at least τ.
+        if top.len() >= k && top[k - 1].1 >= threshold {
+            break;
+        }
+    }
+    top
+}
+
+fn insert_top<T: Clone + Eq + Ord>(top: &mut Vec<Ranked<T>>, entry: Ranked<T>, k: usize) {
+    let pos = top
+        .binary_search_by(|probe| {
+            entry
+                .1
+                .total_cmp(&probe.1)
+                .then_with(|| probe.0.cmp(&entry.0))
+        })
+        .unwrap_or_else(|p| p);
+    top.insert(pos, entry);
+    top.truncate(k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The dissertation's aggregate: f∧ folded over the grades.
+    fn f_and_all(grades: &[f64]) -> f64 {
+        1.0 - grades.iter().map(|g| 1.0 - g).product::<f64>()
+    }
+
+    fn min_agg(grades: &[f64]) -> f64 {
+        grades.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Exhaustive reference ranking.
+    fn brute_force<T: Clone + Eq + Hash + Ord>(
+        lists: &[GradedList<T>],
+        k: usize,
+        agg: impl Fn(&[f64]) -> f64,
+    ) -> Vec<Ranked<T>> {
+        let mut all: HashSet<T> = HashSet::new();
+        for l in lists {
+            all.extend(l.iter().map(|(t, _)| t.clone()));
+        }
+        let mut ranked: Vec<Ranked<T>> = all
+            .into_iter()
+            .map(|t| {
+                let grades: Vec<f64> = lists.iter().map(|l| l.grade(&t)).collect();
+                let g = agg(&grades);
+                (t, g)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    fn venue_author_lists() -> Vec<GradedList<u64>> {
+        // venue grades and author grades for six papers; papers 5 and 6
+        // appear in only one list each.
+        let venue = GradedList::new([(1u64, 0.9), (2, 0.6), (3, 0.4), (4, 0.2), (5, 0.8)]);
+        let author = GradedList::new([(1u64, 0.5), (2, 0.7), (3, 0.1), (4, 0.9), (6, 0.3)]);
+        vec![venue, author]
+    }
+
+    #[test]
+    fn matches_brute_force_with_f_and() {
+        let lists = venue_author_lists();
+        for k in 1..=6 {
+            let got = threshold_algorithm(&lists, k, f_and_all);
+            let want = brute_force(&lists, k, f_and_all);
+            assert_eq!(got.len(), want.len(), "k={k}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.0, w.0, "k={k}");
+                assert!((g.1 - w.1).abs() < 1e-12, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_min() {
+        let lists = venue_author_lists();
+        let got = threshold_algorithm(&lists, 3, min_agg);
+        let want = brute_force(&lists, 3, min_agg);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_list_is_just_the_list_head() {
+        let l = GradedList::new([(1u64, 0.9), (2, 0.5), (3, 0.7)]);
+        let got = threshold_algorithm(&[l], 2, |g| g[0]);
+        assert_eq!(got, vec![(1, 0.9), (3, 0.7)]);
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let lists = venue_author_lists();
+        assert!(threshold_algorithm(&lists, 0, f_and_all).is_empty());
+        let all = threshold_algorithm(&lists, 100, f_and_all);
+        assert_eq!(all.len(), 6, "six distinct objects across the lists");
+    }
+
+    #[test]
+    fn objects_in_one_list_get_zero_for_missing_grades() {
+        let lists = venue_author_lists();
+        let all = threshold_algorithm(&lists, 6, f_and_all);
+        let p5 = all.iter().find(|(t, _)| *t == 5).unwrap();
+        assert!((p5.1 - f_and_all(&[0.8, 0.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halts_before_full_scan_when_possible() {
+        // One dominant object: TA should stop at depth 1 or 2, which we
+        // can't observe directly, but the result must still be exact.
+        let venue = GradedList::new((0..100u64).map(|i| (i, 1.0 - i as f64 / 100.0)));
+        let author = GradedList::new((0..100u64).map(|i| (i, 1.0 - i as f64 / 100.0)));
+        let got = threshold_algorithm(&[venue, author], 1, f_and_all);
+        assert_eq!(got[0].0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_lists_panic() {
+        let lists: Vec<GradedList<u64>> = Vec::new();
+        let _ = threshold_algorithm(&lists, 1, f_and_all);
+    }
+}

@@ -1,0 +1,105 @@
+//! A qualitative-heavy profile: conflicting opinions, cycles, equal
+//! preference, and a negative preference — exercising the HYPRE graph's
+//! conflict machinery (§6.2.3) end to end.
+//!
+//! ```text
+//! cargo run --example movie_night
+//! ```
+
+use hypre_repro::prelude::*;
+use hypre_repro::relstore::parse_predicate;
+
+fn main() -> Result<()> {
+    let me = UserId(42);
+    let mut graph = HypreGraph::new();
+
+    // A couple of scored opinions.
+    graph.add_quantitative(&QuantitativePref::new(
+        me,
+        parse_predicate("movie.genre='comedy'")?,
+        Intensity::new(0.8)?,
+    ));
+    graph.add_quantitative(&QuantitativePref::new(
+        me,
+        parse_predicate("movie.genre='horror'")?,
+        Intensity::new(-0.6)?, // a negative preference: easy here,
+                               // impossible in a purely qualitative model
+    ));
+
+    // Comparative opinions. Each inserts an edge; endpoints without scores
+    // get them computed via Eq. 4.1/4.2.
+    let outcomes = [
+        // comedies over dramas, strongly
+        graph.add_qualitative(&QualitativePref::new(
+            me,
+            parse_predicate("movie.genre='comedy'")?,
+            parse_predicate("movie.genre='drama'")?,
+            QualIntensity::new(0.7)?,
+        )?)?,
+        // dramas over thrillers, mildly
+        graph.add_qualitative(&QualitativePref::new(
+            me,
+            parse_predicate("movie.genre='drama'")?,
+            parse_predicate("movie.genre='thriller'")?,
+            QualIntensity::new(0.2)?,
+        )?)?,
+        // thrillers and sci-fi equally preferred (strength 0)
+        graph.add_qualitative(&QualitativePref::new(
+            me,
+            parse_predicate("movie.genre='thriller'")?,
+            parse_predicate("movie.genre='scifi'")?,
+            QualIntensity::ZERO,
+        )?)?,
+        // ... and a contradictory afterthought: thrillers over comedies?!
+        // This closes a cycle and is stored as an inert CYCLE edge.
+        graph.add_qualitative(&QualitativePref::new(
+            me,
+            parse_predicate("movie.genre='thriller'")?,
+            parse_predicate("movie.genre='comedy'")?,
+            QualIntensity::new(0.4)?,
+        )?)?,
+    ];
+
+    for (i, out) in outcomes.iter().enumerate() {
+        println!(
+            "qualitative preference {}: stored as {:?} edge{}",
+            i + 1,
+            out.kind,
+            if out.recomputed.is_empty() {
+                String::new()
+            } else {
+                format!(" ({} intensity value(s) computed)", out.recomputed.len())
+            }
+        );
+    }
+    graph.check_invariants().expect("PREFERS subgraph stays a DAG");
+
+    println!("\nfinal profile (note: every genre now has a usable score):");
+    for pref in graph.profile(me) {
+        println!(
+            "  {:<26} {:+.3}  [{}]",
+            pref.predicate.to_string(),
+            pref.intensity.unwrap_or(f64::NAN),
+            match pref.provenance {
+                Some(Provenance::UserProvided) => "user",
+                Some(Provenance::SystemComputed) => "computed",
+                Some(Provenance::DefaultSeed) => "default seed",
+                None => "unscored",
+            }
+        );
+    }
+
+    let counts = graph.edge_kind_counts(me);
+    println!(
+        "\nedges: {} PREFERS, {} CYCLE, {} DISCARD",
+        counts.get(&EdgeKind::Prefers).unwrap_or(&0),
+        counts.get(&EdgeKind::Cycle).unwrap_or(&0),
+        counts.get(&EdgeKind::Discard).unwrap_or(&0),
+    );
+    let (user_given, total_scored) = graph.quantitative_counts(me);
+    println!(
+        "coverage growth: {user_given} user-scored predicates grew to {total_scored} \
+         (the Figs. 26–27 effect)"
+    );
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Quickstart: store both kinds of preferences for a user, let HYPRE unify
+//! them, and rank a table by combined intensity.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hypre_repro::prelude::*;
+use hypre_repro::relstore::{parse_predicate, ColRef, Database, DataType, Schema};
+
+fn main() -> Result<()> {
+    // 1. A small movie relation (the dissertation's Table 3).
+    let mut db = Database::new();
+    let movies = db
+        .create_table(
+            "movie",
+            Schema::of(&[
+                ("mid", DataType::Int),
+                ("title", DataType::Str),
+                ("year", DataType::Int),
+                ("genre", DataType::Str),
+            ]),
+        )
+        .expect("fresh database");
+    for (mid, title, year, genre) in [
+        (1, "Casablanca", 1942, "drama"),
+        (2, "Psycho", 1960, "horror"),
+        (3, "Schindler's List", 1993, "drama"),
+        (4, "White Christmas", 1954, "comedy"),
+        (5, "The Adventures of Tintin", 2011, "comedy"),
+        (6, "The Girl on the Train", 2013, "thriller"),
+    ] {
+        movies
+            .insert(vec![mid.into(), title.into(), year.into(), genre.into()])
+            .expect("row matches schema");
+    }
+
+    // 2. A user profile mixing quantitative and qualitative preferences.
+    let me = UserId(1);
+    let mut graph = HypreGraph::new();
+
+    // "I like comedies very much" — quantitative, score 0.9.
+    graph.add_quantitative(&QuantitativePref::new(
+        me,
+        parse_predicate("movie.genre='comedy'")?,
+        Intensity::new(0.9)?,
+    ));
+    // "I like dramas a bit" — quantitative, score 0.4.
+    graph.add_quantitative(&QuantitativePref::new(
+        me,
+        parse_predicate("movie.genre='drama'")?,
+        Intensity::new(0.4)?,
+    ));
+    // "I prefer recent movies over dramas" — qualitative, strength 0.5.
+    // HYPRE converts this into a quantitative preference for the new
+    // predicate via Eq. 4.1: the graph gains a scored node.
+    graph.add_qualitative(&QualitativePref::new(
+        me,
+        parse_predicate("movie.year>=2000")?,
+        parse_predicate("movie.genre='drama'")?,
+        QualIntensity::new(0.5)?,
+    )?)?;
+    graph.check_invariants().expect("model invariants hold");
+
+    println!("profile for {me} (intensity-descending):");
+    for pref in graph.profile(me) {
+        println!(
+            "  {:<24} intensity {:+.3}",
+            pref.predicate.to_string(),
+            pref.intensity.unwrap_or(f64::NAN)
+        );
+    }
+
+    // 3. Enhance the base query and rank tuples by combined intensity.
+    let base = BaseQuery::single("movie", ColRef::parse("movie.mid"));
+    let enhanced = enhance_query(&base, &graph, me);
+    println!("\nenhanced WHERE clause:\n  {}", enhanced.query.predicate());
+
+    let exec = Executor::new(&db, base);
+    let atoms = graph.positive_profile(me);
+    println!("\nranked movies (f∧-combined intensity):");
+    for (mid, score) in score_tuples(&exec, &atoms)? {
+        let title = db
+            .table("movie")
+            .unwrap()
+            .scan()
+            .find(|(_, row)| row[0].sql_eq(&mid))
+            .map(|(_, row)| row[1].to_string())
+            .unwrap_or_default();
+        println!("  {score:.3}  {title}");
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! The attribute-based preference extension (§1.4/§8.2): "I want the
+//! cheapest hotel that is close to the beach" as a skyline query, plus the
+//! prioritised refinement "price is more important than distance".
+//!
+//! ```text
+//! cargo run --example skyline_hotels
+//! ```
+
+use hypre_repro::prelude::*;
+use hypre_repro::relstore::{ColRef, Database, DataType, Schema};
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+    let hotels = db
+        .create_table(
+            "hotels",
+            Schema::of(&[
+                ("id", DataType::Int),
+                ("name", DataType::Str),
+                ("price", DataType::Int),
+                ("distance", DataType::Int),
+            ]),
+        )
+        .expect("fresh database");
+    let rows: &[(i64, &str, i64, i64)] = &[
+        (1, "Budget Inn", 45, 1200),
+        (2, "Seaside Grand", 220, 50),
+        (3, "Promenade", 110, 180),
+        (4, "Old Harbour", 80, 420),
+        (5, "Backstreet Stay", 95, 800),  // dominated by Old Harbour
+        (6, "Dune Lodge", 150, 90),
+        (7, "City Central", 60, 1500),   // dominated by Budget Inn
+    ];
+    for &(id, name, price, distance) in rows {
+        hotels
+            .insert(vec![id.into(), name.into(), price.into(), distance.into()])
+            .expect("row matches schema");
+    }
+
+    // ⟨price, min⟩ and ⟨distance, min⟩ — two attribute-based preferences.
+    let prefs = vec![
+        AttributePref::min(ColRef::parse("price")),
+        AttributePref::min(ColRef::parse("distance")),
+    ];
+
+    let sky = skyline(&db, "hotels", &prefs)?;
+    println!("skyline (no hotel is cheaper AND closer):");
+    for rid in &sky {
+        let (_, row) = db
+            .table("hotels")
+            .unwrap()
+            .scan()
+            .nth(*rid)
+            .expect("skyline rows exist");
+        println!("  {:<16} ${:<4} {}m from the beach", row[1], row[2], row[3]);
+    }
+    assert!(!sky.contains(&4), "Backstreet Stay is dominated");
+    assert!(!sky.contains(&6), "City Central is dominated");
+
+    // A qualitative order over the attributes ranks the skyline.
+    println!("\nprice more important than distance:");
+    for rid in prioritized_skyline(&db, "hotels", &prefs)? {
+        let (_, row) = db.table("hotels").unwrap().scan().nth(rid).unwrap();
+        println!("  {:<16} ${}", row[1], row[2]);
+    }
+
+    let flipped = vec![
+        AttributePref::min(ColRef::parse("distance")),
+        AttributePref::min(ColRef::parse("price")),
+    ];
+    println!("\ndistance more important than price:");
+    for rid in prioritized_skyline(&db, "hotels", &flipped)? {
+        let (_, row) = db.table("hotels").unwrap().scan().nth(rid).unwrap();
+        println!("  {:<16} {}m", row[1], row[3]);
+    }
+    Ok(())
+}

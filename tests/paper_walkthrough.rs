@@ -1,0 +1,195 @@
+//! Replays the dissertation's worked examples number-for-number through
+//! the public API: the §3.3 graph construction (Figures 4–8), the §4.6
+//! uid=2 enhancement, and the §4.6.1 dealership scoring (Table 9).
+
+use hypre_repro::prelude::*;
+use hypre_repro::relstore::{parse_predicate, ColRef, Database, DataType, Schema, Value};
+
+fn qt(uid: u64, pred: &str, v: f64) -> QuantitativePref {
+    QuantitativePref::new(
+        UserId(uid),
+        parse_predicate(pred).unwrap(),
+        Intensity::new(v).unwrap(),
+    )
+}
+
+fn ql(uid: u64, left: &str, right: &str, v: f64) -> QualitativePref {
+    QualitativePref::new(
+        UserId(uid),
+        parse_predicate(left).unwrap(),
+        parse_predicate(right).unwrap(),
+        QualIntensity::new(v).unwrap(),
+    )
+    .unwrap()
+}
+
+/// §3.3: the full Figure 4→8 walkthrough.
+#[test]
+fn section_3_3_graph_construction() {
+    let user = UserId(1);
+    let mut g = HypreGraph::new();
+
+    // Fig. 4–5: quantitative preferences P1–P4.
+    g.add_quantitative(&qt(1, "year>=2000 AND year<=2005", 0.3));
+    g.add_quantitative(&qt(1, "year>=2005 AND year<=2009", 0.5));
+    let p3 = g.add_quantitative(&qt(1, "year>=2009", 0.8));
+    g.add_quantitative(&qt(1, "venue='INFOCOM'", -1.0));
+    assert_eq!(g.node_count(), 4);
+    assert_eq!(g.edge_count(), 0);
+
+    // Fig. 6: relative preference P5 ≻ P6 @ 0.8, both nodes new.
+    let out = g
+        .add_qualitative(&ql(
+            1,
+            "venue='VLDB' AND year>=2010",
+            "venue='VLDB' AND year<2010",
+            0.8,
+        ))
+        .unwrap();
+    assert_eq!(out.kind, EdgeKind::Prefers);
+    assert_eq!(g.node_count(), 6);
+    let (right_v, _) = g.node_intensity(out.right).unwrap();
+    let (left_v, _) = g.node_intensity(out.left).unwrap();
+    assert_eq!(right_v, 0.5, "default seed");
+    assert!((left_v - 0.5 * 2f64.powf(0.8)).abs() < 1e-12, "Eq. 4.1");
+
+    // Fig. 7: set preference P7 (venue='VLDB') ≻ P3 @ 0.2 — P3 reused.
+    let out = g
+        .add_qualitative(&ql(1, "venue='VLDB'", "year>=2009", 0.2))
+        .unwrap();
+    assert_eq!(out.right, p3, "existing node reused, not duplicated");
+    assert_eq!(g.node_count(), 7);
+    let (p7_v, prov) = g.node_intensity(out.left).unwrap();
+    assert!((p7_v - 0.8 * 2f64.powf(0.2)).abs() < 1e-12);
+    assert_eq!(prov, Provenance::SystemComputed);
+
+    // Fig. 8: different levels of intensity — P7 ≻ P8 @ 0.3 with P8
+    // having its own quantitative score 0.8.
+    g.add_quantitative(&qt(1, "venue='SIGMOD'", 0.8));
+    let out = g
+        .add_qualitative(&ql(1, "venue='VLDB'", "venue='SIGMOD'", 0.3))
+        .unwrap();
+    assert_eq!(out.kind, EdgeKind::Prefers);
+    assert_eq!(g.node_count(), 8);
+    assert!(out.recomputed.is_empty(), "0.919 ≥ 0.8: compatible");
+    g.check_invariants().unwrap();
+
+    // The resulting profile gives the negative preference last.
+    let profile = g.profile(user);
+    assert_eq!(profile.len(), 8);
+    assert_eq!(profile.last().unwrap().intensity, Some(-1.0));
+}
+
+/// §4.6: the uid=2 profile of Table 7 rewrites the base query into the
+/// exact mixed clause printed in the dissertation.
+#[test]
+fn section_4_6_enhancement_produces_the_papers_where_clause() {
+    let user = UserId(2);
+    let mut g = HypreGraph::new();
+    g.add_quantitative(&qt(2, "dblp.venue='INFOCOM'", 0.23));
+    g.add_quantitative(&qt(2, "dblp.venue='PODS'", 0.14));
+    g.add_quantitative(&qt(2, "dblp_author.aid=128", 0.19));
+    g.add_quantitative(&qt(2, "dblp_author.aid=116", 0.14));
+
+    let base = BaseQuery::dblp();
+    let enhanced = enhance_query(&base, &g, user);
+    assert_eq!(
+        enhanced.query.predicate().to_string(),
+        "(dblp.venue='INFOCOM' OR dblp.venue='PODS') AND \
+         (dblp_author.aid=128 OR dblp_author.aid=116)"
+    );
+}
+
+/// §4.6.1 / Table 9: dealership tuple scores 0.92 / 0.90 / 0.60 and the
+/// t1 ≻ t2 ≻ t3 ranking Preference SQL cannot produce.
+#[test]
+fn section_4_6_1_dealership_scores_match_table9() {
+    let mut db = Database::new();
+    let cars = db
+        .create_table(
+            "cars",
+            Schema::of(&[
+                ("id", DataType::Int),
+                ("price", DataType::Int),
+                ("mileage", DataType::Int),
+                ("make", DataType::Str),
+            ]),
+        )
+        .unwrap();
+    for (id, price, mileage, make) in [
+        (1, 7_000, 43_489, "Honda"),
+        (2, 16_000, 35_334, "VW"),
+        (3, 20_000, 49_119, "Honda"),
+    ] {
+        cars.insert(vec![id.into(), price.into(), mileage.into(), make.into()])
+            .unwrap();
+    }
+    let atoms = vec![
+        PrefAtom::new(
+            0,
+            parse_predicate("cars.price BETWEEN 7000 AND 16000").unwrap(),
+            0.8,
+        ),
+        PrefAtom::new(
+            1,
+            parse_predicate("cars.mileage BETWEEN 20000 AND 50000").unwrap(),
+            0.5,
+        ),
+        PrefAtom::new(2, parse_predicate("cars.make IN ('BMW','Honda')").unwrap(), 0.2),
+    ];
+    let exec = Executor::new(&db, BaseQuery::single("cars", ColRef::parse("cars.id")));
+    let ranked = score_tuples(&exec, &atoms).unwrap();
+    let expected = [(1i64, 0.92), (2, 0.9), (3, 0.6)];
+    for ((tuple, score), (eid, escore)) in ranked.iter().zip(expected.iter()) {
+        assert_eq!(tuple, &Value::Int(*eid));
+        assert!((score - escore).abs() < 1e-12, "t{eid}: {score}");
+    }
+}
+
+/// §2.1 / Tables 3–4: quantitative scores create a total order over the
+/// scored movies while m6 stays outside it (no score).
+#[test]
+fn section_2_1_movie_scores_order() {
+    let user = UserId(9);
+    let mut g = HypreGraph::new();
+    for (mid, score) in [(1, 0.3), (2, 0.9), (3, 0.0), (4, 0.3), (5, 0.6)] {
+        g.add_quantitative(&qt(9, &format!("movie.mid={mid}"), score));
+    }
+    let profile = g.profile(user);
+    let scores: Vec<f64> = profile.iter().filter_map(|p| p.intensity).collect();
+    assert_eq!(scores, vec![0.9, 0.6, 0.3, 0.3, 0.0]);
+    // m2 ≻ m5 ≻ {m1, m4 equally preferred} ≻ m3 (indifference)
+    assert!(profile[0].predicate.to_string().contains("mid=2"));
+    assert!(profile[1].predicate.to_string().contains("mid=5"));
+}
+
+/// Proposition 6: the bound underlying Complete PEPS's look-ahead.
+#[test]
+fn proposition_6_bound_is_tight() {
+    for (p1, p2) in [(0.8, 0.5), (0.9, 0.3), (0.5, 0.4), (0.99, 0.1)] {
+        let k = proposition6_bound(p1, p2);
+        assert!(k.is_finite() && k > 0.0);
+        let n = k.ceil() as i32;
+        let reach = |m: i32| 1.0 - (1.0 - p2).powi(m);
+        assert!(reach(n) >= p1, "ceil(K) conjuncts reach p1");
+        if n > 1 {
+            assert!(reach(n - 1) < p1, "K is a lower bound");
+        }
+    }
+}
+
+/// Proposition 7: reversing a qualitative preference negates its strength.
+#[test]
+fn proposition_7_reversal() {
+    let p = QualitativePref::from_signed(
+        UserId(1),
+        parse_predicate("a=1").unwrap(),
+        parse_predicate("b=2").unwrap(),
+        -0.4,
+    )
+    .unwrap();
+    // negative strength flipped the sides
+    assert_eq!(p.left.to_string(), "b=2");
+    assert!((p.intensity.value() - 0.4).abs() < 1e-12);
+    assert_eq!(p.reversed().left.to_string(), "a=1");
+}

@@ -1,0 +1,427 @@
+//! Property-based tests (proptest) for the model's invariants, run across
+//! crates: intensity algebra, propagation axioms, graph invariants under
+//! random preference streams, PEPS-vs-brute-force ranking equality, TA
+//! correctness, parser round-trips and skyline dominance.
+
+use proptest::prelude::*;
+
+use hypre_repro::prelude::*;
+use hypre_repro::relstore::{
+    parse_predicate, ColRef, Database, DataType, Predicate, Schema, Value,
+};
+use hypre_repro::topk::{threshold_algorithm, GradedList};
+
+// ---------------------------------------------------------------------
+// strategies
+// ---------------------------------------------------------------------
+
+fn intensity_value() -> impl Strategy<Value = f64> {
+    (-1.0f64..=1.0).prop_map(|v| (v * 1e6).round() / 1e6)
+}
+
+fn positive_intensity() -> impl Strategy<Value = f64> {
+    (0.01f64..=1.0).prop_map(|v| (v * 1e6).round() / 1e6)
+}
+
+fn qual_strength() -> impl Strategy<Value = f64> {
+    (0.0f64..=1.0).prop_map(|v| (v * 1e6).round() / 1e6)
+}
+
+/// A small universe of atomic predicates over two attributes.
+fn atom_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (0u8..6).prop_map(|v| parse_predicate(&format!("dblp.venue='V{v}'")).unwrap()),
+        (0u8..8).prop_map(|a| parse_predicate(&format!("dblp_author.aid={a}")).unwrap()),
+        (1990i64..2012).prop_map(|y| parse_predicate(&format!("dblp.year>={y}")).unwrap()),
+    ]
+}
+
+/// One random preference event for the graph stream.
+#[derive(Debug, Clone)]
+enum Event {
+    Quant(Predicate, f64),
+    Qual(Predicate, Predicate, f64),
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (atom_predicate(), intensity_value()).prop_map(|(p, v)| Event::Quant(p, v)),
+        (atom_predicate(), atom_predicate(), qual_strength())
+            .prop_map(|(l, r, s)| Event::Qual(l, r, s)),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// intensity algebra
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Proposition 1: f∧ is order-independent and matches its closed form.
+    #[test]
+    fn prop_f_and_order_independent(mut ps in prop::collection::vec(positive_intensity(), 1..7)) {
+        let closed = 1.0 - ps.iter().map(|p| 1.0 - p).product::<f64>();
+        let forward = f_and_all(ps.iter().copied());
+        ps.reverse();
+        let backward = f_and_all(ps.iter().copied());
+        prop_assert!((forward - closed).abs() < 1e-9);
+        prop_assert!((forward - backward).abs() < 1e-9);
+    }
+
+    /// f∧ is inflationary and stays in [0, 1] for non-negative operands.
+    #[test]
+    fn prop_f_and_inflationary(a in qual_strength(), b in qual_strength()) {
+        let c = f_and(a, b);
+        prop_assert!(c >= a - 1e-12 && c >= b - 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+    }
+
+    /// f∨ is reserved: the result lies between its operands.
+    #[test]
+    fn prop_f_or_reserved(a in intensity_value(), b in intensity_value()) {
+        let c = f_or(a, b);
+        prop_assert!(c >= a.min(b) - 1e-12 && c <= a.max(b) + 1e-12);
+    }
+
+    /// Proposition 2: the descending-order fold dominates other orders.
+    #[test]
+    fn prop_f_or_order_dependent(mut ps in prop::collection::vec(qual_strength(), 3..3usize.saturating_add(1))) {
+        ps.sort_by(|a, b| b.total_cmp(a));
+        let (p1, p2, p3) = (ps[0], ps[1], ps[2]);
+        let a = f_or(p1, f_or(p2, p3));
+        let b = f_or(p2, f_or(p1, p3));
+        let c = f_or(p3, f_or(p1, p2));
+        prop_assert!(a >= b - 1e-12 && b >= c - 1e-12);
+    }
+
+    /// Algorithm 8's axioms hold for both propagation models: the left
+    /// result dominates the seed, the right result is dominated by it,
+    /// zero strength is the identity, and everything stays in [-1, 1].
+    #[test]
+    fn prop_propagation_axioms(
+        seed in intensity_value(),
+        strength in qual_strength(),
+    ) {
+        for model in [IntensityModel::Exponential, IntensityModel::Linear] {
+            let qt = Intensity::new(seed).unwrap();
+            let ql = QualIntensity::new(strength).unwrap();
+            let left = model.propagate(Position::Left, ql, qt).value();
+            let right = model.propagate(Position::Right, ql, qt).value();
+            prop_assert!(left >= seed - 1e-12, "{model:?} left {left} seed {seed}");
+            prop_assert!(right <= seed + 1e-12, "{model:?} right {right} seed {seed}");
+            prop_assert!((-1.0..=1.0).contains(&left));
+            prop_assert!((-1.0..=1.0).contains(&right));
+            if strength == 0.0 {
+                prop_assert!((left - seed).abs() < 1e-12);
+                prop_assert!((right - seed).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Default-value strategies always seed inside [-1, 1].
+    #[test]
+    fn prop_default_seeds_in_range(values in prop::collection::vec(intensity_value(), 0..20)) {
+        for strategy in DefaultValueStrategy::table12() {
+            let v = strategy.seed(&values).value();
+            prop_assert!((-1.0..=1.0).contains(&v), "{strategy:?} gave {v}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// graph invariants under random streams
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any interleaving of preference insertions keeps the two structural
+    /// invariants: acyclic PREFERS subgraph and left ≥ right on every
+    /// PREFERS edge.
+    #[test]
+    fn prop_graph_invariants_under_random_streams(
+        events in prop::collection::vec(event(), 1..40)
+    ) {
+        let mut graph = HypreGraph::new();
+        let user = UserId(1);
+        for e in events {
+            match e {
+                Event::Quant(p, v) => {
+                    graph.add_quantitative(&QuantitativePref::new(
+                        user, p, Intensity::new(v).unwrap(),
+                    ));
+                }
+                Event::Qual(l, r, s) => {
+                    if l.canonical() != r.canonical() {
+                        let pref = QualitativePref::new(
+                            user, l, r, QualIntensity::new(s).unwrap(),
+                        ).unwrap();
+                        graph.add_qualitative(&pref).unwrap();
+                    }
+                }
+            }
+            if let Err(msg) = graph.check_invariants() {
+                prop_assert!(false, "invariant violated: {msg}");
+            }
+        }
+    }
+
+    /// Reloading the same stream gives identical profiles (determinism).
+    #[test]
+    fn prop_graph_build_is_deterministic(
+        events in prop::collection::vec(event(), 1..25)
+    ) {
+        let build = || {
+            let mut g = HypreGraph::new();
+            for e in &events {
+                match e {
+                    Event::Quant(p, v) => {
+                        g.add_quantitative(&QuantitativePref::new(
+                            UserId(1), p.clone(), Intensity::new(*v).unwrap(),
+                        ));
+                    }
+                    Event::Qual(l, r, s) => {
+                        if l.canonical() != r.canonical() {
+                            g.add_qualitative(&QualitativePref::new(
+                                UserId(1), l.clone(), r.clone(),
+                                QualIntensity::new(*s).unwrap(),
+                            ).unwrap()).unwrap();
+                        }
+                    }
+                }
+            }
+            g.profile(UserId(1))
+                .into_iter()
+                .map(|p| (p.predicate.canonical(), p.intensity))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(build(), build());
+    }
+}
+
+// ---------------------------------------------------------------------
+// PEPS vs brute force on random micro-workloads
+// ---------------------------------------------------------------------
+
+fn micro_db(venues: &[u8], authors: &[(u8, u8)]) -> Database {
+    let mut db = Database::new();
+    let papers = db
+        .create_table(
+            "dblp",
+            Schema::of(&[
+                ("pid", DataType::Int),
+                ("venue", DataType::Str),
+                ("year", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    for (i, v) in venues.iter().enumerate() {
+        papers
+            .insert(vec![
+                (i as i64 + 1).into(),
+                format!("V{v}").into(),
+                (1990 + (i as i64 % 22)).into(),
+            ])
+            .unwrap();
+    }
+    let link = db
+        .create_table(
+            "dblp_author",
+            Schema::of(&[("pid", DataType::Int), ("aid", DataType::Int)]),
+        )
+        .unwrap();
+    for &(p, a) in authors {
+        let pid = (p as usize % venues.len().max(1)) as i64 + 1;
+        link.insert(vec![pid.into(), (a as i64).into()]).unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Complete PEPS reproduces the brute-force f∧ ranking exactly on any
+    /// random micro-workload.
+    #[test]
+    fn prop_peps_matches_bruteforce(
+        venues in prop::collection::vec(0u8..5, 3..12),
+        authors in prop::collection::vec((0u8..12, 0u8..8), 1..20),
+        prefs in prop::collection::vec((atom_predicate(), positive_intensity()), 1..6),
+    ) {
+        let db = micro_db(&venues, &authors);
+        let exec = Executor::new(&db, BaseQuery::dblp());
+        let mut atoms: Vec<PrefAtom> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (p, v) in prefs {
+            if seen.insert(p.canonical()) {
+                atoms.push(PrefAtom::new(atoms.len(), p, v));
+            }
+        }
+        atoms.sort_by(|a, b| b.intensity.total_cmp(&a.intensity));
+        for (i, a) in atoms.iter_mut().enumerate() { a.index = i; }
+
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
+        let got = peps.top_k(1000).unwrap();
+        let want = score_tuples(&exec, &atoms).unwrap();
+        prop_assert_eq!(got.len(), want.len());
+        for ((gt, gg), (wt, wg)) in got.iter().zip(want.iter()) {
+            prop_assert_eq!(gt, wt);
+            prop_assert!((gg - wg).abs() < 1e-9, "{} vs {}", gg, wg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// TA vs brute force on random graded lists
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_ta_matches_bruteforce(
+        list_a in prop::collection::vec((0u64..30, qual_strength()), 1..25),
+        list_b in prop::collection::vec((0u64..30, qual_strength()), 1..25),
+        k in 1usize..10,
+    ) {
+        let lists = vec![GradedList::new(list_a), GradedList::new(list_b)];
+        let agg = |g: &[f64]| f_and_all(g.iter().copied());
+        let got = threshold_algorithm(&lists, k, agg);
+        // brute force
+        let mut all: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for l in &lists {
+            all.extend(l.iter().map(|(t, _)| *t));
+        }
+        let mut want: Vec<(u64, f64)> = all
+            .into_iter()
+            .map(|t| (t, agg(&[lists[0].grade(&t), lists[1].grade(&t)])))
+            .collect();
+        want.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for ((gt, gg), (wt, wg)) in got.iter().zip(want.iter()) {
+            prop_assert_eq!(gt, wt);
+            prop_assert!((gg - wg).abs() < 1e-12);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// parser round-trip
+// ---------------------------------------------------------------------
+
+fn rt_predicate(depth: u32) -> BoxedStrategy<Predicate> {
+    let leaf = prop_oneof![
+        (0u8..5).prop_map(|v| parse_predicate(&format!("dblp.venue='V{v}'")).unwrap()),
+        (0i64..100).prop_map(|a| parse_predicate(&format!("dblp_author.aid={a}")).unwrap()),
+        (1990i64..2012, 0i64..5).prop_map(|(lo, d)| {
+            Predicate::between(ColRef::parse("dblp.year"), lo, lo + d)
+        }),
+        prop::collection::vec(0u8..5, 1..4).prop_map(|vs| {
+            Predicate::in_list(
+                ColRef::parse("dblp.venue"),
+                vs.into_iter().map(|v| format!("V{v}")).collect::<Vec<_>>(),
+            )
+        }),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Predicate::not),
+        ]
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Display → parse is the identity on the AST.
+    #[test]
+    fn prop_parser_roundtrip(p in rt_predicate(3)) {
+        let text = p.to_string();
+        let reparsed = parse_predicate(&text).unwrap();
+        prop_assert_eq!(&p, &reparsed, "text: {}", text);
+        // canonicalisation is stable
+        prop_assert_eq!(p.canonical(), reparsed.canonical());
+    }
+}
+
+// ---------------------------------------------------------------------
+// skyline dominance
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every skyline member is non-dominated and every non-member is
+    /// dominated (checked against the brute-force oracle).
+    #[test]
+    fn prop_skyline_is_exact(rows in prop::collection::vec((0i64..50, 0i64..50), 1..30)) {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "items",
+                Schema::of(&[("id", DataType::Int), ("x", DataType::Int), ("y", DataType::Int)]),
+            )
+            .unwrap();
+        for (i, (x, y)) in rows.iter().enumerate() {
+            t.insert(vec![(i as i64).into(), (*x).into(), (*y).into()]).unwrap();
+        }
+        let prefs = vec![
+            AttributePref::min(ColRef::parse("x")),
+            AttributePref::min(ColRef::parse("y")),
+        ];
+        let sky = skyline(&db, "items", &prefs).unwrap();
+        for row in 0..rows.len() {
+            let member = sky.contains(&row);
+            let oracle = hypre_repro::core::skyline::is_skyline_member(&db, "items", &prefs, row).unwrap();
+            prop_assert_eq!(member, oracle, "row {}", row);
+        }
+        // sanity: the global minimum on x is always present
+        let min_x = rows.iter().enumerate().min_by_key(|(i, (x, _))| (*x, *i)).unwrap();
+        let min_x_dominated = rows.iter().enumerate().any(|(j, (x, y))| {
+            j != min_x.0 && (*x, *y) != (min_x.1.0, min_x.1.1)
+                && *x <= min_x.1.0 && *y <= min_x.1.1
+                && (*x < min_x.1.0 || *y < min_x.1.1)
+        });
+        if !min_x_dominated {
+            prop_assert!(sky.contains(&min_x.0));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// value ordering laws (relstore)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// relstore's Value total order is antisymmetric and transitive over a
+    /// random sample, and Eq implies identical sort position behaviour.
+    #[test]
+    fn prop_value_total_order(ints in prop::collection::vec(-100i64..100, 3..10)) {
+        let mut values: Vec<Value> = Vec::new();
+        for (i, v) in ints.iter().enumerate() {
+            values.push(Value::Int(*v));
+            if i % 2 == 0 {
+                values.push(Value::Float(*v as f64 / 2.0));
+            }
+            if i % 3 == 0 {
+                values.push(Value::str(format!("s{v}")));
+            }
+        }
+        values.push(Value::Null);
+        let mut sorted = values.clone();
+        sorted.sort();
+        // sorting is idempotent and Null leads
+        let mut again = sorted.clone();
+        again.sort();
+        prop_assert_eq!(&sorted, &again);
+        prop_assert_eq!(&sorted[0], &Value::Null);
+    }
+}
