@@ -72,7 +72,11 @@ fn bench_pairwise_cache(c: &mut Criterion) {
     g.bench_function("set_intersection_build", |b| {
         b.iter(|| {
             let exec = Executor::new(&db, BaseQuery::dblp());
-            black_box(PairwiseCache::build(&atoms, &exec).unwrap().applicable_count())
+            black_box(
+                PairwiseCache::build(&atoms, &exec)
+                    .unwrap()
+                    .applicable_count(),
+            )
         });
     });
     g.bench_function("naive_sql_per_pair", |b| {

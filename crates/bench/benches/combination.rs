@@ -1,11 +1,14 @@
 //! Benches for the exploratory combination algorithms (Figs. 18–36):
 //! Combine-Two under both semantics, Partially-Combine-All, Bias-Random,
-//! and the utility/coverage metric computations they feed.
+//! the utility/coverage metric computations they feed, and the
+//! set-algebra micro-bench comparing the interned-bitset engine against
+//! the pre-PR-1 `HashSet<Value>` baseline at 2k and 20k papers.
 
 use std::sync::OnceLock;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
+use hypre_bench::baseline::HashSetAlgebra;
 use hypre_bench::experiments::{coverage_report, utility_series};
 use hypre_bench::Fixture;
 use hypre_core::prelude::*;
@@ -25,7 +28,11 @@ fn bench_combination(c: &mut Criterion) {
     g.bench_function("combine_two/and", |b| {
         let exec = fx.executor();
         b.iter(|| {
-            black_box(combine_two(&atoms, &exec, CombineSemantics::And).unwrap().len())
+            black_box(
+                combine_two(&atoms, &exec, CombineSemantics::And)
+                    .unwrap()
+                    .len(),
+            )
         });
     });
     g.bench_function("combine_two/and_or", |b| {
@@ -63,5 +70,65 @@ fn bench_combination(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_combination);
+/// Bitset-vs-hashset set algebra over real profile tuple sets, at 2 000
+/// and 20 000 papers. Both sides run against pre-warmed memo caches so
+/// the comparison isolates the algebra, not the SQL.
+fn bench_set_algebra(c: &mut Criterion) {
+    for n in [2_000usize, 20_000] {
+        let fx = Fixture::papers(n);
+        let atoms = fx.graph.positive_profile(fx.rich_user);
+        let exec = fx.executor();
+        let baseline = HashSetAlgebra::new(&exec);
+        baseline.warm(&atoms).unwrap();
+        // Warm the bitset caches and pick the two densest preferences —
+        // the worst case for per-element hash probing.
+        let mut by_size: Vec<usize> = (0..atoms.len()).collect();
+        let counts: Vec<u64> = atoms
+            .iter()
+            .map(|a| exec.count(&a.predicate).unwrap())
+            .collect();
+        by_size.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+        let (pa, pb) = (&atoms[by_size[0]].predicate, &atoms[by_size[1]].predicate);
+        let (sa, sb) = (exec.tuple_set(pa).unwrap(), exec.tuple_set(pb).unwrap());
+        let (ha, hb) = (
+            baseline.tuple_set(pa).unwrap(),
+            baseline.tuple_set(pb).unwrap(),
+        );
+
+        let mut g = c.benchmark_group(format!("set_algebra_{n}"));
+        g.sample_size(10);
+        g.bench_function("and_count/bitset", |b| {
+            b.iter(|| black_box(sa.and_count(&sb)))
+        });
+        g.bench_function("and_count/hashset", |b| {
+            b.iter(|| black_box(ha.iter().filter(|v| hb.contains(*v)).count()))
+        });
+        g.bench_function("or/bitset", |b| b.iter(|| black_box(sa.or(&sb).count())));
+        g.bench_function("or/hashset", |b| {
+            b.iter(|| black_box(ha.union(&hb).count()))
+        });
+        g.bench_function("and_not/bitset", |b| {
+            b.iter(|| black_box(sa.and_not(&sb).count()))
+        });
+        g.bench_function("and_not/hashset", |b| {
+            b.iter(|| black_box(ha.difference(&hb).count()))
+        });
+        let units: Vec<&relstore::Predicate> = atoms.iter().take(4).map(|a| &a.predicate).collect();
+        g.bench_function("and4/bitset", |b| {
+            b.iter(|| black_box(exec.count_and(&units).unwrap()))
+        });
+        g.bench_function("and4/hashset", |b| {
+            b.iter(|| black_box(baseline.and_set(&units).unwrap().len()))
+        });
+        g.bench_function("score_tuples/dense", |b| {
+            b.iter(|| black_box(score_tuples(&exec, &atoms).unwrap().len()))
+        });
+        g.bench_function("score_tuples/hashmap", |b| {
+            b.iter(|| black_box(baseline.score_tuples(&atoms).unwrap().len()))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_combination, bench_set_algebra);
 criterion_main!(benches);

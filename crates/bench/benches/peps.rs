@@ -1,10 +1,13 @@
 //! PEPS benches (Figs. 37–40): pairwise-cache construction, Top-K latency
-//! for both variants across K, and the TA baseline over the same data.
+//! for both variants across K, the TA baseline over the same data, and
+//! the bitset-vs-hashset comparison of the pairwise build and the Top-K
+//! scoring loop at 2k and 20k papers.
 
 use std::sync::OnceLock;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
+use hypre_bench::baseline::{HashSetAlgebra, SeedPeps};
 use hypre_bench::ta_glue::{build_graded_lists, f_and_agg};
 use hypre_bench::Fixture;
 use hypre_core::prelude::*;
@@ -27,7 +30,11 @@ fn bench_peps(c: &mut Criterion) {
     g.bench_function("pairwise_cache/build", |b| {
         b.iter(|| {
             let fresh_exec = fx.executor();
-            black_box(PairwiseCache::build(&atoms, &fresh_exec).unwrap().applicable_count())
+            black_box(
+                PairwiseCache::build(&atoms, &fresh_exec)
+                    .unwrap()
+                    .applicable_count(),
+            )
         });
     });
     for k in [10usize, 100, 400] {
@@ -60,5 +67,50 @@ fn bench_peps(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_peps);
+/// Bitset engine vs the pre-PR-1 `HashSet<Value>` baseline on the two
+/// paths the acceptance criteria measure: `PairwiseCache::build` and the
+/// PEPS Top-K scoring loop, at 2 000 and 20 000 papers. Memo caches are
+/// pre-warmed on both sides so the timed region is the set algebra.
+fn bench_bitset_vs_hashset(c: &mut Criterion) {
+    for n in [2_000usize, 20_000] {
+        let fx = Fixture::papers(n);
+        let atoms = fx.graph.positive_profile(fx.rich_user);
+        let exec = fx.executor();
+        let baseline = HashSetAlgebra::new(&exec);
+        baseline.warm(&atoms).unwrap();
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap(); // warms bitsets
+
+        let mut g = c.benchmark_group(format!("pairwise_cache_{n}"));
+        g.sample_size(10);
+        g.bench_function("build/bitset", |b| {
+            b.iter(|| {
+                black_box(
+                    PairwiseCache::build(&atoms, &exec)
+                        .unwrap()
+                        .applicable_count(),
+                )
+            })
+        });
+        g.bench_function("build/hashset", |b| {
+            b.iter(|| black_box(baseline.pairwise_counts(&atoms).unwrap().len()))
+        });
+        g.finish();
+
+        let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
+        let seed = SeedPeps::new(&atoms, &baseline, &pairs, PepsVariant::Complete);
+        let mut g = c.benchmark_group(format!("top_k_{n}"));
+        g.sample_size(10);
+        for k in [10usize, 100] {
+            g.bench_function(format!("k{k}/bitset"), |b| {
+                b.iter(|| black_box(peps.top_k(k).unwrap().len()))
+            });
+            g.bench_function(format!("k{k}/hashset"), |b| {
+                b.iter(|| black_box(seed.top_k(k).unwrap().len()))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_peps, bench_bitset_vs_hashset);
 criterion_main!(benches);

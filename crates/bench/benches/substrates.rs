@@ -6,7 +6,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use dblp_workload::{gen, load};
-use graphstore::{BatchInserter, PropertyGraph, PropValue};
+use graphstore::{BatchInserter, PropValue, PropertyGraph};
 use relstore::{parse_predicate, ColRef, SelectQuery};
 
 fn bench_relstore(c: &mut Criterion) {
@@ -29,7 +29,10 @@ fn bench_relstore(c: &mut Criterion) {
     g.bench_function("count_distinct/indexed_venue", |b| {
         let q = SelectQuery::from("dblp")
             .filter(parse_predicate(&format!("dblp.venue='{venue}'")).unwrap());
-        b.iter(|| q.count_distinct(black_box(&db), &ColRef::parse("dblp.pid")).unwrap());
+        b.iter(|| {
+            q.count_distinct(black_box(&db), &ColRef::parse("dblp.pid"))
+                .unwrap()
+        });
     });
     g.bench_function("count_distinct/join_author", |b| {
         let q = SelectQuery::from("dblp")
@@ -39,12 +42,18 @@ fn bench_relstore(c: &mut Criterion) {
                 ColRef::parse("dblp_author.pid"),
             )
             .filter(parse_predicate("dblp_author.aid=7").unwrap());
-        b.iter(|| q.count_distinct(black_box(&db), &ColRef::parse("dblp.pid")).unwrap());
+        b.iter(|| {
+            q.count_distinct(black_box(&db), &ColRef::parse("dblp.pid"))
+                .unwrap()
+        });
     });
     g.bench_function("count_distinct/range_year", |b| {
         let q = SelectQuery::from("dblp")
             .filter(parse_predicate("dblp.year BETWEEN 2000 AND 2005").unwrap());
-        b.iter(|| q.count_distinct(black_box(&db), &ColRef::parse("dblp.pid")).unwrap());
+        b.iter(|| {
+            q.count_distinct(black_box(&db), &ColRef::parse("dblp.pid"))
+                .unwrap()
+        });
     });
     g.finish();
 }

@@ -1,0 +1,187 @@
+//! Emits `BENCH_PR1.json` — the machine-readable perf snapshot of the
+//! PR 1 bitset rewrite, so future PRs have a trajectory to compare
+//! against.
+//!
+//! Measures, per corpus size (default 2 000 and 20 000 papers; override
+//! with `BENCH_SIZES=2000,20000`):
+//!
+//! * `pairwise_build` — `PairwiseCache::build` wall time, bitset engine
+//!   vs the `HashSet<Value>` baseline (memo caches pre-warmed on both
+//!   sides, so the timed region is pure set algebra), plus the cold
+//!   bitset build including its `n` SQL queries;
+//! * `peps_top_k` — `Peps::top_k` latency (complete variant, k = 10 and
+//!   100) vs the HashMap-ranked baseline loop over the same combination
+//!   list;
+//! * `set_algebra` — the `and_count`/`or`/`and_not` micro-ops over the
+//!   profile's two densest tuple sets.
+//!
+//! Usage: `cargo run --release -p hypre-bench --bin bench_report [out.json]`
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use hypre_bench::baseline::{HashSetAlgebra, SeedPeps};
+use hypre_bench::timing::median_time;
+use hypre_bench::Fixture;
+use hypre_core::prelude::*;
+
+/// One comparison row: engine vs baseline median nanoseconds.
+struct Row {
+    section: &'static str,
+    name: String,
+    papers: usize,
+    bitset_ns: u128,
+    hashset_ns: u128,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.hashset_ns as f64 / self.bitset_ns.max(1) as f64
+    }
+}
+
+fn measure<R>(f: impl FnMut() -> R) -> u128 {
+    median_time(5, Duration::from_millis(120), f).as_nanos()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+    let mut sizes: Vec<usize> = std::env::var("BENCH_SIZES")
+        .unwrap_or_else(|_| "2000,20000".to_owned())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    if sizes.is_empty() {
+        eprintln!("BENCH_SIZES contained no usable sizes; using 2000,20000");
+        sizes = vec![2_000, 20_000];
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut extra = String::new();
+
+    for &n in &sizes {
+        eprintln!("building {n}-paper fixture…");
+        let fx = Fixture::papers(n);
+        let atoms = fx.graph.positive_profile(fx.rich_user);
+        eprintln!("  profile: {} preferences", atoms.len());
+
+        // Cold bitset build (includes the n SQL queries).
+        let cold_ns = measure(|| {
+            let fresh = fx.executor();
+            PairwiseCache::build(&atoms, &fresh)
+                .unwrap()
+                .applicable_count()
+        });
+        let _ = write!(
+            extra,
+            "{}{{\"section\":\"pairwise_build_cold\",\"papers\":{n},\"bitset_ns\":{cold_ns}}}",
+            if extra.is_empty() { "" } else { ",\n    " },
+        );
+
+        // Warm engines: the comparison isolates set algebra.
+        let exec = fx.executor();
+        let baseline = HashSetAlgebra::new(&exec);
+        baseline.warm(&atoms).unwrap();
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+
+        rows.push(Row {
+            section: "pairwise_build",
+            name: "warm".to_owned(),
+            papers: n,
+            bitset_ns: measure(|| {
+                PairwiseCache::build(&atoms, &exec)
+                    .unwrap()
+                    .applicable_count()
+            }),
+            hashset_ns: measure(|| baseline.pairwise_counts(&atoms).unwrap().len()),
+        });
+
+        let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
+        let seed = SeedPeps::new(&atoms, &baseline, &pairs, PepsVariant::Complete);
+        for k in [10usize, 100] {
+            rows.push(Row {
+                section: "peps_top_k",
+                name: format!("complete_k{k}"),
+                papers: n,
+                bitset_ns: measure(|| peps.top_k(k).unwrap().len()),
+                hashset_ns: measure(|| seed.top_k(k).unwrap().len()),
+            });
+        }
+
+        // Set-algebra micro-ops over the two densest tuple sets.
+        let mut idx: Vec<usize> = (0..atoms.len()).collect();
+        let counts: Vec<u64> = atoms
+            .iter()
+            .map(|a| exec.count(&a.predicate).unwrap())
+            .collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+        let (pa, pb) = (&atoms[idx[0]].predicate, &atoms[idx[1]].predicate);
+        let (sa, sb) = (exec.tuple_set(pa).unwrap(), exec.tuple_set(pb).unwrap());
+        let (ha, hb) = (
+            baseline.tuple_set(pa).unwrap(),
+            baseline.tuple_set(pb).unwrap(),
+        );
+        eprintln!("  densest sets: {} and {} tuples", sa.count(), sb.count());
+
+        rows.push(Row {
+            section: "set_algebra",
+            name: "and_count".to_owned(),
+            papers: n,
+            bitset_ns: measure(|| sa.and_count(&sb)),
+            hashset_ns: measure(|| ha.iter().filter(|v| hb.contains(*v)).count()),
+        });
+        rows.push(Row {
+            section: "set_algebra",
+            name: "or".to_owned(),
+            papers: n,
+            bitset_ns: measure(|| sa.or(&sb).count()),
+            hashset_ns: measure(|| ha.union(&hb).count()),
+        });
+        rows.push(Row {
+            section: "set_algebra",
+            name: "and_not".to_owned(),
+            papers: n,
+            bitset_ns: measure(|| sa.and_not(&sb).count()),
+            hashset_ns: measure(|| ha.difference(&hb).count()),
+        });
+    }
+
+    let mut json = String::from("{\n");
+    let _ = write!(
+        json,
+        "  \"bench\": \"PR1 bitset engine\",\n  \"sizes\": {:?},\n  \"cold\": [\n    {extra}\n  ],\n  \"results\": [\n",
+        sizes
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"section\":\"{}\",\"name\":\"{}\",\"papers\":{},\"bitset_ns\":{},\"hashset_ns\":{},\"speedup\":{:.2}}}{}",
+            r.section,
+            r.name,
+            r.papers,
+            r.bitset_ns,
+            r.hashset_ns,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("{json}");
+    for r in &rows {
+        println!(
+            "{:>16} {:<14} n={:<6} bitset {:>12} ns  hashset {:>12} ns  speedup {:>7.1}x",
+            r.section,
+            r.name,
+            r.papers,
+            r.bitset_ns,
+            r.hashset_ns,
+            r.speedup()
+        );
+    }
+    eprintln!("wrote {out_path}");
+}

@@ -184,10 +184,7 @@ fn run_fig18_19(fx: &Fixture) {
         println!("{user}:");
         let series = utility_series(fx, user, &[2, 5, 10]).expect("profile runs");
         for (arity, points) in series {
-            let pts: Vec<(f64, f64)> = points
-                .iter()
-                .map(|p| (p.order as f64, p.utility))
-                .collect();
+            let pts: Vec<(f64, f64)> = points.iter().map(|p| (p.order as f64, p.utility)).collect();
             print!("{}", render_series(&format!("{arity} preferences"), &pts));
         }
     }
@@ -340,13 +337,12 @@ fn run_fig37_38(fx: &Fixture) {
             .enumerate()
             .map(|(i, (_, g))| (i as f64, *g))
             .collect();
-        let ta_pts: Vec<(f64, f64)> = r
-            .ta
-            .iter()
-            .take(25)
-            .enumerate()
-            .map(|(i, (_, g))| (i as f64, *g))
-            .collect();
+        let ta_pts: Vec<(f64, f64)> =
+            r.ta.iter()
+                .take(25)
+                .enumerate()
+                .map(|(i, (_, g))| (i as f64, *g))
+                .collect();
         print!("{}", render_series("PEPS intensity (first 25)", &peps_pts));
         print!("{}", render_series("TA intensity (first 25)", &ta_pts));
         let (sim, ovl) = qt_only_equivalence(fx, user).expect("qt-only comparison");

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use graphstore::{BatchInserter, BatchStat, PropertyGraph, PropValue};
+use graphstore::{BatchInserter, BatchStat, PropValue, PropertyGraph};
 use hypre_core::prelude::*;
 use hypre_topk::threshold_algorithm;
 use relstore::Value;
@@ -434,10 +434,10 @@ mod tests {
             c.from_graph.len(),
             c.from_quantitative_table.len()
         );
-        assert!(c
-            .from_graph
-            .windows(2)
-            .all(|w| w[0] >= w[1]), "descending order");
+        assert!(
+            c.from_graph.windows(2).all(|w| w[0] >= w[1]),
+            "descending order"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! The fixture picks analogous users from the synthetic corpus: the user
 //! with the most extracted preferences, and a mid-tail user.
 
-use dblp_workload::{extract, gen, load, ExtractedWorkload, DblpDataset};
+use dblp_workload::{extract, gen, load, DblpDataset, ExtractedWorkload};
 use hypre_core::prelude::*;
 use relstore::Database;
 
@@ -42,6 +42,18 @@ impl Fixture {
             papers: 1200,
             authors: 500,
             venues: 30,
+            ..gen::GeneratorConfig::default()
+        })
+    }
+
+    /// A fixture over an `n`-paper corpus with proportionally scaled
+    /// author and venue populations — the 2k/20k scaling axis of the
+    /// bitset-vs-hashset benches.
+    pub fn papers(n: usize) -> Self {
+        Fixture::build(gen::GeneratorConfig {
+            papers: n,
+            authors: (n * 2 / 5).max(50),
+            venues: (n / 65).clamp(8, 120),
             ..gen::GeneratorConfig::default()
         })
     }
@@ -164,7 +176,11 @@ mod tests {
         f.graph.check_invariants().unwrap();
         // the rich user has a usable positive profile
         let profile = f.graph.positive_profile(f.rich_user);
-        assert!(profile.len() >= 8, "rich profile has {} atoms", profile.len());
+        assert!(
+            profile.len() >= 8,
+            "rich profile has {} atoms",
+            profile.len()
+        );
         let modest = f.graph.positive_profile(f.modest_user);
         assert!(!modest.is_empty());
         assert!(profile.len() >= modest.len());

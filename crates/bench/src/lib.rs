@@ -8,14 +8,19 @@
 //! * [`ta_glue`] — building the §7.6.1 graded lists for the TA baseline;
 //! * [`report`] — paper-style text tables and series;
 //! * [`experiments`] — one function per table/figure, returning printable
-//!   structures so the binary, tests and benches share one implementation.
+//!   structures so the binary, tests and benches share one implementation;
+//! * [`baseline`] — the pre-interning `HashSet<Value>` set algebra, kept
+//!   for bitset-vs-hashset comparisons;
+//! * [`timing`] — wall-clock helpers for the `bench_report` binary.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod fixture;
 pub mod report;
 pub mod ta_glue;
+pub mod timing;
 
 pub use fixture::Fixture;

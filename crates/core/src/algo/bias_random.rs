@@ -45,11 +45,7 @@ const PROB_CEIL: f64 = 0.95;
 /// `j` with probability proportional to its intensity — and extends the
 /// AND combination until an extension stops returning tuples, at which
 /// point the last applicable combination is recorded.
-pub fn bias_random(
-    atoms: &[PrefAtom],
-    exec: &Executor<'_>,
-    seed: u64,
-) -> Result<BiasRandomStats> {
+pub fn bias_random(atoms: &[PrefAtom], exec: &Executor<'_>, seed: u64) -> Result<BiasRandomStats> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stats = BiasRandomStats {
         records: Vec::new(),
@@ -86,8 +82,7 @@ pub fn bias_random(
             };
             let mut extended = members.clone();
             extended.push(next);
-            let units: Vec<&Predicate> =
-                extended.iter().map(|&m| &atoms[m].predicate).collect();
+            let units: Vec<&Predicate> = extended.iter().map(|&m| &atoms[m].predicate).collect();
             if exec.is_applicable_and(&units)? {
                 stats.valid += 1;
                 members = extended;
@@ -209,7 +204,12 @@ mod tests {
             .collect();
         let distinct: std::collections::HashSet<String> = runs
             .iter()
-            .map(|r| format!("{:?}", r.records.iter().map(|c| &c.members).collect::<Vec<_>>()))
+            .map(|r| {
+                format!(
+                    "{:?}",
+                    r.records.iter().map(|c| &c.members).collect::<Vec<_>>()
+                )
+            })
             .collect();
         assert!(distinct.len() > 1, "seeds should vary the walk");
     }

@@ -27,8 +27,7 @@ pub fn combine_two(
     for (i, a) in atoms.iter().enumerate() {
         for b in atoms.iter().skip(i + 1) {
             let comb = combine_pair(a, b, semantics);
-            let or_combined =
-                semantics == CombineSemantics::AndOr && a.same_attribute(b);
+            let or_combined = semantics == CombineSemantics::AndOr && a.same_attribute(b);
             let tuples = if or_combined {
                 exec.count_mixed(&[vec![&a.predicate, &b.predicate]])?
             } else {
@@ -138,10 +137,7 @@ mod tests {
         ];
         let records = combine_two(&atoms, &exec, CombineSemantics::And).unwrap();
         let best = &records[0]; // (0,1): highest combined intensity
-        let worse = records
-            .iter()
-            .find(|r| r.members == vec![1, 2])
-            .unwrap();
+        let worse = records.iter().find(|r| r.members == vec![1, 2]).unwrap();
         assert!(best.intensity > worse.intensity);
         assert_eq!(best.tuples, 0, "high intensity, not applicable");
         // (1,2) is also empty here, but (0,2)=INFOCOM∧aid9 is empty while

@@ -13,9 +13,9 @@
 //!    would drop, so no other combination is revisited).
 //! 3. **Known attribute, multi-attribute last combination** —
 //!    a. re-run every previous combination that does *not* constrain this
-//!       attribute with the predicate conjoined, and
+//!    attribute with the predicate conjoined, and
 //!    b. `OR` the predicate into the attribute group of the most recent
-//!       combination that does constrain it.
+//!    combination that does constrain it.
 //!
 //! A combination is represented structurally as attribute groups (`OR`
 //! within a group, `AND` across groups), so the combined intensity applies
@@ -239,7 +239,7 @@ mod tests {
     }
 
     #[test]
-    fn single_attribute_profile_runs_linear(        ) {
+    fn single_attribute_profile_runs_linear() {
         // Proof case [1]: all preferences on one attribute → one query per
         // preference, each OR-extending the last.
         let db = db();

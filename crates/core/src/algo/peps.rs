@@ -31,13 +31,13 @@
 //! is at least the current threshold: every future combination is capped
 //! by that threshold, so the Top-K set can no longer change.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use relstore::Value;
 
 use crate::combine::{f_and, PrefAtom};
 use crate::error::{HypreError, Result};
-use crate::exec::{Executor, PairwiseCache};
+use crate::exec::{Executor, PairwiseCache, TupleSet};
 
 use super::CombinationRecord;
 
@@ -98,17 +98,40 @@ impl<'a, 'db> Peps<'a, 'db> {
     /// ORDER list. Singleton combinations are included so the ranking is
     /// total over every tuple any preference touches.
     pub fn ordered_combinations(&self) -> Result<Vec<CombinationRecord>> {
+        let sets = self.atom_sets()?;
         let mut emitted: HashSet<Vec<usize>> = HashSet::new();
-        let mut order: Vec<CombinationRecord> = Vec::new();
+        let mut order: Vec<RoundCombo> = Vec::new();
         for s in 0..self.atoms.len() {
-            self.run_round(s, &mut emitted, &mut order)?;
+            self.run_round(s, &sets, &mut emitted, &mut order)?;
         }
         sort_order(&mut order);
-        Ok(order)
+        Ok(order.into_iter().map(|c| self.record_of(c)).collect())
+    }
+
+    /// Materialises the public record (combined predicate included) for a
+    /// round combination — deferred off the Top-K hot loop, where the
+    /// predicate AST is never needed.
+    fn record_of(&self, combo: RoundCombo) -> CombinationRecord {
+        let predicate = relstore::Predicate::all(
+            combo
+                .members
+                .iter()
+                .map(|&m| self.atoms[m].predicate.clone()),
+        );
+        CombinationRecord {
+            members: combo.members,
+            predicate,
+            intensity: combo.intensity,
+            tuples: combo.tuples,
+        }
     }
 
     /// Returns the Top-K tuples by combined intensity (descending; ties by
     /// ascending tuple value for determinism).
+    ///
+    /// Scores accumulate in a dense `Vec<f64>` indexed by interned tuple
+    /// id — no per-tuple hashing or `Value` cloning inside the rounds;
+    /// identities are materialised only for the final Top-K slice.
     ///
     /// # Errors
     /// [`HypreError::ZeroK`] when `k == 0`.
@@ -116,31 +139,48 @@ impl<'a, 'db> Peps<'a, 'db> {
         if k == 0 {
             return Err(HypreError::ZeroK);
         }
+        let sets = self.atom_sets()?;
         let mut emitted: HashSet<Vec<usize>> = HashSet::new();
-        let mut ranked: HashMap<Value, f64> = HashMap::new();
+        // ranked[id] = best combined intensity seen for tuple id so far;
+        // NEG_INFINITY marks "never scored".
+        let mut ranked: Vec<f64> = Vec::new();
+        let mut n_ranked = 0usize;
         for s in 0..self.atoms.len() {
-            let mut round: Vec<CombinationRecord> = Vec::new();
-            self.run_round(s, &mut emitted, &mut round)?;
+            let mut round: Vec<RoundCombo> = Vec::new();
+            self.run_round(s, &sets, &mut emitted, &mut round)?;
             sort_order(&mut round);
             for combo in &round {
-                if !combo.applicable() {
+                if combo.tuples == 0 {
                     continue;
                 }
-                for tuple in self.exec.tuples_and(&self.units(&combo.members))? {
-                    ranked
-                        .entry(tuple)
-                        .and_modify(|v| *v = v.max(combo.intensity))
-                        .or_insert(combo.intensity);
+                // The combination's tuple set was materialised during
+                // expansion — scoring is a pure set-bit walk.
+                for id in combo.set.iter() {
+                    let idx = id as usize;
+                    if idx >= ranked.len() {
+                        ranked.resize(idx + 1, f64::NEG_INFINITY);
+                    }
+                    if ranked[idx] == f64::NEG_INFINITY {
+                        n_ranked += 1;
+                        ranked[idx] = combo.intensity;
+                    } else if combo.intensity > ranked[idx] {
+                        ranked[idx] = combo.intensity;
+                    }
                 }
             }
             // Early termination: every combination a later round can emit
             // is capped by this round's threshold.
             let threshold = self.atoms[s].intensity;
-            if ranked.len() >= k && kth_best(&ranked, k) >= threshold {
+            if n_ranked >= k && kth_best(&ranked, k) >= threshold {
                 break;
             }
         }
-        let mut out: Vec<RankedTuple> = ranked.into_iter().collect();
+        let mut out: Vec<RankedTuple> = ranked
+            .iter()
+            .enumerate()
+            .filter(|(_, &score)| score > f64::NEG_INFINITY)
+            .map(|(id, &score)| (self.exec.tuple_value(id as u32), score))
+            .collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out.truncate(k);
         Ok(out)
@@ -153,8 +193,9 @@ impl<'a, 'db> Peps<'a, 'db> {
     fn run_round(
         &self,
         s: usize,
+        sets: &[TupleSet],
         emitted: &mut HashSet<Vec<usize>>,
-        out: &mut Vec<CombinationRecord>,
+        out: &mut Vec<RoundCombo>,
     ) -> Result<()> {
         let threshold = self.atoms[s].intensity;
         let seeds: Vec<(usize, usize, f64)> = self
@@ -167,23 +208,30 @@ impl<'a, 'db> Peps<'a, 'db> {
             .collect();
         for (i, j, intensity) in seeds {
             let members = vec![i, j];
-            if emitted.contains(&members) {
+            // Expansion chains are strictly ascending (seeds have `i < j`,
+            // extensions only append `m > last`), so every member set has
+            // exactly one generation path: deduplication is needed only
+            // here at the seed level, across rounds.
+            if !emitted.insert(members.clone()) {
                 continue;
             }
-            self.expand(members, intensity, emitted, out)?;
+            // One word-AND builds the pair's tuple set; every deeper
+            // combination narrows it with a single further AND.
+            self.expand(members, intensity, sets[i].and(&sets[j]), sets, out)?;
         }
         // The seed preference by itself (the fallback that guarantees k
         // tuples can always be reached eventually).
         let singleton = vec![s];
         if !emitted.contains(&singleton) {
-            let tuples = self.exec.count(&self.atoms[s].predicate)?;
+            let set = std::rc::Rc::clone(&sets[s]);
+            let tuples = set.count() as u64;
             if tuples > 0 {
                 emitted.insert(singleton.clone());
-                out.push(CombinationRecord {
+                out.push(RoundCombo {
                     members: singleton,
-                    predicate: self.atoms[s].predicate.clone(),
                     intensity: self.atoms[s].intensity,
                     tuples,
+                    set,
                 });
             }
         }
@@ -214,60 +262,72 @@ impl<'a, 'db> Peps<'a, 'db> {
         1.0 - residual
     }
 
-    /// The member preference predicates of a combination.
-    fn units(&self, members: &[usize]) -> Vec<&relstore::Predicate> {
-        members.iter().map(|&m| &self.atoms[m].predicate).collect()
-    }
-
-    /// Depth-first expansion: emits the current combination and recurses
-    /// into every applicable single-preference extension, chaining through
-    /// the pairwise list on the last member.
+    /// Depth-first expansion: emits the current combination (whose tuple
+    /// set arrives pre-intersected from the parent — one word-AND per
+    /// tree node, total) and recurses into every non-empty
+    /// single-preference extension, chaining through the pairwise list on
+    /// the last member. Because chains are strictly ascending, no
+    /// extension can collide with an already-emitted combination and no
+    /// per-node dedup set is consulted.
     fn expand(
         &self,
         members: Vec<usize>,
         intensity: f64,
-        emitted: &mut HashSet<Vec<usize>>,
-        out: &mut Vec<CombinationRecord>,
+        set: crate::bitset::BitSet,
+        sets: &[TupleSet],
+        out: &mut Vec<RoundCombo>,
     ) -> Result<()> {
-        if !emitted.insert(members.clone()) {
-            return Ok(());
-        }
-        let units = self.units(&members);
-        let tuples = self.exec.count_and(&units)?;
-        out.push(CombinationRecord {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "ascending chain");
+        let set: TupleSet = std::rc::Rc::new(set);
+        out.push(RoundCombo {
             members: members.clone(),
-            predicate: relstore::Predicate::all(
-                members.iter().map(|&m| self.atoms[m].predicate.clone()),
-            ),
             intensity,
-            tuples,
+            tuples: set.count() as u64,
+            set: std::rc::Rc::clone(&set),
         });
         let last = *members.last().expect("combinations are non-empty");
         // Collect extension candidates first: pairs_from borrows the cache,
-        // and recursion needs `emitted`/`out` mutable.
-        let candidates: Vec<usize> = self
-            .pairs
-            .pairs_from(last)
-            .map(|e| e.j)
-            .filter(|m| !members.contains(m))
-            .collect();
+        // and recursion needs `out` mutable. `pairs_from(last)` only
+        // yields partners above `last`, so none can repeat a member.
+        let candidates: Vec<usize> = self.pairs.pairs_from(last).map(|e| e.j).collect();
         for m in candidates {
-            let mut ext_members = members.clone();
-            ext_members.push(m);
-            if emitted.contains(&ext_members) {
+            // Applicability of the extension is the emptiness of one
+            // incremental intersection; `intersects` pre-screens without
+            // allocating when the extension is dead.
+            let sm = &sets[m];
+            if !set.intersects(sm) {
                 continue;
             }
-            let ext_units = self.units(&ext_members);
-            if self.exec.is_applicable_and(&ext_units)? {
-                let ext_intensity = f_and(intensity, self.atoms[m].intensity);
-                self.expand(ext_members, ext_intensity, emitted, out)?;
-            }
+            let mut ext_members = members.clone();
+            ext_members.push(m);
+            let ext_intensity = f_and(intensity, self.atoms[m].intensity);
+            self.expand(ext_members, ext_intensity, set.and(sm), sets, out)?;
         }
         Ok(())
     }
+
+    /// Resolves every profile atom's tuple set once up front, so the
+    /// expansion loops never re-derive a predicate's memo key.
+    fn atom_sets(&self) -> Result<Vec<TupleSet>> {
+        self.atoms
+            .iter()
+            .map(|a| self.exec.tuple_set(&a.predicate))
+            .collect()
+    }
 }
 
-fn sort_order(order: &mut [CombinationRecord]) {
+/// A combination emitted during a round, carrying the tuple set computed
+/// along the expansion path so scoring never re-intersects. The combined
+/// predicate AST is *not* built here — only `ordered_combinations`
+/// materialises it, keeping the Top-K loop allocation-light.
+struct RoundCombo {
+    members: Vec<usize>,
+    intensity: f64,
+    tuples: u64,
+    set: TupleSet,
+}
+
+fn sort_order(order: &mut [RoundCombo]) {
     order.sort_by(|a, b| {
         b.intensity
             .total_cmp(&a.intensity)
@@ -276,10 +336,19 @@ fn sort_order(order: &mut [CombinationRecord]) {
     });
 }
 
-fn kth_best(ranked: &HashMap<Value, f64>, k: usize) -> f64 {
-    let mut scores: Vec<f64> = ranked.values().copied().collect();
-    scores.sort_by(|a, b| b.total_cmp(a));
-    scores.get(k - 1).copied().unwrap_or(f64::NEG_INFINITY)
+/// The `k`-th best finite score in the dense ranking array (linear-time
+/// selection, no full sort).
+fn kth_best(ranked: &[f64], k: usize) -> f64 {
+    let mut scores: Vec<f64> = ranked
+        .iter()
+        .copied()
+        .filter(|&s| s > f64::NEG_INFINITY)
+        .collect();
+    if scores.len() < k {
+        return f64::NEG_INFINITY;
+    }
+    let (_, kth, _) = scores.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
+    *kth
 }
 
 #[cfg(test)]

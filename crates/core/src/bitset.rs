@@ -1,0 +1,282 @@
+//! Word-packed bitsets: the dense set-algebra engine behind the executor's
+//! tuple sets.
+//!
+//! Every tuple identity the base query can return is interned to a dense
+//! `u32` id (see [`crate::exec::TupleInterner`]), so a set of tuples is a
+//! [`BitSet`] — a `Vec<u64>` where bit `i` of word `i / 64` marks tuple
+//! `i`. The combination algebra the dissertation evaluates per enhanced
+//! query (intersection for `AND`, union for `OR`, §4.6) then compiles to
+//! word-wide `&`/`|` loops, and `COUNT(DISTINCT …)` to a popcount — the
+//! hot path of the PairwiseCache build and every PEPS round.
+//!
+//! Sets of different lengths are fine everywhere: missing high words are
+//! treated as zero, so a set built before the interner grew still
+//! intersects correctly with a newer, wider one.
+
+/// A growable, word-packed set of `u32` ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// An empty set pre-sized for ids below `bits`.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitSet {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+        }
+    }
+
+    /// Inserts an id; returns whether it was newly added. Grows the word
+    /// vector as needed.
+    pub fn insert(&mut self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << b;
+        let fresh = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        fresh
+    }
+
+    /// Removes an id; returns whether it was present.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        present
+    }
+
+    /// Whether the id is present.
+    pub fn contains(&self, id: u32) -> bool {
+        let (w, b) = (id as usize / 64, id as usize % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of set bits (one popcount per word).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∩ other` as a new set.
+    pub fn and(&self, other: &BitSet) -> BitSet {
+        let n = self.words.len().min(other.words.len());
+        BitSet {
+            words: self.words[..n]
+                .iter()
+                .zip(&other.words[..n])
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// `self ∪ other` as a new set.
+    pub fn or(&self, other: &BitSet) -> BitSet {
+        let (long, short) = if self.words.len() >= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        let mut words = long.clone();
+        for (w, s) in words.iter_mut().zip(short.iter()) {
+            *w |= s;
+        }
+        BitSet { words }
+    }
+
+    /// `self \ other` as a new set.
+    pub fn and_not(&self, other: &BitSet) -> BitSet {
+        let mut words = self.words.clone();
+        for (w, o) in words.iter_mut().zip(other.words.iter()) {
+            *w &= !o;
+        }
+        BitSet { words }
+    }
+
+    /// In-place `self ∩= other`.
+    pub fn and_assign(&mut self, other: &BitSet) {
+        let n = self.words.len().min(other.words.len());
+        for (w, o) in self.words[..n].iter_mut().zip(&other.words[..n]) {
+            *w &= o;
+        }
+        for w in &mut self.words[n..] {
+            *w = 0;
+        }
+    }
+
+    /// In-place `self ∪= other`.
+    pub fn or_assign(&mut self, other: &BitSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+    }
+
+    /// `|self ∩ other|` without materialising the intersection — the
+    /// pairwise-cache inner loop: one `&` and one popcount per word pair.
+    pub fn and_count(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether the sets share any id (short-circuits on the first hit).
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates set ids in ascending order via per-word trailing-zero
+    /// scans.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut set = BitSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = u32;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending set-bit iterator over a [`BitSet`].
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1; // clear lowest set bit
+        Some((self.word_idx * 64) as u32 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn set(ids: &[u32]) -> BitSet {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(64));
+        assert!(s.insert(1000));
+        assert!(!s.insert(3), "reinsert reports existing");
+        assert!(s.contains(3) && s.contains(64) && s.contains(1000));
+        assert!(!s.contains(4) && !s.contains(63) && !s.contains(100_000));
+        assert_eq!(s.count(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 2);
+        assert!(!s.is_empty());
+        assert!(BitSet::new().is_empty());
+    }
+
+    #[test]
+    fn algebra_matches_hashset_semantics() {
+        let a = set(&[0, 5, 63, 64, 100, 200]);
+        let b = set(&[5, 64, 150, 200, 300]);
+        let ha: HashSet<u32> = a.iter().collect();
+        let hb: HashSet<u32> = b.iter().collect();
+
+        let and: HashSet<u32> = a.and(&b).iter().collect();
+        assert_eq!(and, ha.intersection(&hb).copied().collect());
+        let or: HashSet<u32> = a.or(&b).iter().collect();
+        assert_eq!(or, ha.union(&hb).copied().collect());
+        let diff: HashSet<u32> = a.and_not(&b).iter().collect();
+        assert_eq!(diff, ha.difference(&hb).copied().collect());
+        assert_eq!(a.and_count(&b), a.and(&b).count());
+        assert!(a.intersects(&b));
+        assert!(!set(&[1]).intersects(&set(&[2])));
+    }
+
+    #[test]
+    fn mixed_lengths_pad_with_zero() {
+        let short = set(&[1, 2]);
+        let long = set(&[2, 500]);
+        assert_eq!(short.and(&long).iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(long.and(&short).iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(short.or(&long).count(), 3);
+        assert_eq!(long.and_not(&short).iter().collect::<Vec<_>>(), vec![500]);
+        assert_eq!(short.and_not(&long).iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(short.and_count(&long), 1);
+
+        let mut acc = set(&[2, 500]);
+        acc.and_assign(&short);
+        assert_eq!(acc.iter().collect::<Vec<_>>(), vec![2]);
+        let mut acc = short.clone();
+        acc.or_assign(&long);
+        assert_eq!(acc.count(), 3);
+        assert!(acc.contains(500));
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete() {
+        let ids = [0u32, 1, 63, 64, 65, 127, 128, 1000, 4095];
+        let s = set(&ids);
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids.to_vec());
+        assert_eq!(set(&[]).iter().count(), 0);
+    }
+
+    #[test]
+    fn and_assign_clears_tail_words() {
+        let mut a = set(&[1, 700]);
+        a.and_assign(&set(&[1]));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
+        assert!(!a.contains(700));
+    }
+}

@@ -2,10 +2,9 @@
 //! query with the mixed clause built from their profile, and scoring the
 //! returned tuples with combined intensities (§4.6.1).
 
-use std::collections::HashMap;
-
 use relstore::{Predicate, SelectQuery, Value};
 
+use crate::bitset::BitSet;
 use crate::combine::{mixed_clause, Combination, PrefAtom};
 use crate::error::Result;
 use crate::exec::{BaseQuery, Executor};
@@ -53,16 +52,25 @@ pub type ScoredTuple = (Value, f64);
 /// sorted by descending intensity, ties by ascending tuple value for
 /// determinism.
 pub fn score_tuples(exec: &Executor<'_>, atoms: &[PrefAtom]) -> Result<Vec<ScoredTuple>> {
-    // Accumulate ∏(1 − p) per tuple, then flip to 1 − ∏ at the end.
-    let mut residual: HashMap<Value, f64> = HashMap::new();
+    // Accumulate ∏(1 − p) per tuple in a dense array indexed by interned
+    // tuple id, then flip to 1 − ∏ at the end. Identities only
+    // materialise for the matched tuples.
+    let mut residual: Vec<f64> = Vec::new();
+    let mut touched = BitSet::new();
     for atom in atoms {
-        for tuple in exec.tuples(&atom.predicate)? {
-            *residual.entry(tuple).or_insert(1.0) *= 1.0 - atom.intensity;
+        let set = exec.tuple_set(&atom.predicate)?;
+        for id in set.iter() {
+            let idx = id as usize;
+            if idx >= residual.len() {
+                residual.resize(idx + 1, 1.0);
+            }
+            residual[idx] *= 1.0 - atom.intensity;
+            touched.insert(id);
         }
     }
-    let mut out: Vec<ScoredTuple> = residual
-        .into_iter()
-        .map(|(t, r)| (t, 1.0 - r))
+    let mut out: Vec<ScoredTuple> = touched
+        .iter()
+        .map(|id| (exec.tuple_value(id), 1.0 - residual[id as usize]))
         .collect();
     out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     Ok(out)
@@ -81,11 +89,12 @@ pub fn score_tuples_with_negatives(
     if negatives.is_empty() {
         return Ok(scored);
     }
-    let mut banned: std::collections::HashSet<Value> = std::collections::HashSet::new();
+    let mut banned = BitSet::new();
     for neg in negatives {
-        banned.extend(exec.tuples(neg)?);
+        let set = exec.tuple_set(neg)?;
+        banned.or_assign(&set);
     }
-    scored.retain(|(t, _)| !banned.contains(t));
+    scored.retain(|(t, _)| exec.tuple_id(t).is_none_or(|id| !banned.contains(id)));
     Ok(scored)
 }
 
@@ -134,7 +143,11 @@ mod tests {
                 parse_predicate("cars.mileage BETWEEN 20000 AND 50000").unwrap(),
                 0.5,
             ),
-            PrefAtom::new(2, parse_predicate("cars.make IN ('BMW','Honda')").unwrap(), 0.2),
+            PrefAtom::new(
+                2,
+                parse_predicate("cars.make IN ('BMW','Honda')").unwrap(),
+                0.2,
+            ),
         ]
     }
 
@@ -160,7 +173,10 @@ mod tests {
         let mut atoms = example6_atoms();
         atoms.reverse();
         let scored = score_tuples(&exec, &atoms).unwrap();
-        assert!((scored[0].1 - 0.92).abs() < 1e-12, "Proposition 1 in action");
+        assert!(
+            (scored[0].1 - 0.92).abs() < 1e-12,
+            "Proposition 1 in action"
+        );
     }
 
     #[test]
@@ -175,8 +191,7 @@ mod tests {
         let db = dealership();
         let exec = Executor::new(&db, BaseQuery::single("cars", ColRef::parse("cars.id")));
         let negatives = vec![parse_predicate("cars.make='Honda'").unwrap()];
-        let scored =
-            score_tuples_with_negatives(&exec, &example6_atoms(), &negatives).unwrap();
+        let scored = score_tuples_with_negatives(&exec, &example6_atoms(), &negatives).unwrap();
         assert_eq!(scored.len(), 1);
         assert_eq!(scored[0].0, Value::Int(2));
     }

@@ -36,7 +36,10 @@ impl fmt::Display for HypreError {
                 write!(f, "qualitative intensity {v} outside [0, 1]")
             }
             HypreError::SelfPreference(p) => {
-                write!(f, "qualitative preference relates predicate '{p}' to itself")
+                write!(
+                    f,
+                    "qualitative preference relates predicate '{p}' to itself"
+                )
             }
             HypreError::UnknownUser(uid) => write!(f, "no preferences stored for user {uid}"),
             HypreError::Rel(e) => write!(f, "relational engine: {e}"),
@@ -81,6 +84,8 @@ mod tests {
         assert!(e.to_string().contains("relational"));
         let e: HypreError = GraphError::NodeNotFound(3).into();
         assert!(e.to_string().contains("graph"));
-        assert!(HypreError::IntensityOutOfRange(1.5).to_string().contains("1.5"));
+        assert!(HypreError::IntensityOutOfRange(1.5)
+            .to_string()
+            .contains("1.5"));
     }
 }

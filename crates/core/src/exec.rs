@@ -1,6 +1,7 @@
 //! Query execution services for the combination algorithms: the base-query
 //! shape, applicability checks (Definition 15) with memoisation, and the
-//! pre-computed pairwise combination list used by PEPS (§5.5).
+//! pre-computed pairwise combination list used by PEPS (§5.5) — all built
+//! on a dense tuple-id interner and packed-bitset set algebra.
 //!
 //! ## Combination semantics
 //!
@@ -17,18 +18,40 @@
 //! per attribute, author grades `f∧`-aggregated per paper) — the reported
 //! 100 % PEPS/TA agreement is only possible under these semantics.
 //!
-//! Concretely the executor materialises each preference's distinct-key
-//! *tuple set* once (memoised) and evaluates combinations by set algebra:
-//! intersection for `AND`, union for `OR`. This also collapses the
-//! pairwise-cache build from `n(n−1)/2` SQL queries to `n` queries plus
-//! cheap set intersections.
+//! ## The interner + bitset architecture
+//!
+//! The executor evaluates combinations by set algebra — intersection for
+//! `AND`, union for `OR` — but never over heap `HashSet<Value>`s. Instead:
+//!
+//! 1. A [`TupleInterner`] maps every distinct key value (`dblp.pid`) the
+//!    base query surfaces to a dense `u32` id, assigned on first sight and
+//!    stable for the executor's lifetime. The mapping is fed by
+//!    `relstore`'s `distinct_row_set` fast path, which deduplicates by
+//!    row id and short-circuits join expansion, so interning clones each
+//!    key value exactly once — not once per joined row.
+//! 2. Each preference's *tuple set* is a word-packed
+//!    [`BitSet`](crate::bitset::BitSet) over those ids, materialised once
+//!    per distinct predicate (memoised on the predicate's canonical text;
+//!    one SQL query per predicate, ever) and shared as
+//!    [`TupleSet`] (`Rc<BitSet>`).
+//! 3. Combination evaluation is then word-wide `&`/`|` loops, counts are
+//!    popcounts, and applicability (Definition 15) is a zero-test. The
+//!    [`PairwiseCache`] build collapses from `n(n−1)/2` SQL queries to
+//!    `n` tuple-set fetches plus `n(n−1)/2` AND-popcount passes that
+//!    never materialise an intersection.
+//!
+//! Tuple *identities* (`Value`s) only reappear at the API boundary
+//! ([`Executor::tuples`], [`Executor::tuples_and`],
+//! [`Executor::values_of`]), where ids are translated back through the
+//! interner and sorted for determinism.
 
-use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet};
+use std::cell::{Cell, Ref, RefCell};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use relstore::{ColRef, Database, Predicate, SelectQuery, Value};
 
+use crate::bitset::BitSet;
 use crate::combine::{f_and, PrefAtom};
 use crate::error::Result;
 
@@ -84,10 +107,65 @@ impl BaseQuery {
         }
         q.filter(filter.clone())
     }
+
+    /// Whether `key` is a column of the driving table — the precondition
+    /// for the interner's zero-clone `distinct_row_set` feed.
+    fn key_on_driver(&self) -> bool {
+        match &self.key.table {
+            Some(t) => *t == self.table,
+            None => true, // unqualified keys resolve on the driver in practice
+        }
+    }
 }
 
-/// A shared, immutable tuple set (distinct key values).
-pub type TupleSet = Rc<HashSet<Value>>;
+/// Interns the base query's distinct key values into dense `u32` tuple
+/// ids, assigned in first-sight order and stable for the executor's
+/// lifetime. The id space doubles as the index space of every
+/// [`BitSet`]-backed tuple set and of PEPS's dense ranking array.
+#[derive(Debug, Clone, Default)]
+pub struct TupleInterner {
+    ids: HashMap<Value, u32>,
+    values: Vec<Value>,
+}
+
+impl TupleInterner {
+    /// Number of interned tuple identities (the id-space size).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The id of an already-interned value.
+    pub fn id(&self, value: &Value) -> Option<u32> {
+        self.ids.get(value).copied()
+    }
+
+    /// The value behind an id.
+    ///
+    /// # Panics
+    /// Panics if the id was never issued by this interner.
+    pub fn value(&self, id: u32) -> &Value {
+        &self.values[id as usize]
+    }
+
+    /// Interns a value, cloning it only on first sight.
+    fn intern(&mut self, value: &Value) -> u32 {
+        if let Some(&id) = self.ids.get(value) {
+            return id;
+        }
+        let id = u32::try_from(self.values.len()).expect("more than u32::MAX tuple identities");
+        self.ids.insert(value.clone(), id);
+        self.values.push(value.clone());
+        id
+    }
+}
+
+/// A shared, immutable tuple set: a packed bitset over interned tuple ids.
+pub type TupleSet = Rc<BitSet>;
 
 /// Runs preference-enhanced queries with per-preference tuple-set
 /// memoisation and query accounting (the combination algorithms are
@@ -95,6 +173,7 @@ pub type TupleSet = Rc<HashSet<Value>>;
 pub struct Executor<'db> {
     db: &'db Database,
     base: BaseQuery,
+    interner: RefCell<TupleInterner>,
     atom_cache: RefCell<HashMap<String, TupleSet>>,
     queries_run: Cell<usize>,
     cache_hits: Cell<usize>,
@@ -106,6 +185,7 @@ impl<'db> Executor<'db> {
         Executor {
             db,
             base,
+            interner: RefCell::new(TupleInterner::default()),
             atom_cache: RefCell::new(HashMap::new()),
             queries_run: Cell::new(0),
             cache_hits: Cell::new(0),
@@ -123,12 +203,49 @@ impl<'db> Executor<'db> {
     }
 
     // ------------------------------------------------------------------
+    // tuple-id boundary
+    // ------------------------------------------------------------------
+
+    /// Read access to the interner (id ⇄ value mapping).
+    pub fn interner(&self) -> Ref<'_, TupleInterner> {
+        self.interner.borrow()
+    }
+
+    /// Size of the interned id space so far — the upper bound for ids in
+    /// any tuple set this executor has produced.
+    pub fn tuple_universe(&self) -> usize {
+        self.interner.borrow().len()
+    }
+
+    /// The tuple identity behind an interned id.
+    ///
+    /// # Panics
+    /// Panics if the id was never issued by this executor's interner.
+    pub fn tuple_value(&self, id: u32) -> Value {
+        self.interner.borrow().value(id).clone()
+    }
+
+    /// The interned id of a tuple identity, if this executor has seen it.
+    pub fn tuple_id(&self, value: &Value) -> Option<u32> {
+        self.interner.borrow().id(value)
+    }
+
+    /// Translates a bitset back to sorted tuple identities — the only
+    /// place ids become `Value`s again.
+    pub fn values_of(&self, set: &BitSet) -> Vec<Value> {
+        let interner = self.interner.borrow();
+        let mut out: Vec<Value> = set.iter().map(|id| interner.value(id).clone()).collect();
+        out.sort();
+        out
+    }
+
+    // ------------------------------------------------------------------
     // single-preference (unit) evaluation
     // ------------------------------------------------------------------
 
-    /// The distinct key values matched by one preference predicate,
-    /// memoised on the predicate's canonical text. One SQL query per
-    /// distinct predicate, ever.
+    /// The tuple set matched by one preference predicate, memoised on the
+    /// predicate's canonical text. One SQL query per distinct predicate,
+    /// ever.
     pub fn tuple_set(&self, unit: &Predicate) -> Result<TupleSet> {
         let key = unit.canonical();
         if let Some(set) = self.atom_cache.borrow().get(&key) {
@@ -136,20 +253,43 @@ impl<'db> Executor<'db> {
             return Ok(Rc::clone(set));
         }
         self.queries_run.set(self.queries_run.get() + 1);
-        let values = self
-            .base
-            .select_for(unit)
-            .distinct_values(self.db, &self.base.key)?;
-        let set: TupleSet = Rc::new(values.into_iter().collect());
-        self.atom_cache
-            .borrow_mut()
-            .insert(key, Rc::clone(&set));
+        let set: TupleSet = Rc::new(self.run_and_intern(unit)?);
+        self.atom_cache.borrow_mut().insert(key, Rc::clone(&set));
         Ok(set)
     }
 
-    /// `COUNT(DISTINCT key)` for one preference predicate.
+    /// Runs the unit's enhanced query and interns its distinct keys.
+    fn run_and_intern(&self, unit: &Predicate) -> Result<BitSet> {
+        let q = self.base.select_for(unit);
+        let mut bits = BitSet::new();
+        if self.base.key_on_driver() {
+            // Fast path: distinct driving rows (no Value hashed or cloned
+            // per joined row), then one interner probe per distinct row.
+            let driver = self.db.table(&self.base.table)?;
+            if let Some(key_idx) = driver.schema().index_of(&self.base.key.column) {
+                let mut interner = self.interner.borrow_mut();
+                for rid in q.distinct_row_set(self.db)? {
+                    let row = driver.row(rid).expect("row ids from the scan are valid");
+                    let v = &row[key_idx];
+                    if !v.is_null() {
+                        bits.insert(interner.intern(v));
+                    }
+                }
+                return Ok(bits);
+            }
+        }
+        // General path: the key lives on a joined table; fall back to
+        // value-level deduplication.
+        let mut interner = self.interner.borrow_mut();
+        for v in q.distinct_values(self.db, &self.base.key)? {
+            bits.insert(interner.intern(&v));
+        }
+        Ok(bits)
+    }
+
+    /// `COUNT(DISTINCT key)` for one preference predicate (a popcount).
     pub fn count(&self, unit: &Predicate) -> Result<u64> {
-        Ok(self.tuple_set(unit)?.len() as u64)
+        Ok(self.tuple_set(unit)?.count() as u64)
     }
 
     /// Definition 15: a predicate is *applicable* when the enhanced query
@@ -162,72 +302,74 @@ impl<'db> Executor<'db> {
     /// for determinism.
     pub fn tuples(&self, unit: &Predicate) -> Result<Vec<Value>> {
         let set = self.tuple_set(unit)?;
-        let mut out: Vec<Value> = set.iter().cloned().collect();
-        out.sort();
-        Ok(out)
+        Ok(self.values_of(&set))
     }
 
     // ------------------------------------------------------------------
-    // combination evaluation (set algebra over preference units)
+    // combination evaluation (bitset algebra over preference units)
     // ------------------------------------------------------------------
 
     /// The tuple set of an AND combination: the intersection of the member
-    /// preferences' tuple sets.
-    pub fn and_set(&self, units: &[&Predicate]) -> Result<HashSet<Value>> {
+    /// preferences' tuple sets (smallest-first word-AND loops).
+    pub fn and_set(&self, units: &[&Predicate]) -> Result<BitSet> {
         let mut sets = Vec::with_capacity(units.len());
         for u in units {
             sets.push(self.tuple_set(u)?);
         }
-        // Intersect starting from the smallest set.
-        sets.sort_by_key(|s| s.len());
-        let Some(first) = sets.first() else {
-            return Ok(HashSet::new());
-        };
-        let mut acc: HashSet<Value> = first.iter().cloned().collect();
-        for s in &sets[1..] {
-            acc.retain(|v| s.contains(v));
-            if acc.is_empty() {
-                break;
-            }
-        }
-        Ok(acc)
+        Ok(intersect_all(sets))
     }
 
     /// `COUNT(DISTINCT key)` of an AND combination.
     pub fn count_and(&self, units: &[&Predicate]) -> Result<u64> {
-        Ok(self.and_set(units)?.len() as u64)
+        Ok(self.and_set(units)?.count() as u64)
     }
 
     /// Whether an AND combination is applicable.
     pub fn is_applicable_and(&self, units: &[&Predicate]) -> Result<bool> {
-        Ok(!self.and_set(units)?.is_empty())
+        if units.is_empty() {
+            return Ok(false);
+        }
+        // Pairwise screen: if any two members don't intersect, neither
+        // does the whole combination — no intersection is materialised.
+        let mut sets = Vec::with_capacity(units.len());
+        for u in units {
+            sets.push(self.tuple_set(u)?);
+        }
+        for (i, a) in sets.iter().enumerate() {
+            for b in &sets[i + 1..] {
+                if !a.intersects(b) {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(!intersect_all(sets).is_empty())
     }
 
     /// Sorted tuple identities of an AND combination.
     pub fn tuples_and(&self, units: &[&Predicate]) -> Result<Vec<Value>> {
-        let mut out: Vec<Value> = self.and_set(units)?.into_iter().collect();
-        out.sort();
-        Ok(out)
+        let set = self.and_set(units)?;
+        Ok(self.values_of(&set))
     }
 
     /// The tuple set of a mixed clause: groups are OR-ed (union) within and
     /// AND-ed (intersection) across — the §4.6 combination rule.
-    pub fn mixed_set(&self, groups: &[Vec<&Predicate>]) -> Result<HashSet<Value>> {
-        let mut group_sets: Vec<HashSet<Value>> = Vec::with_capacity(groups.len());
+    pub fn mixed_set(&self, groups: &[Vec<&Predicate>]) -> Result<BitSet> {
+        let mut group_sets: Vec<BitSet> = Vec::with_capacity(groups.len());
         for group in groups {
-            let mut union: HashSet<Value> = HashSet::new();
+            let mut union = BitSet::new();
             for u in group {
-                union.extend(self.tuple_set(u)?.iter().cloned());
+                let set = self.tuple_set(u)?;
+                union.or_assign(&set);
             }
             group_sets.push(union);
         }
-        group_sets.sort_by_key(HashSet::len);
+        group_sets.sort_by_key(BitSet::count);
         let Some(first) = group_sets.first() else {
-            return Ok(HashSet::new());
+            return Ok(BitSet::new());
         };
         let mut acc = first.clone();
         for s in &group_sets[1..] {
-            acc.retain(|v| s.contains(v));
+            acc.and_assign(s);
             if acc.is_empty() {
                 break;
             }
@@ -237,7 +379,7 @@ impl<'db> Executor<'db> {
 
     /// `COUNT(DISTINCT key)` of a mixed clause.
     pub fn count_mixed(&self, groups: &[Vec<&Predicate>]) -> Result<u64> {
-        Ok(self.mixed_set(groups)?.len() as u64)
+        Ok(self.mixed_set(groups)?.count() as u64)
     }
 
     // ------------------------------------------------------------------
@@ -253,6 +395,22 @@ impl<'db> Executor<'db> {
     pub fn cache_hits(&self) -> usize {
         self.cache_hits.get()
     }
+}
+
+/// Intersects shared tuple sets smallest-first, bailing on empty.
+fn intersect_all(mut sets: Vec<TupleSet>) -> BitSet {
+    sets.sort_by_key(|s| s.count());
+    let Some(first) = sets.first() else {
+        return BitSet::new();
+    };
+    let mut acc: BitSet = (**first).clone();
+    for s in &sets[1..] {
+        acc.and_assign(s);
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc
 }
 
 /// One entry of the pre-computed pairwise combination list (§5.5): an
@@ -280,8 +438,14 @@ impl PairEntry {
 /// The pre-computed list of all AND-combinations of two preferences,
 /// "updated when the preference graph is updated" (§5.5). Both PEPS
 /// variants consult it to seed and prune their expansions.
+///
+/// Entries are stored in `(i, j)` lexicographic order over all `i < j`,
+/// which makes [`PairwiseCache::entry`] a closed-form triangular index
+/// instead of a linear scan.
 #[derive(Debug, Clone, Default)]
 pub struct PairwiseCache {
+    /// Profile size the cache was built for.
+    n: usize,
     entries: Vec<PairEntry>,
     /// entry indexes grouped by first member, each sorted by descending
     /// combined intensity (the retrieval order PEPS wants).
@@ -289,8 +453,9 @@ pub struct PairwiseCache {
 }
 
 impl PairwiseCache {
-    /// Builds the cache for a profile: `n` tuple-set queries through the
-    /// executor plus `n(n−1)/2` set intersections.
+    /// Builds the cache for a profile: `n` tuple-set fetches through the
+    /// executor plus `n(n−1)/2` word-AND popcount passes — no pairwise
+    /// intersection is ever materialised.
     pub fn build(atoms: &[PrefAtom], exec: &Executor<'_>) -> Result<Self> {
         let mut sets = Vec::with_capacity(atoms.len());
         for a in atoms {
@@ -299,17 +464,11 @@ impl PairwiseCache {
         let mut entries = Vec::with_capacity(atoms.len() * atoms.len().saturating_sub(1) / 2);
         for (ai, a) in atoms.iter().enumerate() {
             for (bj, b) in atoms.iter().enumerate().skip(ai + 1) {
-                let (small, large) = if sets[ai].len() <= sets[bj].len() {
-                    (&sets[ai], &sets[bj])
-                } else {
-                    (&sets[bj], &sets[ai])
-                };
-                let count = small.iter().filter(|v| large.contains(*v)).count() as u64;
                 entries.push(PairEntry {
                     i: ai,
                     j: bj,
                     intensity: f_and(a.intensity, b.intensity),
-                    count,
+                    count: sets[ai].and_count(&sets[bj]) as u64,
                 });
             }
         }
@@ -327,7 +486,11 @@ impl PairwiseCache {
                     .then(entries[x].j.cmp(&entries[y].j))
             });
         }
-        Ok(PairwiseCache { entries, by_first })
+        Ok(PairwiseCache {
+            n: atoms.len(),
+            entries,
+            by_first,
+        })
     }
 
     /// All entries (applicable or not), in `(i, j)` order.
@@ -345,10 +508,20 @@ impl PairwiseCache {
             .map(move |&idx| &self.entries[idx])
     }
 
-    /// The entry for an unordered pair, if it exists.
+    /// The entry for an unordered pair, if it exists — a triangular-index
+    /// computation, O(1).
     pub fn entry(&self, a: usize, b: usize) -> Option<&PairEntry> {
         let (i, j) = if a < b { (a, b) } else { (b, a) };
-        self.entries.iter().find(|e| e.i == i && e.j == j)
+        if a == b || j >= self.n {
+            return None;
+        }
+        // Row i starts after the i previous rows of lengths n−1, …, n−i.
+        let idx = i * (2 * self.n - i - 1) / 2 + (j - i - 1);
+        debug_assert!({
+            let e = &self.entries[idx];
+            e.i == i && e.j == j
+        });
+        self.entries.get(idx)
     }
 
     /// Whether the unordered pair is applicable.
@@ -451,8 +624,8 @@ mod tests {
         let a = p("dblp_author.aid=10");
         let b = p("dblp_author.aid=11");
         let set = exec.and_set(&[&a, &b]).unwrap();
-        assert_eq!(set.len(), 1);
-        assert!(set.contains(&Value::Int(2)));
+        assert_eq!(set.count(), 1);
+        assert_eq!(exec.values_of(&set), vec![Value::Int(2)]);
     }
 
     #[test]
@@ -470,11 +643,9 @@ mod tests {
         let db = db();
         let exec = Executor::new(&db, BaseQuery::dblp());
         let a = p("dblp.year>=2008");
-        assert_eq!(
-            exec.count_and(&[&a]).unwrap(),
-            exec.count(&a).unwrap()
-        );
+        assert_eq!(exec.count_and(&[&a]).unwrap(), exec.count(&a).unwrap());
         assert_eq!(exec.count_and(&[]).unwrap(), 0, "empty AND is empty");
+        assert!(!exec.is_applicable_and(&[]).unwrap());
     }
 
     #[test]
@@ -488,8 +659,8 @@ mod tests {
         let set = exec
             .mixed_set(&[vec![&venue_a, &venue_b], vec![&recent]])
             .unwrap();
-        assert_eq!(set.len(), 2);
-        assert!(set.contains(&Value::Int(2)) && set.contains(&Value::Int(4)));
+        assert_eq!(set.count(), 2);
+        assert_eq!(exec.values_of(&set), vec![Value::Int(2), Value::Int(4)]);
         assert_eq!(
             exec.count_mixed(&[vec![&venue_a, &venue_b], vec![&recent]])
                 .unwrap(),
@@ -507,6 +678,26 @@ mod tests {
         let b = p("dblp.venue='VLDB'");
         let vals = exec.tuples_and(&[&a, &b]).unwrap();
         assert_eq!(vals, vec![Value::Int(2)]);
+    }
+
+    #[test]
+    fn interner_round_trips_identities() {
+        let db = db();
+        let exec = Executor::new(&db, BaseQuery::dblp());
+        let set = exec.tuple_set(&p("dblp.year>=2008")).unwrap();
+        assert_eq!(set.count(), 3);
+        for id in set.iter() {
+            let value = exec.tuple_value(id);
+            assert_eq!(exec.tuple_id(&value), Some(id), "id ⇄ value round trip");
+        }
+        assert!(exec.tuple_universe() >= 3);
+        assert_eq!(exec.tuple_id(&Value::Int(999)), None);
+        // ids are stable across further queries
+        let before: Vec<(u32, Value)> = set.iter().map(|id| (id, exec.tuple_value(id))).collect();
+        exec.tuple_set(&p("dblp.venue='VLDB'")).unwrap();
+        for (id, value) in before {
+            assert_eq!(exec.tuple_value(id), value);
+        }
     }
 
     #[test]
@@ -549,5 +740,33 @@ mod tests {
         assert_eq!(from0.len(), 2);
         assert!(from0[0].intensity >= from0[1].intensity);
         assert_eq!(from0[0].j, 2, "higher-intensity partner first");
+    }
+
+    #[test]
+    fn triangular_entry_lookup_covers_every_pair() {
+        let db = db();
+        let exec = Executor::new(&db, BaseQuery::dblp());
+        let atoms = vec![
+            atom(0, "dblp.year>=2006", 0.9),
+            atom(1, "dblp.venue='VLDB'", 0.7),
+            atom(2, "dblp_author.aid=11", 0.5),
+            atom(3, "dblp.venue='PODS'", 0.4),
+            atom(4, "dblp.year>=2010", 0.2),
+        ];
+        let cache = PairwiseCache::build(&atoms, &exec).unwrap();
+        assert_eq!(cache.entries().len(), 10);
+        for i in 0..atoms.len() {
+            for j in 0..atoms.len() {
+                let got = cache.entry(i, j);
+                if i == j {
+                    assert!(got.is_none(), "diagonal ({i},{j})");
+                } else {
+                    let e = got.unwrap_or_else(|| panic!("missing entry ({i},{j})"));
+                    assert_eq!((e.i, e.j), (i.min(j), i.max(j)));
+                }
+            }
+        }
+        assert!(cache.entry(0, 7).is_none(), "out of range");
+        assert!(PairwiseCache::default().entry(0, 1).is_none());
     }
 }

@@ -47,7 +47,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use graphstore::{EdgeId, NodeId, PropertyGraph, PropValue};
+use graphstore::{EdgeId, NodeId, PropValue, PropertyGraph};
 use relstore::{parse_predicate, Predicate};
 
 use crate::combine::PrefAtom;
@@ -306,16 +306,16 @@ impl HypreGraph {
                     // endpoint (no other PREFERS connection), else discard.
                     let prefers = Some(EdgeKind::Prefers.label());
                     if self.graph.degree(left, prefers) == 0 {
-                        let new_l = self
-                            .model
-                            .propagate(Position::Left, ql, Intensity::saturating(r));
+                        let new_l =
+                            self.model
+                                .propagate(Position::Left, ql, Intensity::saturating(r));
                         self.set_intensity(left, new_l.value(), Provenance::SystemComputed);
                         recomputed.push((left, new_l.value()));
                         EdgeKind::Prefers
                     } else if self.graph.degree(right, prefers) == 0 {
-                        let new_r = self
-                            .model
-                            .propagate(Position::Right, ql, Intensity::saturating(l));
+                        let new_r =
+                            self.model
+                                .propagate(Position::Right, ql, Intensity::saturating(l));
                         self.set_intensity(right, new_r.value(), Provenance::SystemComputed);
                         recomputed.push((right, new_r.value()));
                         EdgeKind::Prefers
@@ -339,10 +339,7 @@ impl HypreGraph {
     /// intensity strictly dominates *and* both values are user-provided.
     /// Exposed for auditing; insertion uses the reconciled prose semantics
     /// (module docs).
-    pub fn algorithm7_check_conflict(
-        left: (f64, Provenance),
-        right: (f64, Provenance),
-    ) -> bool {
+    pub fn algorithm7_check_conflict(left: (f64, Provenance), right: (f64, Provenance)) -> bool {
         !(left.0 > right.0
             && left.1 == Provenance::UserProvided
             && right.1 == Provenance::UserProvided)
@@ -545,10 +542,7 @@ impl HypreGraph {
             let ri = self.node_intensity(e.to()).map(|(v, _)| v);
             if let (Some(l), Some(r)) = (li, ri) {
                 if l < r - 1e-12 {
-                    return Err(format!(
-                        "PREFERS edge {} has left {l} < right {r}",
-                        e.id()
-                    ));
+                    return Err(format!("PREFERS edge {} has left {l} < right {r}", e.id()));
                 }
             }
             for v in [li, ri].into_iter().flatten() {
@@ -611,8 +605,7 @@ impl HypreGraph {
             .filter_map(|e| EdgeKind::parse(e.label()).map(|k| (e.id(), e.from(), e.to(), k)))
             .collect();
         for (id, from, to, kind) in incident {
-            let (Some((l, _)), Some((r, _))) =
-                (self.node_intensity(from), self.node_intensity(to))
+            let (Some((l, _)), Some((r, _))) = (self.node_intensity(from), self.node_intensity(to))
             else {
                 continue;
             };
@@ -622,17 +615,18 @@ impl HypreGraph {
                         .set_edge_label(id, EdgeKind::Discard.label())
                         .expect("edge exists");
                 }
-                EdgeKind::Discard if l >= r => {
-                    if !graphstore::traverse::would_create_cycle(
-                        &self.graph,
-                        from,
-                        to,
-                        Some(EdgeKind::Prefers.label()),
-                    ) {
-                        self.graph
-                            .set_edge_label(id, EdgeKind::Prefers.label())
-                            .expect("edge exists");
-                    }
+                EdgeKind::Discard
+                    if l >= r
+                        && !graphstore::traverse::would_create_cycle(
+                            &self.graph,
+                            from,
+                            to,
+                            Some(EdgeKind::Prefers.label()),
+                        ) =>
+                {
+                    self.graph
+                        .set_edge_label(id, EdgeKind::Prefers.label())
+                        .expect("edge exists");
                 }
                 _ => {}
             }
@@ -853,7 +847,9 @@ mod tests {
         let positive = g.positive_profile(UserId(1));
         assert_eq!(positive.len(), 3);
         assert_eq!(positive[0].index, 0);
-        assert!(positive.windows(2).all(|w| w[0].intensity >= w[1].intensity));
+        assert!(positive
+            .windows(2)
+            .all(|w| w[0].intensity >= w[1].intensity));
         let negatives = g.negative_preferences(UserId(1));
         assert_eq!(negatives.len(), 1);
         // another user sees nothing
@@ -872,7 +868,10 @@ mod tests {
         assert_eq!(g.users(), vec![UserId(1), UserId(2)]);
         assert_eq!(g.user_nodes(UserId(1)).len(), 1);
         let (v1, _) = g
-            .node_intensity(g.find_node(UserId(1), &parse_predicate("a=1").unwrap()).unwrap())
+            .node_intensity(
+                g.find_node(UserId(1), &parse_predicate("a=1").unwrap())
+                    .unwrap(),
+            )
             .unwrap();
         assert_eq!(v1, 0.5);
     }
@@ -925,7 +924,7 @@ mod tests {
         let mut g = HypreGraph::new();
         let out = g.add_qualitative(&ql(1, "a=1", "b=2", 0.0)).unwrap();
         g.add_quantitative(&qt(1, "b=2", 0.9)); // demotes to DISCARD
-        // the user then upgrades `a` past `b`: the edge becomes valid again
+                                                // the user then upgrades `a` past `b`: the edge becomes valid again
         g.add_quantitative(&qt(1, "a=1", 0.95));
         let edge = g.graph().edge(out.edge).unwrap();
         assert_eq!(edge.label(), EdgeKind::Prefers.label());
@@ -990,7 +989,10 @@ mod tests {
         g.add_quantitative(&qt(1, "b=2", 0.2));
         let out = g.add_qualitative(&ql(1, "x=1", "y=2", 0.5)).unwrap();
         let (r, _) = g.node_intensity(out.right).unwrap();
-        assert!((r - 0.3).abs() < 1e-12, "avg_pos of 0.4, 0.2 = 0.3, got {r}");
+        assert!(
+            (r - 0.3).abs() < 1e-12,
+            "avg_pos of 0.4, 0.2 = 0.3, got {r}"
+        );
     }
 
     #[test]

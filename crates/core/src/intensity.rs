@@ -214,7 +214,10 @@ impl DefaultValueStrategy {
             }
             DefaultValueStrategy::Max => fold(existing.iter().copied(), f64::max).unwrap_or(0.0),
             DefaultValueStrategy::MaxPositive => fold(
-                existing.iter().copied().filter(|&v| (0.0..1.0).contains(&v)),
+                existing
+                    .iter()
+                    .copied()
+                    .filter(|&v| (0.0..1.0).contains(&v)),
                 f64::max,
             )
             .unwrap_or(0.0),

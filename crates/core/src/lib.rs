@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod algo;
+pub mod bitset;
 pub mod combine;
 pub mod enhance;
 pub mod error;
@@ -77,13 +78,14 @@ pub mod prelude {
     pub use crate::algo::partially_combine_all::partially_combine_all;
     pub use crate::algo::peps::{proposition6_bound, Peps, PepsVariant, RankedTuple};
     pub use crate::algo::CombinationRecord;
+    pub use crate::bitset::BitSet;
     pub use crate::combine::{
-        combine_pair, f_and, f_and_all, f_or, f_or_fold, mixed_clause, CombineSemantics,
-        Combination, PrefAtom,
+        combine_pair, f_and, f_and_all, f_or, f_or_fold, mixed_clause, Combination,
+        CombineSemantics, PrefAtom,
     };
     pub use crate::enhance::{enhance_query, score_tuples, EnhancedQuery, ScoredTuple};
     pub use crate::error::{HypreError, Result};
-    pub use crate::exec::{BaseQuery, Executor, PairEntry, PairwiseCache};
+    pub use crate::exec::{BaseQuery, Executor, PairEntry, PairwiseCache, TupleInterner};
     pub use crate::graph::{
         EdgeKind, HypreGraph, IngestReport, QualInsertOutcome, StoredPreference, NODE_LABEL,
     };

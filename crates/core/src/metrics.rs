@@ -151,10 +151,8 @@ pub fn similarity(a: &[Value], b: &[Value]) -> f64 {
 /// positional overlap of [`overlap`] then punishes arbitrary tie-break
 /// differences that carry no preference information.
 pub fn order_concordance(a: &[(Value, f64)], b: &[(Value, f64)]) -> f64 {
-    let score_a: std::collections::HashMap<&Value, f64> =
-        a.iter().map(|(t, g)| (t, *g)).collect();
-    let score_b: std::collections::HashMap<&Value, f64> =
-        b.iter().map(|(t, g)| (t, *g)).collect();
+    let score_a: std::collections::HashMap<&Value, f64> = a.iter().map(|(t, g)| (t, *g)).collect();
+    let score_b: std::collections::HashMap<&Value, f64> = b.iter().map(|(t, g)| (t, *g)).collect();
     let common: Vec<&Value> = a
         .iter()
         .map(|(t, _)| t)
@@ -191,11 +189,7 @@ pub fn overlap(a: &[Value], b: &[Value]) -> f64 {
     }
     let fa: Vec<&Value> = a.iter().filter(|v| common.contains(v)).collect();
     let fb: Vec<&Value> = b.iter().filter(|v| common.contains(v)).collect();
-    let same = fa
-        .iter()
-        .zip(fb.iter())
-        .filter(|(x, y)| x == y)
-        .count();
+    let same = fa.iter().zip(fb.iter()).filter(|(x, y)| x == y).count();
     same as f64 / common.len() as f64
 }
 

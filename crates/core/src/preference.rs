@@ -76,7 +76,11 @@ impl QuantitativePref {
 
 impl fmt::Display for QuantitativePref {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] ({}, {})", self.user, self.predicate, self.intensity)
+        write!(
+            f,
+            "[{}] ({}, {})",
+            self.user, self.predicate, self.intensity
+        )
     }
 }
 
@@ -233,8 +237,7 @@ mod tests {
     #[test]
     fn proposition7_signed_normalisation() {
         // negative strength flips direction
-        let p =
-            QualitativePref::from_signed(UserId(1), pred("a=1"), pred("b=2"), -0.3).unwrap();
+        let p = QualitativePref::from_signed(UserId(1), pred("a=1"), pred("b=2"), -0.3).unwrap();
         assert_eq!(p.left, pred("b=2"));
         assert_eq!(p.right, pred("a=1"));
         assert!((p.intensity.value() - 0.3).abs() < 1e-12);
@@ -257,21 +260,13 @@ mod tests {
 
     #[test]
     fn preference_enum_dispatch() {
-        let q: Preference = QuantitativePref::new(
-            UserId(7),
-            pred("a=1"),
-            Intensity::new(0.1).unwrap(),
-        )
-        .into();
+        let q: Preference =
+            QuantitativePref::new(UserId(7), pred("a=1"), Intensity::new(0.1).unwrap()).into();
         assert_eq!(q.user(), UserId(7));
-        let ql: Preference = QualitativePref::new(
-            UserId(8),
-            pred("a=1"),
-            pred("b=2"),
-            QualIntensity::ZERO,
-        )
-        .unwrap()
-        .into();
+        let ql: Preference =
+            QualitativePref::new(UserId(8), pred("a=1"), pred("b=2"), QualIntensity::ZERO)
+                .unwrap()
+                .into();
         assert_eq!(ql.user(), UserId(8));
     }
 }

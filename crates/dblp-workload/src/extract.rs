@@ -28,9 +28,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use hypre_core::prelude::{
-    Intensity, QualitativePref, QuantitativePref, UserId,
-};
+use hypre_core::prelude::{Intensity, QualitativePref, QuantitativePref, UserId};
 use relstore::{CmpOp, ColRef, Predicate};
 
 use crate::model::DblpDataset;
@@ -116,7 +114,10 @@ impl ExtractedWorkload {
     /// All preferences of one user.
     pub fn for_user(&self, user: UserId) -> (Vec<&QuantitativePref>, Vec<&QualitativePref>) {
         (
-            self.quantitative.iter().filter(|p| p.user == user).collect(),
+            self.quantitative
+                .iter()
+                .filter(|p| p.user == user)
+                .collect(),
             self.qualitative.iter().filter(|p| p.user == user).collect(),
         )
     }
@@ -454,8 +455,10 @@ mod tests {
 
     #[test]
     fn low_intensity_authors_filtered_from_quantitative_only() {
-        let mut config = ExtractionConfig::default();
-        config.min_author_intensity = 0.5;
+        let config = ExtractionConfig {
+            min_author_intensity: 0.5,
+            ..ExtractionConfig::default()
+        };
         let w = extract(&handmade(), &config);
         let (qt, ql) = w.for_user(UserId(1));
         // a3 (1/3) is below the cut → no quantitative preference …

@@ -121,7 +121,14 @@ pub fn generate(config: &GeneratorConfig) -> DblpDataset {
         })
         .collect();
     let home_venue: Vec<usize> = (0..config.authors)
-        .map(|_| zipf(&mut rng, config.venues, config.venue_skew, &mut venue_weights))
+        .map(|_| {
+            zipf(
+                &mut rng,
+                config.venues,
+                config.venue_skew,
+                &mut venue_weights,
+            )
+        })
         .collect();
     // Community rosters for fast sampling.
     let mut community: Vec<Vec<u64>> = vec![Vec::new(); config.venues];
@@ -142,7 +149,12 @@ pub fn generate(config: &GeneratorConfig) -> DblpDataset {
     let mut author_degree: Vec<usize> = vec![0; config.authors + 1];
     for p in 0..config.papers {
         let pid = p as u64 + 1;
-        let venue_idx = zipf(&mut rng, config.venues, config.venue_skew, &mut venue_weights);
+        let venue_idx = zipf(
+            &mut rng,
+            config.venues,
+            config.venue_skew,
+            &mut venue_weights,
+        );
         let year = rng.gen_range(config.year_range.0..=config.year_range.1);
         papers.push(Paper {
             pid,
@@ -189,9 +201,7 @@ pub fn generate(config: &GeneratorConfig) -> DblpDataset {
         let vi = VENUE_STEMS
             .iter()
             .position(|s| *s == paper.venue)
-            .unwrap_or_else(|| {
-                paper.venue[5..].parse::<usize>().expect("CONF-i format")
-            });
+            .unwrap_or_else(|| paper.venue[5..].parse::<usize>().expect("CONF-i format"));
         by_venue[vi].push(i);
         venue_of_paper.push(vi);
     }
@@ -218,7 +228,10 @@ pub fn generate(config: &GeneratorConfig) -> DblpDataset {
                 if !seen.contains(&cid) {
                     seen.push(cid);
                     cite_count[t + 1] += 1;
-                    citations.push(Citation { pid: paper.pid, cid });
+                    citations.push(Citation {
+                        pid: paper.pid,
+                        cid,
+                    });
                 }
             }
         }
@@ -381,7 +394,10 @@ mod tests {
         // well above uniform.
         let mut per_author: HashMap<u64, Vec<&str>> = HashMap::new();
         for pa in &d.paper_authors {
-            per_author.entry(pa.aid).or_default().push(venue_of[&pa.pid]);
+            per_author
+                .entry(pa.aid)
+                .or_default()
+                .push(venue_of[&pa.pid]);
         }
         let mut checked = 0;
         let mut concentrated = 0;

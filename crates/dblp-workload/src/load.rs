@@ -1,7 +1,7 @@
 //! Loads a [`DblpDataset`] into a `relstore` database with the schema and
 //! indexes of §6.1.
 
-use relstore::{Database, DataType, IndexKind, Schema, Value};
+use relstore::{DataType, Database, IndexKind, Schema, Value};
 
 use crate::model::DblpDataset;
 

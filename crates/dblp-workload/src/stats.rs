@@ -83,6 +83,9 @@ mod tests {
         let (qt_users, _) = workload.distinct_users();
         assert_eq!(rows[4].secondary, Some(("distinct users", qt_users)));
         // arities mirror the paper's schema
-        assert_eq!(rows.iter().map(|r| r.arity).collect::<Vec<_>>(), vec![4, 2, 2, 2, 4, 5]);
+        assert_eq!(
+            rows.iter().map(|r| r.arity).collect::<Vec<_>>(),
+            vec![4, 2, 2, 2, 4, 5]
+        );
     }
 }

@@ -24,11 +24,14 @@ pub struct BatchStat {
     pub total_nodes_after: usize,
 }
 
+/// One buffered node specification: labels plus named properties.
+type PendingNode = (Vec<String>, Vec<(String, PropValue)>);
+
 /// Buffers node specifications and commits them in fixed-size batches.
 pub struct BatchInserter<'g> {
     graph: &'g mut PropertyGraph,
     batch_size: usize,
-    pending: Vec<(Vec<String>, Vec<(String, PropValue)>)>,
+    pending: Vec<PendingNode>,
     stats: Vec<BatchStat>,
     inserted_ids: Vec<NodeId>,
 }
@@ -129,7 +132,13 @@ mod tests {
     fn inserted_nodes_carry_properties() {
         let mut g = PropertyGraph::new();
         let mut b = BatchInserter::new(&mut g, 2);
-        b.add_node(["uidIndex"], [("uid", PropValue::Int(2)), ("intensity", PropValue::Float(0.3))]);
+        b.add_node(
+            ["uidIndex"],
+            [
+                ("uid", PropValue::Int(2)),
+                ("intensity", PropValue::Float(0.3)),
+            ],
+        );
         let (ids, _) = b.finish();
         let n = g.node(ids[0]).unwrap();
         assert_eq!(n.prop("intensity"), Some(&PropValue::Float(0.3)));

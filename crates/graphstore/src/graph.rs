@@ -155,7 +155,11 @@ impl PropertyGraph {
     // ------------------------------------------------------------------
 
     /// Creates a node with the given labels and properties.
-    pub fn create_node<L, K, V>(&mut self, labels: L, props: impl IntoIterator<Item = (K, V)>) -> NodeId
+    pub fn create_node<L, K, V>(
+        &mut self,
+        labels: L,
+        props: impl IntoIterator<Item = (K, V)>,
+    ) -> NodeId
     where
         L: IntoIterator,
         L::Item: Into<String>,
@@ -189,9 +193,7 @@ impl PropertyGraph {
 
     /// Whether the node exists.
     pub fn has_node(&self, id: NodeId) -> bool {
-        self.nodes
-            .get(id.0 as usize)
-            .is_some_and(Option::is_some)
+        self.nodes.get(id.0 as usize).is_some_and(Option::is_some)
     }
 
     /// Sets (or replaces) one node property, maintaining any index on it.
@@ -425,7 +427,12 @@ impl PropertyGraph {
     }
 
     /// The first edge `from → to` with the given label, if any.
-    pub fn find_edge<'g>(&'g self, from: NodeId, to: NodeId, label: Option<&'g str>) -> Option<&'g Edge> {
+    pub fn find_edge<'g>(
+        &'g self,
+        from: NodeId,
+        to: NodeId,
+        label: Option<&'g str>,
+    ) -> Option<&'g Edge> {
         self.out_edges(from, label).find(|e| e.to == to)
     }
 
@@ -435,7 +442,11 @@ impl PropertyGraph {
 
     /// Creates an index on `(label, property)` and backfills it. Mirrors
     /// Neo4j's `CREATE INDEX ON :label(property)`.
-    pub fn create_index(&mut self, label: impl Into<String>, property: impl Into<String>) -> Result<()> {
+    pub fn create_index(
+        &mut self,
+        label: impl Into<String>,
+        property: impl Into<String>,
+    ) -> Result<()> {
         let ik = IndexKey {
             label: label.into(),
             property: property.into(),
@@ -470,7 +481,12 @@ impl PropertyGraph {
 
     /// Indexed lookup: nodes with `label` whose `property` equals `value`.
     /// Returns `None` when no such index exists (callers fall back to scan).
-    pub fn index_lookup(&self, label: &str, property: &str, value: &PropValue) -> Option<Vec<NodeId>> {
+    pub fn index_lookup(
+        &self,
+        label: &str,
+        property: &str,
+        value: &PropValue,
+    ) -> Option<Vec<NodeId>> {
         let ik = IndexKey {
             label: label.to_owned(),
             property: property.to_owned(),
@@ -547,7 +563,9 @@ mod tests {
         let e1 = g
             .create_edge(a, b, "PREFERS", [("intensity", PropValue::Float(0.8))])
             .unwrap();
-        let _e2 = g.create_edge(a, c, "DISCARD", [("intensity", PropValue::Float(0.1))]).unwrap();
+        let _e2 = g
+            .create_edge(a, c, "DISCARD", [("intensity", PropValue::Float(0.1))])
+            .unwrap();
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.out_degree(a, None), 2);
         assert_eq!(g.out_degree(a, Some("PREFERS")), 1);
@@ -564,17 +582,24 @@ mod tests {
     #[test]
     fn edge_to_missing_node_fails() {
         let (mut g, a, _, _) = small();
-        assert!(g.create_edge(a, NodeId(42), "X", [] as [(&str, PropValue); 0]).is_err());
+        assert!(g
+            .create_edge(a, NodeId(42), "X", [] as [(&str, PropValue); 0])
+            .is_err());
     }
 
     #[test]
     fn edge_relabel_and_props() {
         let (mut g, a, b, _) = small();
-        let e = g.create_edge(a, b, "PREFERS", [] as [(&str, PropValue); 0]).unwrap();
+        let e = g
+            .create_edge(a, b, "PREFERS", [] as [(&str, PropValue); 0])
+            .unwrap();
         g.set_edge_label(e, "DISCARD").unwrap();
         assert_eq!(g.edge(e).unwrap().label(), "DISCARD");
         g.set_edge_prop(e, "intensity", 0.25).unwrap();
-        assert_eq!(g.edge(e).unwrap().prop("intensity"), Some(&PropValue::Float(0.25)));
+        assert_eq!(
+            g.edge(e).unwrap().prop("intensity"),
+            Some(&PropValue::Float(0.25))
+        );
         assert_eq!(g.out_degree(a, Some("PREFERS")), 0);
         assert_eq!(g.out_degree(a, Some("DISCARD")), 1);
     }
@@ -582,7 +607,9 @@ mod tests {
     #[test]
     fn remove_edge_updates_adjacency() {
         let (mut g, a, b, _) = small();
-        let e = g.create_edge(a, b, "PREFERS", [] as [(&str, PropValue); 0]).unwrap();
+        let e = g
+            .create_edge(a, b, "PREFERS", [] as [(&str, PropValue); 0])
+            .unwrap();
         g.remove_edge(e).unwrap();
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.out_degree(a, None), 0);
@@ -594,8 +621,10 @@ mod tests {
     #[test]
     fn detach_delete_node() {
         let (mut g, a, b, c) = small();
-        g.create_edge(a, b, "P", [] as [(&str, PropValue); 0]).unwrap();
-        g.create_edge(c, a, "P", [] as [(&str, PropValue); 0]).unwrap();
+        g.create_edge(a, b, "P", [] as [(&str, PropValue); 0])
+            .unwrap();
+        g.create_edge(c, a, "P", [] as [(&str, PropValue); 0])
+            .unwrap();
         g.remove_node(a).unwrap();
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.edge_count(), 0);
@@ -606,7 +635,9 @@ mod tests {
     #[test]
     fn self_loop_allowed_and_removable() {
         let (mut g, a, _, _) = small();
-        let e = g.create_edge(a, a, "SELF", [] as [(&str, PropValue); 0]).unwrap();
+        let e = g
+            .create_edge(a, a, "SELF", [] as [(&str, PropValue); 0])
+            .unwrap();
         assert_eq!(g.out_degree(a, None), 1);
         assert_eq!(g.in_degree(a, None), 1);
         g.remove_node(a).unwrap();
@@ -639,7 +670,9 @@ mod tests {
             .unwrap()
             .contains(&a));
         // missing index returns None
-        assert!(g.index_lookup("pref", "name", &PropValue::str("a")).is_none());
+        assert!(g
+            .index_lookup("pref", "name", &PropValue::str("a"))
+            .is_none());
     }
 
     #[test]
@@ -670,8 +703,10 @@ mod tests {
         g.create_node(["other"], [("uid", PropValue::Int(9))]);
         assert_eq!(g.nodes_with_label("pref").count(), 3);
         assert_eq!(g.nodes_with_label("other").count(), 1);
-        g.create_edge(a, b, "PREFERS", [] as [(&str, PropValue); 0]).unwrap();
-        g.create_edge(b, a, "CYCLE", [] as [(&str, PropValue); 0]).unwrap();
+        g.create_edge(a, b, "PREFERS", [] as [(&str, PropValue); 0])
+            .unwrap();
+        g.create_edge(b, a, "CYCLE", [] as [(&str, PropValue); 0])
+            .unwrap();
         let labels = g.edge_labels();
         assert!(labels.contains("PREFERS") && labels.contains("CYCLE"));
     }

@@ -105,12 +105,10 @@ impl<'g> NodeQuery<'g> {
         // Access path: use an index when the label + one equality constraint
         // are covered (the `uidIndex(uid)` case); otherwise scan.
         let candidates: Vec<NodeId> = match (&self.label, self.indexed_eq()) {
-            (Some(label), Some((key, value))) => {
-                match self.graph.index_lookup(label, key, value) {
-                    Some(ids) => ids,
-                    None => self.scan_candidates(),
-                }
-            }
+            (Some(label), Some((key, value))) => match self.graph.index_lookup(label, key, value) {
+                Some(ids) => ids,
+                None => self.scan_candidates(),
+            },
             _ => self.scan_candidates(),
         };
 
@@ -122,8 +120,16 @@ impl<'g> NodeQuery<'g> {
         if let Some((key, dir)) = &self.order {
             let graph = self.graph;
             out.sort_by(|&a, &b| {
-                let va = graph.node(a).ok().and_then(|n| n.prop(key)).and_then(PropValue::as_f64);
-                let vb = graph.node(b).ok().and_then(|n| n.prop(key)).and_then(PropValue::as_f64);
+                let va = graph
+                    .node(a)
+                    .ok()
+                    .and_then(|n| n.prop(key))
+                    .and_then(PropValue::as_f64);
+                let vb = graph
+                    .node(b)
+                    .ok()
+                    .and_then(|n| n.prop(key))
+                    .and_then(PropValue::as_f64);
                 let ord = match (va, vb) {
                     (Some(x), Some(y)) => x.total_cmp(&y),
                     (Some(_), None) => Ordering::Less,
@@ -163,11 +169,7 @@ impl<'g> NodeQuery<'g> {
 
     fn scan_candidates(&self) -> Vec<NodeId> {
         match &self.label {
-            Some(label) => self
-                .graph
-                .nodes_with_label(label)
-                .map(|n| n.id())
-                .collect(),
+            Some(label) => self.graph.nodes_with_label(label).map(|n| n.id()).collect(),
             None => self.graph.nodes().map(|n| n.id()).collect(),
         }
     }
@@ -241,10 +243,7 @@ mod tests {
     #[test]
     fn per_user_retrieval_uses_index() {
         let g = profile_graph();
-        let hits = NodeQuery::new(&g)
-            .label("uidIndex")
-            .prop_eq("uid", 2)
-            .run();
+        let hits = NodeQuery::new(&g).label("uidIndex").prop_eq("uid", 2).run();
         assert_eq!(hits.len(), 4);
         let hits = NodeQuery::new(&g)
             .label("uidIndex")
@@ -264,7 +263,14 @@ mod tests {
             .run();
         let vals: Vec<f64> = hits
             .iter()
-            .map(|&id| g.node(id).unwrap().prop("intensity").unwrap().as_f64().unwrap())
+            .map(|&id| {
+                g.node(id)
+                    .unwrap()
+                    .prop("intensity")
+                    .unwrap()
+                    .as_f64()
+                    .unwrap()
+            })
             .collect();
         assert_eq!(vals, vec![0.23, 0.19, 0.14]);
     }
@@ -296,7 +302,10 @@ mod tests {
             .run();
         assert_eq!(hits.len(), 1);
         let node = g.node(hits[0]).unwrap();
-        assert_eq!(node.prop("predicate").unwrap().as_str(), Some("dblp_author.aid=116"));
+        assert_eq!(
+            node.prop("predicate").unwrap().as_str(),
+            Some("dblp_author.aid=116")
+        );
     }
 
     #[test]
@@ -330,10 +339,7 @@ mod tests {
     #[test]
     fn index_and_scan_agree() {
         let g = profile_graph();
-        let indexed = NodeQuery::new(&g)
-            .label("uidIndex")
-            .prop_eq("uid", 2)
-            .run();
+        let indexed = NodeQuery::new(&g).label("uidIndex").prop_eq("uid", 2).run();
         // force scan path by querying without label
         let scanned: Vec<NodeId> = NodeQuery::new(&g).prop_eq("uid", 2).run();
         assert_eq!(indexed.len(), scanned.len());

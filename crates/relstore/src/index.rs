@@ -53,12 +53,19 @@ impl Index {
     /// Row ids with values in `[lo, hi]`, ascending by value. Only BTree
     /// indexes answer ranges; hash indexes return `None`.
     pub fn range(&self, lo: &Value, hi: &Value) -> Option<Vec<RowId>> {
+        self.range_bounds(Bound::Included(lo), Bound::Included(hi))
+    }
+
+    /// Row ids with values in the given (possibly open-ended) bounds,
+    /// ascending by value — the access path behind `>`/`>=`/`<`/`<=`
+    /// pushdown. Only BTree indexes answer ranges; hash indexes return
+    /// `None`.
+    pub fn range_bounds(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Option<Vec<RowId>> {
         match self {
             Index::Hash(_) => None,
             Index::BTree(m) => {
                 let mut out = Vec::new();
-                for (_, rows) in m.range((Bound::Included(lo.clone()), Bound::Included(hi.clone())))
-                {
+                for (_, rows) in m.range((lo, hi)) {
                     out.extend_from_slice(rows);
                 }
                 Some(out)

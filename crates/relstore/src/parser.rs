@@ -108,19 +108,31 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                toks.push(Spanned { kind: Tok::LParen, at: i });
+                toks.push(Spanned {
+                    kind: Tok::LParen,
+                    at: i,
+                });
                 i += 1;
             }
             ')' => {
-                toks.push(Spanned { kind: Tok::RParen, at: i });
+                toks.push(Spanned {
+                    kind: Tok::RParen,
+                    at: i,
+                });
                 i += 1;
             }
             ',' => {
-                toks.push(Spanned { kind: Tok::Comma, at: i });
+                toks.push(Spanned {
+                    kind: Tok::Comma,
+                    at: i,
+                });
                 i += 1;
             }
             '=' => {
-                toks.push(Spanned { kind: Tok::Op(CmpOp::Eq), at: i });
+                toks.push(Spanned {
+                    kind: Tok::Op(CmpOp::Eq),
+                    at: i,
+                });
                 i += 1;
             }
             '<' => {
@@ -142,7 +154,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(Spanned { kind: Tok::Op(CmpOp::Ne), at: i });
+                    toks.push(Spanned {
+                        kind: Tok::Op(CmpOp::Ne),
+                        at: i,
+                    });
                     i += 2;
                 } else {
                     return Err(err(i, "unexpected '!' (did you mean '!=')"));
@@ -175,7 +190,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
                         }
                     }
                 }
-                toks.push(Spanned { kind: Tok::Str(s), at: start });
+                toks.push(Spanned {
+                    kind: Tok::Str(s),
+                    at: start,
+                });
             }
             '0'..='9' | '-' | '+' => {
                 let start = i;
@@ -191,7 +209,11 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
                 let mut is_float = false;
                 if i < bytes.len() && bytes[i] == b'.' {
                     // distinguish `1.5` from an identifier dot, digits must follow
-                    if bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                    if bytes
+                        .get(i + 1)
+                        .map(|b| b.is_ascii_digit())
+                        .unwrap_or(false)
+                    {
                         is_float = true;
                         i += 1;
                         while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -224,7 +246,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
                             .map_err(|e| err(start, format!("bad integer literal: {e}")))?,
                     )
                 };
-                toks.push(Spanned { kind: tok, at: start });
+                toks.push(Spanned {
+                    kind: tok,
+                    at: start,
+                });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -324,14 +349,23 @@ impl Parser {
     fn primary(&mut self) -> Result<Predicate> {
         let at = self.at();
         match self.next() {
-            Some(Spanned { kind: Tok::LParen, .. }) => {
+            Some(Spanned {
+                kind: Tok::LParen, ..
+            }) => {
                 let inner = self.or_expr()?;
                 self.expect(Tok::RParen)?;
                 Ok(inner)
             }
-            Some(Spanned { kind: Tok::True, .. }) => Ok(Predicate::True),
-            Some(Spanned { kind: Tok::False, .. }) => Ok(Predicate::False),
-            Some(Spanned { kind: Tok::Ident(name), at }) => {
+            Some(Spanned {
+                kind: Tok::True, ..
+            }) => Ok(Predicate::True),
+            Some(Spanned {
+                kind: Tok::False, ..
+            }) => Ok(Predicate::False),
+            Some(Spanned {
+                kind: Tok::Ident(name),
+                at,
+            }) => {
                 let col = ColRef::parse(&name);
                 self.column_tail(col, at)
             }
@@ -346,11 +380,15 @@ impl Parser {
     fn column_tail(&mut self, col: ColRef, col_at: usize) -> Result<Predicate> {
         let at = self.at();
         match self.next() {
-            Some(Spanned { kind: Tok::Op(op), .. }) => {
+            Some(Spanned {
+                kind: Tok::Op(op), ..
+            }) => {
                 let lit = self.literal()?;
                 Ok(Predicate::Cmp(col, op, lit))
             }
-            Some(Spanned { kind: Tok::Between, .. }) => {
+            Some(Spanned {
+                kind: Tok::Between, ..
+            }) => {
                 let lo = self.literal()?;
                 self.expect(Tok::And)?;
                 let hi = self.literal()?;
@@ -389,10 +427,19 @@ impl Parser {
     fn literal(&mut self) -> Result<Value> {
         let at = self.at();
         match self.next() {
-            Some(Spanned { kind: Tok::Int(i), .. }) => Ok(Value::Int(i)),
-            Some(Spanned { kind: Tok::Float(x), .. }) => Ok(Value::Float(x)),
-            Some(Spanned { kind: Tok::Str(s), .. }) => Ok(Value::Str(s)),
-            Some(Spanned { kind: Tok::Null, .. }) => Ok(Value::Null),
+            Some(Spanned {
+                kind: Tok::Int(i), ..
+            }) => Ok(Value::Int(i)),
+            Some(Spanned {
+                kind: Tok::Float(x),
+                ..
+            }) => Ok(Value::Float(x)),
+            Some(Spanned {
+                kind: Tok::Str(s), ..
+            }) => Ok(Value::Str(s)),
+            Some(Spanned {
+                kind: Tok::Null, ..
+            }) => Ok(Value::Null),
             Some(t) => Err(err(t.at, format!("expected a literal, found '{}'", t.kind))),
             None => Err(err(at, "expected a literal, found end of input")),
         }
@@ -415,10 +462,7 @@ mod tests {
     #[test]
     fn parses_simple_comparison() {
         let p = roundtrip("dblp.venue='VLDB'");
-        assert_eq!(
-            p,
-            Predicate::eq(ColRef::qualified("dblp", "venue"), "VLDB")
-        );
+        assert_eq!(p, Predicate::eq(ColRef::qualified("dblp", "venue"), "VLDB"));
     }
 
     #[test]
@@ -442,8 +486,8 @@ mod tests {
         let p = roundtrip("a=1 OR b=2 AND c=3");
         assert_eq!(
             p,
-            Predicate::eq(ColRef::bare("a"), 1).or(Predicate::eq(ColRef::bare("b"), 2)
-                .and(Predicate::eq(ColRef::bare("c"), 3)))
+            Predicate::eq(ColRef::bare("a"), 1)
+                .or(Predicate::eq(ColRef::bare("b"), 2).and(Predicate::eq(ColRef::bare("c"), 3)))
         );
     }
 
@@ -476,19 +520,13 @@ mod tests {
             Predicate::in_list(ColRef::bare("make"), ["BMW", "Honda"])
         );
         let p = parse_predicate("make NOT IN ('VW')").unwrap();
-        assert_eq!(
-            p,
-            Predicate::in_list(ColRef::bare("make"), ["VW"]).not()
-        );
+        assert_eq!(p, Predicate::in_list(ColRef::bare("make"), ["VW"]).not());
     }
 
     #[test]
     fn not_and_nested_not() {
         let p = roundtrip("NOT venue='INFOCOM'");
-        assert_eq!(
-            p,
-            Predicate::eq(ColRef::bare("venue"), "INFOCOM").not()
-        );
+        assert_eq!(p, Predicate::eq(ColRef::bare("venue"), "INFOCOM").not());
         let p = parse_predicate("NOT NOT a=1").unwrap();
         assert_eq!(p, Predicate::eq(ColRef::bare("a"), 1));
     }

@@ -219,9 +219,7 @@ impl Predicate {
 
     /// Conjoins an iterator of predicates (`True` for an empty iterator).
     pub fn all(preds: impl IntoIterator<Item = Predicate>) -> Predicate {
-        preds
-            .into_iter()
-            .fold(Predicate::True, |acc, p| acc.and(p))
+        preds.into_iter().fold(Predicate::True, |acc, p| acc.and(p))
     }
 
     /// Disjoins an iterator of predicates (`False` for an empty iterator).
@@ -244,14 +242,8 @@ impl Predicate {
             }
             Predicate::Between(col, lo, hi) => {
                 let v = resolver.resolve(col)?;
-                let ge_lo = v
-                    .compare(lo)
-                    .map(|o| CmpOp::Ge.matches(o))
-                    .unwrap_or(false);
-                let le_hi = v
-                    .compare(hi)
-                    .map(|o| CmpOp::Le.matches(o))
-                    .unwrap_or(false);
+                let ge_lo = v.compare(lo).map(|o| CmpOp::Ge.matches(o)).unwrap_or(false);
+                let le_hi = v.compare(hi).map(|o| CmpOp::Le.matches(o)).unwrap_or(false);
                 ge_lo && le_hi
             }
             Predicate::InList(col, vals) => {
@@ -425,7 +417,10 @@ mod tests {
 
     #[test]
     fn comparison_evaluation() {
-        let r = row(&[("dblp.year", Value::Int(2009)), ("dblp.venue", "PVLDB".into())]);
+        let r = row(&[
+            ("dblp.year", Value::Int(2009)),
+            ("dblp.venue", "PVLDB".into()),
+        ]);
         let p = Predicate::cmp(ColRef::parse("dblp.year"), CmpOp::Ge, 2009);
         assert!(p.eval(&r).unwrap());
         let p = Predicate::cmp(ColRef::parse("dblp.year"), CmpOp::Gt, 2009);
@@ -455,12 +450,18 @@ mod tests {
     #[test]
     fn null_never_matches() {
         let r = row(&[("venue", Value::Null)]);
-        assert!(!Predicate::eq(ColRef::bare("venue"), "VLDB").eval(&r).unwrap());
+        assert!(!Predicate::eq(ColRef::bare("venue"), "VLDB")
+            .eval(&r)
+            .unwrap());
         assert!(!Predicate::cmp(ColRef::bare("venue"), CmpOp::Ne, "VLDB")
             .eval(&r)
             .unwrap());
-        assert!(!Predicate::between(ColRef::bare("venue"), 1, 2).eval(&r).unwrap());
-        assert!(!Predicate::in_list(ColRef::bare("venue"), ["VLDB"]).eval(&r).unwrap());
+        assert!(!Predicate::between(ColRef::bare("venue"), 1, 2)
+            .eval(&r)
+            .unwrap());
+        assert!(!Predicate::in_list(ColRef::bare("venue"), ["VLDB"])
+            .eval(&r)
+            .unwrap());
     }
 
     #[test]
@@ -509,11 +510,13 @@ mod tests {
 
     #[test]
     fn display_renders_sql() {
-        let p = Predicate::eq(ColRef::parse("dblp.venue"), "VLDB")
-            .and(Predicate::cmp(ColRef::parse("dblp.year"), CmpOp::Lt, 2010));
+        let p = Predicate::eq(ColRef::parse("dblp.venue"), "VLDB").and(Predicate::cmp(
+            ColRef::parse("dblp.year"),
+            CmpOp::Lt,
+            2010,
+        ));
         assert_eq!(p.to_string(), "dblp.venue='VLDB' AND dblp.year<2010");
-        let q = Predicate::eq(ColRef::parse("a.x"), 1)
-            .or(Predicate::eq(ColRef::parse("a.y"), 2));
+        let q = Predicate::eq(ColRef::parse("a.x"), 1).or(Predicate::eq(ColRef::parse("a.y"), 2));
         let both = Predicate::eq(ColRef::parse("b.z"), 3).and(q);
         assert_eq!(both.to_string(), "b.z=3 AND (a.x=1 OR a.y=2)");
         let n = Predicate::eq(ColRef::parse("v"), "X").not();

@@ -89,9 +89,9 @@ impl SelectQuery {
     pub fn run(&self, db: &Database) -> Result<ResultSet> {
         let bound = self.bind(db)?;
         let mut out = ResultSet::new(&bound);
-        self.execute(db, &bound, |joined| {
+        self.execute(db, &bound, |_, joined| {
             out.rows.push(joined.concat_values());
-            Ok(())
+            Ok(true)
         })?;
         Ok(out)
     }
@@ -100,44 +100,72 @@ impl SelectQuery {
     pub fn count(&self, db: &Database) -> Result<u64> {
         let bound = self.bind(db)?;
         let mut n = 0u64;
-        self.execute(db, &bound, |_| {
+        self.execute(db, &bound, |_, _| {
             n += 1;
-            Ok(())
+            Ok(true)
         })?;
         Ok(n)
     }
 
     /// `SELECT COUNT(DISTINCT col)` — the workhorse of the dissertation's
-    /// applicable-combination checks.
+    /// applicable-combination checks. Deduplicates by *reference* into the
+    /// stored rows: no `Value` is cloned no matter how many joined rows
+    /// stream past.
     pub fn count_distinct(&self, db: &Database, col: &ColRef) -> Result<u64> {
         let bound = self.bind(db)?;
         let target = bound.locate(col)?;
-        let mut seen: HashSet<Value> = HashSet::new();
-        self.execute(db, &bound, |joined| {
+        let mut seen: HashSet<&Value> = HashSet::new();
+        self.execute(db, &bound, |_, joined| {
             let v = joined.value_at(target);
             if !v.is_null() {
-                seen.insert(v.clone());
+                seen.insert(v);
             }
-            Ok(())
+            Ok(true)
         })?;
         Ok(seen.len() as u64)
     }
 
     /// Collects the distinct values of `col` over the filtered join — used
     /// when the caller needs tuple identities (e.g. coverage sets) rather
-    /// than just counts.
+    /// than just counts. Probes by reference and clones each distinct
+    /// value exactly once.
     pub fn distinct_values(&self, db: &Database, col: &ColRef) -> Result<Vec<Value>> {
         let bound = self.bind(db)?;
         let target = bound.locate(col)?;
-        let mut seen: HashSet<Value> = HashSet::new();
+        let mut seen: HashSet<&Value> = HashSet::new();
         let mut out = Vec::new();
-        self.execute(db, &bound, |joined| {
+        self.execute(db, &bound, |_, joined| {
             let v = joined.value_at(target);
-            if !v.is_null() && seen.insert(v.clone()) {
+            if !v.is_null() && seen.insert(v) {
                 out.push(v.clone());
             }
-            Ok(())
+            Ok(true)
         })?;
+        Ok(out)
+    }
+
+    /// The distinct *driving-table* rows with at least one joined row
+    /// passing the filter, in scan (ascending `RowId`) order.
+    ///
+    /// This is the zero-clone fast path feeding the tuple interner in
+    /// `hypre-core`: deduplication is a dense `Vec<bool>` over row ids
+    /// (no `Value` is hashed or cloned), and the join pipeline
+    /// short-circuits the moment a driving row produces its first passing
+    /// joined row — for a paper with twelve authors, eleven join probes
+    /// are skipped.
+    pub fn distinct_row_set(&self, db: &Database) -> Result<Vec<RowId>> {
+        let bound = self.bind(db)?;
+        let mut seen = vec![false; bound.tables[0].len()];
+        let mut out = Vec::new();
+        self.execute(db, &bound, |rid, _| {
+            if !seen[rid.0] {
+                seen[rid.0] = true;
+                out.push(rid);
+            }
+            // The driving row is established; stop expanding its joins.
+            Ok(false)
+        })?;
+        out.sort_unstable();
         Ok(out)
     }
 
@@ -171,12 +199,15 @@ impl SelectQuery {
     }
 
     /// Drives the join pipeline, invoking `sink` for every joined row that
-    /// passes the filter.
+    /// passes the filter. The sink receives the driving-table row id and
+    /// returns whether to keep expanding the *current* driving row's join
+    /// matches (`false` short-circuits to the next driving row — the
+    /// existence-only fast path of [`SelectQuery::distinct_row_set`]).
     fn execute<'db>(
         &self,
         _db: &Database,
         bound: &BoundQuery<'db>,
-        mut sink: impl FnMut(&JoinedRow<'_, 'db>) -> Result<()>,
+        mut sink: impl FnMut(RowId, &JoinedRow<'_, 'db>) -> Result<bool>,
     ) -> Result<()> {
         // Validate the filter's column references once, up front, so that a
         // typo'd predicate is an error rather than silently matching nothing.
@@ -214,8 +245,7 @@ impl SelectQuery {
                     old_side.table.clone().unwrap_or_default(),
                 ));
             }
-            let mut hash: HashMap<&'db Value, Vec<RowId>> =
-                HashMap::with_capacity(new_table.len());
+            let mut hash: HashMap<&'db Value, Vec<RowId>> = HashMap::with_capacity(new_table.len());
             for (id, row) in new_table.scan() {
                 let key = &row[key_idx];
                 if !key.is_null() {
@@ -234,78 +264,149 @@ impl SelectQuery {
         for id in seed {
             let row = driver.row(id).expect("seed row ids are valid");
             rows.push(row);
-            self.join_level(bound, &built, 0, &mut rows, &mut sink)?;
+            self.join_level(bound, &built, 0, id, &mut rows, &mut sink)?;
             rows.pop();
         }
         Ok(())
     }
 
+    /// Returns whether to continue expanding the current driving row.
     fn join_level<'a, 'db>(
         &self,
         bound: &BoundQuery<'db>,
         built: &'a [JoinBuild<'db>],
         level: usize,
+        driver_row: RowId,
         rows: &mut Vec<&'db [Value]>,
-        sink: &mut impl FnMut(&JoinedRow<'_, 'db>) -> Result<()>,
-    ) -> Result<()> {
+        sink: &mut impl FnMut(RowId, &JoinedRow<'_, 'db>) -> Result<bool>,
+    ) -> Result<bool> {
         if level == built.len() {
             let joined = JoinedRow { bound, rows };
             if self.filter.eval(&joined)? {
                 let joined = JoinedRow { bound, rows };
-                sink(&joined)?;
+                return sink(driver_row, &joined);
             }
-            return Ok(());
+            return Ok(true);
         }
         let jb = &built[level];
         let probe_val = rows[jb.probe.table_idx][jb.probe.col_idx].clone();
         if probe_val.is_null() {
-            return Ok(()); // inner join drops null keys
+            return Ok(true); // inner join drops null keys
         }
         if let Some(matches) = jb.hash.get(&probe_val) {
             for &id in matches {
                 let row = jb.table.row(id).expect("hash row ids are valid");
                 rows.push(row);
-                self.join_level(bound, built, level + 1, rows, sink)?;
+                let keep_going =
+                    self.join_level(bound, built, level + 1, driver_row, rows, sink)?;
                 rows.pop();
+                if !keep_going {
+                    return Ok(false);
+                }
             }
         }
-        Ok(())
+        Ok(true)
     }
 
-    /// Looks for a usable top-level conjunct (`col = v` or `col IN (…)` on
-    /// an indexed column of the driving table) and returns the candidate
-    /// row ids it implies. The conjunct is still re-checked by the filter,
-    /// so this is purely an access-path optimisation.
+    /// Looks for a usable top-level conjunct (`col = v`, `col IN (…)`,
+    /// `BETWEEN`, or a single-sided `>`/`>=`/`<`/`<=` range on an indexed
+    /// column of the driving table) and returns the candidate row ids it
+    /// implies. The conjunct is still re-checked by the filter, so this is
+    /// purely an access-path optimisation.
     fn index_seed(&self, table: &Table, table_name: &str) -> Option<Vec<RowId>> {
+        use std::ops::Bound;
         for conjunct in self.filter.conjuncts() {
             match conjunct {
-                Predicate::Cmp(col, CmpOp::Eq, v) if refers_to(col, table_name, table) => {
-                    if table.has_index(&col.column) {
-                        return table.index_lookup(&col.column, v).map(<[RowId]>::to_vec);
-                    }
+                Predicate::Cmp(col, CmpOp::Eq, v)
+                    if refers_to(col, table_name, table) && table.has_index(&col.column) =>
+                {
+                    return Some(point_lookup(table, &col.column, v));
                 }
-                Predicate::Between(col, lo, hi) if refers_to(col, table_name, table) => {
-                    if let Some(ids) = table.index_range(&col.column, lo, hi) {
+                Predicate::Cmp(col, op, v) if refers_to(col, table_name, table) => {
+                    // Single-sided range conjuncts ride a BTree index; the
+                    // common `dblp.year>=Y` preference shape stops paying
+                    // for a full scan. Bounds are widened to the numeric
+                    // type twin (see `low_twin`/`high_twin`) so a float
+                    // literal over an int column still seeds a superset.
+                    let (lo, hi) = match op {
+                        CmpOp::Ge => (Bound::Included(low_twin(v)), Bound::Unbounded),
+                        CmpOp::Gt => (Bound::Excluded(high_twin(v)), Bound::Unbounded),
+                        CmpOp::Le => (Bound::Unbounded, Bound::Included(high_twin(v))),
+                        CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(low_twin(v))),
+                        CmpOp::Eq | CmpOp::Ne => continue,
+                    };
+                    if let Some(ids) =
+                        table.index_range_bounds(&col.column, lo.as_ref(), hi.as_ref())
+                    {
                         return Some(ids);
                     }
                 }
-                Predicate::InList(col, vals) if refers_to(col, table_name, table) => {
-                    if table.has_index(&col.column) {
-                        let mut out = Vec::new();
-                        for v in vals {
-                            if let Some(ids) = table.index_lookup(&col.column, v) {
-                                out.extend_from_slice(ids);
-                            }
-                        }
-                        out.sort_unstable();
-                        out.dedup();
-                        return Some(out);
+                Predicate::Between(col, lo, hi) if refers_to(col, table_name, table) => {
+                    let (lo, hi) = (low_twin(lo), high_twin(hi));
+                    if let Some(ids) = table.index_range(&col.column, &lo, &hi) {
+                        return Some(ids);
                     }
+                }
+                Predicate::InList(col, vals)
+                    if refers_to(col, table_name, table) && table.has_index(&col.column) =>
+                {
+                    let mut out = Vec::new();
+                    for v in vals {
+                        out.extend(point_lookup(table, &col.column, v));
+                    }
+                    out.sort_unstable();
+                    out.dedup();
+                    return Some(out);
                 }
                 _ => {}
             }
         }
         None
+    }
+}
+
+/// Index point lookup that also probes the literal's numeric type twin, so
+/// `col=2008.0` still finds `Int(2008)` keys (predicate evaluation compares
+/// numerically; index keys compare structurally for hash indexes).
+fn point_lookup(table: &Table, column: &str, v: &Value) -> Vec<RowId> {
+    let mut out: Vec<RowId> = table
+        .index_lookup(column, v)
+        .map(<[RowId]>::to_vec)
+        .unwrap_or_default();
+    for twin in [low_twin(v), high_twin(v)] {
+        if twin != *v {
+            if let Some(ids) = table.index_lookup(column, &twin) {
+                out.extend_from_slice(ids);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The numerically-equal value that sorts *first* under `Value`'s total
+/// order (`Int(n)` sorts before `Float(n)`): for an integral float within
+/// `i64` range, its `Int` twin; otherwise the value itself. Used to widen
+/// index lower bounds so the seed stays a superset of the filter's
+/// numeric-comparison semantics.
+fn low_twin(v: &Value) -> Value {
+    match v {
+        Value::Float(f) if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f < i64::MAX as f64 => {
+            Value::Int(*f as i64)
+        }
+        other => other.clone(),
+    }
+}
+
+/// The numerically-equal value that sorts *last* under `Value`'s total
+/// order: for an `Int`, its `Float` twin (same `as_f64` image, so it sorts
+/// at the top of the equal-value run even when the cast rounds); otherwise
+/// the value itself.
+fn high_twin(v: &Value) -> Value {
+    match v {
+        Value::Int(i) => Value::Float(*i as f64),
+        other => other.clone(),
     }
 }
 
@@ -485,7 +586,15 @@ mod tests {
                 Schema::of(&[("pid", DataType::Int), ("aid", DataType::Int)]),
             )
             .unwrap();
-        for (pid, aid) in [(1, 100), (1, 101), (2, 100), (3, 102), (4, 102), (4, 103), (5, 103)] {
+        for (pid, aid) in [
+            (1, 100),
+            (1, 101),
+            (2, 100),
+            (3, 102),
+            (4, 102),
+            (4, 103),
+            (5, 103),
+        ] {
             authors.insert(vec![pid.into(), aid.into()]).unwrap();
         }
         db
@@ -494,8 +603,7 @@ mod tests {
     #[test]
     fn single_table_filter() {
         let db = mini_dblp();
-        let q = SelectQuery::from("dblp")
-            .filter(parse_predicate("dblp.venue='PVLDB'").unwrap());
+        let q = SelectQuery::from("dblp").filter(parse_predicate("dblp.venue='PVLDB'").unwrap());
         let rs = q.run(&db).unwrap();
         assert_eq!(rs.len(), 2);
         assert_eq!(q.count(&db).unwrap(), 2);
@@ -635,10 +743,150 @@ mod tests {
     }
 
     #[test]
+    fn open_range_seed_agrees_with_full_scan() {
+        let mut db = mini_dblp();
+        let queries = [
+            "dblp.year>=2008",
+            "dblp.year>2008",
+            "dblp.year<=2008",
+            "dblp.year<2008",
+            "dblp.year>=2010 AND dblp.venue='PVLDB'",
+        ];
+        let before: Vec<u64> = queries
+            .iter()
+            .map(|q| {
+                SelectQuery::from("dblp")
+                    .filter(parse_predicate(q).unwrap())
+                    .count(&db)
+                    .unwrap()
+            })
+            .collect();
+        db.table_mut("dblp")
+            .unwrap()
+            .create_index("year", IndexKind::BTree)
+            .unwrap();
+        for (q, want) in queries.iter().zip(before) {
+            let got = SelectQuery::from("dblp")
+                .filter(parse_predicate(q).unwrap())
+                .count(&db)
+                .unwrap();
+            assert_eq!(got, want, "indexed vs scan for {q}");
+        }
+    }
+
+    #[test]
+    fn cross_type_literal_bounds_keep_index_seed_a_superset() {
+        // `Value`'s total order puts `Int(n)` strictly before `Float(n)`,
+        // so a float literal over an int column (or vice versa) must widen
+        // its index bound to the numeric type twin or boundary rows vanish
+        // from the seed. The filter compares numerically either way.
+        let mut db = mini_dblp();
+        let queries = [
+            "dblp.year>=2008.0",
+            "dblp.year>2007.0",
+            "dblp.year<=2008.0",
+            "dblp.year<2010.0",
+            "dblp.year BETWEEN 2006.0 AND 2010.0",
+        ];
+        let before: Vec<u64> = queries
+            .iter()
+            .map(|q| {
+                SelectQuery::from("dblp")
+                    .filter(parse_predicate(q).unwrap())
+                    .count(&db)
+                    .unwrap()
+            })
+            .collect();
+        db.table_mut("dblp")
+            .unwrap()
+            .create_index("year", IndexKind::BTree)
+            .unwrap();
+        for (q, want) in queries.iter().zip(before) {
+            let got = SelectQuery::from("dblp")
+                .filter(parse_predicate(q).unwrap())
+                .count(&db)
+                .unwrap();
+            assert_eq!(got, want, "indexed vs scan for {q}");
+        }
+    }
+
+    #[test]
+    fn cross_type_equality_probes_hash_index_twins() {
+        let mut db = mini_dblp();
+        let q = SelectQuery::from("dblp").filter(parse_predicate("dblp.year=2010.0").unwrap());
+        let q_in = SelectQuery::from("dblp")
+            .filter(parse_predicate("dblp.year IN (2000.0, 2010.0)").unwrap());
+        let want = q.count(&db).unwrap();
+        let want_in = q_in.count(&db).unwrap();
+        assert_eq!(want, 3, "scan finds the int rows for a float literal");
+        db.table_mut("dblp")
+            .unwrap()
+            .create_index("year", IndexKind::Hash)
+            .unwrap();
+        assert_eq!(
+            q.count(&db).unwrap(),
+            want,
+            "hash index probes the Int twin"
+        );
+        assert_eq!(q_in.count(&db).unwrap(), want_in, "IN list probes twins");
+    }
+
+    #[test]
+    fn distinct_row_set_dedupes_driver_rows() {
+        let db = mini_dblp();
+        // Paper 4 has two authors: two joined rows, one driving row.
+        let q = SelectQuery::from("dblp")
+            .join(
+                "dblp_author",
+                ColRef::parse("dblp.pid"),
+                ColRef::parse("dblp_author.pid"),
+            )
+            .filter(parse_predicate("dblp.pid=4").unwrap());
+        assert_eq!(q.count(&db).unwrap(), 2);
+        assert_eq!(q.distinct_row_set(&db).unwrap(), vec![RowId(3)]);
+        // Single-table: all six papers, in scan order.
+        let all = SelectQuery::from("dblp").distinct_row_set(&db).unwrap();
+        assert_eq!(all, (0..6).map(RowId).collect::<Vec<_>>());
+        // A filter on the joined side still gates driving rows.
+        let q = SelectQuery::from("dblp")
+            .join(
+                "dblp_author",
+                ColRef::parse("dblp.pid"),
+                ColRef::parse("dblp_author.pid"),
+            )
+            .filter(parse_predicate("dblp_author.aid=102").unwrap());
+        assert_eq!(
+            q.distinct_row_set(&db).unwrap(),
+            vec![RowId(2), RowId(3)],
+            "papers 3 and 4 have author 102"
+        );
+    }
+
+    #[test]
+    fn distinct_row_set_matches_count_distinct_on_key() {
+        let db = mini_dblp();
+        for filter in [
+            "dblp.year>=2008",
+            "dblp.venue='VLDB'",
+            "dblp_author.aid=103",
+        ] {
+            let q = SelectQuery::from("dblp")
+                .join(
+                    "dblp_author",
+                    ColRef::parse("dblp.pid"),
+                    ColRef::parse("dblp_author.pid"),
+                )
+                .filter(parse_predicate(filter).unwrap());
+            let rows = q.distinct_row_set(&db).unwrap().len() as u64;
+            let vals = q.count_distinct(&db, &ColRef::parse("dblp.pid")).unwrap();
+            assert_eq!(rows, vals, "pid is the driver key, so both agree: {filter}");
+        }
+    }
+
+    #[test]
     fn distinct_values_returns_identities() {
         let db = mini_dblp();
-        let q = SelectQuery::from("dblp")
-            .filter(parse_predicate("dblp.venue='PVLDB'").unwrap());
+        let q = SelectQuery::from("dblp").filter(parse_predicate("dblp.venue='PVLDB'").unwrap());
         let vals = q.distinct_values(&db, &ColRef::parse("dblp.pid")).unwrap();
         assert_eq!(vals.len(), 2);
         assert!(vals.contains(&Value::Int(3)));

@@ -158,6 +158,19 @@ impl Table {
         self.indexes.get(&ci)?.range(lo, hi)
     }
 
+    /// Open-ended range lookup through a BTree index on `column`, if one
+    /// exists — serves single-sided comparison conjuncts (`>`, `>=`, `<`,
+    /// `<=`). Hash indexes return `None`.
+    pub fn index_range_bounds(
+        &self,
+        column: &str,
+        lo: std::ops::Bound<&Value>,
+        hi: std::ops::Bound<&Value>,
+    ) -> Option<Vec<RowId>> {
+        let ci = self.schema.index_of(column)?;
+        self.indexes.get(&ci)?.range_bounds(lo, hi)
+    }
+
     /// Distinct values present in `column` (scans; used for statistics).
     pub fn distinct_count(&self, column: &str) -> Result<usize> {
         let ci = self.schema.require(Some(&self.name), column)?;
@@ -171,7 +184,13 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} [{} rows]", self.name, self.schema, self.rows.len())
+        write!(
+            f,
+            "{} {} [{} rows]",
+            self.name,
+            self.schema,
+            self.rows.len()
+        )
     }
 }
 
@@ -220,9 +239,20 @@ mod tests {
     fn arity_and_type_checks() {
         let mut t = movie_table();
         let err = t.insert(vec!["m7".into()]).unwrap_err();
-        assert!(matches!(err, RelError::ArityMismatch { expected: 4, got: 1 }));
+        assert!(matches!(
+            err,
+            RelError::ArityMismatch {
+                expected: 4,
+                got: 1
+            }
+        ));
         let err = t
-            .insert(vec!["m7".into(), "T".into(), "not-a-year".into(), "g".into()])
+            .insert(vec![
+                "m7".into(),
+                "T".into(),
+                "not-a-year".into(),
+                "g".into(),
+            ])
             .unwrap_err();
         assert!(matches!(err, RelError::TypeMismatch { .. }));
     }
@@ -262,8 +292,13 @@ mod tests {
     fn index_stays_fresh_after_inserts() {
         let mut t = movie_table();
         t.create_index("genre", IndexKind::Hash).unwrap();
-        t.insert(vec!["m7".into(), "New".into(), 2014.into(), "comedy".into()])
-            .unwrap();
+        t.insert(vec![
+            "m7".into(),
+            "New".into(),
+            2014.into(),
+            "comedy".into(),
+        ])
+        .unwrap();
         let hits = t.index_lookup("genre", &Value::str("comedy")).unwrap();
         assert_eq!(hits.len(), 3);
     }

@@ -79,13 +79,14 @@ impl Value {
     /// `Null` is storable anywhere; an `Int` may be stored in a `Float`
     /// column (it is widened on insert by [`Value::coerce_to`]).
     pub fn is_assignable_to(&self, dtype: DataType) -> bool {
-        match (self, dtype) {
-            (Value::Null, _) => true,
-            (Value::Int(_), DataType::Int) | (Value::Int(_), DataType::Float) => true,
-            (Value::Float(_), DataType::Float) => true,
-            (Value::Str(_), DataType::Str) => true,
-            _ => false,
-        }
+        matches!(
+            (self, dtype),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Int(_), DataType::Float)
+                | (Value::Float(_), DataType::Float)
+                | (Value::Str(_), DataType::Str)
+        )
     }
 
     /// Widens the value to the given column type where lossless (`Int` →

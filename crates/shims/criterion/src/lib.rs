@@ -1,0 +1,302 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `Bencher::iter`/
+//! `iter_batched`, `black_box` and `BatchSize`.
+//!
+//! The container has no crates.io access, so this crate provides a small
+//! wall-clock harness with the same registration surface. Each benchmark
+//! runs a calibration pass, then `sample_size` timed samples, and reports
+//! the median, minimum and maximum per-iteration time in a
+//! criterion-flavoured one-line format. Set `BENCH_SAMPLE_MS` to bound the
+//! per-sample budget (default 200 ms) and `BENCH_JSON` to a path to append
+//! machine-readable results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The shim times the routine
+/// per batch element regardless of the variant, which matches how the
+/// workspace uses it (one routine call per setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input (setup dominates allocation).
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// One benchmark measurement: per-iteration wall-clock statistics.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    /// Fully qualified benchmark id (`group/name`).
+    pub id: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Iterations per sample the harness settled on.
+    pub iters_per_sample: u64,
+}
+
+/// The harness root handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<Sampled>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Registers and immediately runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(id.into(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size,
+            sampled: None,
+        };
+        f(&mut bencher);
+        let Some(mut s) = bencher.sampled else {
+            return; // the closure never called iter()
+        };
+        s.id = id;
+        println!(
+            "{:<52} time: [{} {} {}]  ({} iters/sample)",
+            s.id,
+            fmt_duration(s.min),
+            fmt_duration(s.median),
+            fmt_duration(s.max),
+            s.iters_per_sample,
+        );
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            append_json(&path, &s);
+        }
+        self.results.push(s);
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Sampled] {
+        &self.results
+    }
+
+    /// Prints the closing banner (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("# {} benchmarks measured", self.results.len());
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, sample_size, f);
+        self
+    }
+
+    /// Ends the group (measurements are reported as they run).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter`/`iter_batched` do the timing.
+pub struct Bencher {
+    sample_size: usize,
+    sampled: Option<Sampled>,
+}
+
+/// Per-sample wall-clock budget (milliseconds) for calibration.
+fn sample_budget() -> Duration {
+    let ms = std::env::var("BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+impl Bencher {
+    /// Times a routine: calibrates iterations to the per-sample budget,
+    /// then records `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration: find how many iterations fit the sample budget.
+        let budget = sample_budget();
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= budget / 4 || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX));
+        }
+        self.record(samples, iters);
+    }
+
+    /// Times a routine with untimed per-call setup.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed());
+        }
+        self.record(samples, 1);
+    }
+
+    fn record(&mut self, mut samples: Vec<Duration>, iters: u64) {
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        self.sampled = Some(Sampled {
+            id: String::new(),
+            median,
+            min: samples[0],
+            max: *samples.last().expect("sample_size >= 2"),
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn append_json(path: &str, s: &Sampled) {
+    use std::io::Write as _;
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{{\"id\":\"{}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+        s.id.replace('"', "'"),
+        s.median.as_nanos(),
+        s.min.as_nanos(),
+        s.max.as_nanos()
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// registered benchmark function against a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        std::env::set_var("BENCH_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_function("square", |b| b.iter(|| black_box(21u64) * 2));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "demo/square");
+    }
+}

@@ -1,0 +1,512 @@
+//! Offline stand-in for the subset of the `proptest` 1.x API this
+//! workspace's property tests use.
+//!
+//! The container has no crates.io access, so this crate re-implements the
+//! pieces the test-suite relies on — the [`Strategy`] trait (`prop_map`,
+//! `prop_recursive`, `boxed`), range and tuple strategies,
+//! `prop::collection::vec`, `prop_oneof!`, and the `proptest!` macro with
+//! `ProptestConfig::with_cases` — on top of a deterministic SplitMix64
+//! generator. There is **no shrinking**: a failing case panics with the
+//! generated inputs via the standard assertion message, which is enough
+//! for a deterministic, seeded suite. Case streams are seeded per test
+//! name (FNV-1a of the test's identifier), so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// deterministic generator
+// ---------------------------------------------------------------------
+
+/// Deterministic SplitMix64 source driving every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a), so each property
+    /// test draws a stable, independent stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, bound)` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A value generator: the heart of the proptest API surface.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: each extra level wraps the previous
+    /// one through `branch`, mixing leaves back in so depth is bounded.
+    /// The `_target_size`/`_items_per_level` hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _target_size: u32,
+        _items_per_level: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            let leaf = current.clone();
+            let deeper = branch(current).boxed();
+            current = OneOf::new(vec![leaf, deeper]).boxed();
+        }
+        current
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between erased strategies (the `prop_oneof!` backend).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a uniform choice over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len());
+        self.options[pick].generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let draw = (u128::from(rng.next_u64()) % span) as i128;
+                (start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        (start + rng.next_f64() * (end - start)).clamp(start, end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($( self.$idx.generate(rng), )+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------
+// collections & config
+// ---------------------------------------------------------------------
+
+/// Length bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+/// The `prop::…` namespace mirrored from upstream.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy producing `Vec`s of `element` with a length drawn from
+        /// `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.hi_exclusive - self.size.lo;
+                let len = self.size.lo + if span == 0 { 0 } else { rng.below(span) };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Per-block configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------
+
+/// Uniform choice between strategy expressions of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message; there
+/// is no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// The property-test entry macro: expands each `fn name(pat in strategy,
+/// …) { body }` into a `#[test]` that draws `cases` inputs and runs the
+/// body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: munches one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_params! { (($cfg); $name; $body) [] $($params)* }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: splits `pat in strategy-expr, …` parameter lists. Strategy
+/// expressions never contain top-level commas (parenthesised groups are
+/// single token trees), so a comma after the expression tokens ends one
+/// binding.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // Start of a binding: capture the pattern, then munch its expression.
+    ((($cfg:expr); $name:ident; $body:block) [$($done:tt)*] $p:pat in $($rest:tt)*) => {
+        $crate::__proptest_expr! { (($cfg); $name; $body) [$($done)*] ($p) [] $($rest)* }
+    };
+    // All bindings parsed: emit the test.
+    ((($cfg:expr); $name:ident; $body:block) [$((($p:pat) [$($s:tt)*]))*]) => {
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::TestRng::from_name(&format!("{}::{}", module_path!(), stringify!($name)));
+            for __case in 0..config.cases {
+                $( let $p = $crate::Strategy::generate(&($($s)*), &mut rng); )*
+                $body
+            }
+        }
+    };
+}
+
+/// Internal: accumulates one strategy expression until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_expr {
+    // Comma ends this binding; continue with the remaining parameters.
+    ($ctx:tt [$($done:tt)*] ($p:pat) [$($e:tt)*] , $($rest:tt)*) => {
+        $crate::__proptest_params! { $ctx [$($done)* (($p) [$($e)*])] $($rest)* }
+    };
+    // End of input: close the final binding.
+    ($ctx:tt [$($done:tt)*] ($p:pat) [$($e:tt)*]) => {
+        $crate::__proptest_params! { $ctx [$($done)* (($p) [$($e)*])] }
+    };
+    // Otherwise: move one token into the expression accumulator.
+    ($ctx:tt [$($done:tt)*] ($p:pat) [$($e:tt)*] $t:tt $($rest:tt)*) => {
+        $crate::__proptest_expr! { $ctx [$($done)*] ($p) [$($e)* $t] $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_generate_in_bounds() {
+        let mut rng = crate::TestRng::from_name("t");
+        for _ in 0..200 {
+            let v = (1990i64..2012).generate(&mut rng);
+            assert!((1990..2012).contains(&v));
+            let f = (-1.0f64..=1.0).generate(&mut rng);
+            assert!((-1.0..=1.0).contains(&f));
+            let xs = prop::collection::vec(0u8..5, 1..7).generate(&mut rng);
+            assert!(!xs.is_empty() && xs.len() < 7);
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_cover_all_arms() {
+        let mut rng = crate::TestRng::from_name("arms");
+        let s = prop_oneof![(0u8..1).prop_map(|_| "a"), (0u8..1).prop_map(|_| "b"),];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::TestRng::from_name("tree");
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&s.generate(&mut rng)));
+        }
+        assert!(max_depth > 1, "recursion never taken");
+        assert!(max_depth <= 4, "depth bound violated: {max_depth}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro handles multiple bindings, mut patterns and bodies.
+        #[test]
+        fn macro_roundtrip(mut xs in prop::collection::vec(0i64..100, 1..10), y in 0u8..4) {
+            xs.sort();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!((y < 4), true, "y was {}", y);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 0usize..10) {
+            prop_assert!(v < 10);
+        }
+    }
+}

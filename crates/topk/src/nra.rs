@@ -45,9 +45,7 @@ where
     for depth in 0..max_depth {
         for (i, list) in lists.iter().enumerate() {
             if let Some((object, grade)) = list.sorted_access(depth) {
-                known
-                    .entry(object.clone())
-                    .or_insert_with(|| vec![None; m])[i] = Some(grade);
+                known.entry(object.clone()).or_insert_with(|| vec![None; m])[i] = Some(grade);
                 frontier[i] = grade;
             } else {
                 frontier[i] = 0.0;

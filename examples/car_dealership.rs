@@ -11,7 +11,7 @@
 //! ```
 
 use hypre_repro::prelude::*;
-use hypre_repro::relstore::{parse_predicate, ColRef, Database, DataType, Schema};
+use hypre_repro::relstore::{parse_predicate, ColRef, DataType, Database, Schema};
 
 fn main() -> Result<()> {
     // Table 8: the dealership relation.

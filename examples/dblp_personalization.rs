@@ -9,8 +9,8 @@
 
 use hypre_repro::dblp::{extract, gen, load};
 use hypre_repro::prelude::*;
-use hypre_repro::topk::{threshold_algorithm, GradedList};
 use hypre_repro::relstore::Value;
+use hypre_repro::topk::{threshold_algorithm, GradedList};
 
 fn main() -> Result<()> {
     // 1. A seeded synthetic DBLP corpus and its extracted preferences.
@@ -75,7 +75,11 @@ fn main() -> Result<()> {
     for atom in &qt_atoms {
         let is_venue = atom.predicate.to_string().contains("venue");
         for t in exec.tuples(&atom.predicate)? {
-            let bucket = if is_venue { &mut venue_pairs } else { &mut author_pairs };
+            let bucket = if is_venue {
+                &mut venue_pairs
+            } else {
+                &mut author_pairs
+            };
             bucket.push((t, atom.intensity));
         }
     }

@@ -72,7 +72,9 @@ fn main() -> Result<()> {
             }
         );
     }
-    graph.check_invariants().expect("PREFERS subgraph stays a DAG");
+    graph
+        .check_invariants()
+        .expect("PREFERS subgraph stays a DAG");
 
     println!("\nfinal profile (note: every genre now has a usable score):");
     for pref in graph.profile(me) {

@@ -6,7 +6,7 @@
 //! ```
 
 use hypre_repro::prelude::*;
-use hypre_repro::relstore::{parse_predicate, ColRef, Database, DataType, Schema};
+use hypre_repro::relstore::{parse_predicate, ColRef, DataType, Database, Schema};
 
 fn main() -> Result<()> {
     // 1. A small movie relation (the dissertation's Table 3).

@@ -7,7 +7,7 @@
 //! ```
 
 use hypre_repro::prelude::*;
-use hypre_repro::relstore::{ColRef, Database, DataType, Schema};
+use hypre_repro::relstore::{ColRef, DataType, Database, Schema};
 
 fn main() -> Result<()> {
     let mut db = Database::new();
@@ -27,9 +27,9 @@ fn main() -> Result<()> {
         (2, "Seaside Grand", 220, 50),
         (3, "Promenade", 110, 180),
         (4, "Old Harbour", 80, 420),
-        (5, "Backstreet Stay", 95, 800),  // dominated by Old Harbour
+        (5, "Backstreet Stay", 95, 800), // dominated by Old Harbour
         (6, "Dune Lodge", 150, 90),
-        (7, "City Central", 60, 1500),   // dominated by Budget Inn
+        (7, "City Central", 60, 1500), // dominated by Budget Inn
     ];
     for &(id, name, price, distance) in rows {
         hotels

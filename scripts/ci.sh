@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate for the HYPRE reproduction workspace:
+#   fmt check → clippy (warnings are errors) → build (all targets) → tests.
+#
+# Usage: scripts/ci.sh [--release-bench]
+#   --release-bench  additionally builds release benches and regenerates
+#                    BENCH_PR1.json (slow; off by default).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+if [[ "${1:-}" == "--release-bench" ]]; then
+    echo "==> bench_report (BENCH_PR1.json)"
+    cargo run --release -p hypre-bench --bin bench_report
+fi
+
+echo "CI OK"

@@ -17,7 +17,9 @@ fn fixture() -> &'static Fixture {
 #[test]
 fn graph_invariants_hold_after_full_ingest() {
     let fx = fixture();
-    fx.graph.check_invariants().expect("invariants after ingest");
+    fx.graph
+        .check_invariants()
+        .expect("invariants after ingest");
     assert!(fx.graph.node_count() > 1000);
     assert!(fx.graph.edge_count() > 1000);
 }
@@ -40,7 +42,12 @@ fn table10_statistics_are_consistent() {
     let fx = fixture();
     let rows = table10(&fx.dataset, &fx.workload);
     assert_eq!(rows.len(), 6);
-    let card = |name: &str| rows.iter().find(|r| r.relation == name).unwrap().cardinality;
+    let card = |name: &str| {
+        rows.iter()
+            .find(|r| r.relation == name)
+            .unwrap()
+            .cardinality
+    };
     assert_eq!(card("dblp"), fx.dataset.papers.len());
     assert_eq!(card("quantitative_pref"), fx.workload.quantitative.len());
     assert_eq!(card("qualitative_pref"), fx.workload.qualitative.len());
@@ -99,7 +106,12 @@ fn hybrid_peps_beats_ta_and_keeps_common_order() {
     // order.
     let fx = fixture();
     let r = peps_vs_ta(fx, fx.rich_user, PepsVariant::Complete).expect("comparison");
-    assert!(r.peps.len() >= r.ta.len(), "{} vs {}", r.peps.len(), r.ta.len());
+    assert!(
+        r.peps.len() >= r.ta.len(),
+        "{} vs {}",
+        r.peps.len(),
+        r.ta.len()
+    );
     if let (Some((_, p0)), Some((_, t0))) = (r.peps.first(), r.ta.first()) {
         assert!(p0 >= t0, "PEPS's best ({p0}) at least TA's best ({t0})");
     }
@@ -166,8 +178,7 @@ fn negative_preferences_exclude_tuples_from_enhancement() {
     let neg_preds: Vec<_> = negatives.iter().map(|n| n.predicate.clone()).collect();
     let with = hypre_repro::core::enhance::score_tuples(&exec, &atoms).unwrap();
     let without =
-        hypre_repro::core::enhance::score_tuples_with_negatives(&exec, &atoms, &neg_preds)
-            .unwrap();
+        hypre_repro::core::enhance::score_tuples_with_negatives(&exec, &atoms, &neg_preds).unwrap();
     assert!(without.len() <= with.len());
 }
 

@@ -3,7 +3,7 @@
 //! uid=2 enhancement, and the §4.6.1 dealership scoring (Table 9).
 
 use hypre_repro::prelude::*;
-use hypre_repro::relstore::{parse_predicate, ColRef, Database, DataType, Schema, Value};
+use hypre_repro::relstore::{parse_predicate, ColRef, DataType, Database, Schema, Value};
 
 fn qt(uid: u64, pred: &str, v: f64) -> QuantitativePref {
     QuantitativePref::new(
@@ -135,7 +135,11 @@ fn section_4_6_1_dealership_scores_match_table9() {
             parse_predicate("cars.mileage BETWEEN 20000 AND 50000").unwrap(),
             0.5,
         ),
-        PrefAtom::new(2, parse_predicate("cars.make IN ('BMW','Honda')").unwrap(), 0.2),
+        PrefAtom::new(
+            2,
+            parse_predicate("cars.make IN ('BMW','Honda')").unwrap(),
+            0.2,
+        ),
     ];
     let exec = Executor::new(&db, BaseQuery::single("cars", ColRef::parse("cars.id")));
     let ranked = score_tuples(&exec, &atoms).unwrap();

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 
 use hypre_repro::prelude::*;
 use hypre_repro::relstore::{
-    parse_predicate, ColRef, Database, DataType, Predicate, Schema, Value,
+    parse_predicate, ColRef, DataType, Database, Predicate, Schema, Value,
 };
 use hypre_repro::topk::{threshold_algorithm, GradedList};
 
@@ -316,9 +316,8 @@ fn rt_predicate(depth: u32) -> BoxedStrategy<Predicate> {
     let leaf = prop_oneof![
         (0u8..5).prop_map(|v| parse_predicate(&format!("dblp.venue='V{v}'")).unwrap()),
         (0i64..100).prop_map(|a| parse_predicate(&format!("dblp_author.aid={a}")).unwrap()),
-        (1990i64..2012, 0i64..5).prop_map(|(lo, d)| {
-            Predicate::between(ColRef::parse("dblp.year"), lo, lo + d)
-        }),
+        (1990i64..2012, 0i64..5)
+            .prop_map(|(lo, d)| { Predicate::between(ColRef::parse("dblp.year"), lo, lo + d) }),
         prop::collection::vec(0u8..5, 1..4).prop_map(|vs| {
             Predicate::in_list(
                 ColRef::parse("dblp.venue"),
