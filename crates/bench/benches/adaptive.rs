@@ -1,0 +1,130 @@
+//! Three-way `adaptive-vs-bitset-vs-hashset` set-algebra benches at 2 000
+//! and 20 000 papers: the PR 2 adaptive [`TupleSet`] engine against the
+//! PR 1 pure-bitmap `BitSet` generation and the seed `HashSet<Value>`
+//! generation, on identical profile tuple sets.
+//!
+//! Two operand regimes per corpus size:
+//!
+//! * **dense** — the profile's two largest tuple sets (both bitmap
+//!   containers), where the adaptive engine must match PR 1's word-wide
+//!   loops;
+//! * **sparse** — the two smallest non-empty tuple sets (array
+//!   containers: the single-author/rare-venue long tail that dominates
+//!   the extracted workload), where `O(cardinality)` merges should beat
+//!   `O(universe/64)` word loops.
+//!
+//! Plus the end-to-end `PairwiseCache`/PEPS comparison across all three
+//! generations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use hypre_bench::baseline::{HashSetAlgebra, SeedPeps};
+use hypre_bench::bitset_baseline::{BitsetAlgebra, BitsetPeps};
+use hypre_bench::Fixture;
+use hypre_core::prelude::*;
+
+/// Profile indices of the two densest and the two sparsest (non-empty)
+/// tuple sets.
+fn pick_operands(exec: &Executor<'_>, atoms: &[PrefAtom]) -> ((usize, usize), (usize, usize)) {
+    let counts: Vec<u64> = atoms
+        .iter()
+        .map(|a| exec.count(&a.predicate).unwrap())
+        .collect();
+    let mut by_size: Vec<usize> = (0..atoms.len()).filter(|&i| counts[i] > 0).collect();
+    by_size.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+    assert!(
+        by_size.len() >= 4,
+        "bench fixture profile has only {} non-empty tuple sets; need 4 for \
+         distinct dense and sparse operand pairs",
+        by_size.len()
+    );
+    let dense = (by_size[0], by_size[1]);
+    let sparse = (by_size[by_size.len() - 1], by_size[by_size.len() - 2]);
+    (dense, sparse)
+}
+
+fn bench_adaptive_vs_bitset_vs_hashset(c: &mut Criterion) {
+    for n in [2_000usize, 20_000] {
+        let fx = Fixture::papers(n);
+        let atoms = fx.graph.positive_profile(fx.rich_user);
+        let exec = fx.executor();
+        let hashset = HashSetAlgebra::new(&exec);
+        let bitset = BitsetAlgebra::new(&exec);
+        hashset.warm(&atoms).unwrap();
+        bitset.warm(&atoms).unwrap();
+        let ((d0, d1), (s0, s1)) = pick_operands(&exec, &atoms);
+
+        for (regime, i, j) in [("dense", d0, d1), ("sparse", s0, s1)] {
+            let (pa, pb) = (&atoms[i].predicate, &atoms[j].predicate);
+            let (aa, ab) = (exec.tuple_set(pa).unwrap(), exec.tuple_set(pb).unwrap());
+            let (ba, bb) = (bitset.tuple_set(pa).unwrap(), bitset.tuple_set(pb).unwrap());
+            let (ha, hb) = (
+                hashset.tuple_set(pa).unwrap(),
+                hashset.tuple_set(pb).unwrap(),
+            );
+
+            let mut g = c.benchmark_group(format!("adaptive_vs_bitset_vs_hashset_{n}/{regime}"));
+            g.sample_size(10);
+            g.bench_function("and_count/adaptive", |b| {
+                b.iter(|| black_box(aa.and_count(&ab)))
+            });
+            g.bench_function("and_count/bitset", |b| {
+                b.iter(|| black_box(ba.and_count(&bb)))
+            });
+            g.bench_function("and_count/hashset", |b| {
+                b.iter(|| black_box(ha.iter().filter(|v| hb.contains(*v)).count()))
+            });
+            g.bench_function("or/adaptive", |b| b.iter(|| black_box(aa.or(&ab).count())));
+            g.bench_function("or/bitset", |b| b.iter(|| black_box(ba.or(&bb).count())));
+            g.bench_function("or/hashset", |b| {
+                b.iter(|| black_box(ha.union(&hb).count()))
+            });
+            g.bench_function("and_not/adaptive", |b| {
+                b.iter(|| black_box(aa.and_not(&ab).count()))
+            });
+            g.bench_function("and_not/bitset", |b| {
+                b.iter(|| black_box(ba.and_not(&bb).count()))
+            });
+            g.bench_function("and_not/hashset", |b| {
+                b.iter(|| black_box(ha.difference(&hb).count()))
+            });
+            g.finish();
+        }
+
+        // End-to-end: pairwise build + PEPS top-k across the generations.
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        let mut g = c.benchmark_group(format!("adaptive_vs_bitset_vs_hashset_{n}/engine"));
+        g.sample_size(10);
+        g.bench_function("pairwise_build/adaptive", |b| {
+            b.iter(|| {
+                black_box(
+                    PairwiseCache::build(&atoms, &exec)
+                        .unwrap()
+                        .applicable_count(),
+                )
+            })
+        });
+        g.bench_function("pairwise_build/bitset", |b| {
+            b.iter(|| black_box(bitset.pairwise_counts(&atoms).unwrap().len()))
+        });
+        g.bench_function("pairwise_build/hashset", |b| {
+            b.iter(|| black_box(hashset.pairwise_counts(&atoms).unwrap().len()))
+        });
+        let adaptive_peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
+        let bitset_peps = BitsetPeps::new(&atoms, &bitset, &pairs, PepsVariant::Complete);
+        let seed_peps = SeedPeps::new(&atoms, &hashset, &pairs, PepsVariant::Complete);
+        g.bench_function("peps_top_k10/adaptive", |b| {
+            b.iter(|| black_box(adaptive_peps.top_k(10).unwrap().len()))
+        });
+        g.bench_function("peps_top_k10/bitset", |b| {
+            b.iter(|| black_box(bitset_peps.top_k(10).unwrap().len()))
+        });
+        g.bench_function("peps_top_k10/hashset", |b| {
+            b.iter(|| black_box(seed_peps.top_k(10).unwrap().len()))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_adaptive_vs_bitset_vs_hashset);
+criterion_main!(benches);

@@ -1,43 +1,68 @@
-//! Emits `BENCH_PR1.json` — the machine-readable perf snapshot of the
-//! PR 1 bitset rewrite, so future PRs have a trajectory to compare
-//! against.
+//! Emits `BENCH_PR2.json` — the machine-readable perf snapshot of the
+//! PR 2 adaptive tuple-set rewrite — and prints a side-by-side delta
+//! against the checked-in `BENCH_PR1.json` so regressions on the dense
+//! path are visible at a glance.
 //!
 //! Measures, per corpus size (default 2 000 and 20 000 papers; override
-//! with `BENCH_SIZES=2000,20000`):
+//! with `BENCH_SIZES=2000,20000`), across the **three generations** of
+//! set algebra (adaptive `TupleSet` / pure `BitSet` / seed
+//! `HashSet<Value>`, all memo-warmed so the timed regions are pure set
+//! algebra):
 //!
-//! * `pairwise_build` — `PairwiseCache::build` wall time, bitset engine
-//!   vs the `HashSet<Value>` baseline (memo caches pre-warmed on both
-//!   sides, so the timed region is pure set algebra), plus the cold
-//!   bitset build including its `n` SQL queries;
+//! * `pairwise_build` — `PairwiseCache::build` wall time, plus the cold
+//!   adaptive build including its `n` SQL queries;
 //! * `peps_top_k` — `Peps::top_k` latency (complete variant, k = 10 and
-//!   100) vs the HashMap-ranked baseline loop over the same combination
-//!   list;
-//! * `set_algebra` — the `and_count`/`or`/`and_not` micro-ops over the
-//!   profile's two densest tuple sets.
+//!   100) for all three engines over the same pairwise cache;
+//! * `set_algebra` — `and_count`/`or`/`and_not` micro-ops over the
+//!   profile's two **densest** tuple sets (bitmap containers: the
+//!   adaptive engine must stay within noise of PR 1);
+//! * `set_algebra_sparse` — the same micro-ops over the two **sparsest**
+//!   non-empty tuple sets (array containers: the long tail where the
+//!   adaptive representation wins), with per-set container bytes in the
+//!   `memory` section.
 //!
-//! Usage: `cargo run --release -p hypre-bench --bin bench_report [out.json]`
+//! Usage: `cargo run --release -p hypre-bench --bin bench_report
+//! [out.json [pr1.json]]`
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use hypre_bench::baseline::{HashSetAlgebra, SeedPeps};
+use hypre_bench::bitset_baseline::{BitsetAlgebra, BitsetPeps};
 use hypre_bench::timing::median_time;
 use hypre_bench::Fixture;
 use hypre_core::prelude::*;
 
-/// One comparison row: engine vs baseline median nanoseconds.
+/// One comparison row: median nanoseconds per generation.
 struct Row {
     section: &'static str,
     name: String,
     papers: usize,
+    adaptive_ns: u128,
     bitset_ns: u128,
     hashset_ns: u128,
 }
 
 impl Row {
-    fn speedup(&self) -> f64 {
-        self.hashset_ns as f64 / self.bitset_ns.max(1) as f64
+    /// Speedup of the adaptive engine over the pure-bitmap generation.
+    fn vs_bitset(&self) -> f64 {
+        self.bitset_ns as f64 / self.adaptive_ns.max(1) as f64
     }
+
+    /// Speedup of the adaptive engine over the seed generation.
+    fn vs_hashset(&self) -> f64 {
+        self.hashset_ns as f64 / self.adaptive_ns.max(1) as f64
+    }
+}
+
+/// One memory row: container bytes for a profile tuple set under both
+/// dense generations.
+struct MemRow {
+    papers: usize,
+    name: String,
+    cardinality: usize,
+    adaptive_bytes: usize,
+    bitset_bytes: usize,
 }
 
 fn measure<R>(f: impl FnMut() -> R) -> u128 {
@@ -45,9 +70,9 @@ fn measure<R>(f: impl FnMut() -> R) -> u128 {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+    let pr1_path = args.next().unwrap_or_else(|| "BENCH_PR1.json".to_owned());
     let mut sizes: Vec<usize> = std::env::var("BENCH_SIZES")
         .unwrap_or_else(|_| "2000,20000".to_owned())
         .split(',')
@@ -60,6 +85,7 @@ fn main() {
     }
 
     let mut rows: Vec<Row> = Vec::new();
+    let mut mem: Vec<MemRow> = Vec::new();
     let mut extra = String::new();
 
     for &n in &sizes {
@@ -68,7 +94,7 @@ fn main() {
         let atoms = fx.graph.positive_profile(fx.rich_user);
         eprintln!("  profile: {} preferences", atoms.len());
 
-        // Cold bitset build (includes the n SQL queries).
+        // Cold adaptive build (includes the n SQL queries).
         let cold_ns = measure(|| {
             let fresh = fx.executor();
             PairwiseCache::build(&atoms, &fresh)
@@ -77,95 +103,152 @@ fn main() {
         });
         let _ = write!(
             extra,
-            "{}{{\"section\":\"pairwise_build_cold\",\"papers\":{n},\"bitset_ns\":{cold_ns}}}",
+            "{}{{\"section\":\"pairwise_build_cold\",\"papers\":{n},\"adaptive_ns\":{cold_ns}}}",
             if extra.is_empty() { "" } else { ",\n    " },
         );
 
         // Warm engines: the comparison isolates set algebra.
         let exec = fx.executor();
-        let baseline = HashSetAlgebra::new(&exec);
-        baseline.warm(&atoms).unwrap();
+        let hashset = HashSetAlgebra::new(&exec);
+        let bitset = BitsetAlgebra::new(&exec);
+        hashset.warm(&atoms).unwrap();
+        bitset.warm(&atoms).unwrap();
         let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
 
         rows.push(Row {
             section: "pairwise_build",
             name: "warm".to_owned(),
             papers: n,
-            bitset_ns: measure(|| {
+            adaptive_ns: measure(|| {
                 PairwiseCache::build(&atoms, &exec)
                     .unwrap()
                     .applicable_count()
             }),
-            hashset_ns: measure(|| baseline.pairwise_counts(&atoms).unwrap().len()),
+            bitset_ns: measure(|| bitset.pairwise_counts(&atoms).unwrap().len()),
+            hashset_ns: measure(|| hashset.pairwise_counts(&atoms).unwrap().len()),
         });
 
         let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
-        let seed = SeedPeps::new(&atoms, &baseline, &pairs, PepsVariant::Complete);
+        let dense_peps = BitsetPeps::new(&atoms, &bitset, &pairs, PepsVariant::Complete);
+        let seed_peps = SeedPeps::new(&atoms, &hashset, &pairs, PepsVariant::Complete);
         for k in [10usize, 100] {
             rows.push(Row {
                 section: "peps_top_k",
                 name: format!("complete_k{k}"),
                 papers: n,
-                bitset_ns: measure(|| peps.top_k(k).unwrap().len()),
-                hashset_ns: measure(|| seed.top_k(k).unwrap().len()),
+                adaptive_ns: measure(|| peps.top_k(k).unwrap().len()),
+                bitset_ns: measure(|| dense_peps.top_k(k).unwrap().len()),
+                hashset_ns: measure(|| seed_peps.top_k(k).unwrap().len()),
             });
         }
 
-        // Set-algebra micro-ops over the two densest tuple sets.
-        let mut idx: Vec<usize> = (0..atoms.len()).collect();
+        // Operand picks: densest pair (bitmap containers) and sparsest
+        // non-empty pair (array containers).
         let counts: Vec<u64> = atoms
             .iter()
             .map(|a| exec.count(&a.predicate).unwrap())
             .collect();
+        let mut idx: Vec<usize> = (0..atoms.len()).filter(|&i| counts[i] > 0).collect();
         idx.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
-        let (pa, pb) = (&atoms[idx[0]].predicate, &atoms[idx[1]].predicate);
-        let (sa, sb) = (exec.tuple_set(pa).unwrap(), exec.tuple_set(pb).unwrap());
-        let (ha, hb) = (
-            baseline.tuple_set(pa).unwrap(),
-            baseline.tuple_set(pb).unwrap(),
-        );
-        eprintln!("  densest sets: {} and {} tuples", sa.count(), sb.count());
+        let mut regimes = Vec::new();
+        if idx.len() >= 2 {
+            regimes.push(("set_algebra", idx[0], idx[1]));
+        } else {
+            eprintln!("  fewer than two non-empty tuple sets; skipping set_algebra sections");
+        }
+        if idx.len() >= 4 {
+            // Distinct from the dense pair, or the "sparse" rows would
+            // just re-measure the dense operands under a new label.
+            regimes.push(("set_algebra_sparse", idx[idx.len() - 1], idx[idx.len() - 2]));
+        } else if idx.len() >= 2 {
+            eprintln!(
+                "  profile too small for a distinct sparse pair; skipping set_algebra_sparse"
+            );
+        }
+        for (section, i, j) in regimes {
+            let (pa, pb) = (&atoms[i].predicate, &atoms[j].predicate);
+            let (aa, ab) = (exec.tuple_set(pa).unwrap(), exec.tuple_set(pb).unwrap());
+            let (ba, bb) = (bitset.tuple_set(pa).unwrap(), bitset.tuple_set(pb).unwrap());
+            let (ha, hb) = (
+                hashset.tuple_set(pa).unwrap(),
+                hashset.tuple_set(pb).unwrap(),
+            );
+            eprintln!(
+                "  {section}: operand sets of {} and {} tuples ({} / {} containers)",
+                aa.count(),
+                ab.count(),
+                if aa.is_array() { "array" } else { "bitmap" },
+                if ab.is_array() { "array" } else { "bitmap" },
+            );
+            for (set_name, a_set, b_set) in [("a", &aa, &ba), ("b", &ab, &bb)] {
+                mem.push(MemRow {
+                    papers: n,
+                    name: format!("{section}/{set_name}"),
+                    cardinality: a_set.count(),
+                    adaptive_bytes: a_set.heap_bytes(),
+                    bitset_bytes: b_set.heap_bytes(),
+                });
+            }
 
-        rows.push(Row {
-            section: "set_algebra",
-            name: "and_count".to_owned(),
-            papers: n,
-            bitset_ns: measure(|| sa.and_count(&sb)),
-            hashset_ns: measure(|| ha.iter().filter(|v| hb.contains(*v)).count()),
-        });
-        rows.push(Row {
-            section: "set_algebra",
-            name: "or".to_owned(),
-            papers: n,
-            bitset_ns: measure(|| sa.or(&sb).count()),
-            hashset_ns: measure(|| ha.union(&hb).count()),
-        });
-        rows.push(Row {
-            section: "set_algebra",
-            name: "and_not".to_owned(),
-            papers: n,
-            bitset_ns: measure(|| sa.and_not(&sb).count()),
-            hashset_ns: measure(|| ha.difference(&hb).count()),
-        });
+            rows.push(Row {
+                section,
+                name: "and_count".to_owned(),
+                papers: n,
+                adaptive_ns: measure(|| aa.and_count(&ab)),
+                bitset_ns: measure(|| ba.and_count(&bb)),
+                hashset_ns: measure(|| ha.iter().filter(|v| hb.contains(*v)).count()),
+            });
+            rows.push(Row {
+                section,
+                name: "or".to_owned(),
+                papers: n,
+                adaptive_ns: measure(|| aa.or(&ab).count()),
+                bitset_ns: measure(|| ba.or(&bb).count()),
+                hashset_ns: measure(|| ha.union(&hb).count()),
+            });
+            rows.push(Row {
+                section,
+                name: "and_not".to_owned(),
+                papers: n,
+                adaptive_ns: measure(|| aa.and_not(&ab).count()),
+                bitset_ns: measure(|| ba.and_not(&bb).count()),
+                hashset_ns: measure(|| ha.difference(&hb).count()),
+            });
+        }
     }
 
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"bench\": \"PR1 bitset engine\",\n  \"sizes\": {:?},\n  \"cold\": [\n    {extra}\n  ],\n  \"results\": [\n",
+        "  \"bench\": \"PR2 adaptive tuple sets\",\n  \"sizes\": {:?},\n  \"cold\": [\n    {extra}\n  ],\n  \"results\": [\n",
         sizes
     );
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"section\":\"{}\",\"name\":\"{}\",\"papers\":{},\"bitset_ns\":{},\"hashset_ns\":{},\"speedup\":{:.2}}}{}",
+            "    {{\"section\":\"{}\",\"name\":\"{}\",\"papers\":{},\"adaptive_ns\":{},\"bitset_ns\":{},\"hashset_ns\":{},\"vs_bitset\":{:.2},\"vs_hashset\":{:.2}}}{}",
             r.section,
             r.name,
             r.papers,
+            r.adaptive_ns,
             r.bitset_ns,
             r.hashset_ns,
-            r.speedup(),
+            r.vs_bitset(),
+            r.vs_hashset(),
             if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ],\n  \"memory\": [\n");
+    for (i, m) in mem.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"papers\":{},\"set\":\"{}\",\"cardinality\":{},\"adaptive_bytes\":{},\"bitset_bytes\":{}}}{}",
+            m.papers,
+            m.name,
+            m.cardinality,
+            m.adaptive_bytes,
+            m.bitset_bytes,
+            if i + 1 == mem.len() { "" } else { "," },
         );
     }
     json.push_str("  ]\n}\n");
@@ -174,14 +257,88 @@ fn main() {
     println!("{json}");
     for r in &rows {
         println!(
-            "{:>16} {:<14} n={:<6} bitset {:>12} ns  hashset {:>12} ns  speedup {:>7.1}x",
+            "{:>18} {:<14} n={:<6} adaptive {:>10} ns  bitset {:>10} ns  hashset {:>12} ns  vs-bitset {:>6.1}x  vs-hashset {:>7.1}x",
             r.section,
             r.name,
             r.papers,
+            r.adaptive_ns,
             r.bitset_ns,
             r.hashset_ns,
-            r.speedup()
+            r.vs_bitset(),
+            r.vs_hashset(),
         );
     }
+    for m in &mem {
+        println!(
+            "{:>18} {:<22} n={:<6} |set|={:<6} adaptive {:>8} B  bitset {:>8} B",
+            "memory", m.name, m.papers, m.cardinality, m.adaptive_bytes, m.bitset_bytes
+        );
+    }
+    print_delta_vs_pr1(&pr1_path, &rows);
     eprintln!("wrote {out_path}");
+}
+
+/// Prints a side-by-side delta of this run against the checked-in PR 1
+/// report: for every `(section, name, papers)` row PR 1 measured, compare
+/// its engine time (`bitset_ns`) with today's adaptive engine.
+fn print_delta_vs_pr1(pr1_path: &str, rows: &[Row]) {
+    let Ok(pr1) = std::fs::read_to_string(pr1_path) else {
+        println!("\n(no {pr1_path} found — skipping PR1 delta)");
+        return;
+    };
+    println!("\n== delta vs {pr1_path} (PR1 engine → PR2 adaptive engine) ==");
+    let mut matched = 0usize;
+    for line in pr1.lines() {
+        let Some((section, name, papers, pr1_ns)) = parse_pr1_row(line) else {
+            continue;
+        };
+        let Some(row) = rows
+            .iter()
+            .find(|r| r.section == section && r.name == name && r.papers == papers)
+        else {
+            continue;
+        };
+        matched += 1;
+        let ratio = pr1_ns as f64 / row.adaptive_ns.max(1) as f64;
+        println!(
+            "{:>16} {:<14} n={:<6} pr1 {:>12} ns → pr2 {:>12} ns  ({:>5.2}x {})",
+            section,
+            name,
+            papers,
+            pr1_ns,
+            row.adaptive_ns,
+            if ratio >= 1.0 { ratio } else { 1.0 / ratio },
+            if ratio >= 1.0 { "faster" } else { "slower" },
+        );
+    }
+    if matched == 0 {
+        println!("(no comparable rows found in {pr1_path})");
+    }
+}
+
+/// Extracts `(section, name, papers, bitset_ns)` from one PR 1 result
+/// line — a flat JSON object per line, parsed without a JSON dependency.
+fn parse_pr1_row(line: &str) -> Option<(String, String, usize, u128)> {
+    let section = json_str_field(line, "section")?;
+    let name = json_str_field(line, "name")?;
+    let papers = json_num_field(line, "papers")?;
+    let ns = json_num_field(line, "bitset_ns")?;
+    Some((section, name, papers as usize, ns))
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_owned())
+}
+
+fn json_num_field(line: &str, key: &str) -> Option<u128> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
 }

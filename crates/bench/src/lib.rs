@@ -9,14 +9,18 @@
 //! * [`report`] — paper-style text tables and series;
 //! * [`experiments`] — one function per table/figure, returning printable
 //!   structures so the binary, tests and benches share one implementation;
-//! * [`baseline`] — the pre-interning `HashSet<Value>` set algebra, kept
-//!   for bitset-vs-hashset comparisons;
+//! * [`baseline`] — the pre-interning `HashSet<Value>` set algebra (the
+//!   seed generation), kept for three-way comparisons;
+//! * [`bitset_baseline`] — the pure-bitmap `BitSet` algebra and PEPS (the
+//!   PR 1 generation), kept so adaptive-vs-bitset-vs-hashset benches and
+//!   equivalence tests can measure all three generations;
 //! * [`timing`] — wall-clock helpers for the `bench_report` binary.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod bitset_baseline;
 pub mod experiments;
 pub mod fixture;
 pub mod report;

@@ -37,7 +37,8 @@ use relstore::Value;
 
 use crate::combine::{f_and, PrefAtom};
 use crate::error::{HypreError, Result};
-use crate::exec::{Executor, PairwiseCache, TupleSet};
+use crate::exec::{Executor, PairwiseCache, SharedTupleSet};
+use crate::tupleset::TupleSet;
 
 use super::CombinationRecord;
 
@@ -193,7 +194,7 @@ impl<'a, 'db> Peps<'a, 'db> {
     fn run_round(
         &self,
         s: usize,
-        sets: &[TupleSet],
+        sets: &[SharedTupleSet],
         emitted: &mut HashSet<Vec<usize>>,
         out: &mut Vec<RoundCombo>,
     ) -> Result<()> {
@@ -215,8 +216,9 @@ impl<'a, 'db> Peps<'a, 'db> {
             if !emitted.insert(members.clone()) {
                 continue;
             }
-            // One word-AND builds the pair's tuple set; every deeper
-            // combination narrows it with a single further AND.
+            // One container-adaptive intersection builds the pair's tuple
+            // set; every deeper combination narrows it with a single
+            // further one.
             self.expand(members, intensity, sets[i].and(&sets[j]), sets, out)?;
         }
         // The seed preference by itself (the fallback that guarantees k
@@ -263,22 +265,23 @@ impl<'a, 'db> Peps<'a, 'db> {
     }
 
     /// Depth-first expansion: emits the current combination (whose tuple
-    /// set arrives pre-intersected from the parent — one word-AND per
-    /// tree node, total) and recurses into every non-empty
-    /// single-preference extension, chaining through the pairwise list on
-    /// the last member. Because chains are strictly ascending, no
-    /// extension can collide with an already-emitted combination and no
-    /// per-node dedup set is consulted.
+    /// set arrives pre-intersected from the parent — one intersection per
+    /// tree node, total; array-container merges once the chain turns
+    /// sparse) and recurses into every non-empty single-preference
+    /// extension, chaining through the pairwise list on the last member.
+    /// Because chains are strictly ascending, no extension can collide
+    /// with an already-emitted combination and no per-node dedup set is
+    /// consulted.
     fn expand(
         &self,
         members: Vec<usize>,
         intensity: f64,
-        set: crate::bitset::BitSet,
-        sets: &[TupleSet],
+        set: TupleSet,
+        sets: &[SharedTupleSet],
         out: &mut Vec<RoundCombo>,
     ) -> Result<()> {
         debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "ascending chain");
-        let set: TupleSet = std::rc::Rc::new(set);
+        let set: SharedTupleSet = std::rc::Rc::new(set);
         out.push(RoundCombo {
             members: members.clone(),
             intensity,
@@ -308,7 +311,7 @@ impl<'a, 'db> Peps<'a, 'db> {
 
     /// Resolves every profile atom's tuple set once up front, so the
     /// expansion loops never re-derive a predicate's memo key.
-    fn atom_sets(&self) -> Result<Vec<TupleSet>> {
+    fn atom_sets(&self) -> Result<Vec<SharedTupleSet>> {
         self.atoms
             .iter()
             .map(|a| self.exec.tuple_set(&a.predicate))
@@ -324,7 +327,7 @@ struct RoundCombo {
     members: Vec<usize>,
     intensity: f64,
     tuples: u64,
-    set: TupleSet,
+    set: SharedTupleSet,
 }
 
 fn sort_order(order: &mut [RoundCombo]) {

@@ -12,6 +12,13 @@
 //! Sets of different lengths are fine everywhere: missing high words are
 //! treated as zero, so a set built before the interner grew still
 //! intersects correctly with a newer, wider one.
+//!
+//! Every shrinking operation (`remove`, `and`, `and_not`, `and_assign`)
+//! trims trailing zero words, so a `BitSet` is always in *canonical form*:
+//! two sets holding the same ids are equal word-for-word regardless of the
+//! op sequence that built them. The adaptive
+//! [`TupleSet`](crate::tupleset::TupleSet) relies on this to derive its own
+//! structural equality.
 
 /// A growable, word-packed set of `u32` ids.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -54,7 +61,15 @@ impl BitSet {
         let mask = 1u64 << b;
         let present = self.words[w] & mask != 0;
         self.words[w] &= !mask;
+        self.trim();
         present
+    }
+
+    /// Drops trailing zero words so equal sets are equal word-for-word.
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
     }
 
     /// Whether the id is present.
@@ -68,6 +83,21 @@ impl BitSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// `Some(count)` if the set holds at most `limit` ids, `None`
+    /// otherwise — an early-exit popcount so dense sets answer in a few
+    /// words instead of a full scan (the adaptive container's demotion
+    /// check).
+    pub fn count_at_most(&self, limit: usize) -> Option<usize> {
+        let mut n = 0usize;
+        for w in &self.words {
+            n += w.count_ones() as usize;
+            if n > limit {
+                return None;
+            }
+        }
+        Some(n)
+    }
+
     /// Whether no bit is set.
     pub fn is_empty(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
@@ -76,13 +106,15 @@ impl BitSet {
     /// `self ∩ other` as a new set.
     pub fn and(&self, other: &BitSet) -> BitSet {
         let n = self.words.len().min(other.words.len());
-        BitSet {
+        let mut out = BitSet {
             words: self.words[..n]
                 .iter()
                 .zip(&other.words[..n])
                 .map(|(a, b)| a & b)
                 .collect(),
-        }
+        };
+        out.trim();
+        out
     }
 
     /// `self ∪ other` as a new set.
@@ -105,7 +137,9 @@ impl BitSet {
         for (w, o) in words.iter_mut().zip(other.words.iter()) {
             *w &= !o;
         }
-        BitSet { words }
+        let mut out = BitSet { words };
+        out.trim();
+        out
     }
 
     /// In-place `self ∩= other`.
@@ -114,9 +148,8 @@ impl BitSet {
         for (w, o) in self.words[..n].iter_mut().zip(&other.words[..n]) {
             *w &= o;
         }
-        for w in &mut self.words[n..] {
-            *w = 0;
-        }
+        self.words.truncate(n);
+        self.trim();
     }
 
     /// In-place `self ∪= other`.
@@ -145,6 +178,12 @@ impl BitSet {
             .iter()
             .zip(other.words.iter())
             .any(|(a, b)| a & b != 0)
+    }
+
+    /// Bytes of word storage this set occupies (the memory side of the
+    /// adaptive-container trade-off).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
     }
 
     /// Iterates set ids in ascending order via per-word trailing-zero
@@ -278,5 +317,33 @@ mod tests {
         a.and_assign(&set(&[1]));
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
         assert!(!a.contains(700));
+    }
+
+    #[test]
+    fn shrinking_ops_leave_canonical_form() {
+        // Two equal sets built by different op sequences must compare
+        // equal word-for-word (derived PartialEq over the word vector).
+        let direct = set(&[1, 5]);
+
+        let mut via_remove = set(&[1, 5, 7000]);
+        assert!(via_remove.remove(7000));
+        assert_eq!(via_remove, direct);
+
+        let mut via_and_assign = set(&[1, 5, 9000]);
+        via_and_assign.and_assign(&set(&[1, 5, 63]));
+        assert_eq!(via_and_assign, direct);
+
+        let via_and = set(&[1, 5, 10_000]).and(&set(&[1, 5, 200]));
+        assert_eq!(via_and, direct);
+
+        let via_and_not = set(&[1, 5, 4096]).and_not(&set(&[4096]));
+        assert_eq!(via_and_not, direct);
+
+        // the empty set collapses to zero words from any direction
+        let mut drained = set(&[6400]);
+        drained.remove(6400);
+        assert_eq!(drained, BitSet::new());
+        assert_eq!(drained.heap_bytes(), 0);
+        assert_eq!(set(&[6400]).and(&set(&[1])), BitSet::new());
     }
 }

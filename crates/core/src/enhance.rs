@@ -4,12 +4,12 @@
 
 use relstore::{Predicate, SelectQuery, Value};
 
-use crate::bitset::BitSet;
 use crate::combine::{mixed_clause, Combination, PrefAtom};
 use crate::error::Result;
 use crate::exec::{BaseQuery, Executor};
 use crate::graph::HypreGraph;
 use crate::preference::UserId;
+use crate::tupleset::TupleSet;
 
 /// The result of enhancing a base query with a user profile.
 #[derive(Debug, Clone)]
@@ -56,7 +56,7 @@ pub fn score_tuples(exec: &Executor<'_>, atoms: &[PrefAtom]) -> Result<Vec<Score
     // tuple id, then flip to 1 − ∏ at the end. Identities only
     // materialise for the matched tuples.
     let mut residual: Vec<f64> = Vec::new();
-    let mut touched = BitSet::new();
+    let mut touched = TupleSet::new();
     for atom in atoms {
         let set = exec.tuple_set(&atom.predicate)?;
         for id in set.iter() {
@@ -89,7 +89,7 @@ pub fn score_tuples_with_negatives(
     if negatives.is_empty() {
         return Ok(scored);
     }
-    let mut banned = BitSet::new();
+    let mut banned = TupleSet::new();
     for neg in negatives {
         let set = exec.tuple_set(neg)?;
         banned.or_assign(&set);

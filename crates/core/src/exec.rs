@@ -18,7 +18,7 @@
 //! per attribute, author grades `f∧`-aggregated per paper) — the reported
 //! 100 % PEPS/TA agreement is only possible under these semantics.
 //!
-//! ## The interner + bitset architecture
+//! ## The interner + adaptive-set architecture
 //!
 //! The executor evaluates combinations by set algebra — intersection for
 //! `AND`, union for `OR` — but never over heap `HashSet<Value>`s. Instead:
@@ -29,16 +29,19 @@
 //!    `relstore`'s `distinct_row_set` fast path, which deduplicates by
 //!    row id and short-circuits join expansion, so interning clones each
 //!    key value exactly once — not once per joined row.
-//! 2. Each preference's *tuple set* is a word-packed
-//!    [`BitSet`](crate::bitset::BitSet) over those ids, materialised once
-//!    per distinct predicate (memoised on the predicate's canonical text;
-//!    one SQL query per predicate, ever) and shared as
-//!    [`TupleSet`] (`Rc<BitSet>`).
-//! 3. Combination evaluation is then word-wide `&`/`|` loops, counts are
-//!    popcounts, and applicability (Definition 15) is a zero-test. The
-//!    [`PairwiseCache`] build collapses from `n(n−1)/2` SQL queries to
-//!    `n` tuple-set fetches plus `n(n−1)/2` AND-popcount passes that
-//!    never materialise an intersection.
+//! 2. Each preference's *tuple set* is an adaptive compressed
+//!    [`TupleSet`](crate::tupleset::TupleSet) over those ids — a sorted
+//!    `u32` array for sparse predicates (the single-author/rare-venue long
+//!    tail), a packed-word bitmap for dense ones — materialised once per
+//!    distinct predicate (memoised on the predicate's canonical text; one
+//!    SQL query per predicate, ever) and shared as [`SharedTupleSet`].
+//! 3. Combination evaluation picks the container-pair fast path: word-wide
+//!    `&`/`|` loops and popcounts for bitmap pairs, merge/galloping walks
+//!    for array pairs, contains-probes for mixed pairs; applicability
+//!    (Definition 15) is an emptiness test. The [`PairwiseCache`] build
+//!    collapses from `n(n−1)/2` SQL queries to `n` tuple-set fetches plus
+//!    `n(n−1)/2` intersection-count passes that never materialise an
+//!    intersection.
 //!
 //! Tuple *identities* (`Value`s) only reappear at the API boundary
 //! ([`Executor::tuples`], [`Executor::tuples_and`],
@@ -51,9 +54,9 @@ use std::rc::Rc;
 
 use relstore::{ColRef, Database, Predicate, SelectQuery, Value};
 
-use crate::bitset::BitSet;
 use crate::combine::{f_and, PrefAtom};
 use crate::error::Result;
+use crate::tupleset::TupleSet;
 
 /// The base select query every preference combination enhances — the
 /// dissertation's `SELECT count(distinct dblp.pid) FROM dblp JOIN
@@ -121,7 +124,7 @@ impl BaseQuery {
 /// Interns the base query's distinct key values into dense `u32` tuple
 /// ids, assigned in first-sight order and stable for the executor's
 /// lifetime. The id space doubles as the index space of every
-/// [`BitSet`]-backed tuple set and of PEPS's dense ranking array.
+/// [`TupleSet`]-backed tuple set and of PEPS's dense ranking array.
 #[derive(Debug, Clone, Default)]
 pub struct TupleInterner {
     ids: HashMap<Value, u32>,
@@ -164,8 +167,9 @@ impl TupleInterner {
     }
 }
 
-/// A shared, immutable tuple set: a packed bitset over interned tuple ids.
-pub type TupleSet = Rc<BitSet>;
+/// A shared, immutable tuple set: an adaptive compressed set
+/// ([`TupleSet`]) over interned tuple ids.
+pub type SharedTupleSet = Rc<TupleSet>;
 
 /// Runs preference-enhanced queries with per-preference tuple-set
 /// memoisation and query accounting (the combination algorithms are
@@ -174,7 +178,7 @@ pub struct Executor<'db> {
     db: &'db Database,
     base: BaseQuery,
     interner: RefCell<TupleInterner>,
-    atom_cache: RefCell<HashMap<String, TupleSet>>,
+    atom_cache: RefCell<HashMap<String, SharedTupleSet>>,
     queries_run: Cell<usize>,
     cache_hits: Cell<usize>,
 }
@@ -230,9 +234,9 @@ impl<'db> Executor<'db> {
         self.interner.borrow().id(value)
     }
 
-    /// Translates a bitset back to sorted tuple identities — the only
+    /// Translates a tuple set back to sorted tuple identities — the only
     /// place ids become `Value`s again.
-    pub fn values_of(&self, set: &BitSet) -> Vec<Value> {
+    pub fn values_of(&self, set: &TupleSet) -> Vec<Value> {
         let interner = self.interner.borrow();
         let mut out: Vec<Value> = set.iter().map(|id| interner.value(id).clone()).collect();
         out.sort();
@@ -246,22 +250,24 @@ impl<'db> Executor<'db> {
     /// The tuple set matched by one preference predicate, memoised on the
     /// predicate's canonical text. One SQL query per distinct predicate,
     /// ever.
-    pub fn tuple_set(&self, unit: &Predicate) -> Result<TupleSet> {
+    pub fn tuple_set(&self, unit: &Predicate) -> Result<SharedTupleSet> {
         let key = unit.canonical();
         if let Some(set) = self.atom_cache.borrow().get(&key) {
             self.cache_hits.set(self.cache_hits.get() + 1);
             return Ok(Rc::clone(set));
         }
         self.queries_run.set(self.queries_run.get() + 1);
-        let set: TupleSet = Rc::new(self.run_and_intern(unit)?);
+        let set: SharedTupleSet = Rc::new(self.run_and_intern(unit)?);
         self.atom_cache.borrow_mut().insert(key, Rc::clone(&set));
         Ok(set)
     }
 
-    /// Runs the unit's enhanced query and interns its distinct keys.
-    fn run_and_intern(&self, unit: &Predicate) -> Result<BitSet> {
+    /// Runs the unit's enhanced query and interns its distinct keys. Ids
+    /// are collected first and handed to [`TupleSet::from_unsorted`], which
+    /// sorts once and picks the right container for the final cardinality.
+    fn run_and_intern(&self, unit: &Predicate) -> Result<TupleSet> {
         let q = self.base.select_for(unit);
-        let mut bits = BitSet::new();
+        let mut ids: Vec<u32> = Vec::new();
         if self.base.key_on_driver() {
             // Fast path: distinct driving rows (no Value hashed or cloned
             // per joined row), then one interner probe per distinct row.
@@ -272,19 +278,19 @@ impl<'db> Executor<'db> {
                     let row = driver.row(rid).expect("row ids from the scan are valid");
                     let v = &row[key_idx];
                     if !v.is_null() {
-                        bits.insert(interner.intern(v));
+                        ids.push(interner.intern(v));
                     }
                 }
-                return Ok(bits);
+                return Ok(TupleSet::from_unsorted(ids));
             }
         }
         // General path: the key lives on a joined table; fall back to
         // value-level deduplication.
         let mut interner = self.interner.borrow_mut();
         for v in q.distinct_values(self.db, &self.base.key)? {
-            bits.insert(interner.intern(&v));
+            ids.push(interner.intern(&v));
         }
-        Ok(bits)
+        Ok(TupleSet::from_unsorted(ids))
     }
 
     /// `COUNT(DISTINCT key)` for one preference predicate (a popcount).
@@ -310,8 +316,8 @@ impl<'db> Executor<'db> {
     // ------------------------------------------------------------------
 
     /// The tuple set of an AND combination: the intersection of the member
-    /// preferences' tuple sets (smallest-first word-AND loops).
-    pub fn and_set(&self, units: &[&Predicate]) -> Result<BitSet> {
+    /// preferences' tuple sets (smallest-first, container-adaptive).
+    pub fn and_set(&self, units: &[&Predicate]) -> Result<TupleSet> {
         let mut sets = Vec::with_capacity(units.len());
         for u in units {
             sets.push(self.tuple_set(u)?);
@@ -353,19 +359,19 @@ impl<'db> Executor<'db> {
 
     /// The tuple set of a mixed clause: groups are OR-ed (union) within and
     /// AND-ed (intersection) across — the §4.6 combination rule.
-    pub fn mixed_set(&self, groups: &[Vec<&Predicate>]) -> Result<BitSet> {
-        let mut group_sets: Vec<BitSet> = Vec::with_capacity(groups.len());
+    pub fn mixed_set(&self, groups: &[Vec<&Predicate>]) -> Result<TupleSet> {
+        let mut group_sets: Vec<TupleSet> = Vec::with_capacity(groups.len());
         for group in groups {
-            let mut union = BitSet::new();
+            let mut union = TupleSet::new();
             for u in group {
                 let set = self.tuple_set(u)?;
                 union.or_assign(&set);
             }
             group_sets.push(union);
         }
-        group_sets.sort_by_key(BitSet::count);
+        group_sets.sort_by_key(TupleSet::count);
         let Some(first) = group_sets.first() else {
-            return Ok(BitSet::new());
+            return Ok(TupleSet::new());
         };
         let mut acc = first.clone();
         for s in &group_sets[1..] {
@@ -398,12 +404,12 @@ impl<'db> Executor<'db> {
 }
 
 /// Intersects shared tuple sets smallest-first, bailing on empty.
-fn intersect_all(mut sets: Vec<TupleSet>) -> BitSet {
+fn intersect_all(mut sets: Vec<SharedTupleSet>) -> TupleSet {
     sets.sort_by_key(|s| s.count());
     let Some(first) = sets.first() else {
-        return BitSet::new();
+        return TupleSet::new();
     };
-    let mut acc: BitSet = (**first).clone();
+    let mut acc: TupleSet = (**first).clone();
     for s in &sets[1..] {
         acc.and_assign(s);
         if acc.is_empty() {
@@ -454,8 +460,8 @@ pub struct PairwiseCache {
 
 impl PairwiseCache {
     /// Builds the cache for a profile: `n` tuple-set fetches through the
-    /// executor plus `n(n−1)/2` word-AND popcount passes — no pairwise
-    /// intersection is ever materialised.
+    /// executor plus `n(n−1)/2` container-adaptive intersection-count
+    /// passes — no pairwise intersection is ever materialised.
     pub fn build(atoms: &[PrefAtom], exec: &Executor<'_>) -> Result<Self> {
         let mut sets = Vec::with_capacity(atoms.len());
         for a in atoms {

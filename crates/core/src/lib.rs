@@ -21,6 +21,9 @@
 //! * **[`algo`]** — the Chapter 5 algorithms: Combine-Two,
 //!   Partially-Combine-All, Bias-Random-Selection, and the PEPS Top-K
 //!   algorithm (Complete and Approximate).
+//! * **[`tupleset`]** / **[`bitset`]** — the adaptive compressed tuple-set
+//!   representation (sorted-array container for sparse sets, packed-word
+//!   bitmap for dense ones) the executor's set algebra runs on.
 //! * **[`metrics`]** — utility, coverage, similarity and overlap.
 //! * **[`skyline`]** — the attribute-based preference extension (§1.4,
 //!   §8.2) with block-nested-loop skyline evaluation.
@@ -68,6 +71,7 @@ pub mod intensity;
 pub mod metrics;
 pub mod preference;
 pub mod skyline;
+pub mod tupleset;
 
 pub use error::{HypreError, Result};
 
@@ -85,7 +89,9 @@ pub mod prelude {
     };
     pub use crate::enhance::{enhance_query, score_tuples, EnhancedQuery, ScoredTuple};
     pub use crate::error::{HypreError, Result};
-    pub use crate::exec::{BaseQuery, Executor, PairEntry, PairwiseCache, TupleInterner};
+    pub use crate::exec::{
+        BaseQuery, Executor, PairEntry, PairwiseCache, SharedTupleSet, TupleInterner,
+    };
     pub use crate::graph::{
         EdgeKind, HypreGraph, IngestReport, QualInsertOutcome, StoredPreference, NODE_LABEL,
     };
@@ -100,4 +106,5 @@ pub mod prelude {
         Preference, Provenance, QualitativePref, QuantitativePref, UserId,
     };
     pub use crate::skyline::{prioritized_skyline, skyline, AttributePref, Direction};
+    pub use crate::tupleset::{TupleSet, ARRAY_MAX};
 }

@@ -1,0 +1,864 @@
+//! Adaptive compressed tuple sets: the roaring-style two-container
+//! representation behind every tuple set the executor produces.
+//!
+//! PR 1 made tuple sets word-packed [`BitSet`]s, which is ideal for dense
+//! predicates (`year>=1990` matches most of the corpus) but wastes
+//! `span/64` words on the long tail of highly selective atoms —
+//! single-author predicates, rare venues — that dominate the extracted
+//! DBLP workload. A [`TupleSet`] adapts its container to its contents:
+//!
+//! * **Array container** — a sorted, duplicate-free `Vec<u32>`. Storage
+//!   is `O(cardinality)` (4 bytes per id), intersection is a two-pointer
+//!   merge (or a galloping binary-search walk when the operand sizes are
+//!   badly skewed), and array∩bitmap runs one `contains` probe per array
+//!   element.
+//! * **Bitmap container** — the existing packed-word [`BitSet`], keeping
+//!   the word-wide `&`/`|`/popcount loops that made dense combination
+//!   algebra fast.
+//!
+//! The container choice follows roaring's actual design rationale — *use
+//! the array only where it is clearly the cheaper representation*. A set
+//! is an array iff
+//!
+//! 1. its cardinality is at most [`ARRAY_MAX`] (the classic roaring
+//!    cardinality threshold, bounding per-op merge work), **and**
+//! 2. `cardinality × SPAN_FACTOR ≤ span/64`, where `span` is the word
+//!    span of the equivalent (trimmed) bitmap. Tuple ids are interned
+//!    densely in first-sight order, so many mid-cardinality sets occupy a
+//!    handful of words — for those the bitmap is *both* smaller and
+//!    faster, and condition 2 keeps them dense. With `SPAN_FACTOR = 4`
+//!    an array is chosen only when it is at most **one eighth** of the
+//!    bitmap's size (`4·n` bytes vs at least `8·4·n` bytes of words), a
+//!    deliberately large margin that also keeps merge-based ops
+//!    competitive with the word loops at the boundary.
+//!
+//! Containers convert automatically on mutation: an insert that violates
+//! either condition *promotes* the array to a bitmap, and a shrinking op
+//! (`and`, `and_not`, `remove`, …) whose bitmap result satisfies both
+//! *demotes* it back to an array (via an early-exit popcount, so dense
+//! results answer in a few words). The representation is therefore
+//! **canonical** — a set's container is a function of its contents alone —
+//! which, together with [`BitSet`]'s trailing-zero-word trimming, lets
+//! `PartialEq`/`Eq` be derived structurally: two equal sets are equal
+//! container-for-container no matter which op sequence built them.
+//!
+//! The whole combination algebra of the executor ([`crate::exec`]), the
+//! PEPS expansion ([`crate::algo::peps`]) and the dense scorer
+//! ([`crate::enhance`]) runs on this type; `BitSet` remains public as the
+//! dense container and as the pure-bitmap reference algebra for
+//! differential tests and benches.
+
+use crate::bitset::BitSet;
+
+/// Maximum cardinality the sorted-array container may hold, regardless of
+/// span — bounds the per-op merge cost like roaring's 4096-per-chunk
+/// threshold bounds its array containers.
+pub const ARRAY_MAX: usize = 512;
+
+/// Span-rule factor: an array is used only when `cardinality ×
+/// SPAN_FACTOR` does not exceed the word span of the equivalent bitmap,
+/// i.e. only where the array is decisively the smaller container.
+pub const SPAN_FACTOR: usize = 4;
+
+/// Size skew at which array∩array intersection switches from the
+/// two-pointer merge to galloping binary search over the larger side.
+const GALLOP_SKEW: usize = 16;
+
+/// The two containers. `Array` iff [`array_fits`] holds for the contents —
+/// every constructor and mutation re-establishes this invariant, so the
+/// derived equality is structural equality of contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    Array(Vec<u32>),
+    Bitmap(BitSet),
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Array(Vec::new())
+    }
+}
+
+/// Whether a sorted, duplicate-free id list takes the array container.
+fn array_fits(ids: &[u32]) -> bool {
+    match ids.last() {
+        None => true,
+        Some(&max) => ids.len() <= ARRAY_MAX && ids.len() * SPAN_FACTOR <= max as usize / 64 + 1,
+    }
+}
+
+/// An adaptive compressed set of `u32` tuple ids (sorted array where that
+/// is the cheaper container, packed bitmap otherwise).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TupleSet {
+    repr: Repr,
+}
+
+impl TupleSet {
+    /// An empty set (array container).
+    pub fn new() -> Self {
+        TupleSet::default()
+    }
+
+    /// Builds a set from ids in any order, with duplicates allowed — the
+    /// executor's materialisation path (row-scan order is arbitrary).
+    pub fn from_unsorted(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        TupleSet::from_sorted(ids)
+    }
+
+    /// Wraps a sorted, duplicate-free id vector in the right container.
+    fn from_sorted(ids: Vec<u32>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        if array_fits(&ids) {
+            TupleSet {
+                repr: Repr::Array(ids),
+            }
+        } else {
+            TupleSet {
+                repr: Repr::Bitmap(ids.into_iter().collect()),
+            }
+        }
+    }
+
+    /// Wraps an existing bitmap, demoting it if the array container fits.
+    pub fn from_bitset(bits: BitSet) -> Self {
+        TupleSet {
+            repr: Repr::Bitmap(bits),
+        }
+        .into_canonical()
+    }
+
+    /// A copy of the contents as a plain dense [`BitSet`] — the bridge the
+    /// pure-bitmap reference algebra and benches use.
+    pub fn to_bitset(&self) -> BitSet {
+        match &self.repr {
+            Repr::Array(v) => v.iter().copied().collect(),
+            Repr::Bitmap(b) => b.clone(),
+        }
+    }
+
+    /// Whether the set currently uses the sorted-array container.
+    pub fn is_array(&self) -> bool {
+        matches!(self.repr, Repr::Array(_))
+    }
+
+    /// Whether the set currently uses the bitmap container.
+    pub fn is_bitmap(&self) -> bool {
+        matches!(self.repr, Repr::Bitmap(_))
+    }
+
+    /// Number of ids in the set.
+    pub fn count(&self) -> usize {
+        match &self.repr {
+            Repr::Array(v) => v.len(),
+            Repr::Bitmap(b) => b.count(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        match &self.repr {
+            Repr::Array(v) => v.is_empty(),
+            Repr::Bitmap(b) => b.is_empty(),
+        }
+    }
+
+    /// Bytes of container storage (4 per id in an array; 8 per word in a
+    /// bitmap) — the quantity the adaptive representation minimises.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Array(v) => v.len() * std::mem::size_of::<u32>(),
+            Repr::Bitmap(b) => b.heap_bytes(),
+        }
+    }
+
+    /// Whether the id is present (binary search / bit probe).
+    pub fn contains(&self, id: u32) -> bool {
+        match &self.repr {
+            Repr::Array(v) => v.binary_search(&id).is_ok(),
+            Repr::Bitmap(b) => b.contains(id),
+        }
+    }
+
+    /// Inserts an id; returns whether it was newly added. Promotes the
+    /// array container when the grown contents no longer fit it.
+    pub fn insert(&mut self, id: u32) -> bool {
+        match &mut self.repr {
+            Repr::Array(v) => match v.binary_search(&id) {
+                Ok(_) => false,
+                Err(pos) => {
+                    v.insert(pos, id);
+                    if !array_fits(v) {
+                        self.repr = Repr::Bitmap(v.iter().copied().collect());
+                    }
+                    true
+                }
+            },
+            Repr::Bitmap(b) => {
+                let fresh = b.insert(id);
+                // Inserting into a bitmap can *extend* its span past the
+                // array-rule boundary of its (unchanged) cardinality — or
+                // leave a sparse set that now fits the array. Re-check.
+                if fresh {
+                    self.canonicalize();
+                }
+                fresh
+            }
+        }
+    }
+
+    /// Removes an id; returns whether it was present. Converts container
+    /// when the shrunk contents fit the other one better (removing a far
+    /// outlier from an array can collapse its span onto a tiny bitmap;
+    /// draining a bitmap demotes it to an array).
+    pub fn remove(&mut self, id: u32) -> bool {
+        match &mut self.repr {
+            Repr::Array(v) => match v.binary_search(&id) {
+                Ok(pos) => {
+                    v.remove(pos);
+                    if !array_fits(v) {
+                        self.repr = Repr::Bitmap(v.iter().copied().collect());
+                    }
+                    true
+                }
+                Err(_) => false,
+            },
+            Repr::Bitmap(b) => {
+                let present = b.remove(id);
+                if present {
+                    self.canonicalize();
+                }
+                present
+            }
+        }
+    }
+
+    /// `self ∩ other` as a new set, picking the container-pair fast path:
+    /// array∩array merge/gallop, array∩bitmap probe, bitmap∩bitmap
+    /// word-AND (demoted if the result fits the array container).
+    pub fn and(&self, other: &TupleSet) -> TupleSet {
+        match (&self.repr, &other.repr) {
+            (Repr::Array(a), Repr::Array(b)) => TupleSet::from_sorted(intersect_arrays(a, b)),
+            (Repr::Array(a), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Array(a)) => {
+                TupleSet::from_sorted(a.iter().copied().filter(|&id| b.contains(id)).collect())
+            }
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => TupleSet {
+                repr: Repr::Bitmap(a.and(b)),
+            }
+            .into_canonical(),
+        }
+    }
+
+    /// `self ∪ other` as a new set (re-containerised as the union grows).
+    pub fn or(&self, other: &TupleSet) -> TupleSet {
+        match (&self.repr, &other.repr) {
+            (Repr::Array(a), Repr::Array(b)) => TupleSet::from_sorted(union_arrays(a, b)),
+            (Repr::Array(a), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Array(a)) => {
+                let mut bits = b.clone();
+                for &id in a {
+                    bits.insert(id);
+                }
+                TupleSet {
+                    repr: Repr::Bitmap(bits),
+                }
+                .into_canonical()
+            }
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => TupleSet {
+                repr: Repr::Bitmap(a.or(b)),
+            }
+            .into_canonical(),
+        }
+    }
+
+    /// `self \ other` as a new set (demoted when a bitmap collapses into
+    /// array range).
+    pub fn and_not(&self, other: &TupleSet) -> TupleSet {
+        match (&self.repr, &other.repr) {
+            (Repr::Array(a), _) => TupleSet::from_sorted(
+                a.iter()
+                    .copied()
+                    .filter(|&id| !other.contains(id))
+                    .collect(),
+            ),
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => TupleSet {
+                repr: Repr::Bitmap(a.and_not(b)),
+            }
+            .into_canonical(),
+            (Repr::Bitmap(a), Repr::Array(b)) => {
+                let mut bits = a.clone();
+                for &id in b {
+                    bits.remove(id);
+                }
+                TupleSet {
+                    repr: Repr::Bitmap(bits),
+                }
+                .into_canonical()
+            }
+        }
+    }
+
+    /// In-place `self ∩= other`.
+    pub fn and_assign(&mut self, other: &TupleSet) {
+        match (&mut self.repr, &other.repr) {
+            (Repr::Array(a), _) => {
+                a.retain(|&id| other.contains(id));
+                if !array_fits(a) {
+                    self.repr = Repr::Bitmap(a.iter().copied().collect());
+                }
+            }
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => {
+                a.and_assign(b);
+                self.canonicalize();
+            }
+            (Repr::Bitmap(a), Repr::Array(b)) => {
+                let kept: Vec<u32> = b.iter().copied().filter(|&id| a.contains(id)).collect();
+                *self = TupleSet::from_sorted(kept);
+            }
+        }
+    }
+
+    /// In-place `self ∪= other`.
+    pub fn or_assign(&mut self, other: &TupleSet) {
+        match (&mut self.repr, &other.repr) {
+            (Repr::Array(a), Repr::Array(b)) => {
+                *self = TupleSet::from_sorted(union_arrays(a, b));
+            }
+            (Repr::Array(a), Repr::Bitmap(b)) => {
+                let mut bits = b.clone();
+                for &id in a.iter() {
+                    bits.insert(id);
+                }
+                self.repr = Repr::Bitmap(bits);
+                self.canonicalize();
+            }
+            (Repr::Bitmap(a), Repr::Array(b)) => {
+                for &id in b {
+                    a.insert(id);
+                }
+                self.canonicalize();
+            }
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => {
+                a.or_assign(b);
+                self.canonicalize();
+            }
+        }
+    }
+
+    /// `|self ∩ other|` without materialising the intersection.
+    pub fn and_count(&self, other: &TupleSet) -> usize {
+        match (&self.repr, &other.repr) {
+            (Repr::Array(a), Repr::Array(b)) => intersect_count_arrays(a, b),
+            (Repr::Array(a), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Array(a)) => {
+                a.iter().filter(|&&id| b.contains(id)).count()
+            }
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => a.and_count(b),
+        }
+    }
+
+    /// Whether the sets share any id (short-circuits on the first hit).
+    pub fn intersects(&self, other: &TupleSet) -> bool {
+        match (&self.repr, &other.repr) {
+            (Repr::Array(a), Repr::Array(b)) => arrays_intersect(a, b),
+            (Repr::Array(a), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Array(a)) => {
+                a.iter().any(|&id| b.contains(id))
+            }
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => a.intersects(b),
+        }
+    }
+
+    /// Iterates ids in ascending order regardless of container.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            inner: match &self.repr {
+                Repr::Array(v) => IterInner::Array(v.iter()),
+                Repr::Bitmap(b) => IterInner::Bitmap(b.iter()),
+            },
+        }
+    }
+
+    /// Re-establishes the container invariant after a bitmap mutation: a
+    /// (trimmed) bitmap of `w` words demotes iff its cardinality is at
+    /// most `min(ARRAY_MAX, w / SPAN_FACTOR)` — checked with an
+    /// early-exit popcount so dense bitmaps answer in a few words.
+    fn canonicalize(&mut self) {
+        if let Repr::Bitmap(b) = &self.repr {
+            let words = b.heap_bytes() / std::mem::size_of::<u64>();
+            let limit = ARRAY_MAX.min(words / SPAN_FACTOR);
+            if b.count_at_most(limit).is_some() {
+                self.repr = Repr::Array(b.iter().collect());
+            }
+        }
+    }
+
+    /// [`canonicalize`](Self::canonicalize) by value, for builder chains.
+    fn into_canonical(mut self) -> Self {
+        self.canonicalize();
+        self
+    }
+}
+
+/// Sorted-array intersection: two-pointer merge, switching to galloping
+/// binary search when one side is ≥ [`GALLOP_SKEW`]× the other.
+fn intersect_arrays(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(small.len());
+    if small.len() * GALLOP_SKEW < large.len() {
+        // Galloping: binary-search each small element in the still-unseen
+        // suffix of the large side.
+        let mut lo = 0usize;
+        for &id in small {
+            match large[lo..].binary_search(&id) {
+                Ok(pos) => {
+                    out.push(id);
+                    lo += pos + 1;
+                }
+                Err(pos) => lo += pos,
+            }
+            if lo >= large.len() {
+                break;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(small[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `|a ∩ b|` over sorted arrays without materialising.
+fn intersect_count_arrays(a: &[u32], b: &[u32]) -> usize {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len() * GALLOP_SKEW < large.len() {
+        let mut lo = 0usize;
+        let mut n = 0usize;
+        for &id in small {
+            match large[lo..].binary_search(&id) {
+                Ok(pos) => {
+                    n += 1;
+                    lo += pos + 1;
+                }
+                Err(pos) => lo += pos,
+            }
+            if lo >= large.len() {
+                break;
+            }
+        }
+        n
+    } else {
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// Whether two sorted arrays share an element (short-circuiting merge).
+fn arrays_intersect(a: &[u32], b: &[u32]) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len() * GALLOP_SKEW < large.len() {
+        let mut lo = 0usize;
+        for &id in small {
+            match large[lo..].binary_search(&id) {
+                Ok(_) => return true,
+                Err(pos) => lo += pos,
+            }
+            if lo >= large.len() {
+                return false;
+            }
+        }
+        return false;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Sorted-array union (merge; output stays sorted and duplicate-free).
+fn union_arrays(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+impl FromIterator<u32> for TupleSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        TupleSet::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a TupleSet {
+    type Item = u32;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending id iterator over either container of a [`TupleSet`].
+pub struct Iter<'a> {
+    inner: IterInner<'a>,
+}
+
+enum IterInner<'a> {
+    Array(std::slice::Iter<'a, u32>),
+    Bitmap(crate::bitset::Iter<'a>),
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        match &mut self.inner {
+            IterInner::Array(it) => it.next().copied(),
+            IterInner::Bitmap(it) => it.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Wide enough id spacing that the span rule always admits the array
+    /// (one id per `SPAN_FACTOR` 64-bit words, with headroom).
+    const WIDE: u32 = (64 * SPAN_FACTOR * 2) as u32;
+
+    fn set(ids: &[u32]) -> TupleSet {
+        ids.iter().copied().collect()
+    }
+
+    /// A set holding exactly `n` ids spaced `stride` apart from `start`.
+    fn strided(start: u32, n: usize, stride: u32) -> TupleSet {
+        (0..n as u32).map(|i| start + i * stride).collect()
+    }
+
+    /// The invariant every constructor and mutation must re-establish.
+    fn assert_canonical(s: &TupleSet) {
+        let ids: Vec<u32> = s.iter().collect();
+        assert_eq!(
+            s.is_array(),
+            array_fits(&ids),
+            "container rule violated for {} ids (max {:?})",
+            ids.len(),
+            ids.last()
+        );
+        assert_eq!(s, &set(&ids), "not structurally canonical");
+    }
+
+    #[test]
+    fn word_boundary_ids_round_trip() {
+        for ids in [
+            &[0u32][..],
+            &[63],
+            &[64],
+            &[65],
+            &[0, 63, 64, 65],
+            &[0, 63, 64, 65, 127, 128, 4095, 4096],
+        ] {
+            let mut s = TupleSet::new();
+            for &id in ids {
+                assert!(s.insert(id), "fresh insert of {id}");
+                assert!(!s.insert(id), "re-insert of {id}");
+            }
+            assert_eq!(s.count(), ids.len());
+            assert_eq!(s.iter().collect::<Vec<_>>(), ids.to_vec());
+            for &id in ids {
+                assert!(s.contains(id));
+            }
+            assert!(!s.contains(1_000_000));
+            assert_canonical(&s);
+            // same ids through a bitmap container behave identically
+            let mut dense: TupleSet = (0..256).collect();
+            assert!(dense.is_bitmap(), "dense low-id set packs to a bitmap");
+            for &id in ids {
+                dense.insert(id);
+                assert!(dense.contains(id));
+            }
+            assert_canonical(&dense);
+        }
+    }
+
+    #[test]
+    fn empty_and_universe_sets() {
+        let empty = TupleSet::new();
+        assert!(empty.is_empty() && empty.is_array());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.iter().count(), 0);
+        assert_eq!(empty.heap_bytes(), 0);
+
+        let universe: TupleSet = (0..10_000).collect();
+        assert!(universe.is_bitmap());
+        assert_eq!(universe.count(), 10_000);
+        assert_eq!(universe.and(&universe), universe);
+        assert_eq!(universe.or(&universe), universe);
+        assert!(universe.and_not(&universe).is_empty());
+        assert!(universe.and_not(&universe).is_array(), "demoted to array");
+        assert_eq!(empty.and(&universe), empty);
+        assert_eq!(empty.or(&universe), universe);
+        assert_eq!(universe.and_count(&empty), 0);
+        assert!(!universe.intersects(&empty));
+        for s in [&empty, &universe] {
+            assert_canonical(s);
+        }
+    }
+
+    #[test]
+    fn promotion_exactly_at_the_cardinality_threshold() {
+        // WIDE spacing keeps the span rule satisfied throughout, so the
+        // promotion trigger is exactly the ARRAY_MAX cardinality cap.
+        let mut s = strided(0, ARRAY_MAX, WIDE);
+        assert!(s.is_array(), "ARRAY_MAX ids still fit the array");
+        assert_eq!(s.count(), ARRAY_MAX);
+        assert!(s.insert(ARRAY_MAX as u32 * WIDE));
+        assert!(s.is_bitmap(), "one over the threshold promotes");
+        assert_eq!(s.count(), ARRAY_MAX + 1);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            (0..=ARRAY_MAX as u32).map(|i| i * WIDE).collect::<Vec<_>>()
+        );
+        assert_canonical(&s);
+    }
+
+    #[test]
+    fn demotion_exactly_at_the_cardinality_threshold() {
+        let mut s = strided(0, ARRAY_MAX + 1, WIDE);
+        assert!(s.is_bitmap());
+        assert!(s.remove(0));
+        assert!(s.is_array(), "falling to ARRAY_MAX demotes");
+        assert_eq!(s.count(), ARRAY_MAX);
+        // structural equality with a direct array build
+        assert_eq!(s, strided(WIDE, ARRAY_MAX, WIDE));
+        assert_canonical(&s);
+    }
+
+    #[test]
+    fn span_rule_keeps_compact_sets_dense() {
+        // 100 ids packed into two words: the array would be 400 B against
+        // a 16 B bitmap — the span rule must keep the bitmap.
+        let compact: TupleSet = (0..100).collect();
+        assert!(compact.is_bitmap());
+        assert_eq!(compact.heap_bytes(), 16);
+        // the same 100 ids scattered WIDE apart fit the array rule
+        let scattered = strided(0, 100, WIDE);
+        assert!(scattered.is_array());
+        assert_eq!(scattered.heap_bytes(), 400);
+        // boundary: n ids need span ≥ n × SPAN_FACTOR words exactly
+        let n = 8u32;
+        let just_enough = n as usize * SPAN_FACTOR * 64 - 64; // max id word index = n×SF−1
+        let at_rule = strided(0, n as usize - 1, 1)
+            .iter()
+            .chain(std::iter::once(just_enough as u32))
+            .collect::<TupleSet>();
+        assert!(at_rule.is_array(), "span exactly n×SPAN_FACTOR words");
+        let one_short = strided(0, n as usize - 1, 1)
+            .iter()
+            .chain(std::iter::once(just_enough as u32 - 64))
+            .collect::<TupleSet>();
+        assert!(one_short.is_bitmap(), "span one word short of the rule");
+        for s in [&compact, &scattered, &at_rule, &one_short] {
+            assert_canonical(s);
+        }
+    }
+
+    #[test]
+    fn removing_an_outlier_collapses_array_to_bitmap() {
+        // [0..n) plus one far outlier is an array (huge span); dropping
+        // the outlier collapses the span and the bitmap takes over.
+        let mut s: TupleSet = (0..6u32).chain(std::iter::once(1_000_000)).collect();
+        assert!(s.is_array());
+        assert!(s.remove(1_000_000));
+        assert!(s.is_bitmap(), "span collapsed; bitmap is now smaller");
+        assert_eq!(s, (0..6u32).collect::<TupleSet>());
+        assert_canonical(&s);
+    }
+
+    #[test]
+    fn and_not_collapses_bitmap_under_the_threshold() {
+        let big: TupleSet = (0..40_000).collect();
+        let mask: TupleSet = (0..40_000 - 5).collect();
+        assert!(big.is_bitmap() && mask.is_bitmap());
+        let sparse = big.and_not(&mask);
+        assert!(sparse.is_array(), "bitmap result demoted");
+        assert_eq!(
+            sparse.iter().collect::<Vec<_>>(),
+            (40_000 - 5..40_000).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            sparse,
+            (40_000 - 5..40_000).collect(),
+            "canonical across builds"
+        );
+        assert_canonical(&sparse);
+        // bitmap \ array stays canonical too
+        let few = strided(0, 2, WIDE);
+        let nearly = big.and_not(&few);
+        assert!(nearly.is_bitmap());
+        assert_eq!(nearly.count(), 40_000 - 2);
+        assert_canonical(&nearly);
+    }
+
+    #[test]
+    fn mixed_container_ops_in_both_argument_orders() {
+        let sparse = strided(3, 4, 40_000); // ids 3, 40003, 80003, 120003
+        let dense: TupleSet = (0..1_500).collect();
+        assert!(sparse.is_array() && dense.is_bitmap());
+
+        for (x, y) in [(&sparse, &dense), (&dense, &sparse)] {
+            let and = x.and(y);
+            assert_eq!(and.iter().collect::<Vec<_>>(), vec![3]);
+            assert!(and.is_bitmap(), "id 3 alone spans one word; bitmap wins");
+            assert_eq!(x.and_count(y), 1);
+            assert!(x.intersects(y));
+
+            let or = x.or(y);
+            assert_eq!(or.count(), 1_500 + 3);
+            assert!(or.contains(120_003) && or.contains(0));
+            assert!(or.is_bitmap());
+
+            let mut acc = x.clone();
+            acc.and_assign(y);
+            assert_eq!(acc, and, "and_assign matches and");
+            let mut acc = x.clone();
+            acc.or_assign(y);
+            assert_eq!(acc, or, "or_assign matches or");
+            assert_canonical(&and);
+            assert_canonical(&or);
+        }
+
+        // difference is order-sensitive; check both directions explicitly
+        assert_eq!(
+            sparse.and_not(&dense).iter().collect::<Vec<_>>(),
+            vec![40_003, 80_003, 120_003]
+        );
+        assert_eq!(dense.and_not(&sparse).count(), 1_500 - 1);
+
+        let disjoint = set(&[9_999_999]);
+        assert!(!disjoint.intersects(&dense));
+        assert!(!dense.intersects(&disjoint));
+        assert_eq!(dense.and_count(&disjoint), 0);
+    }
+
+    #[test]
+    fn algebra_matches_hashset_semantics_across_container_pairs() {
+        // array/array, array/bitmap and bitmap/bitmap operand pairs all
+        // reduce to plain set semantics, and every result re-establishes
+        // the container invariant.
+        let shapes = [
+            strided(0, 40, WIDE),                     // scattered array
+            strided(3, 700, 2),                       // compact bitmap
+            strided(1, ARRAY_MAX, WIDE),              // array at the cap
+            strided(0, 2 * ARRAY_MAX + 1, 1),         // dense bitmap
+            strided(64, 30, 64 * SPAN_FACTOR as u32), // array at the span rule
+        ];
+        for a in &shapes {
+            for b in &shapes {
+                let ha: HashSet<u32> = a.iter().collect();
+                let hb: HashSet<u32> = b.iter().collect();
+                let want_and: Vec<u32> = {
+                    let mut v: Vec<u32> = ha.intersection(&hb).copied().collect();
+                    v.sort_unstable();
+                    v
+                };
+                assert_eq!(a.and(b).iter().collect::<Vec<_>>(), want_and);
+                assert_eq!(a.and_count(b), want_and.len());
+                assert_eq!(a.intersects(b), !want_and.is_empty());
+                let mut want_or: Vec<u32> = ha.union(&hb).copied().collect();
+                want_or.sort_unstable();
+                assert_eq!(a.or(b).iter().collect::<Vec<_>>(), want_or);
+                let mut want_diff: Vec<u32> = ha.difference(&hb).copied().collect();
+                want_diff.sort_unstable();
+                assert_eq!(a.and_not(b).iter().collect::<Vec<_>>(), want_diff);
+                for r in [a.and(b), a.or(b), a.and_not(b)] {
+                    assert_canonical(&r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn galloping_intersection_agrees_with_merge() {
+        // A tiny array against one large enough to trigger the galloping
+        // path (skew > GALLOP_SKEW), with hits at both ends and misses.
+        let small = set(&[0, 2 * WIDE, 37 * WIDE, 9_999_999]);
+        let large = strided(0, ARRAY_MAX, WIDE);
+        assert!(small.is_array() && large.is_array());
+        assert!(small.count() * GALLOP_SKEW < large.count());
+        let got = small.and(&large);
+        assert_eq!(got.iter().collect::<Vec<_>>(), vec![0, 2 * WIDE, 37 * WIDE]);
+        assert_eq!(small.and_count(&large), 3);
+        assert!(small.intersects(&large));
+        assert!(!set(&[1, WIDE + 1, 600_000_001]).intersects(&large));
+    }
+
+    #[test]
+    fn memory_footprint_shrinks_for_sparse_sets() {
+        let sparse = set(&[5, 900, 40_000]);
+        let dense_equivalent = sparse.to_bitset();
+        assert_eq!(sparse.heap_bytes(), 12);
+        assert!(
+            sparse.heap_bytes() * 50 < dense_equivalent.heap_bytes(),
+            "{} vs {}",
+            sparse.heap_bytes(),
+            dense_equivalent.heap_bytes()
+        );
+        // round-trip through the dense container preserves contents
+        assert_eq!(TupleSet::from_bitset(dense_equivalent), sparse);
+    }
+
+    #[test]
+    fn from_unsorted_dedups_and_picks_container() {
+        let s = TupleSet::from_unsorted(vec![WIDE * 5, 1, WIDE * 5, WIDE * 3, 1]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, WIDE * 3, WIDE * 5]);
+        assert!(s.is_array());
+        let big = TupleSet::from_unsorted((0..3_000).rev().collect());
+        assert!(big.is_bitmap());
+        assert_eq!(big.count(), 3_000);
+    }
+}

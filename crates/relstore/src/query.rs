@@ -811,6 +811,109 @@ mod tests {
     }
 
     #[test]
+    fn open_range_pushdown_exact_counts_with_fractional_literals() {
+        // A fractional float literal has no Int twin, so the widened
+        // bounds (`low_twin`/`high_twin` leave it unchanged) must still
+        // seed every qualifying int row: year > 2007.5 means year ≥ 2008.
+        // Expected counts are hand-derived from the fixture's years
+        // {2000, 2006, 2010, 2010, 2008, 2010}.
+        let mut db = mini_dblp();
+        db.table_mut("dblp")
+            .unwrap()
+            .create_index("year", IndexKind::BTree)
+            .unwrap();
+        let cases = [
+            ("dblp.year>2007.5", 4u64), // 2008 + three 2010s
+            ("dblp.year>=2007.5", 4),   // same set: no year equals 2007.5
+            ("dblp.year<2007.5", 2),    // 2000, 2006
+            ("dblp.year<=2007.5", 2),
+            ("dblp.year>2008.0", 3), // strict: the 2008 row is out
+            ("dblp.year>=2008.0", 4),
+            ("dblp.year<2010.0", 3), // 2000, 2006, 2008
+            ("dblp.year<=2010.0", 6),
+            ("dblp.year>2010.5", 0), // above every row
+            ("dblp.year<1999.5", 0), // below every row
+        ];
+        for (text, want) in cases {
+            let q = SelectQuery::from("dblp").filter(parse_predicate(text).unwrap());
+            assert_eq!(q.count(&db).unwrap(), want, "{text}");
+        }
+    }
+
+    #[test]
+    fn open_range_pushdown_on_float_column_with_int_literals() {
+        // The reverse direction: a BTree over Float keys probed with Int
+        // literals. `Int(n)` sorts before `Float(n)` in `Value`'s total
+        // order, so an unwidened Included(Int(2)) bound would skip the
+        // Float(2.0) key itself.
+        let mut db = Database::new();
+        let scores = db
+            .create_table(
+                "scores",
+                Schema::of(&[("id", DataType::Int), ("score", DataType::Float)]),
+            )
+            .unwrap();
+        for (id, score) in [(1, 0.5), (2, 2.0), (3, 2.5), (4, 4.0), (5, 4.0)] {
+            scores
+                .insert(vec![Value::Int(id), Value::Float(score)])
+                .unwrap();
+        }
+        let cases = [
+            ("scores.score>=2", 4u64), // 2.0, 2.5, 4.0, 4.0
+            ("scores.score>2", 3),     // strict: 2.0 is out
+            ("scores.score<=2", 2),    // 0.5, 2.0
+            ("scores.score<2", 1),
+            ("scores.score>=4", 2),
+            ("scores.score>4", 0),
+            ("scores.score<0", 0),
+            ("scores.score>=2.5", 3), // fractional literal, float keys
+        ];
+        let bare: Vec<u64> = cases
+            .iter()
+            .map(|(text, _)| {
+                SelectQuery::from("scores")
+                    .filter(parse_predicate(text).unwrap())
+                    .count(&db)
+                    .unwrap()
+            })
+            .collect();
+        db.table_mut("scores")
+            .unwrap()
+            .create_index("score", IndexKind::BTree)
+            .unwrap();
+        for ((text, want), scanned) in cases.iter().zip(bare) {
+            assert_eq!(scanned, *want, "scan for {text}");
+            let q = SelectQuery::from("scores").filter(parse_predicate(text).unwrap());
+            assert_eq!(q.count(&db).unwrap(), *want, "indexed for {text}");
+        }
+    }
+
+    #[test]
+    fn open_range_pushdown_boundary_row_survives_widened_bounds() {
+        // The regression the twin-widening exists for: with an Int BTree
+        // key and a whole-number float bound, `>=2008.0` must keep the
+        // boundary 2008 row and `>2008.0` must drop it — in both the
+        // seeded and the post-filter result.
+        let mut db = mini_dblp();
+        db.table_mut("dblp")
+            .unwrap()
+            .create_index("year", IndexKind::BTree)
+            .unwrap();
+        let ge = SelectQuery::from("dblp").filter(parse_predicate("dblp.year>=2008.0").unwrap());
+        let rows = ge.run(&db).unwrap();
+        let years = rows.column_values("dblp.year").unwrap();
+        assert!(years.contains(&&Value::Int(2008)), "boundary row kept");
+        assert_eq!(rows.len(), 4);
+        let gt = SelectQuery::from("dblp").filter(parse_predicate("dblp.year>2008.0").unwrap());
+        let rows = gt.run(&db).unwrap();
+        assert!(!rows
+            .column_values("dblp.year")
+            .unwrap()
+            .contains(&&Value::Int(2008)));
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
     fn cross_type_equality_probes_hash_index_twins() {
         let mut db = mini_dblp();
         let q = SelectQuery::from("dblp").filter(parse_predicate("dblp.year=2010.0").unwrap());

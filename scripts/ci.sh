@@ -3,8 +3,10 @@
 #   fmt check → clippy (warnings are errors) → build (all targets) → tests.
 #
 # Usage: scripts/ci.sh [--release-bench]
-#   --release-bench  additionally builds release benches and regenerates
-#                    BENCH_PR1.json (slow; off by default).
+#   --release-bench  additionally builds release benches, regenerates
+#                    BENCH_PR2.json and prints a side-by-side delta
+#                    against the checked-in BENCH_PR1.json (slow; off by
+#                    default).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,8 +23,8 @@ echo "==> cargo test --workspace"
 cargo test --workspace -q
 
 if [[ "${1:-}" == "--release-bench" ]]; then
-    echo "==> bench_report (BENCH_PR1.json)"
-    cargo run --release -p hypre-bench --bin bench_report
+    echo "==> bench_report (BENCH_PR2.json + delta vs BENCH_PR1.json)"
+    cargo run --release -p hypre-bench --bin bench_report BENCH_PR2.json BENCH_PR1.json
 fi
 
 echo "CI OK"

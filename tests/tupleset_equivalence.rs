@@ -1,0 +1,252 @@
+//! Three-way differential properties for the PR 2 adaptive tuple-set
+//! rewrite: on random predicate *trees* over the generated DBLP corpus,
+//! the adaptive `TupleSet` algebra, the pure-bitmap `BitSet` algebra and
+//! the seed `HashSet<Value>` algebra must agree exactly — and
+//! `Peps::top_k` / `ordered_combinations` must be byte-identical across
+//! all three engine generations (adaptive `Peps`, PR 1 `BitsetPeps`, seed
+//! `SeedPeps`).
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use hypre_bench::baseline::{HashSetAlgebra, SeedPeps};
+use hypre_bench::bitset_baseline::{BitsetAlgebra, BitsetPeps};
+use hypre_bench::Fixture;
+use hypre_repro::prelude::*;
+use hypre_repro::relstore::{Predicate, Value};
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(Fixture::small)
+}
+
+/// Draws a predicate from the extracted workload (a real stored
+/// preference over the corpus) or a synthetic year-range/venue atom, so
+/// dense, sparse and empty tuple sets are all exercised.
+fn corpus_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (0usize..1 << 16).prop_map(|i| {
+            let quant = &fixture().workload.quantitative;
+            quant[i % quant.len()].predicate.clone()
+        }),
+        (1990i64..2014).prop_map(|y| {
+            hypre_repro::relstore::parse_predicate(&format!("dblp.year>={y}")).unwrap()
+        }),
+        (0u64..40).prop_map(|a| {
+            hypre_repro::relstore::parse_predicate(&format!("dblp_author.aid={a}")).unwrap()
+        }),
+    ]
+}
+
+/// A random set-algebra expression tree over corpus predicates.
+#[derive(Debug, Clone)]
+enum Expr {
+    Atom(Predicate),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    AndNot(Box<Expr>, Box<Expr>),
+}
+
+fn expr_tree() -> BoxedStrategy<Expr> {
+    corpus_predicate()
+        .prop_map(Expr::Atom)
+        .boxed()
+        .prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone(), 0u8..3).prop_map(|(a, b, op)| {
+                    let (a, b) = (Box::new(a), Box::new(b));
+                    match op {
+                        0 => Expr::And(a, b),
+                        1 => Expr::Or(a, b),
+                        _ => Expr::AndNot(a, b),
+                    }
+                }),
+            ]
+        })
+}
+
+/// Evaluates the tree over the adaptive engine, asserting the container
+/// invariant on every intermediate result.
+fn eval_adaptive(expr: &Expr, exec: &Executor<'_>) -> TupleSet {
+    let out = match expr {
+        Expr::Atom(p) => (*exec.tuple_set(p).unwrap()).clone(),
+        Expr::And(a, b) => eval_adaptive(a, exec).and(&eval_adaptive(b, exec)),
+        Expr::Or(a, b) => eval_adaptive(a, exec).or(&eval_adaptive(b, exec)),
+        Expr::AndNot(a, b) => eval_adaptive(a, exec).and_not(&eval_adaptive(b, exec)),
+    };
+    // canonical container: rebuilding from the id list reproduces the
+    // representation exactly (array iff the contents pick the array)
+    let rebuilt: TupleSet = out.iter().collect();
+    assert_eq!(out, rebuilt, "non-canonical container");
+    assert_eq!(out.is_array(), rebuilt.is_array());
+    if out.is_array() {
+        assert!(out.count() <= ARRAY_MAX, "array container over the cap");
+    }
+    out
+}
+
+/// Evaluates the tree over the pure-bitmap reference algebra.
+fn eval_bitset(expr: &Expr, algebra: &BitsetAlgebra<'_, '_>) -> BitSet {
+    match expr {
+        Expr::Atom(p) => (*algebra.tuple_set(p).unwrap()).clone(),
+        Expr::And(a, b) => eval_bitset(a, algebra).and(&eval_bitset(b, algebra)),
+        Expr::Or(a, b) => eval_bitset(a, algebra).or(&eval_bitset(b, algebra)),
+        Expr::AndNot(a, b) => eval_bitset(a, algebra).and_not(&eval_bitset(b, algebra)),
+    }
+}
+
+/// Evaluates the tree over the seed `HashSet<Value>` algebra.
+fn eval_hashset(expr: &Expr, algebra: &HashSetAlgebra<'_, '_>) -> HashSet<Value> {
+    match expr {
+        Expr::Atom(p) => (*algebra.tuple_set(p).unwrap()).clone(),
+        Expr::And(a, b) => {
+            let (x, y) = (eval_hashset(a, algebra), eval_hashset(b, algebra));
+            x.intersection(&y).cloned().collect()
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (eval_hashset(a, algebra), eval_hashset(b, algebra));
+            x.union(&y).cloned().collect()
+        }
+        Expr::AndNot(a, b) => {
+            let (x, y) = (eval_hashset(a, algebra), eval_hashset(b, algebra));
+            x.difference(&y).cloned().collect()
+        }
+    }
+}
+
+fn sorted(values: impl IntoIterator<Item = Value>) -> Vec<Value> {
+    let mut out: Vec<Value> = values.into_iter().collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The three algebra generations agree on random predicate trees:
+    /// same ids (adaptive vs bitmap), same identities (vs the seed
+    /// HashSet evaluation), same counts and emptiness, and the adaptive
+    /// results keep canonical containers throughout.
+    #[test]
+    fn prop_three_way_algebra_agrees_on_random_trees(tree in expr_tree()) {
+        let fx = fixture();
+        let exec = fx.executor();
+        let bitset = BitsetAlgebra::new(&exec);
+        let hashset = HashSetAlgebra::new(&exec);
+
+        let adaptive = eval_adaptive(&tree, &exec);
+        let dense = eval_bitset(&tree, &bitset);
+        let seed = eval_hashset(&tree, &hashset);
+
+        // adaptive ≡ bitset: identical interned id lists
+        prop_assert_eq!(
+            adaptive.iter().collect::<Vec<u32>>(),
+            dense.iter().collect::<Vec<u32>>()
+        );
+        prop_assert_eq!(adaptive.count(), dense.count());
+        prop_assert_eq!(adaptive.is_empty(), dense.is_empty());
+
+        // adaptive ≡ hashset: identical tuple identities
+        prop_assert_eq!(exec.values_of(&adaptive), sorted(seed));
+
+        // ascending, duplicate-free iteration
+        let ids: Vec<u32> = adaptive.iter().collect();
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Pairwise ops between two random trees agree across generations in
+    /// both argument orders (mixed containers included), and the
+    /// non-materialising ops (`and_count`, `intersects`) match their
+    /// materialised counterparts.
+    #[test]
+    fn prop_three_way_pairwise_ops_agree(a in expr_tree(), b in expr_tree()) {
+        let fx = fixture();
+        let exec = fx.executor();
+        let bitset = BitsetAlgebra::new(&exec);
+
+        let (xa, xb) = (eval_adaptive(&a, &exec), eval_adaptive(&b, &exec));
+        let (da, db) = (eval_bitset(&a, &bitset), eval_bitset(&b, &bitset));
+
+        for ((x, y), (p, q)) in [((&xa, &xb), (&da, &db)), ((&xb, &xa), (&db, &da))] {
+            prop_assert_eq!(x.and_count(y), p.and_count(q));
+            prop_assert_eq!(x.and_count(y), x.and(y).count());
+            prop_assert_eq!(x.intersects(y), p.intersects(q));
+            prop_assert_eq!(x.intersects(y), !x.and(y).is_empty());
+            prop_assert_eq!(
+                x.and_not(y).iter().collect::<Vec<u32>>(),
+                p.and_not(q).iter().collect::<Vec<u32>>()
+            );
+            let mut and_acc = x.clone();
+            and_acc.and_assign(y);
+            prop_assert_eq!(&and_acc, &x.and(y), "and_assign ≡ and");
+            let mut or_acc = x.clone();
+            or_acc.or_assign(y);
+            prop_assert_eq!(&or_acc, &x.or(y), "or_assign ≡ or");
+        }
+    }
+}
+
+/// Builds a profile of distinct predicates with descending intensities.
+fn profile_from(prefs: Vec<(Predicate, f64)>) -> Vec<PrefAtom> {
+    let mut atoms: Vec<PrefAtom> = Vec::new();
+    let mut seen = HashSet::new();
+    for (p, v) in prefs {
+        if seen.insert(p.canonical()) {
+            atoms.push(PrefAtom::new(atoms.len(), p, v));
+        }
+    }
+    atoms.sort_by(|x, y| y.intensity.total_cmp(&x.intensity));
+    for (i, a) in atoms.iter_mut().enumerate() {
+        a.index = i;
+    }
+    atoms
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `ordered_combinations` and `top_k` are byte-identical across the
+    /// three engine generations: the adaptive `Peps`, the PR 1 pure-bitmap
+    /// `BitsetPeps` and the seed `SeedPeps` — same combination records
+    /// (members, predicates, counts, bit-exact intensities) and the same
+    /// ranked tuples with the same scores, for both variants.
+    #[test]
+    fn prop_peps_byte_identical_across_three_generations(
+        prefs in prop::collection::vec(
+            (corpus_predicate(), 0.05f64..=0.95),
+            2..6,
+        ),
+        k in 1usize..40,
+    ) {
+        let fx = fixture();
+        let exec = fx.executor();
+        let bitset = BitsetAlgebra::new(&exec);
+        let hashset = HashSetAlgebra::new(&exec);
+        let atoms = profile_from(prefs);
+
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        // Pairwise counts agree across all three set representations.
+        let dense_counts = bitset.pairwise_counts(&atoms).unwrap();
+        let seed_counts = hashset.pairwise_counts(&atoms).unwrap();
+        for ((entry, d), s) in pairs.entries().iter().zip(&dense_counts).zip(&seed_counts) {
+            prop_assert_eq!((entry.i, entry.j, entry.count), *d);
+            prop_assert_eq!(*d, *s);
+        }
+
+        for variant in [PepsVariant::Complete, PepsVariant::Approximate] {
+            let adaptive = Peps::new(&atoms, &exec, &pairs, variant);
+            let dense = BitsetPeps::new(&atoms, &bitset, &pairs, variant);
+            let seed = SeedPeps::new(&atoms, &hashset, &pairs, variant);
+
+            let order = adaptive.ordered_combinations().unwrap();
+            prop_assert_eq!(&order, &dense.ordered_combinations().unwrap());
+            prop_assert_eq!(&order, &seed.ordered_combinations().unwrap());
+
+            let top = adaptive.top_k(k).unwrap();
+            prop_assert_eq!(&top, &dense.top_k(k).unwrap());
+            prop_assert_eq!(&top, &seed.top_k(k).unwrap());
+        }
+    }
+}
