@@ -1,0 +1,72 @@
+//! PR 3 concurrency benches: the sharded pairwise build at 1/2/4 worker
+//! threads and the multi-session serving path (N sessions over one
+//! shared `ProfileCache` snapshot versus N cold executors).
+//!
+//! Note the worker rows measure *the same bytes* at every thread count —
+//! `tests/parallel_equivalence.rs` proves the results identical — so any
+//! delta is pure scheduling: speedup on multi-core hosts, spawn overhead
+//! on single-core ones (the shim prints whatever the hardware gives).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use hypre_bench::{serving, Fixture};
+use hypre_core::prelude::*;
+
+fn bench_parallel_pairwise(c: &mut Criterion) {
+    for n in [2_000usize, 20_000] {
+        let fx = Fixture::papers(n);
+        let atoms = fx.graph.positive_profile(fx.rich_user);
+        let exec = fx.executor();
+        // Warm the memo so the timed region is the triangular pass alone.
+        let _ = PairwiseCache::build(&atoms, &exec).unwrap();
+
+        let mut g = c.benchmark_group(format!("parallel_pairwise_{n}"));
+        g.sample_size(10);
+        for threads in [1usize, 2, 4] {
+            g.bench_function(format!("threads_{threads}"), |b| {
+                b.iter(|| {
+                    black_box(
+                        PairwiseCache::build_with(&atoms, &exec, Parallelism::threads(threads))
+                            .unwrap()
+                            .applicable_count(),
+                    )
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_multi_session(c: &mut Criterion) {
+    const SESSIONS: usize = 4;
+    let fx = Fixture::papers(2_000);
+    let atoms = fx.graph.positive_profile(fx.rich_user);
+    let warm = fx.executor();
+    let _ = PairwiseCache::build(&atoms, &warm).unwrap();
+    let cache = Arc::new(ProfileCache::snapshot(&warm));
+    let base = BaseQuery::dblp();
+
+    // Both shapes run concurrently (hypre_bench::serving): the delta is
+    // what the shared snapshot buys, not thread-level parallelism.
+    let mut g = c.benchmark_group("multi_session_2000");
+    g.sample_size(10);
+    g.bench_function(format!("cold_{SESSIONS}_sessions"), |b| {
+        b.iter(|| {
+            black_box(serving::serve_cold_concurrent(
+                &fx.db, &base, &atoms, SESSIONS, 10,
+            ))
+        })
+    });
+    g.bench_function(format!("shared_{SESSIONS}_sessions"), |b| {
+        b.iter(|| {
+            black_box(serving::serve_shared_concurrent(
+                &fx.db, &cache, &atoms, SESSIONS, 10,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_pairwise, bench_multi_session);
+criterion_main!(benches);

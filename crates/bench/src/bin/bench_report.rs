@@ -1,7 +1,8 @@
-//! Emits `BENCH_PR2.json` — the machine-readable perf snapshot of the
-//! PR 2 adaptive tuple-set rewrite — and prints a side-by-side delta
-//! against the checked-in `BENCH_PR1.json` so regressions on the dense
-//! path are visible at a glance.
+//! Emits the machine-readable perf snapshot for the current PR (e.g.
+//! `BENCH_PR3.json`), prints a side-by-side delta against the newest
+//! checked-in `BENCH_PR*.json`, and **fails (exit 1) when a headline row
+//! regresses** by more than [`GUARD_MAX_REGRESSION`] — the bench gate
+//! `scripts/ci.sh --release-bench` runs.
 //!
 //! Measures, per corpus size (default 2 000 and 20 000 papers; override
 //! with `BENCH_SIZES=2000,20000`), across the **three generations** of
@@ -13,25 +14,48 @@
 //!   adaptive build including its `n` SQL queries;
 //! * `peps_top_k` — `Peps::top_k` latency (complete variant, k = 10 and
 //!   100) for all three engines over the same pairwise cache;
-//! * `set_algebra` — `and_count`/`or`/`and_not` micro-ops over the
-//!   profile's two **densest** tuple sets (bitmap containers: the
-//!   adaptive engine must stay within noise of PR 1);
-//! * `set_algebra_sparse` — the same micro-ops over the two **sparsest**
-//!   non-empty tuple sets (array containers: the long tail where the
-//!   adaptive representation wins), with per-set container bytes in the
-//!   `memory` section.
+//! * `set_algebra` / `set_algebra_sparse` — micro-ops over the densest
+//!   and sparsest profile tuple sets, with per-set container bytes in
+//!   the `memory` section;
+//! * `pairwise_build_parallel` — the PR 3 sharded triangular pass at 1,
+//!   2 and 4 worker threads (byte-identical results; the delta is pure
+//!   scheduling, so single-core hosts show spawn overhead, multi-core
+//!   hosts show speedup — the host's core count is recorded as
+//!   `available_parallelism`);
+//! * `multi_session` — N user sessions served from one shared
+//!   `ProfileCache` snapshot versus N cold executors that re-run every
+//!   profile query.
+//!
+//! The **headline rows** (`pairwise_build`, `peps_top_k`) are the
+//! regression guard: each is compared against the same row of the
+//! baseline report and the run exits non-zero past the threshold. The
+//! comparison is **normalised by the frozen PR 1 bitset engine** (the
+//! control both runs measure under their own conditions) whenever the
+//! baseline recorded it, so host-wide drift between runs — thermal
+//! state, noisy neighbours on shared hardware — cancels out instead of
+//! tripping the gate; PR 1-era baselines fall back to raw wall-clock.
 //!
 //! Usage: `cargo run --release -p hypre-bench --bin bench_report
-//! [out.json [pr1.json]]`
+//! [out.json [baseline.json]]` — with no arguments the output name is
+//! derived as `BENCH_PR{n+1}.json` from the newest checked-in
+//! `BENCH_PR{n}.json`, which doubles as the baseline.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 use hypre_bench::baseline::{HashSetAlgebra, SeedPeps};
 use hypre_bench::bitset_baseline::{BitsetAlgebra, BitsetPeps};
 use hypre_bench::timing::median_time;
-use hypre_bench::Fixture;
+use hypre_bench::{serving, Fixture};
 use hypre_core::prelude::*;
+
+/// Maximum tolerated slowdown of a headline row versus the baseline
+/// report before the run fails (1.25 = 25 % regression budget).
+const GUARD_MAX_REGRESSION: f64 = 1.25;
+
+/// Sections the regression guard watches.
+const HEADLINE_SECTIONS: [&str; 2] = ["pairwise_build", "peps_top_k"];
 
 /// One comparison row: median nanoseconds per generation.
 struct Row {
@@ -65,14 +89,68 @@ struct MemRow {
     bitset_bytes: usize,
 }
 
+/// One sharded-build row: the warm triangular pass at a worker count.
+struct ParallelRow {
+    papers: usize,
+    threads: usize,
+    ns: u128,
+}
+
+/// One serving row: N sessions cold versus over a shared snapshot.
+struct MultiSessionRow {
+    papers: usize,
+    sessions: usize,
+    cold_ns: u128,
+    shared_ns: u128,
+    warm_build_ns: u128,
+}
+
 fn measure<R>(f: impl FnMut() -> R) -> u128 {
     median_time(5, Duration::from_millis(120), f).as_nanos()
 }
 
+/// The numeric suffix of a `BENCH_PR<n>.json` file name.
+fn bench_file_number(name: &str) -> Option<u32> {
+    name.strip_prefix("BENCH_PR")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+/// Every `BENCH_PR*.json` in the current directory, newest (highest
+/// number) first. Note this sees the working tree, not the git index —
+/// `scripts/ci.sh` resolves the *checked-in* baseline via
+/// `git ls-files` and passes both names explicitly; this listing is the
+/// fallback for direct invocations.
+fn bench_files_newest_first() -> Vec<(u32, String)> {
+    let mut files: Vec<(u32, String)> = std::fs::read_dir(".")
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            Some((bench_file_number(&name)?, name))
+        })
+        .collect();
+    files.sort_by_key(|(n, _)| std::cmp::Reverse(*n));
+    files
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let out_path = args.next().unwrap_or_else(|| "BENCH_PR2.json".to_owned());
-    let pr1_path = args.next().unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+    let known = bench_files_newest_first();
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| format!("BENCH_PR{}.json", known.first().map_or(1, |(n, _)| n + 1)));
+    // Baseline: explicit second argument, else the newest bench file
+    // that is not the output itself (so regenerating the current PR's
+    // artifact in place still guards against its predecessor).
+    let baseline_path = args.next().or_else(|| {
+        known
+            .iter()
+            .map(|(_, name)| name.clone())
+            .find(|name| *name != out_path)
+    });
     let mut sizes: Vec<usize> = std::env::var("BENCH_SIZES")
         .unwrap_or_else(|_| "2000,20000".to_owned())
         .split(',')
@@ -86,6 +164,8 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut mem: Vec<MemRow> = Vec::new();
+    let mut parallel: Vec<ParallelRow> = Vec::new();
+    let mut multi: Vec<MultiSessionRow> = Vec::new();
     let mut extra = String::new();
 
     for &n in &sizes {
@@ -128,6 +208,19 @@ fn main() {
             hashset_ns: measure(|| hashset.pairwise_counts(&atoms).unwrap().len()),
         });
 
+        // PR 3: the same warm triangular pass, sharded.
+        for threads in [1usize, 2, 4] {
+            parallel.push(ParallelRow {
+                papers: n,
+                threads,
+                ns: measure(|| {
+                    PairwiseCache::build_with(&atoms, &exec, Parallelism::threads(threads))
+                        .unwrap()
+                        .applicable_count()
+                }),
+            });
+        }
+
         let peps = Peps::new(&atoms, &exec, &pairs, PepsVariant::Complete);
         let dense_peps = BitsetPeps::new(&atoms, &bitset, &pairs, PepsVariant::Complete);
         let seed_peps = SeedPeps::new(&atoms, &hashset, &pairs, PepsVariant::Complete);
@@ -141,6 +234,31 @@ fn main() {
                 hashset_ns: measure(|| seed_peps.top_k(k).unwrap().len()),
             });
         }
+
+        // PR 3: multi-session serving — N sessions over one shared
+        // snapshot versus N cold executors re-running every query. Both
+        // shapes run their sessions concurrently (hypre_bench::serving),
+        // so the delta isolates what the snapshot buys rather than
+        // conflating it with thread-level parallelism.
+        const SESSIONS: usize = 4;
+        let warm_build_ns = measure(|| {
+            let warm = fx.executor();
+            let built = PairwiseCache::build(&atoms, &warm).unwrap().entries().len();
+            (ProfileCache::snapshot(&warm).len(), built)
+        });
+        let cache = Arc::new(ProfileCache::snapshot(&exec));
+        let base = BaseQuery::dblp();
+        multi.push(MultiSessionRow {
+            papers: n,
+            sessions: SESSIONS,
+            cold_ns: measure(|| {
+                serving::serve_cold_concurrent(&fx.db, &base, &atoms, SESSIONS, 10)
+            }),
+            shared_ns: measure(|| {
+                serving::serve_shared_concurrent(&fx.db, &cache, &atoms, SESSIONS, 10)
+            }),
+            warm_build_ns,
+        });
 
         // Operand picks: densest pair (bitmap containers) and sparsest
         // non-empty pair (array containers).
@@ -217,10 +335,12 @@ fn main() {
         }
     }
 
+    let cores = Parallelism::Auto.workers();
     let mut json = String::from("{\n");
     let _ = write!(
         json,
-        "  \"bench\": \"PR2 adaptive tuple sets\",\n  \"sizes\": {:?},\n  \"cold\": [\n    {extra}\n  ],\n  \"results\": [\n",
+        "  \"bench\": \"{}\",\n  \"sizes\": {:?},\n  \"available_parallelism\": {cores},\n  \"cold\": [\n    {extra}\n  ],\n  \"results\": [\n",
+        out_path.trim_end_matches(".json"),
         sizes
     );
     for (i, r) in rows.iter().enumerate() {
@@ -236,6 +356,31 @@ fn main() {
             r.vs_bitset(),
             r.vs_hashset(),
             if i + 1 == rows.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ],\n  \"parallel\": [\n");
+    for (i, p) in parallel.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"section\":\"pairwise_build_parallel\",\"papers\":{},\"threads\":{},\"ns\":{}}}{}",
+            p.papers,
+            p.threads,
+            p.ns,
+            if i + 1 == parallel.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ],\n  \"multi_session\": [\n");
+    for (i, m) in multi.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"papers\":{},\"sessions\":{},\"cold_ns\":{},\"shared_ns\":{},\"warm_build_ns\":{},\"speedup\":{:.2}}}{}",
+            m.papers,
+            m.sessions,
+            m.cold_ns,
+            m.shared_ns,
+            m.warm_build_ns,
+            m.cold_ns as f64 / m.shared_ns.max(1) as f64,
+            if i + 1 == multi.len() { "" } else { "," },
         );
     }
     json.push_str("  ],\n  \"memory\": [\n");
@@ -268,62 +413,184 @@ fn main() {
             r.vs_hashset(),
         );
     }
+    for p in &parallel {
+        println!(
+            "{:>18} threads={:<7} n={:<6} {:>10} ns  ({cores} cores available)",
+            "parallel_build", p.threads, p.papers, p.ns
+        );
+    }
+    for m in &multi {
+        println!(
+            "{:>18} {} sessions    n={:<6} cold {:>12} ns  shared {:>12} ns  ({:.1}x, warm build {} ns)",
+            "multi_session",
+            m.sessions,
+            m.papers,
+            m.cold_ns,
+            m.shared_ns,
+            m.cold_ns as f64 / m.shared_ns.max(1) as f64,
+            m.warm_build_ns,
+        );
+    }
     for m in &mem {
         println!(
             "{:>18} {:<22} n={:<6} |set|={:<6} adaptive {:>8} B  bitset {:>8} B",
             "memory", m.name, m.papers, m.cardinality, m.adaptive_bytes, m.bitset_bytes
         );
     }
-    print_delta_vs_pr1(&pr1_path, &rows);
     eprintln!("wrote {out_path}");
-}
 
-/// Prints a side-by-side delta of this run against the checked-in PR 1
-/// report: for every `(section, name, papers)` row PR 1 measured, compare
-/// its engine time (`bitset_ns`) with today's adaptive engine.
-fn print_delta_vs_pr1(pr1_path: &str, rows: &[Row]) {
-    let Ok(pr1) = std::fs::read_to_string(pr1_path) else {
-        println!("\n(no {pr1_path} found — skipping PR1 delta)");
+    let Some(baseline_path) = baseline_path else {
+        println!("\n(no baseline BENCH_PR*.json found — skipping delta and regression guard)");
         return;
     };
-    println!("\n== delta vs {pr1_path} (PR1 engine → PR2 adaptive engine) ==");
+    if baseline_path == out_path {
+        eprintln!(
+            "baseline and output are the same file ({out_path}) — a report never \
+             guards against itself; pass a distinct baseline"
+        );
+        std::process::exit(1);
+    }
+    let Ok(contents) = std::fs::read_to_string(&baseline_path) else {
+        println!("\n(no {baseline_path} found — skipping delta and regression guard)");
+        return;
+    };
+    let baseline_rows: Vec<BaselineRow> = contents.lines().filter_map(parse_result_row).collect();
+    print_delta(&baseline_path, &baseline_rows, &rows);
+    if !regression_guard(&baseline_path, &baseline_rows, &rows) {
+        std::process::exit(1);
+    }
+}
+
+/// One parsed baseline result row: `(section, name, papers, engine_ns,
+/// control_ns)`. `engine_ns` is the baseline's engine-under-test time
+/// (`adaptive_ns`, or `bitset_ns` for PR 1-era files); `control_ns` is
+/// the frozen PR 1 bitset engine's time in that same baseline run, when
+/// the file recorded both.
+type BaselineRow = (String, String, usize, u128, Option<u128>);
+
+/// Prints a side-by-side delta of this run against the baseline report:
+/// for every `(section, name, papers)` row the baseline measured,
+/// compare its engine time with today's adaptive engine.
+fn print_delta(baseline_path: &str, baseline_rows: &[BaselineRow], rows: &[Row]) {
+    println!("\n== delta vs {baseline_path} (baseline engine → this run's adaptive engine) ==");
     let mut matched = 0usize;
-    for line in pr1.lines() {
-        let Some((section, name, papers, pr1_ns)) = parse_pr1_row(line) else {
-            continue;
-        };
+    for (section, name, papers, base_ns, _) in baseline_rows {
         let Some(row) = rows
             .iter()
-            .find(|r| r.section == section && r.name == name && r.papers == papers)
+            .find(|r| r.section == section && r.name == *name && r.papers == *papers)
         else {
             continue;
         };
         matched += 1;
-        let ratio = pr1_ns as f64 / row.adaptive_ns.max(1) as f64;
+        let ratio = *base_ns as f64 / row.adaptive_ns.max(1) as f64;
         println!(
-            "{:>16} {:<14} n={:<6} pr1 {:>12} ns → pr2 {:>12} ns  ({:>5.2}x {})",
+            "{:>16} {:<14} n={:<6} base {:>12} ns → now {:>12} ns  ({:>5.2}x {})",
             section,
             name,
             papers,
-            pr1_ns,
+            base_ns,
             row.adaptive_ns,
             if ratio >= 1.0 { ratio } else { 1.0 / ratio },
             if ratio >= 1.0 { "faster" } else { "slower" },
         );
     }
     if matched == 0 {
-        println!("(no comparable rows found in {pr1_path})");
+        println!("(no comparable rows found in {baseline_path})");
     }
 }
 
-/// Extracts `(section, name, papers, bitset_ns)` from one PR 1 result
-/// line — a flat JSON object per line, parsed without a JSON dependency.
-fn parse_pr1_row(line: &str) -> Option<(String, String, usize, u128)> {
+/// The bench-regression gate: every headline row (`pairwise_build`,
+/// `peps_top_k`) of the baseline must still exist in this run and must
+/// not regress by more than [`GUARD_MAX_REGRESSION`]. A baseline
+/// headline row with no counterpart in the current run fails the gate
+/// too — a renamed or dropped row must update the baseline, not dodge
+/// it. Returns `false` (→ exit 1) on any breach.
+///
+/// Regression is measured **normalised by the frozen control engine**
+/// whenever both runs recorded it: the PR 1 pure-bitmap generation is
+/// guaranteed unchanged by the ROADMAP guardrails and is re-measured
+/// under identical conditions in every report, so comparing
+/// `adaptive/bitset` ratios across runs cancels host-wide drift
+/// (thermal state, noisy neighbours on shared runners) that raw
+/// wall-clock comparison would misreport as a code regression. For
+/// PR 1-era baselines without a recorded control, raw wall-clock is the
+/// fallback.
+fn regression_guard(baseline_path: &str, baseline_rows: &[BaselineRow], rows: &[Row]) -> bool {
+    println!(
+        "\n== regression guard vs {baseline_path} (headline rows, {:.0}% budget, \
+         control-normalised where possible) ==",
+        (GUARD_MAX_REGRESSION - 1.0) * 100.0
+    );
+    // A partial run (BENCH_SIZES override) only guards the sizes it
+    // measured; within a measured size, every baseline headline row
+    // must match.
+    let measured_sizes: std::collections::HashSet<usize> = rows.iter().map(|r| r.papers).collect();
+    let mut checked = 0usize;
+    let mut ok = true;
+    for (section, name, papers, base_ns, base_control_ns) in baseline_rows {
+        if !HEADLINE_SECTIONS.contains(&section.as_str()) || !measured_sizes.contains(papers) {
+            continue;
+        }
+        checked += 1;
+        let Some(row) = rows
+            .iter()
+            .find(|r| r.section == section && r.name == *name && r.papers == *papers)
+        else {
+            println!(
+                "  MISS {:<16} {:<14} n={:<6} baseline row has no counterpart in this run",
+                section, name, papers
+            );
+            ok = false;
+            continue;
+        };
+        let raw = row.adaptive_ns.max(1) as f64 / (*base_ns).max(1) as f64;
+        let (ratio, how) = match base_control_ns {
+            Some(control) if *control > 0 && row.bitset_ns > 0 => {
+                let current = row.adaptive_ns.max(1) as f64 / row.bitset_ns as f64;
+                let baseline = (*base_ns).max(1) as f64 / *control as f64;
+                (current / baseline, "vs-control")
+            }
+            _ => (raw, "raw"),
+        };
+        let breached = ratio > GUARD_MAX_REGRESSION;
+        println!(
+            "  {} {:<16} {:<14} n={:<6} {:>12} ns vs {:>12} ns baseline ({:.2}x {how}, {:.2}x raw)",
+            if breached { "FAIL" } else { "ok  " },
+            section,
+            name,
+            papers,
+            row.adaptive_ns,
+            base_ns,
+            ratio,
+            raw,
+        );
+        ok &= !breached;
+    }
+    if checked == 0 {
+        println!("  (baseline has no headline rows — nothing to guard)");
+    } else if ok {
+        println!("  regression guard passed ({checked} rows)");
+    } else {
+        eprintln!("regression guard FAILED against {baseline_path}");
+    }
+    ok
+}
+
+/// Extracts one [`BaselineRow`] from a baseline result line — a flat
+/// JSON object per line, parsed without a JSON dependency. The engine
+/// time is `adaptive_ns` (PR 2+ reports), falling back to `bitset_ns`
+/// for PR 1-era files; the control time is `bitset_ns` only when the
+/// line records it *alongside* `adaptive_ns` (in a PR 1 file `bitset_ns`
+/// *is* the engine, not a control).
+fn parse_result_row(line: &str) -> Option<BaselineRow> {
     let section = json_str_field(line, "section")?;
     let name = json_str_field(line, "name")?;
     let papers = json_num_field(line, "papers")?;
-    let ns = json_num_field(line, "bitset_ns")?;
-    Some((section, name, papers as usize, ns))
+    let adaptive = json_num_field(line, "adaptive_ns");
+    let bitset = json_num_field(line, "bitset_ns");
+    let ns = adaptive.or(bitset)?;
+    let control = adaptive.and(bitset);
+    Some((section, name, papers as usize, ns, control))
 }
 
 fn json_str_field(line: &str, key: &str) -> Option<String> {

@@ -14,7 +14,10 @@
 //! * [`bitset_baseline`] — the pure-bitmap `BitSet` algebra and PEPS (the
 //!   PR 1 generation), kept so adaptive-vs-bitset-vs-hashset benches and
 //!   equivalence tests can measure all three generations;
-//! * [`timing`] — wall-clock helpers for the `bench_report` binary.
+//! * [`timing`] — wall-clock helpers for the `bench_report` binary;
+//! * [`serving`] — the concurrent multi-session harness (cold executors
+//!   vs one shared `ProfileCache` snapshot) shared by `bench_report`
+//!   and the `parallel` bench.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,6 +27,7 @@ pub mod bitset_baseline;
 pub mod experiments;
 pub mod fixture;
 pub mod report;
+pub mod serving;
 pub mod ta_glue;
 pub mod timing;
 

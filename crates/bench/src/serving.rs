@@ -1,0 +1,91 @@
+//! The multi-session serving harness shared by `bench_report`, the
+//! `parallel` criterion bench and the determinism tests: N concurrent
+//! sessions answering PEPS top-k, either **cold** (each session is a
+//! fresh [`Executor`] that re-interns the corpus and re-runs every
+//! profile query) or **shared** (each session reads one frozen
+//! [`ProfileCache`] snapshot lock-free).
+//!
+//! Both shapes run their sessions under [`std::thread::scope`], so a
+//! cold-vs-shared delta isolates what the snapshot actually buys
+//! (interning + SQL + materialisation reuse) instead of conflating it
+//! with thread-level parallelism.
+
+use std::sync::Arc;
+
+use hypre_core::prelude::*;
+use relstore::Database;
+
+/// Serves `sessions` concurrent PEPS top-`k` requests, each from a
+/// fresh executor (the cold path: per-session interning and SQL).
+/// Returns the summed result lengths (a cheap checksum for benches).
+pub fn serve_cold_concurrent(
+    db: &Database,
+    base: &BaseQuery,
+    atoms: &[PrefAtom],
+    sessions: usize,
+    k: usize,
+) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                scope.spawn(move || {
+                    let exec = Executor::new(db, base.clone());
+                    let pairs = PairwiseCache::build(atoms, &exec).expect("cold pairwise build");
+                    Peps::new(atoms, &exec, &pairs, PepsVariant::Complete)
+                        .top_k(k)
+                        .expect("cold top-k")
+                        .len()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+/// Serves `sessions` concurrent PEPS top-`k` requests, each from a
+/// session executor over one shared snapshot (the serving path: zero
+/// SQL for cached predicates). Returns the summed result lengths.
+pub fn serve_shared_concurrent(
+    db: &Database,
+    cache: &Arc<ProfileCache>,
+    atoms: &[PrefAtom],
+    sessions: usize,
+    k: usize,
+) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                let cache = Arc::clone(cache);
+                scope.spawn(move || {
+                    let session = Executor::with_cache(db, cache);
+                    let pairs =
+                        PairwiseCache::build(atoms, &session).expect("shared pairwise build");
+                    Peps::new(atoms, &session, &pairs, PepsVariant::Complete)
+                        .top_k(k)
+                        .expect("shared top-k")
+                        .len()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fixture;
+
+    #[test]
+    fn cold_and_shared_serving_agree() {
+        let fx = Fixture::small();
+        let atoms = fx.graph.positive_profile(fx.rich_user);
+        let warm = fx.executor();
+        let _ = PairwiseCache::build(&atoms, &warm).unwrap();
+        let cache = Arc::new(ProfileCache::snapshot(&warm));
+        let cold = serve_cold_concurrent(&fx.db, warm.base(), &atoms, 3, 10);
+        let shared = serve_shared_concurrent(&fx.db, &cache, &atoms, 3, 10);
+        assert_eq!(cold, shared);
+        assert_eq!(cold, 30, "3 sessions × top-10");
+    }
+}

@@ -222,18 +222,19 @@ impl<'a, 'db> Peps<'a, 'db> {
             self.expand(members, intensity, sets[i].and(&sets[j]), sets, out)?;
         }
         // The seed preference by itself (the fallback that guarantees k
-        // tuples can always be reached eventually).
+        // tuples can always be reached eventually). One set clone per
+        // round — cheaper than threading shared-ownership handles
+        // through every expansion node below.
         let singleton = vec![s];
         if !emitted.contains(&singleton) {
-            let set = std::rc::Rc::clone(&sets[s]);
-            let tuples = set.count() as u64;
+            let tuples = sets[s].count() as u64;
             if tuples > 0 {
                 emitted.insert(singleton.clone());
                 out.push(RoundCombo {
                     members: singleton,
                     intensity: self.atoms[s].intensity,
                     tuples,
-                    set,
+                    set: (*sets[s]).clone(),
                 });
             }
         }
@@ -281,18 +282,16 @@ impl<'a, 'db> Peps<'a, 'db> {
         out: &mut Vec<RoundCombo>,
     ) -> Result<()> {
         debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "ascending chain");
-        let set: SharedTupleSet = std::rc::Rc::new(set);
-        out.push(RoundCombo {
-            members: members.clone(),
-            intensity,
-            tuples: set.count() as u64,
-            set: std::rc::Rc::clone(&set),
-        });
         let last = *members.last().expect("combinations are non-empty");
         // Collect extension candidates first: pairs_from borrows the cache,
         // and recursion needs `out` mutable. `pairs_from(last)` only
         // yields partners above `last`, so none can repeat a member.
         let candidates: Vec<usize> = self.pairs.pairs_from(last).map(|e| e.j).collect();
+        // Intersect the children while `set` is still borrowable, then
+        // move it into the emitted combo — combos own their sets (no
+        // shared-ownership handle, no refcount traffic on this loop:
+        // PEPS is single-threaded per session by contract).
+        let mut children: Vec<(usize, TupleSet)> = Vec::new();
         for m in candidates {
             // Applicability of the extension is the emptiness of one
             // incremental intersection; `intersects` pre-screens without
@@ -301,10 +300,19 @@ impl<'a, 'db> Peps<'a, 'db> {
             if !set.intersects(sm) {
                 continue;
             }
+            children.push((m, set.and(sm)));
+        }
+        out.push(RoundCombo {
+            members: members.clone(),
+            intensity,
+            tuples: set.count() as u64,
+            set,
+        });
+        for (m, child) in children {
             let mut ext_members = members.clone();
             ext_members.push(m);
             let ext_intensity = f_and(intensity, self.atoms[m].intensity);
-            self.expand(ext_members, ext_intensity, set.and(sm), sets, out)?;
+            self.expand(ext_members, ext_intensity, child, sets, out)?;
         }
         Ok(())
     }
@@ -319,15 +327,16 @@ impl<'a, 'db> Peps<'a, 'db> {
     }
 }
 
-/// A combination emitted during a round, carrying the tuple set computed
-/// along the expansion path so scoring never re-intersects. The combined
-/// predicate AST is *not* built here — only `ordered_combinations`
-/// materialises it, keeping the Top-K loop allocation-light.
+/// A combination emitted during a round, carrying (and owning) the tuple
+/// set computed along the expansion path so scoring never re-intersects.
+/// The combined predicate AST is *not* built here — only
+/// `ordered_combinations` materialises it, keeping the Top-K loop
+/// allocation-light.
 struct RoundCombo {
     members: Vec<usize>,
     intensity: f64,
     tuples: u64,
-    set: SharedTupleSet,
+    set: TupleSet,
 }
 
 fn sort_order(order: &mut [RoundCombo]) {

@@ -30,7 +30,7 @@
 //!    row id and short-circuits join expansion, so interning clones each
 //!    key value exactly once — not once per joined row.
 //! 2. Each preference's *tuple set* is an adaptive compressed
-//!    [`TupleSet`](crate::tupleset::TupleSet) over those ids — a sorted
+//!    [`TupleSet`] over those ids — a sorted
 //!    `u32` array for sparse predicates (the single-author/rare-venue long
 //!    tail), a packed-word bitmap for dense ones — materialised once per
 //!    distinct predicate (memoised on the predicate's canonical text; one
@@ -47,10 +47,48 @@
 //! ([`Executor::tuples`], [`Executor::tuples_and`],
 //! [`Executor::values_of`]), where ids are translated back through the
 //! interner and sorted for determinism.
+//!
+//! ## Threading and the snapshot/sharing model
+//!
+//! The executor itself is a **single-session** object: its memo tables
+//! use `RefCell`/`Cell` interior mutability, so it is `Send`-free and
+//! never crosses threads. Concurrency enters at two seams instead:
+//!
+//! * **Parallel pairwise build.** [`PairwiseCache::build`] front-loads
+//!   the `n(n−1)/2` AND-popcount pass of §5.5. After the `n` tuple-set
+//!   fetches (sequential — they go through the executor's memo), the
+//!   triangular `(i, j)` space is partitioned into contiguous
+//!   equal-sized chunks of the linearised triangular index and filled by
+//!   [`std::thread::scope`] workers. Each [`PairEntry`] is a pure
+//!   function of `(i, j)` over immutable inputs (`Arc`'d tuple sets and
+//!   plain intensities), so the result is **byte-identical at every
+//!   worker count** — `tests/parallel_equivalence.rs` proves it at 1, 2
+//!   and 8 threads. The worker count comes from the [`Parallelism`] knob
+//!   threaded through the executor (or passed explicitly to
+//!   [`PairwiseCache::build_with`]).
+//!
+//! * **Shared profile snapshots.** A [`ProfileCache`] is an immutable,
+//!   `Send + Sync` snapshot of a warmed executor: the interner (frozen,
+//!   behind `Arc`) plus the memoised predicate→tuple-set map
+//!   (`Arc`'d sets, shared structurally). N concurrent user sessions
+//!   against the same corpus each open a cheap session executor with
+//!   [`Executor::with_cache`]; cached predicates resolve **lock-free**
+//!   from the snapshot (no `RefCell` borrow, no SQL), while predicates
+//!   the snapshot has not seen fall through to the session's private
+//!   memo and intern *new* ids in a local overlay **above** the frozen
+//!   snapshot ids — base ids stay stable, so tuple sets from the
+//!   snapshot and session-local sets share one id space. Writes happen
+//!   only during the build phase (warm an executor, then
+//!   [`ProfileCache::snapshot`]); reads are immutable thereafter, which
+//!   is the whole thread-safety contract: share `Arc<ProfileCache>`
+//!   freely, keep each `Executor` on one thread.
+//!
+//! PEPS stays sequential *per session*; sessions run concurrently (see
+//! `examples/multi_user_serving.rs` and the multi-session bench rows).
 
 use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use relstore::{ColRef, Database, Predicate, SelectQuery, Value};
 
@@ -125,25 +163,56 @@ impl BaseQuery {
 /// ids, assigned in first-sight order and stable for the executor's
 /// lifetime. The id space doubles as the index space of every
 /// [`TupleSet`]-backed tuple set and of PEPS's dense ranking array.
+///
+/// An interner is either *flat* (the common case) or *layered*: a session
+/// executor opened over a [`ProfileCache`] stacks a private overlay on
+/// top of the cache's frozen snapshot. Base ids `0..base_len` resolve
+/// through the shared snapshot without copying it; values the snapshot
+/// never saw intern into the overlay with ids starting at `base_len`, so
+/// snapshot tuple sets and session-local sets share one id space.
 #[derive(Debug, Clone, Default)]
 pub struct TupleInterner {
+    /// Frozen lower layer (always flat — snapshots flatten before
+    /// freezing), shared lock-free across sessions.
+    base: Option<Arc<TupleInterner>>,
+    /// Local overlay; ids stored here are absolute (`>= base_len`).
     ids: HashMap<Value, u32>,
     values: Vec<Value>,
 }
 
 impl TupleInterner {
+    /// A session interner layered over a frozen snapshot.
+    fn layered(base: Arc<TupleInterner>) -> Self {
+        debug_assert!(base.base.is_none(), "snapshot bases are flat");
+        TupleInterner {
+            base: Some(base),
+            ids: HashMap::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Size of the frozen base layer (0 for a flat interner).
+    fn base_len(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.values.len())
+    }
+
     /// Number of interned tuple identities (the id-space size).
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.base_len() + self.values.len()
     }
 
     /// Whether nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.len() == 0
     }
 
     /// The id of an already-interned value.
     pub fn id(&self, value: &Value) -> Option<u32> {
+        if let Some(base) = &self.base {
+            if let Some(&id) = base.ids.get(value) {
+                return Some(id);
+            }
+        }
         self.ids.get(value).copied()
     }
 
@@ -152,35 +221,103 @@ impl TupleInterner {
     /// # Panics
     /// Panics if the id was never issued by this interner.
     pub fn value(&self, id: u32) -> &Value {
-        &self.values[id as usize]
+        let base_len = self.base_len();
+        if (id as usize) < base_len {
+            &self.base.as_ref().expect("base ids imply a base").values[id as usize]
+        } else {
+            &self.values[id as usize - base_len]
+        }
     }
 
-    /// Interns a value, cloning it only on first sight.
+    /// Interns a value, cloning it only on first sight. A layered
+    /// interner never re-interns a value its base already holds.
     fn intern(&mut self, value: &Value) -> u32 {
-        if let Some(&id) = self.ids.get(value) {
+        if let Some(id) = self.id(value) {
             return id;
         }
-        let id = u32::try_from(self.values.len()).expect("more than u32::MAX tuple identities");
+        let id = u32::try_from(self.len()).expect("more than u32::MAX tuple identities");
         self.ids.insert(value.clone(), id);
         self.values.push(value.clone());
         id
     }
+
+    /// A flat, self-contained copy (base and overlay merged) — what a
+    /// [`ProfileCache`] freezes.
+    fn flattened(&self) -> TupleInterner {
+        match &self.base {
+            None => self.clone(),
+            Some(base) => {
+                let mut ids = base.ids.clone();
+                ids.extend(self.ids.iter().map(|(v, &id)| (v.clone(), id)));
+                let mut values = base.values.clone();
+                values.extend(self.values.iter().cloned());
+                TupleInterner {
+                    base: None,
+                    ids,
+                    values,
+                }
+            }
+        }
+    }
 }
 
 /// A shared, immutable tuple set: an adaptive compressed set
-/// ([`TupleSet`]) over interned tuple ids.
-pub type SharedTupleSet = Rc<TupleSet>;
+/// ([`TupleSet`]) over interned tuple ids. `Arc`-backed so materialised
+/// sets flow across threads — into the sharded pairwise build and out of
+/// a [`ProfileCache`] shared by concurrent sessions.
+pub type SharedTupleSet = Arc<TupleSet>;
+
+/// How many worker threads the parallel phases (today: the pairwise
+/// build's triangular pass) may use. The knob is advisory — every
+/// setting produces byte-identical results; only wall-clock changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded (the default): no worker threads are spawned.
+    #[default]
+    Sequential,
+    /// Exactly this many workers (values below 2 behave like
+    /// [`Parallelism::Sequential`]).
+    Fixed(usize),
+    /// One worker per available core
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+}
+
+impl Parallelism {
+    /// A fixed worker count (`threads(0)` and `threads(1)` are
+    /// sequential).
+    pub fn threads(n: usize) -> Self {
+        Parallelism::Fixed(n.max(1))
+    }
+
+    /// The effective worker count (always at least 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
 
 /// Runs preference-enhanced queries with per-preference tuple-set
 /// memoisation and query accounting (the combination algorithms are
 /// compared by how many real queries they issue).
+///
+/// An executor is a **session**: single-threaded by construction
+/// (interior mutability in its memo tables), optionally reading through
+/// a shared [`ProfileCache`] snapshot and optionally fanning the
+/// pairwise build out to [`Parallelism`] workers.
 pub struct Executor<'db> {
     db: &'db Database,
     base: BaseQuery,
     interner: RefCell<TupleInterner>,
     atom_cache: RefCell<HashMap<String, SharedTupleSet>>,
+    shared: Option<Arc<ProfileCache>>,
+    parallelism: Cell<Parallelism>,
     queries_run: Cell<usize>,
     cache_hits: Cell<usize>,
+    shared_hits: Cell<usize>,
 }
 
 impl<'db> Executor<'db> {
@@ -191,9 +328,64 @@ impl<'db> Executor<'db> {
             base,
             interner: RefCell::new(TupleInterner::default()),
             atom_cache: RefCell::new(HashMap::new()),
+            shared: None,
+            parallelism: Cell::new(Parallelism::Sequential),
             queries_run: Cell::new(0),
             cache_hits: Cell::new(0),
+            shared_hits: Cell::new(0),
         }
+    }
+
+    /// Opens a session executor over a shared profile snapshot: the base
+    /// query comes from the cache, cached predicates resolve lock-free
+    /// without SQL, and new predicates intern into a private overlay
+    /// above the snapshot's frozen id space.
+    ///
+    /// The snapshot pins the corpus state it was built from — sessions
+    /// must run against the same (immutable) [`Database`] the cache was
+    /// warmed on, or cached sets would silently disagree with fresh
+    /// queries.
+    ///
+    /// # Panics
+    /// Panics when `db`'s base-table row counts do not match the counts
+    /// recorded when the snapshot was taken — the cheap fingerprint that
+    /// turns a mixed-corpora session (stale cached sets beside fresh SQL
+    /// against a different corpus) into an immediate error instead of a
+    /// silently wrong ranking.
+    pub fn with_cache(db: &'db Database, cache: Arc<ProfileCache>) -> Self {
+        let current = corpus_fingerprint(db, &cache.base);
+        assert_eq!(
+            current, cache.fingerprint,
+            "ProfileCache was warmed on a different corpus than this session's \
+             Database (base-table row counts changed) — re-warm the cache"
+        );
+        Executor {
+            db,
+            base: cache.base.clone(),
+            interner: RefCell::new(TupleInterner::layered(Arc::clone(&cache.interner))),
+            atom_cache: RefCell::new(HashMap::new()),
+            shared: Some(cache),
+            parallelism: Cell::new(Parallelism::Sequential),
+            queries_run: Cell::new(0),
+            cache_hits: Cell::new(0),
+            shared_hits: Cell::new(0),
+        }
+    }
+
+    /// Sets the parallelism knob (builder form).
+    pub fn with_parallelism(self, parallelism: Parallelism) -> Self {
+        self.parallelism.set(parallelism);
+        self
+    }
+
+    /// Sets the parallelism knob for subsequent parallel phases.
+    pub fn set_parallelism(&self, parallelism: Parallelism) {
+        self.parallelism.set(parallelism);
+    }
+
+    /// The current parallelism knob.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism.get()
     }
 
     /// The base query.
@@ -249,16 +441,24 @@ impl<'db> Executor<'db> {
 
     /// The tuple set matched by one preference predicate, memoised on the
     /// predicate's canonical text. One SQL query per distinct predicate,
-    /// ever.
+    /// ever — and zero for predicates a shared [`ProfileCache`] snapshot
+    /// already materialised (those resolve lock-free, without touching
+    /// the session's own memo).
     pub fn tuple_set(&self, unit: &Predicate) -> Result<SharedTupleSet> {
         let key = unit.canonical();
+        if let Some(cache) = &self.shared {
+            if let Some(set) = cache.get(&key) {
+                self.shared_hits.set(self.shared_hits.get() + 1);
+                return Ok(set);
+            }
+        }
         if let Some(set) = self.atom_cache.borrow().get(&key) {
             self.cache_hits.set(self.cache_hits.get() + 1);
-            return Ok(Rc::clone(set));
+            return Ok(Arc::clone(set));
         }
         self.queries_run.set(self.queries_run.get() + 1);
-        let set: SharedTupleSet = Rc::new(self.run_and_intern(unit)?);
-        self.atom_cache.borrow_mut().insert(key, Rc::clone(&set));
+        let set: SharedTupleSet = Arc::new(self.run_and_intern(unit)?);
+        self.atom_cache.borrow_mut().insert(key, Arc::clone(&set));
         Ok(set)
     }
 
@@ -397,10 +597,163 @@ impl<'db> Executor<'db> {
         self.queries_run.get()
     }
 
-    /// Number of tuple-set requests served from cache.
+    /// Number of tuple-set requests served from the session's own cache.
     pub fn cache_hits(&self) -> usize {
         self.cache_hits.get()
     }
+
+    /// Number of tuple-set requests served lock-free from a shared
+    /// [`ProfileCache`] snapshot.
+    pub fn shared_hits(&self) -> usize {
+        self.shared_hits.get()
+    }
+}
+
+/// An immutable, `Send + Sync` snapshot of a warmed executor, shared
+/// across session executors behind `Arc`: the frozen tuple-id interner
+/// plus the memoised predicate→tuple-set map. The serving shape for
+/// multi-user workloads (Chomicki's incremental-profile argument): N
+/// concurrent sessions against one corpus intern once, fetch
+/// materialised sets lock-free, and only pay SQL for predicates the
+/// snapshot has never seen.
+///
+/// Writes go through a *build phase* — warm any executor (run the
+/// profile predicates through it), then freeze with
+/// [`ProfileCache::snapshot`]. The snapshot is immutable thereafter; to
+/// absorb new predicates, snapshot a session that ran them and swap the
+/// `Arc` (readers keep their old snapshot until they re-open).
+#[derive(Debug, Clone)]
+pub struct ProfileCache {
+    base: BaseQuery,
+    interner: Arc<TupleInterner>,
+    sets: HashMap<String, SharedTupleSet>,
+    /// Row counts of the base query's tables at snapshot time — the
+    /// cheap corpus identity [`Executor::with_cache`] checks so a
+    /// snapshot is never silently served against a different database.
+    fingerprint: Vec<(String, Option<usize>)>,
+}
+
+/// Row counts of the base query's driver and joined tables (`None` for a
+/// missing table) — the corpus identity a [`ProfileCache`] pins.
+fn corpus_fingerprint(db: &Database, base: &BaseQuery) -> Vec<(String, Option<usize>)> {
+    std::iter::once(&base.table)
+        .chain(base.joins.iter().map(|(table, _, _)| table))
+        .map(|t| (t.clone(), db.table(t).map(|tab| tab.len()).ok()))
+        .collect()
+}
+
+impl ProfileCache {
+    /// Freezes an executor's current state — interner and every
+    /// memoised tuple set — into a shareable snapshot. Snapshotting a
+    /// session executor folds its private overlay (interner overlay and
+    /// local memo) *and* the snapshot it reads through into one flat
+    /// base, so caches compose incrementally.
+    pub fn snapshot(exec: &Executor<'_>) -> Self {
+        let interner = exec.interner.borrow();
+        // Re-use the frozen base Arc when the session added nothing.
+        let interner = match &interner.base {
+            Some(base) if interner.values.is_empty() => Arc::clone(base),
+            _ => Arc::new(interner.flattened()),
+        };
+        let mut sets = exec
+            .shared
+            .as_ref()
+            .map(|c| c.sets.clone())
+            .unwrap_or_default();
+        for (key, set) in exec.atom_cache.borrow().iter() {
+            sets.insert(key.clone(), Arc::clone(set));
+        }
+        ProfileCache {
+            base: exec.base.clone(),
+            interner,
+            sets,
+            fingerprint: corpus_fingerprint(exec.db, &exec.base),
+        }
+    }
+
+    /// Builds a snapshot directly: runs every predicate through a fresh
+    /// executor (one SQL query each) and freezes the result.
+    pub fn warm<'p>(
+        db: &Database,
+        base: BaseQuery,
+        predicates: impl IntoIterator<Item = &'p Predicate>,
+    ) -> Result<Self> {
+        let exec = Executor::new(db, base);
+        for p in predicates {
+            exec.tuple_set(p)?;
+        }
+        Ok(ProfileCache::snapshot(&exec))
+    }
+
+    /// The base query the snapshot was built for.
+    pub fn base(&self) -> &BaseQuery {
+        &self.base
+    }
+
+    /// The materialised tuple set for a canonical predicate key, if the
+    /// snapshot holds it.
+    pub fn get(&self, canonical: &str) -> Option<SharedTupleSet> {
+        self.sets.get(canonical).map(Arc::clone)
+    }
+
+    /// Whether the snapshot holds a predicate (by canonical text).
+    pub fn contains(&self, predicate: &Predicate) -> bool {
+        self.sets.contains_key(&predicate.canonical())
+    }
+
+    /// Number of materialised predicate tuple sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the snapshot holds no tuple sets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Size of the frozen tuple-id space.
+    pub fn tuple_universe(&self) -> usize {
+        self.interner.len()
+    }
+}
+
+/// Fills one contiguous chunk of the pairwise table: `slice` receives
+/// the entries at linearised triangular indexes `start ..
+/// start + slice.len()` over an `n`-preference profile. Pure compute —
+/// this is the unit of work each build worker runs.
+fn fill_pair_chunk(
+    slice: &mut [PairEntry],
+    start: usize,
+    n: usize,
+    sets: &[SharedTupleSet],
+    intensities: &[f64],
+) {
+    let (mut i, mut j) = unrank_pair(start, n);
+    for e in slice {
+        *e = PairEntry {
+            i,
+            j,
+            intensity: f_and(intensities[i], intensities[j]),
+            count: sets[i].and_count(&sets[j]) as u64,
+        };
+        j += 1;
+        if j == n {
+            i += 1;
+            j = i + 1;
+        }
+    }
+}
+
+/// Inverts the triangular linearisation: the `(i, j)` pair (with
+/// `i < j < n`) stored at linear index `t` in `(i, j)` lexicographic
+/// order. Row `i` holds `n − i − 1` entries.
+fn unrank_pair(t: usize, n: usize) -> (usize, usize) {
+    let (mut i, mut row_start) = (0usize, 0usize);
+    while i + 1 < n && row_start + (n - i - 1) <= t {
+        row_start += n - i - 1;
+        i += 1;
+    }
+    (i, i + 1 + (t - row_start))
 }
 
 /// Intersects shared tuple sets smallest-first, bailing on empty.
@@ -461,23 +814,73 @@ pub struct PairwiseCache {
 impl PairwiseCache {
     /// Builds the cache for a profile: `n` tuple-set fetches through the
     /// executor plus `n(n−1)/2` container-adaptive intersection-count
-    /// passes — no pairwise intersection is ever materialised.
+    /// passes — no pairwise intersection is ever materialised. The
+    /// triangular pass is sharded across the executor's [`Parallelism`]
+    /// workers; results are byte-identical at every worker count.
     pub fn build(atoms: &[PrefAtom], exec: &Executor<'_>) -> Result<Self> {
+        PairwiseCache::build_with(atoms, exec, exec.parallelism())
+    }
+
+    /// [`build`](Self::build) with an explicit worker count, overriding
+    /// the executor's knob.
+    pub fn build_with(
+        atoms: &[PrefAtom],
+        exec: &Executor<'_>,
+        parallelism: Parallelism,
+    ) -> Result<Self> {
+        // Tuple-set fetches stay sequential: they go through the
+        // session's memo (and possibly SQL). Everything after is pure
+        // compute over immutable Arc'd sets.
         let mut sets = Vec::with_capacity(atoms.len());
         for a in atoms {
             sets.push(exec.tuple_set(&a.predicate)?);
         }
-        let mut entries = Vec::with_capacity(atoms.len() * atoms.len().saturating_sub(1) / 2);
-        for (ai, a) in atoms.iter().enumerate() {
-            for (bj, b) in atoms.iter().enumerate().skip(ai + 1) {
-                entries.push(PairEntry {
-                    i: ai,
-                    j: bj,
-                    intensity: f_and(a.intensity, b.intensity),
-                    count: sets[ai].and_count(&sets[bj]) as u64,
-                });
+        let intensities: Vec<f64> = atoms.iter().map(|a| a.intensity).collect();
+        let n = atoms.len();
+        let total = n * n.saturating_sub(1) / 2;
+        let workers = if total == 0 {
+            1
+        } else {
+            parallelism.workers().min(total)
+        };
+        let entries = if workers <= 1 {
+            // Sequential: push straight into the table, no placeholder
+            // pass — this is the single-core and small-profile fast path.
+            let mut entries = Vec::with_capacity(total);
+            for i in 0..n {
+                for j in i + 1..n {
+                    entries.push(PairEntry {
+                        i,
+                        j,
+                        intensity: f_and(intensities[i], intensities[j]),
+                        count: sets[i].and_count(&sets[j]) as u64,
+                    });
+                }
             }
-        }
+            entries
+        } else {
+            // Partition the linearised triangular index into contiguous
+            // balanced chunks; every entry is a pure function of (i, j)
+            // over immutable inputs, so chunked and sequential fills
+            // produce identical bytes.
+            let mut entries = vec![
+                PairEntry {
+                    i: 0,
+                    j: 0,
+                    intensity: 0.0,
+                    count: 0,
+                };
+                total
+            ];
+            let chunk = total.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (w, slice) in entries.chunks_mut(chunk).enumerate() {
+                    let (sets, intensities) = (&sets, &intensities);
+                    scope.spawn(move || fill_pair_chunk(slice, w * chunk, n, sets, intensities));
+                }
+            });
+            entries
+        };
         let mut by_first: HashMap<usize, Vec<usize>> = HashMap::new();
         for (idx, e) in entries.iter().enumerate() {
             if e.applicable() {
@@ -746,6 +1149,165 @@ mod tests {
         assert_eq!(from0.len(), 2);
         assert!(from0[0].intensity >= from0[1].intensity);
         assert_eq!(from0[0].j, 2, "higher-intensity partner first");
+    }
+
+    #[test]
+    fn shared_infrastructure_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<TupleSet>();
+        check::<crate::bitset::BitSet>();
+        check::<SharedTupleSet>();
+        check::<TupleInterner>();
+        check::<ProfileCache>();
+        check::<PairwiseCache>();
+        check::<Parallelism>();
+    }
+
+    #[test]
+    fn parallelism_worker_counts() {
+        assert_eq!(Parallelism::Sequential.workers(), 1);
+        assert_eq!(Parallelism::threads(0).workers(), 1);
+        assert_eq!(Parallelism::threads(1).workers(), 1);
+        assert_eq!(Parallelism::threads(6).workers(), 6);
+        assert!(Parallelism::Auto.workers() >= 1);
+        assert_eq!(Parallelism::default(), Parallelism::Sequential);
+    }
+
+    #[test]
+    fn unrank_pair_inverts_the_triangular_index() {
+        for n in [2usize, 3, 5, 8, 13] {
+            let mut t = 0usize;
+            for i in 0..n {
+                for j in i + 1..n {
+                    assert_eq!(unrank_pair(t, n), (i, j), "t={t} n={n}");
+                    t += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_byte_identical_to_sequential() {
+        let db = db();
+        let atoms = vec![
+            atom(0, "dblp.year>=2006", 0.9),
+            atom(1, "dblp.venue='VLDB'", 0.7),
+            atom(2, "dblp_author.aid=11", 0.5),
+            atom(3, "dblp.venue='PODS'", 0.4),
+            atom(4, "dblp.year>=2010", 0.2),
+            atom(5, "dblp.venue='SIGMOD'", 0.1),
+        ];
+        let exec = Executor::new(&db, BaseQuery::dblp());
+        let reference = PairwiseCache::build_with(&atoms, &exec, Parallelism::Sequential).unwrap();
+        for workers in [2usize, 3, 8, 64] {
+            let parallel =
+                PairwiseCache::build_with(&atoms, &exec, Parallelism::threads(workers)).unwrap();
+            assert_eq!(parallel.entries(), reference.entries(), "{workers} workers");
+            assert_eq!(parallel.applicable_count(), reference.applicable_count());
+            for i in 0..atoms.len() {
+                let seq: Vec<_> = reference.pairs_from(i).collect();
+                let par: Vec<_> = parallel.pairs_from(i).collect();
+                assert_eq!(seq, par, "pairs_from({i}) at {workers} workers");
+            }
+        }
+        // The executor-level knob routes through the same path.
+        exec.set_parallelism(Parallelism::threads(4));
+        assert_eq!(exec.parallelism(), Parallelism::threads(4));
+        let via_knob = PairwiseCache::build(&atoms, &exec).unwrap();
+        assert_eq!(via_knob.entries(), reference.entries());
+    }
+
+    #[test]
+    fn profile_cache_sessions_resolve_lock_free_and_extend_locally() {
+        let db = db();
+        let vldb = p("dblp.venue='VLDB'");
+        let recent = p("dblp.year>=2008");
+        let cache = Arc::new(ProfileCache::warm(&db, BaseQuery::dblp(), [&vldb, &recent]).unwrap());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&vldb));
+        assert!(!cache.is_empty());
+        assert!(cache.tuple_universe() >= 3);
+
+        let session = Executor::with_cache(&db, Arc::clone(&cache));
+        // Cached predicates: zero SQL, shared hits instead.
+        let set = session.tuple_set(&vldb).unwrap();
+        assert_eq!(set.count(), 2);
+        assert_eq!(session.queries_run(), 0);
+        assert_eq!(session.shared_hits(), 1);
+        // A predicate the snapshot never saw: one SQL query, local memo,
+        // ids extend above the frozen base without disturbing it.
+        let pods = p("dblp.venue='PODS'");
+        let fresh = Executor::new(&db, BaseQuery::dblp());
+        let want: Vec<Value> = fresh.tuples(&pods).unwrap();
+        assert_eq!(session.tuples(&pods).unwrap(), want);
+        assert_eq!(session.queries_run(), 1);
+        session.tuple_set(&pods).unwrap();
+        assert_eq!(session.queries_run(), 1, "local memo caught the repeat");
+        assert!(session.tuple_universe() >= cache.tuple_universe());
+        // Snapshot ids stayed stable: values round-trip through both.
+        for id in set.iter() {
+            let v = session.tuple_value(id);
+            assert_eq!(session.tuple_id(&v), Some(id));
+        }
+        // Re-snapshot folds the session overlay into a new flat cache.
+        let folded = ProfileCache::snapshot(&session);
+        assert_eq!(folded.len(), 3);
+        assert_eq!(folded.tuple_universe(), session.tuple_universe());
+        let session2 = Executor::with_cache(&db, Arc::new(folded));
+        assert_eq!(session2.tuples(&pods).unwrap(), want);
+        assert_eq!(session2.queries_run(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmed on a different corpus")]
+    fn session_over_a_different_corpus_is_rejected() {
+        let base_db = db();
+        let cache = Arc::new(
+            ProfileCache::warm(&base_db, BaseQuery::dblp(), [&p("dblp.venue='VLDB'")]).unwrap(),
+        );
+        let mut other = db();
+        other
+            .table_mut("dblp")
+            .unwrap()
+            .insert(vec![9.into(), "ICDE".into(), 2013.into()])
+            .unwrap();
+        let _ = Executor::with_cache(&other, cache);
+    }
+
+    #[test]
+    fn sessions_rank_identically_to_a_fresh_executor() {
+        let db = db();
+        let atoms = vec![
+            atom(0, "dblp.year>=2006", 0.9),
+            atom(1, "dblp.venue='VLDB'", 0.7),
+            atom(2, "dblp_author.aid=11", 0.5),
+            atom(3, "dblp.venue='PODS'", 0.4),
+        ];
+        let fresh = Executor::new(&db, BaseQuery::dblp());
+        let fresh_pairs = PairwiseCache::build(&atoms, &fresh).unwrap();
+        let want = crate::algo::peps::Peps::new(
+            &atoms,
+            &fresh,
+            &fresh_pairs,
+            crate::algo::peps::PepsVariant::Complete,
+        )
+        .top_k(4)
+        .unwrap();
+
+        let cache = Arc::new(ProfileCache::snapshot(&fresh));
+        let session = Executor::with_cache(&db, Arc::clone(&cache));
+        let pairs = PairwiseCache::build(&atoms, &session).unwrap();
+        assert_eq!(pairs.entries(), fresh_pairs.entries());
+        assert_eq!(session.queries_run(), 0, "all sets came from the cache");
+        let got = crate::algo::peps::Peps::new(
+            &atoms,
+            &session,
+            &pairs,
+            crate::algo::peps::PepsVariant::Complete,
+        )
+        .top_k(4)
+        .unwrap();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -90,7 +90,8 @@ pub mod prelude {
     pub use crate::enhance::{enhance_query, score_tuples, EnhancedQuery, ScoredTuple};
     pub use crate::error::{HypreError, Result};
     pub use crate::exec::{
-        BaseQuery, Executor, PairEntry, PairwiseCache, SharedTupleSet, TupleInterner,
+        BaseQuery, Executor, PairEntry, PairwiseCache, Parallelism, ProfileCache, SharedTupleSet,
+        TupleInterner,
     };
     pub use crate::graph::{
         EdgeKind, HypreGraph, IngestReport, QualInsertOutcome, StoredPreference, NODE_LABEL,

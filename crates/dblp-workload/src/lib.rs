@@ -9,9 +9,9 @@
 //!   shape the experiments depend on (Zipfian venues, venue-centric
 //!   author communities, long-tailed productivity, preferential-attachment
 //!   citations);
-//! * **[`load`]** — loading into the four `relstore` relations of §6.1
-//!   with the appropriate indexes;
-//! * **[`extract`]** — the verbatim §6.2 extraction pipeline (top-5 venue
+//! * **[`mod@load`]** — loading into the four `relstore` relations of
+//!   §6.1 with the appropriate indexes;
+//! * **[`mod@extract`]** — the verbatim §6.2 extraction pipeline (top-5 venue
 //!   shares, citation ratios with the 0.1 cut, negative-venue products,
 //!   consecutive-difference qualitative preferences);
 //! * **[`stats`]** — the Table 10 summary;

@@ -4,7 +4,7 @@
 //! HYPRE stores every preference as an SQL predicate string (§4.2 of the
 //! dissertation) and combines predicates with `AND`/`OR` when enhancing a
 //! query (§4.6). This module is therefore the lingua franca between the
-//! preference graph ([`hypre-core`]) and the relational engine.
+//! preference graph (`hypre-core`) and the relational engine.
 
 use std::collections::BTreeSet;
 use std::fmt;

@@ -294,7 +294,7 @@ pub mod prop {
             }
         }
 
-        /// See [`vec`].
+        /// See [`fn@vec`].
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
 # CI gate for the HYPRE reproduction workspace:
-#   fmt check → clippy (warnings are errors) → build (all targets) → tests.
+#   fmt check → clippy (warnings are errors) → build (all targets) →
+#   tests → rustdoc (warnings are errors) → compile-and-run every
+#   example (doc rot and broken examples fail CI).
 #
 # Usage: scripts/ci.sh [--release-bench]
-#   --release-bench  additionally builds release benches, regenerates
-#                    BENCH_PR2.json and prints a side-by-side delta
-#                    against the checked-in BENCH_PR1.json (slow; off by
-#                    default).
+#   --release-bench  additionally regenerates the bench report and runs
+#                    the bench-regression guard (slow; off by default).
+#                    The output and baseline names are derived from the
+#                    checked-in BENCH_PR*.json files: with BENCH_PR<n>
+#                    the newest, the report is written to
+#                    BENCH_PR<n+1>.json and compared against
+#                    BENCH_PR<n>.json; any headline row (pairwise build,
+#                    PEPS top-k) regressing by more than 25% exits
+#                    non-zero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,9 +29,34 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+for example in examples/*.rs; do
+    name="$(basename "${example%.rs}")"
+    echo "==> example: ${name}"
+    cargo run --quiet --release --example "${name}" >/dev/null
+done
+
 if [[ "${1:-}" == "--release-bench" ]]; then
-    echo "==> bench_report (BENCH_PR2.json + delta vs BENCH_PR1.json)"
-    cargo run --release -p hypre-bench --bin bench_report BENCH_PR2.json BENCH_PR1.json
+    # Derive both file names from what is *checked in* (git, not the
+    # working tree — stray reports from earlier local runs must not
+    # become the comparison point), so this script never needs editing
+    # when a new BENCH_PR*.json lands.
+    baseline="$(git ls-files 'BENCH_PR*.json' 2>/dev/null | sort -V | tail -1 || true)"
+    if [[ -z "${baseline}" ]]; then
+        baseline="$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1 || true)"
+    fi
+    if [[ -n "${baseline}" ]]; then
+        num="${baseline#BENCH_PR}"
+        num="${num%.json}"
+        out="BENCH_PR$((num + 1)).json"
+        echo "==> bench_report (${out} + regression guard vs ${baseline})"
+        cargo run --release -p hypre-bench --bin bench_report "${out}" "${baseline}"
+    else
+        echo "==> bench_report (BENCH_PR1.json, no baseline yet)"
+        cargo run --release -p hypre-bench --bin bench_report BENCH_PR1.json
+    fi
 fi
 
 echo "CI OK"
