@@ -9,7 +9,11 @@
 //!
 //! The baseline issues its own queries through
 //! `SelectQuery::distinct_values` (the seed's exact feed) and keeps its
-//! own memo cache, so it never touches the executor's interner.
+//! own memo cache, so it never touches the executor's interner. Like the
+//! PR 1 bitmap generation ([`crate::bitset_baseline`]), it is frozen:
+//! the PR 4 hot-path work (run containers, SIMD-width kernels, COW
+//! expansion, sharded rounds) lands only in the adaptive engine, and the
+//! three-way equivalence suites pin all generations byte-identical.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};

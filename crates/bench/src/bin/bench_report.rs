@@ -17,16 +17,24 @@
 //! * `set_algebra` / `set_algebra_sparse` — micro-ops over the densest
 //!   and sparsest profile tuple sets, with per-set container bytes in
 //!   the `memory` section;
-//! * `pairwise_build_parallel` — the PR 3 sharded triangular pass at 1,
-//!   2 and 4 worker threads (byte-identical results; the delta is pure
-//!   scheduling, so single-core hosts show spawn overhead, multi-core
-//!   hosts show speedup — the host's core count is recorded as
-//!   `available_parallelism`);
+//! * `pairwise_build_parallel` — the PR 3 sharded triangular pass (now
+//!   cost-weighted) at 1, 2 and 4 worker threads (byte-identical
+//!   results; the delta is pure scheduling, so single-core hosts show
+//!   spawn overhead, multi-core hosts show speedup — the host's core
+//!   count is recorded as `available_parallelism`);
+//! * `peps_parallel` — PR 4: `Peps::top_k` with the round expansions
+//!   sharded at 1, 2 and 4 workers (same caveat on single-core hosts;
+//!   `tests/parallel_equivalence.rs` pins every count byte-identical);
 //! * `multi_session` — N user sessions served from one shared
 //!   `ProfileCache` snapshot versus N cold executors that re-run every
-//!   profile query.
+//!   profile query;
+//! * `containers` — PR 4: how the rich profile's tuple sets distribute
+//!   over the three adaptive containers (array / runs / bitmap), with
+//!   per-container byte totals against the pure-bitmap footprint.
 //!
-//! The **headline rows** (`pairwise_build`, `peps_top_k`) are the
+//! The **headline rows** (`pairwise_build`, `peps_top_k` — including the
+//! PR 4 `sparse_k10` row over a sparse/range-heavy synthetic profile,
+//! the regime the run container and clone-free expansion target) are the
 //! regression guard: each is compared against the same row of the
 //! baseline report and the run exits non-zero past the threshold. The
 //! comparison is **normalised by the frozen PR 1 bitset engine** (the
@@ -80,20 +88,33 @@ impl Row {
 }
 
 /// One memory row: container bytes for a profile tuple set under both
-/// dense generations.
+/// dense generations, tagged with the adaptive container it picked.
 struct MemRow {
     papers: usize,
     name: String,
+    container: &'static str,
     cardinality: usize,
     adaptive_bytes: usize,
     bitset_bytes: usize,
 }
 
-/// One sharded-build row: the warm triangular pass at a worker count.
+/// One parallel row: a warm parallel phase at a worker count
+/// (`pairwise_build_parallel` or `peps_parallel`).
 struct ParallelRow {
+    section: &'static str,
     papers: usize,
     threads: usize,
     ns: u128,
+}
+
+/// One container-census row: how many of the profile's tuple sets picked
+/// a container, and what they cost against the pure-bitmap generation.
+struct ContainerRow {
+    papers: usize,
+    container: &'static str,
+    sets: usize,
+    adaptive_bytes: usize,
+    bitset_bytes: usize,
 }
 
 /// One serving row: N sessions cold versus over a shared snapshot.
@@ -107,6 +128,36 @@ struct MultiSessionRow {
 
 fn measure<R>(f: impl FnMut() -> R) -> u128 {
     median_time(5, Duration::from_millis(120), f).as_nanos()
+}
+
+/// A sparse/range-heavy synthetic profile: year windows (whose tuple
+/// sets intern to contiguous id runs — run-container territory) plus
+/// single-author long-tail atoms (tiny arrays). This is the regime the
+/// PR 4 run container and clone-free COW expansion target, and the
+/// `sparse_k10` headline row measures.
+fn sparse_profile() -> Vec<PrefAtom> {
+    [
+        ("dblp.year>=1995", 0.9),
+        ("dblp.year>=2000", 0.8),
+        ("dblp.year>=2005", 0.7),
+        ("dblp_author.aid=3", 0.6),
+        ("dblp_author.aid=7", 0.55),
+        ("dblp.year>=2008", 0.5),
+        ("dblp_author.aid=11", 0.45),
+        ("dblp_author.aid=19", 0.4),
+        ("dblp.year>=2010", 0.35),
+        ("dblp_author.aid=23", 0.3),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, (pred, intensity))| {
+        PrefAtom::new(
+            i,
+            relstore::parse_predicate(pred).expect("static predicate parses"),
+            *intensity,
+        )
+    })
+    .collect()
 }
 
 /// The numeric suffix of a `BENCH_PR<n>.json` file name.
@@ -165,6 +216,7 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut mem: Vec<MemRow> = Vec::new();
     let mut parallel: Vec<ParallelRow> = Vec::new();
+    let mut containers: Vec<ContainerRow> = Vec::new();
     let mut multi: Vec<MultiSessionRow> = Vec::new();
     let mut extra = String::new();
 
@@ -208,9 +260,11 @@ fn main() {
             hashset_ns: measure(|| hashset.pairwise_counts(&atoms).unwrap().len()),
         });
 
-        // PR 3: the same warm triangular pass, sharded.
+        // PR 3: the same warm triangular pass, sharded (cost-weighted
+        // chunks since PR 4).
         for threads in [1usize, 2, 4] {
             parallel.push(ParallelRow {
+                section: "pairwise_build_parallel",
                 papers: n,
                 threads,
                 ns: measure(|| {
@@ -233,6 +287,65 @@ fn main() {
                 bitset_ns: measure(|| dense_peps.top_k(k).unwrap().len()),
                 hashset_ns: measure(|| seed_peps.top_k(k).unwrap().len()),
             });
+        }
+
+        // PR 4: the same top_k with the round expansions sharded across
+        // the executor's Parallelism workers.
+        for threads in [1usize, 2, 4] {
+            exec.set_parallelism(Parallelism::threads(threads));
+            parallel.push(ParallelRow {
+                section: "peps_parallel",
+                papers: n,
+                threads,
+                ns: measure(|| peps.top_k(100).unwrap().len()),
+            });
+        }
+        exec.set_parallelism(Parallelism::Sequential);
+
+        // PR 4: a sparse/range-heavy profile — year windows interning to
+        // contiguous id runs plus single-author long-tail atoms — the
+        // regime the run container and clone-free COW expansion target.
+        // A headline row: the guard covers it from this PR on.
+        let sparse_atoms = sparse_profile();
+        hashset.warm(&sparse_atoms).unwrap();
+        bitset.warm(&sparse_atoms).unwrap();
+        let sparse_pairs = PairwiseCache::build(&sparse_atoms, &exec).unwrap();
+        let sparse_peps = Peps::new(&sparse_atoms, &exec, &sparse_pairs, PepsVariant::Complete);
+        let sparse_dense =
+            BitsetPeps::new(&sparse_atoms, &bitset, &sparse_pairs, PepsVariant::Complete);
+        let sparse_seed = SeedPeps::new(
+            &sparse_atoms,
+            &hashset,
+            &sparse_pairs,
+            PepsVariant::Complete,
+        );
+        rows.push(Row {
+            section: "peps_top_k",
+            name: "sparse_k10".to_owned(),
+            papers: n,
+            adaptive_ns: measure(|| sparse_peps.top_k(10).unwrap().len()),
+            bitset_ns: measure(|| sparse_dense.top_k(10).unwrap().len()),
+            hashset_ns: measure(|| sparse_seed.top_k(10).unwrap().len()),
+        });
+
+        // PR 4: container census of the rich profile's tuple sets.
+        for kind in ["array", "runs", "bitmap"] {
+            let mut row = ContainerRow {
+                papers: n,
+                container: kind,
+                sets: 0,
+                adaptive_bytes: 0,
+                bitset_bytes: 0,
+            };
+            for a in &atoms {
+                let set = exec.tuple_set(&a.predicate).unwrap();
+                if set.container() == kind {
+                    row.sets += 1;
+                    row.adaptive_bytes += set.heap_bytes();
+                    row.bitset_bytes += bitset.tuple_set(&a.predicate).unwrap().heap_bytes();
+                }
+            }
+            containers.push(row);
         }
 
         // PR 3: multi-session serving — N sessions over one shared
@@ -295,13 +408,14 @@ fn main() {
                 "  {section}: operand sets of {} and {} tuples ({} / {} containers)",
                 aa.count(),
                 ab.count(),
-                if aa.is_array() { "array" } else { "bitmap" },
-                if ab.is_array() { "array" } else { "bitmap" },
+                aa.container(),
+                ab.container(),
             );
             for (set_name, a_set, b_set) in [("a", &aa, &ba), ("b", &ab, &bb)] {
                 mem.push(MemRow {
                     papers: n,
                     name: format!("{section}/{set_name}"),
+                    container: a_set.container(),
                     cardinality: a_set.count(),
                     adaptive_bytes: a_set.heap_bytes(),
                     bitset_bytes: b_set.heap_bytes(),
@@ -362,11 +476,25 @@ fn main() {
     for (i, p) in parallel.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"section\":\"pairwise_build_parallel\",\"papers\":{},\"threads\":{},\"ns\":{}}}{}",
+            "    {{\"section\":\"{}\",\"papers\":{},\"threads\":{},\"ns\":{}}}{}",
+            p.section,
             p.papers,
             p.threads,
             p.ns,
             if i + 1 == parallel.len() { "" } else { "," },
+        );
+    }
+    json.push_str("  ],\n  \"containers\": [\n");
+    for (i, c) in containers.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"papers\":{},\"container\":\"{}\",\"sets\":{},\"adaptive_bytes\":{},\"bitset_bytes\":{}}}{}",
+            c.papers,
+            c.container,
+            c.sets,
+            c.adaptive_bytes,
+            c.bitset_bytes,
+            if i + 1 == containers.len() { "" } else { "," },
         );
     }
     json.push_str("  ],\n  \"multi_session\": [\n");
@@ -387,9 +515,10 @@ fn main() {
     for (i, m) in mem.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"papers\":{},\"set\":\"{}\",\"cardinality\":{},\"adaptive_bytes\":{},\"bitset_bytes\":{}}}{}",
+            "    {{\"papers\":{},\"set\":\"{}\",\"container\":\"{}\",\"cardinality\":{},\"adaptive_bytes\":{},\"bitset_bytes\":{}}}{}",
             m.papers,
             m.name,
+            m.container,
             m.cardinality,
             m.adaptive_bytes,
             m.bitset_bytes,
@@ -415,8 +544,14 @@ fn main() {
     }
     for p in &parallel {
         println!(
-            "{:>18} threads={:<7} n={:<6} {:>10} ns  ({cores} cores available)",
-            "parallel_build", p.threads, p.papers, p.ns
+            "{:>22} threads={:<7} n={:<6} {:>10} ns  ({cores} cores available)",
+            p.section, p.threads, p.papers, p.ns
+        );
+    }
+    for c in &containers {
+        println!(
+            "{:>18} {:<8} n={:<6} sets={:<4} adaptive {:>9} B  bitset {:>9} B",
+            "containers", c.container, c.papers, c.sets, c.adaptive_bytes, c.bitset_bytes
         );
     }
     for m in &multi {
@@ -433,8 +568,14 @@ fn main() {
     }
     for m in &mem {
         println!(
-            "{:>18} {:<22} n={:<6} |set|={:<6} adaptive {:>8} B  bitset {:>8} B",
-            "memory", m.name, m.papers, m.cardinality, m.adaptive_bytes, m.bitset_bytes
+            "{:>18} {:<22} n={:<6} |set|={:<6} [{:<6}] adaptive {:>8} B  bitset {:>8} B",
+            "memory",
+            m.name,
+            m.papers,
+            m.cardinality,
+            m.container,
+            m.adaptive_bytes,
+            m.bitset_bytes
         );
     }
     eprintln!("wrote {out_path}");

@@ -20,6 +20,14 @@
 //! expansion with one incremental word-AND per node, dense `Vec<f64>`
 //! ranking and the same ordering and early-termination rules — and must
 //! stay byte-identical to [`Peps`].
+//!
+//! **Frozen-control contract (PR 3+).** The bench-regression guard
+//! normalises headline timings by this engine, so it must keep measuring
+//! the *same* work run over run: it calls only `BitSet`'s original plain
+//! word-loop methods (`and`/`or`/`and_not`/`and_count`), never the PR 4
+//! SIMD-width `*_wide` kernels, and it predates the PR 4 run container,
+//! clone-free COW expansion and packed dedup keys by design — those land
+//! in the adaptive engine this module exists to measure against.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};

@@ -30,8 +30,41 @@
 //! Rounds stop early once `k` tuples are ranked and the `k`-th best score
 //! is at least the current threshold: every future combination is capped
 //! by that threshold, so the Top-K set can no longer change.
+//!
+//! ## Hot-path mechanics (PR 4)
+//!
+//! The expansion is **clone-free**: tuple sets thread down each expansion
+//! path as [`SharedTupleSet`] (`Arc<TupleSet>`) with copy-on-write
+//! narrowing. An extension that does not shrink the parent's set (its
+//! intersection count — computed anyway for the applicability screen —
+//! equals the parent's cardinality) shares the parent's `Arc` outright;
+//! the *last* extension of a node takes ownership of the parent set and
+//! narrows it in place via [`Arc::make_mut`] (by then the node's `Arc` is
+//! unique, so no copy happens); only middle, strictly-shrinking
+//! extensions materialise a fresh set. Emission is immediate — Top-K
+//! scores ids into the dense ranking array the moment a combination is
+//! found, and the ORDER list records only `(members, intensity, count)`
+//! — so no per-node tuple set, member vector or predicate AST is ever
+//! retained or cloned inside a round. Seed deduplication uses a packed
+//! bit-key set (pair `(i, j)` → bit `i·n + j`, singleton `s` → bit
+//! `n² + s`) instead of hashing a `Vec<usize>` per candidate.
+//!
+//! ## Parallelism and determinism
+//!
+//! Within a round, the admitted seed pairs expand independently: the
+//! dedup set is consulted and updated **sequentially, in pairwise-list
+//! order, before any expansion runs**, after which the seed list is
+//! sharded into contiguous chunks across [`std::thread::scope`] workers
+//! (the executor's [`Parallelism`](crate::exec::Parallelism) knob).
+//! Each worker scores into a private dense array (or collects private
+//! combination records) and the results merge in worker order; because
+//! ranking takes a per-tuple *maximum* over emitted combinations and the
+//! ORDER list is globally sorted by a total order, `top_k` and
+//! `ordered_combinations` are **byte-identical at every worker count** —
+//! the contract `tests/parallel_equivalence.rs` pins at 1, 2 and 8
+//! threads.
 
-use std::collections::HashSet;
+use std::sync::Arc;
 
 use relstore::Value;
 
@@ -70,7 +103,19 @@ pub fn proposition6_bound(p1: f64, p2: f64) -> f64 {
 /// applicable combination that matches it.
 pub type RankedTuple = (Value, f64);
 
-/// The PEPS engine, borrowing a profile, an executor and the pairwise cache.
+/// The PEPS engine, borrowing a profile, an executor and the pairwise
+/// cache.
+///
+/// # Determinism contract
+///
+/// The executor's [`Parallelism`](crate::exec::Parallelism) knob only
+/// changes *wall-clock*: round expansions are sharded across scoped
+/// worker threads, but seed admission and deduplication happen
+/// sequentially in pairwise-list order before the fan-out, per-tuple
+/// scores merge as order-independent maxima, and the ORDER list is
+/// sorted by a total order — so [`Peps::top_k`] and
+/// [`Peps::ordered_combinations`] return byte-identical results at every
+/// worker count.
 pub struct Peps<'a, 'db> {
     atoms: &'a [PrefAtom],
     exec: &'a Executor<'db>,
@@ -100,11 +145,12 @@ impl<'a, 'db> Peps<'a, 'db> {
     /// total over every tuple any preference touches.
     pub fn ordered_combinations(&self) -> Result<Vec<CombinationRecord>> {
         let sets = self.atom_sets()?;
-        let mut emitted: HashSet<Vec<usize>> = HashSet::new();
-        let mut order: Vec<RoundCombo> = Vec::new();
+        let mut emitted = EmittedSet::new(self.atoms.len());
+        let mut sink = OrderSink::default();
         for s in 0..self.atoms.len() {
-            self.run_round(s, &sets, &mut emitted, &mut order)?;
+            self.run_round(s, &sets, &mut emitted, &mut sink);
         }
+        let mut order = sink.combos;
         sort_order(&mut order);
         Ok(order.into_iter().map(|c| self.record_of(c)).collect())
     }
@@ -131,8 +177,10 @@ impl<'a, 'db> Peps<'a, 'db> {
     /// ascending tuple value for determinism).
     ///
     /// Scores accumulate in a dense `Vec<f64>` indexed by interned tuple
-    /// id — no per-tuple hashing or `Value` cloning inside the rounds;
-    /// identities are materialised only for the final Top-K slice.
+    /// id, written the moment each combination is emitted — no per-tuple
+    /// hashing, no `Value` cloning and no retained tuple sets inside the
+    /// rounds; identities are materialised only for the final Top-K
+    /// slice.
     ///
     /// # Errors
     /// [`HypreError::ZeroK`] when `k == 0`.
@@ -141,46 +189,38 @@ impl<'a, 'db> Peps<'a, 'db> {
             return Err(HypreError::ZeroK);
         }
         let sets = self.atom_sets()?;
-        let mut emitted: HashSet<Vec<usize>> = HashSet::new();
-        // ranked[id] = best combined intensity seen for tuple id so far;
-        // NEG_INFINITY marks "never scored".
-        let mut ranked: Vec<f64> = Vec::new();
-        let mut n_ranked = 0usize;
+        let mut emitted = EmittedSet::new(self.atoms.len());
+        let mut sink = ScoreSink::default();
         for s in 0..self.atoms.len() {
-            let mut round: Vec<RoundCombo> = Vec::new();
-            self.run_round(s, &sets, &mut emitted, &mut round)?;
-            sort_order(&mut round);
-            for combo in &round {
-                if combo.tuples == 0 {
-                    continue;
-                }
-                // The combination's tuple set was materialised during
-                // expansion — scoring is a pure set-bit walk.
-                for id in combo.set.iter() {
-                    let idx = id as usize;
-                    if idx >= ranked.len() {
-                        ranked.resize(idx + 1, f64::NEG_INFINITY);
-                    }
-                    if ranked[idx] == f64::NEG_INFINITY {
-                        n_ranked += 1;
-                        ranked[idx] = combo.intensity;
-                    } else if combo.intensity > ranked[idx] {
-                        ranked[idx] = combo.intensity;
-                    }
-                }
-            }
+            self.run_round(s, &sets, &mut emitted, &mut sink);
             // Early termination: every combination a later round can emit
             // is capped by this round's threshold.
             let threshold = self.atoms[s].intensity;
-            if n_ranked >= k && kth_best(&ranked, k) >= threshold {
+            if sink.n_ranked >= k && kth_best(&sink.ranked, k) >= threshold {
                 break;
             }
         }
-        let mut out: Vec<RankedTuple> = ranked
+        // Materialise identities for the Top-K slice only: select the
+        // k-th best score first (linear time), keep every candidate at
+        // or above it (ties included), and clone `Value`s for just those
+        // — not for every tuple the rounds ever scored. The tie-break by
+        // ascending tuple value runs over the candidate set, so the
+        // result is identical to fully sorting the whole ranking.
+        let mut scored: Vec<(u32, f64)> = sink
+            .ranked
             .iter()
             .enumerate()
             .filter(|(_, &score)| score > f64::NEG_INFINITY)
-            .map(|(id, &score)| (self.exec.tuple_value(id as u32), score))
+            .map(|(id, &score)| (id as u32, score))
+            .collect();
+        if scored.len() > k {
+            scored.select_nth_unstable_by(k - 1, |a, b| b.1.total_cmp(&a.1));
+            let pivot = scored[k - 1].1;
+            scored.retain(|&(_, score)| score >= pivot);
+        }
+        let mut out: Vec<RankedTuple> = scored
+            .into_iter()
+            .map(|(id, score)| (self.exec.tuple_value(id), score))
             .collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out.truncate(k);
@@ -189,56 +229,74 @@ impl<'a, 'db> Peps<'a, 'db> {
 
     // ------------------------------------------------------------------
 
-    /// Runs one round: seeds pairs admitted at threshold `τ_s`, expands
-    /// them depth-first, and emits the seed's singleton combination.
-    fn run_round(
+    /// Runs one round: admits pairs at threshold `τ_s`, claims them in
+    /// the dedup set (sequentially, in pairwise-list order — the ordered
+    /// merge that keeps every worker count byte-identical), expands them
+    /// depth-first — sharded across the executor's
+    /// [`Parallelism`](crate::exec::Parallelism) workers — and emits the
+    /// seed's singleton combination.
+    fn run_round<S: RoundSink>(
         &self,
         s: usize,
         sets: &[SharedTupleSet],
-        emitted: &mut HashSet<Vec<usize>>,
-        out: &mut Vec<RoundCombo>,
-    ) -> Result<()> {
+        emitted: &mut EmittedSet,
+        sink: &mut S,
+    ) {
         let threshold = self.atoms[s].intensity;
-        let seeds: Vec<(usize, usize, f64)> = self
-            .pairs
-            .entries()
-            .iter()
-            .filter(|e| e.applicable())
-            .filter(|e| self.admits(e.i, e.j, e.intensity, threshold))
-            .map(|e| (e.i, e.j, e.intensity))
-            .collect();
-        for (i, j, intensity) in seeds {
-            let members = vec![i, j];
-            // Expansion chains are strictly ascending (seeds have `i < j`,
-            // extensions only append `m > last`), so every member set has
-            // exactly one generation path: deduplication is needed only
-            // here at the seed level, across rounds.
-            if !emitted.insert(members.clone()) {
-                continue;
+        // Expansion chains are strictly ascending (seeds have `i < j`,
+        // extensions only append `m > last`), so every member set has
+        // exactly one generation path: deduplication is needed only here
+        // at the seed level, across rounds — which is also what makes the
+        // seed expansions below mutually independent and safe to fan out.
+        let mut seeds: Vec<(usize, usize, f64, u64)> = Vec::new();
+        for e in self.pairs.entries() {
+            if e.applicable()
+                && self.admits(e.i, e.j, e.intensity, threshold)
+                && emitted.insert(emitted.pair_key(e.i, e.j))
+            {
+                seeds.push((e.i, e.j, e.intensity, e.count));
             }
-            // One container-adaptive intersection builds the pair's tuple
-            // set; every deeper combination narrows it with a single
-            // further one.
-            self.expand(members, intensity, sets[i].and(&sets[j]), sets, out)?;
+        }
+        let exp = Expander {
+            atoms: self.atoms,
+            pairs: self.pairs,
+        };
+        let workers = self.exec.parallelism().workers().min(seeds.len());
+        if workers <= 1 {
+            for &(i, j, intensity, count) in &seeds {
+                exp.expand_seed(i, j, intensity, count, sets, sink);
+            }
+        } else {
+            let chunk = seeds.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = seeds
+                    .chunks(chunk)
+                    .map(|part| {
+                        let mut local = sink.fork();
+                        scope.spawn(move || {
+                            for &(i, j, intensity, count) in part {
+                                exp.expand_seed(i, j, intensity, count, sets, &mut local);
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    sink.absorb(handle.join().expect("PEPS expansion worker panicked"));
+                }
+            });
         }
         // The seed preference by itself (the fallback that guarantees k
-        // tuples can always be reached eventually). One set clone per
-        // round — cheaper than threading shared-ownership handles
-        // through every expansion node below.
-        let singleton = vec![s];
-        if !emitted.contains(&singleton) {
+        // tuples can always be reached eventually). Zero-copy: the sink
+        // reads the profile's shared set in place.
+        let key = emitted.singleton_key(s);
+        if !emitted.contains(key) {
             let tuples = sets[s].count() as u64;
             if tuples > 0 {
-                emitted.insert(singleton.clone());
-                out.push(RoundCombo {
-                    members: singleton,
-                    intensity: self.atoms[s].intensity,
-                    tuples,
-                    set: (*sets[s]).clone(),
-                });
+                emitted.insert(key);
+                sink.emit(&[s], threshold, tuples, &sets[s]);
             }
         }
-        Ok(())
     }
 
     /// The variant's pair-admission rule at a threshold.
@@ -265,58 +323,6 @@ impl<'a, 'db> Peps<'a, 'db> {
         1.0 - residual
     }
 
-    /// Depth-first expansion: emits the current combination (whose tuple
-    /// set arrives pre-intersected from the parent — one intersection per
-    /// tree node, total; array-container merges once the chain turns
-    /// sparse) and recurses into every non-empty single-preference
-    /// extension, chaining through the pairwise list on the last member.
-    /// Because chains are strictly ascending, no extension can collide
-    /// with an already-emitted combination and no per-node dedup set is
-    /// consulted.
-    fn expand(
-        &self,
-        members: Vec<usize>,
-        intensity: f64,
-        set: TupleSet,
-        sets: &[SharedTupleSet],
-        out: &mut Vec<RoundCombo>,
-    ) -> Result<()> {
-        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "ascending chain");
-        let last = *members.last().expect("combinations are non-empty");
-        // Collect extension candidates first: pairs_from borrows the cache,
-        // and recursion needs `out` mutable. `pairs_from(last)` only
-        // yields partners above `last`, so none can repeat a member.
-        let candidates: Vec<usize> = self.pairs.pairs_from(last).map(|e| e.j).collect();
-        // Intersect the children while `set` is still borrowable, then
-        // move it into the emitted combo — combos own their sets (no
-        // shared-ownership handle, no refcount traffic on this loop:
-        // PEPS is single-threaded per session by contract).
-        let mut children: Vec<(usize, TupleSet)> = Vec::new();
-        for m in candidates {
-            // Applicability of the extension is the emptiness of one
-            // incremental intersection; `intersects` pre-screens without
-            // allocating when the extension is dead.
-            let sm = &sets[m];
-            if !set.intersects(sm) {
-                continue;
-            }
-            children.push((m, set.and(sm)));
-        }
-        out.push(RoundCombo {
-            members: members.clone(),
-            intensity,
-            tuples: set.count() as u64,
-            set,
-        });
-        for (m, child) in children {
-            let mut ext_members = members.clone();
-            ext_members.push(m);
-            let ext_intensity = f_and(intensity, self.atoms[m].intensity);
-            self.expand(ext_members, ext_intensity, child, sets, out)?;
-        }
-        Ok(())
-    }
-
     /// Resolves every profile atom's tuple set once up front, so the
     /// expansion loops never re-derive a predicate's memo key.
     fn atom_sets(&self) -> Result<Vec<SharedTupleSet>> {
@@ -327,16 +333,253 @@ impl<'a, 'db> Peps<'a, 'db> {
     }
 }
 
-/// A combination emitted during a round, carrying (and owning) the tuple
-/// set computed along the expansion path so scoring never re-intersects.
-/// The combined predicate AST is *not* built here — only
-/// `ordered_combinations` materialises it, keeping the Top-K loop
-/// allocation-light.
+/// The pure-compute slice of the engine a round expansion needs — shared
+/// immutably across worker threads (unlike [`Peps`], which also borrows
+/// the `Send`-free [`Executor`]).
+#[derive(Clone, Copy)]
+struct Expander<'x> {
+    atoms: &'x [PrefAtom],
+    pairs: &'x PairwiseCache,
+}
+
+impl Expander<'_> {
+    /// Expands one admitted seed pair. The pair's tuple set is built
+    /// copy-on-write from the profile sets: the pairwise cache already
+    /// knows the intersection's cardinality, so a pair that does not
+    /// shrink one of its members shares that member's `Arc` instead of
+    /// materialising anything.
+    fn expand_seed<S: RoundSink>(
+        &self,
+        i: usize,
+        j: usize,
+        intensity: f64,
+        count: u64,
+        sets: &[SharedTupleSet],
+        sink: &mut S,
+    ) {
+        let set = if count == sets[i].count() as u64 {
+            Arc::clone(&sets[i])
+        } else if count == sets[j].count() as u64 {
+            Arc::clone(&sets[j])
+        } else {
+            Arc::new(sets[i].and(&sets[j]))
+        };
+        let mut path = vec![i, j];
+        self.expand(&mut path, intensity, set, count, sets, sink);
+    }
+
+    /// Depth-first expansion: emits the current combination (whose tuple
+    /// set and cardinality arrive pre-computed from the parent) and
+    /// recurses into every non-empty single-preference extension,
+    /// chaining through the pairwise list on the last member. Because
+    /// chains are strictly ascending, no extension can collide with an
+    /// already-emitted combination and no per-node dedup set is
+    /// consulted.
+    ///
+    /// Clone-free copy-on-write narrowing: the applicability screen is an
+    /// `and_count`, whose result classifies each live extension —
+    ///
+    /// * no shrink (`count` unchanged): the child *shares* the parent's
+    ///   `Arc`, allocating nothing;
+    /// * last extension: the child takes the parent set (emitted above,
+    ///   never retained — the `Arc` is unique by now) and narrows it in
+    ///   place through [`Arc::make_mut`], so single-extension chains
+    ///   reuse one allocation all the way down;
+    /// * otherwise: one materialised intersection, the unavoidable case.
+    ///
+    /// The path vector is shared mutable state pushed/popped around each
+    /// recursion — no member-vector clone per node either.
+    fn expand<S: RoundSink>(
+        &self,
+        path: &mut Vec<usize>,
+        intensity: f64,
+        set: SharedTupleSet,
+        count: u64,
+        sets: &[SharedTupleSet],
+        sink: &mut S,
+    ) {
+        debug_assert!(path.windows(2).all(|w| w[0] < w[1]), "ascending chain");
+        debug_assert_eq!(set.count() as u64, count);
+        sink.emit(path, intensity, count, &set);
+        let last = *path.last().expect("combinations are non-empty");
+        // `pairs_from(last)` only yields applicable partners above
+        // `last`, so none can repeat a member.
+        let live: Vec<(usize, u64)> = self
+            .pairs
+            .pairs_from(last)
+            .filter_map(|e| {
+                let c = set.and_count(&sets[e.j]) as u64;
+                (c > 0).then_some((e.j, c))
+            })
+            .collect();
+        let n_live = live.len();
+        let mut parent = Some(set);
+        for (idx, (m, child_count)) in live.into_iter().enumerate() {
+            let last_child = idx + 1 == n_live;
+            let child = if child_count == count {
+                // the extension did not shrink the set: share it
+                if last_child {
+                    parent.take().expect("parent taken only once")
+                } else {
+                    Arc::clone(parent.as_ref().expect("parent present until last child"))
+                }
+            } else if last_child {
+                let mut owned = parent.take().expect("parent taken only once");
+                Arc::make_mut(&mut owned).and_assign(&sets[m]);
+                owned
+            } else {
+                Arc::new(parent.as_ref().expect("parent present").and(&sets[m]))
+            };
+            path.push(m);
+            self.expand(
+                path,
+                f_and(intensity, self.atoms[m].intensity),
+                child,
+                child_count,
+                sets,
+                sink,
+            );
+            path.pop();
+        }
+    }
+}
+
+/// The packed seed-dedup set: one bit per possible pair (`i·n + j`) and
+/// singleton (`n² + s`) member set, over the crate's word-packed
+/// [`BitSet`](crate::bitset::BitSet) — membership is a single word
+/// probe, with no per-candidate `Vec` allocation or hashing. (Profile
+/// sizes are small, so `n² + n` always fits the `u32` key space.)
+struct EmittedSet {
+    bits: crate::bitset::BitSet,
+    n: usize,
+}
+
+impl EmittedSet {
+    fn new(n: usize) -> Self {
+        EmittedSet {
+            bits: crate::bitset::BitSet::with_capacity(n * n + n),
+            n,
+        }
+    }
+
+    fn pair_key(&self, i: usize, j: usize) -> u32 {
+        debug_assert!(i < j && j < self.n);
+        (i * self.n + j) as u32
+    }
+
+    fn singleton_key(&self, s: usize) -> u32 {
+        (self.n * self.n + s) as u32
+    }
+
+    fn contains(&self, key: u32) -> bool {
+        self.bits.contains(key)
+    }
+
+    /// Sets the bit; returns whether it was newly set.
+    fn insert(&mut self, key: u32) -> bool {
+        self.bits.insert(key)
+    }
+}
+
+/// Where a round's emitted combinations go. Implementations must be
+/// order-insensitive up to [`absorb`](RoundSink::absorb)-in-worker-order,
+/// which is what keeps the sharded expansion byte-identical to the
+/// sequential one.
+trait RoundSink: Send {
+    /// A fresh, empty sink for a worker thread.
+    fn fork(&self) -> Self;
+    /// Records one emitted combination.
+    fn emit(&mut self, members: &[usize], intensity: f64, tuples: u64, set: &TupleSet);
+    /// Merges a worker's sink back (workers absorb in seed order).
+    fn absorb(&mut self, other: Self);
+}
+
+/// Top-K sink: scores each combination's tuples into the dense ranking
+/// array immediately — `ranked[id]` is the best combined intensity seen
+/// for tuple `id` so far, `NEG_INFINITY` marks "never scored". The final
+/// array is a per-tuple maximum, so emission order cannot change it.
+#[derive(Default)]
+struct ScoreSink {
+    ranked: Vec<f64>,
+    n_ranked: usize,
+}
+
+impl RoundSink for ScoreSink {
+    fn fork(&self) -> Self {
+        ScoreSink::default()
+    }
+
+    fn emit(&mut self, _members: &[usize], intensity: f64, _tuples: u64, set: &TupleSet) {
+        // Range-walk scoring: a run container's combination scores as a
+        // handful of contiguous slice sweeps, not per-id iteration.
+        set.for_each_range(|start, len| {
+            let (s, e) = (start as usize, start as usize + len as usize);
+            if e > self.ranked.len() {
+                self.ranked.resize(e, f64::NEG_INFINITY);
+            }
+            for slot in &mut self.ranked[s..e] {
+                if *slot == f64::NEG_INFINITY {
+                    self.n_ranked += 1;
+                    *slot = intensity;
+                } else if intensity > *slot {
+                    *slot = intensity;
+                }
+            }
+        });
+    }
+
+    fn absorb(&mut self, other: Self) {
+        if other.ranked.len() > self.ranked.len() {
+            self.ranked.resize(other.ranked.len(), f64::NEG_INFINITY);
+        }
+        for (idx, &score) in other.ranked.iter().enumerate() {
+            if score == f64::NEG_INFINITY {
+                continue;
+            }
+            if self.ranked[idx] == f64::NEG_INFINITY {
+                self.n_ranked += 1;
+                self.ranked[idx] = score;
+            } else if score > self.ranked[idx] {
+                self.ranked[idx] = score;
+            }
+        }
+    }
+}
+
+/// ORDER-list sink: records `(members, intensity, count)` per emitted
+/// combination — tuple sets are never retained, and the member vector is
+/// cloned exactly once per *recorded* combination (the Top-K path clones
+/// none at all).
+#[derive(Default)]
+struct OrderSink {
+    combos: Vec<RoundCombo>,
+}
+
+impl RoundSink for OrderSink {
+    fn fork(&self) -> Self {
+        OrderSink::default()
+    }
+
+    fn emit(&mut self, members: &[usize], intensity: f64, tuples: u64, _set: &TupleSet) {
+        self.combos.push(RoundCombo {
+            members: members.to_vec(),
+            intensity,
+            tuples,
+        });
+    }
+
+    fn absorb(&mut self, other: Self) {
+        self.combos.extend(other.combos);
+    }
+}
+
+/// A combination emitted during a round. The combined predicate AST is
+/// *not* built here — only `ordered_combinations` materialises it,
+/// keeping the rounds allocation-light.
 struct RoundCombo {
     members: Vec<usize>,
     intensity: f64,
     tuples: u64,
-    set: TupleSet,
 }
 
 fn sort_order(order: &mut [RoundCombo]) {
@@ -368,6 +611,7 @@ mod tests {
     use super::*;
     use crate::exec::BaseQuery;
     use relstore::{parse_predicate, ColRef, DataType, Database, Schema};
+    use std::collections::HashSet;
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -559,6 +803,47 @@ mod tests {
         assert_eq!(top[0].0, Value::Int(1));
         let expect = crate::combine::f_and_all([0.6, 0.5, 0.2]);
         assert!((top[0].1 - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_expansion_is_byte_identical_at_every_worker_count() {
+        let db = db();
+        let (exec, atoms) = setup(&db);
+        let pairs = PairwiseCache::build(&atoms, &exec).unwrap();
+        for variant in [PepsVariant::Complete, PepsVariant::Approximate] {
+            let reference = Peps::new(&atoms, &exec, &pairs, variant);
+            exec.set_parallelism(crate::exec::Parallelism::Sequential);
+            let want_top = reference.top_k(10).unwrap();
+            let want_order = reference.ordered_combinations().unwrap();
+            for workers in [1usize, 2, 3, 8] {
+                exec.set_parallelism(crate::exec::Parallelism::threads(workers));
+                let peps = Peps::new(&atoms, &exec, &pairs, variant);
+                assert_eq!(peps.top_k(10).unwrap(), want_top, "{workers} workers");
+                assert_eq!(
+                    peps.ordered_combinations().unwrap(),
+                    want_order,
+                    "{workers} workers"
+                );
+            }
+            exec.set_parallelism(crate::exec::Parallelism::Sequential);
+        }
+    }
+
+    #[test]
+    fn emitted_set_packs_pair_and_singleton_keys() {
+        let mut emitted = EmittedSet::new(5);
+        assert!(emitted.insert(emitted.pair_key(0, 1)));
+        assert!(!emitted.insert(emitted.pair_key(0, 1)), "repeat rejected");
+        assert!(emitted.insert(emitted.pair_key(3, 4)));
+        assert!(!emitted.contains(emitted.pair_key(1, 2)));
+        for s in 0..5 {
+            assert!(!emitted.contains(emitted.singleton_key(s)));
+            assert!(emitted.insert(emitted.singleton_key(s)));
+            assert!(emitted.contains(emitted.singleton_key(s)));
+        }
+        // pair and singleton key spaces never collide
+        assert!(emitted.contains(emitted.pair_key(0, 1)));
+        assert!(!emitted.contains(emitted.pair_key(2, 3)));
     }
 
     #[test]

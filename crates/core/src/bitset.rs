@@ -186,6 +186,139 @@ impl BitSet {
         self.words.len() * std::mem::size_of::<u64>()
     }
 
+    /// The packed words, low ids first. Canonical form guarantees the
+    /// last word (if any) is non-zero, so `words().len()` *is* the word
+    /// span of the set's maximum id.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Wraps a word vector directly (trailing zero words trimmed to keep
+    /// canonical form) — the constructor the run-length container uses
+    /// to materialise word-masked results without per-bit inserts.
+    pub fn from_words(mut words: Vec<u64>) -> BitSet {
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        BitSet { words }
+    }
+
+    // ------------------------------------------------------------------
+    // SIMD-width kernels
+    //
+    // Explicit 4×u64 block loops the adaptive `TupleSet` bitmap fast
+    // paths run on: the fixed-width inner blocks have no cross-iteration
+    // dependencies, so the compiler autovectorises them to full SIMD
+    // registers. The plain word-loop methods above are the *frozen PR 1
+    // control* the bench-regression guard normalises against and must
+    // not change — these are additions, not replacements.
+    // ------------------------------------------------------------------
+
+    /// [`and`](Self::and) over 4-word blocks.
+    pub fn and_wide(&self, other: &BitSet) -> BitSet {
+        let n = self.words.len().min(other.words.len());
+        let mut words = vec![0u64; n];
+        let (a, b) = (&self.words[..n], &other.words[..n]);
+        let mut out_blocks = words.chunks_exact_mut(4);
+        for ((o, x), y) in (&mut out_blocks)
+            .zip(a.chunks_exact(4))
+            .zip(b.chunks_exact(4))
+        {
+            o[0] = x[0] & y[0];
+            o[1] = x[1] & y[1];
+            o[2] = x[2] & y[2];
+            o[3] = x[3] & y[3];
+        }
+        let tail = n - n % 4;
+        for (o, (x, y)) in words[tail..]
+            .iter_mut()
+            .zip(a[tail..].iter().zip(&b[tail..]))
+        {
+            *o = x & y;
+        }
+        BitSet::from_words(words)
+    }
+
+    /// [`or`](Self::or) over 4-word blocks.
+    pub fn or_wide(&self, other: &BitSet) -> BitSet {
+        let (long, short) = if self.words.len() >= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        let mut words = long.clone();
+        let n = short.len();
+        let mut out_blocks = words[..n].chunks_exact_mut(4);
+        for (o, s) in (&mut out_blocks).zip(short.chunks_exact(4)) {
+            o[0] |= s[0];
+            o[1] |= s[1];
+            o[2] |= s[2];
+            o[3] |= s[3];
+        }
+        let tail = n - n % 4;
+        for (o, s) in words[tail..n].iter_mut().zip(&short[tail..n]) {
+            *o |= s;
+        }
+        // A union of canonical sets never gains trailing zero words.
+        BitSet { words }
+    }
+
+    /// [`and_not`](Self::and_not) over 4-word blocks.
+    pub fn and_not_wide(&self, other: &BitSet) -> BitSet {
+        let mut words = self.words.clone();
+        let n = words.len().min(other.words.len());
+        let mut out_blocks = words[..n].chunks_exact_mut(4);
+        for (o, s) in (&mut out_blocks).zip(other.words[..n].chunks_exact(4)) {
+            o[0] &= !s[0];
+            o[1] &= !s[1];
+            o[2] &= !s[2];
+            o[3] &= !s[3];
+        }
+        let tail = n - n % 4;
+        for (o, s) in words[tail..n].iter_mut().zip(&other.words[tail..n]) {
+            *o &= !s;
+        }
+        BitSet::from_words(words)
+    }
+
+    /// [`and_assign`](Self::and_assign) over 4-word blocks.
+    pub fn and_assign_wide(&mut self, other: &BitSet) {
+        let n = self.words.len().min(other.words.len());
+        self.words.truncate(n);
+        let mut blocks = self.words.chunks_exact_mut(4);
+        for (o, s) in (&mut blocks).zip(other.words[..n].chunks_exact(4)) {
+            o[0] &= s[0];
+            o[1] &= s[1];
+            o[2] &= s[2];
+            o[3] &= s[3];
+        }
+        let tail = n - n % 4;
+        for (o, s) in self.words[tail..].iter_mut().zip(&other.words[tail..n]) {
+            *o &= s;
+        }
+        self.trim();
+    }
+
+    /// [`and_count`](Self::and_count) over 4-word blocks with four
+    /// independent popcount accumulators.
+    pub fn and_count_wide(&self, other: &BitSet) -> usize {
+        let n = self.words.len().min(other.words.len());
+        let (a, b) = (&self.words[..n], &other.words[..n]);
+        let mut acc = [0usize; 4];
+        for (x, y) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+            acc[0] += (x[0] & y[0]).count_ones() as usize;
+            acc[1] += (x[1] & y[1]).count_ones() as usize;
+            acc[2] += (x[2] & y[2]).count_ones() as usize;
+            acc[3] += (x[3] & y[3]).count_ones() as usize;
+        }
+        let tail = n - n % 4;
+        let mut total = acc[0] + acc[1] + acc[2] + acc[3];
+        for (x, y) in a[tail..].iter().zip(&b[tail..]) {
+            total += (x & y).count_ones() as usize;
+        }
+        total
+    }
+
     /// Iterates set ids in ascending order via per-word trailing-zero
     /// scans.
     pub fn iter(&self) -> Iter<'_> {
@@ -317,6 +450,41 @@ mod tests {
         a.and_assign(&set(&[1]));
         assert_eq!(a.iter().collect::<Vec<_>>(), vec![1]);
         assert!(!a.contains(700));
+    }
+
+    #[test]
+    fn wide_kernels_match_the_plain_word_loops() {
+        // Operand lengths straddle the 4-word block boundary (0–9 words)
+        // so both the block loop and the scalar tail are exercised, in
+        // both argument orders.
+        let shapes: Vec<BitSet> = vec![
+            set(&[]),
+            set(&[0]),
+            set(&[63, 64, 65]),
+            (0..256).collect(),
+            (0..256).filter(|i| i % 3 == 0).collect(),
+            (100..580).collect(),
+            set(&[5, 64, 150, 200, 300, 511, 512]),
+        ];
+        for a in &shapes {
+            for b in &shapes {
+                assert_eq!(a.and_wide(b), a.and(b));
+                assert_eq!(a.or_wide(b), a.or(b));
+                assert_eq!(a.and_not_wide(b), a.and_not(b));
+                assert_eq!(a.and_count_wide(b), a.and_count(b));
+                let mut assign = a.clone();
+                assign.and_assign_wide(b);
+                assert_eq!(assign, a.and(b), "and_assign_wide canonical");
+            }
+        }
+    }
+
+    #[test]
+    fn from_words_trims_to_canonical_form() {
+        assert_eq!(BitSet::from_words(vec![0, 0]), BitSet::new());
+        let s = BitSet::from_words(vec![0b1010, 0, 0]);
+        assert_eq!(s, set(&[1, 3]));
+        assert_eq!(s.words(), &[0b1010]);
     }
 
     #[test]

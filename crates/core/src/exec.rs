@@ -58,14 +58,18 @@
 //!   the `n(n−1)/2` AND-popcount pass of §5.5. After the `n` tuple-set
 //!   fetches (sequential — they go through the executor's memo), the
 //!   triangular `(i, j)` space is partitioned into contiguous
-//!   equal-sized chunks of the linearised triangular index and filled by
+//!   **cost-weighted** chunks of the linearised triangular index —
+//!   boundaries sit at equal quantiles of the cumulative per-pair cost
+//!   (one sweep of the cheaper operand's container), so a worker owning
+//!   the dense rows gets proportionally fewer pairs — and filled by
 //!   [`std::thread::scope`] workers. Each [`PairEntry`] is a pure
 //!   function of `(i, j)` over immutable inputs (`Arc`'d tuple sets and
 //!   plain intensities), so the result is **byte-identical at every
 //!   worker count** — `tests/parallel_equivalence.rs` proves it at 1, 2
 //!   and 8 threads. The worker count comes from the [`Parallelism`] knob
 //!   threaded through the executor (or passed explicitly to
-//!   [`PairwiseCache::build_with`]).
+//!   [`PairwiseCache::build_with`]). PEPS round expansions shard the
+//!   same way per session (see [`crate::algo::peps`]).
 //!
 //! * **Shared profile snapshots.** A [`ProfileCache`] is an immutable,
 //!   `Send + Sync` snapshot of a warmed executor: the interner (frozen,
@@ -744,6 +748,42 @@ fn fill_pair_chunk(
     }
 }
 
+/// Chunk boundaries for the sharded pairwise pass: `workers + 1` fence
+/// posts over the linearised triangular index (from 0 to
+/// `n(n−1)/2`), placed at equal quantiles of the *cumulative per-pair
+/// cost* rather than at equal pair counts. A pair's AND-popcount costs
+/// about one sweep of its cheaper operand, so the weight of pair
+/// `(i, j)` is `min(op_cost(i), op_cost(j)) + 1`
+/// ([`TupleSet::op_cost`]: array elements / runs / bitmap words) — with
+/// container sizes spanning four orders of magnitude, equal-count chunks
+/// can hand one worker almost all the real work. Boundaries only move
+/// *where* the table is split, never what is computed, so results stay
+/// byte-identical at every worker count.
+fn weighted_chunk_bounds(sets: &[SharedTupleSet], workers: usize) -> Vec<usize> {
+    let n = sets.len();
+    let costs: Vec<u64> = sets.iter().map(|s| s.op_cost() as u64).collect();
+    let total = n * n.saturating_sub(1) / 2;
+    let mut prefix: Vec<u64> = Vec::with_capacity(total + 1);
+    prefix.push(0);
+    let mut acc = 0u64;
+    for i in 0..n {
+        for j in i + 1..n {
+            acc += costs[i].min(costs[j]) + 1;
+            prefix.push(acc);
+        }
+    }
+    let mut bounds = Vec::with_capacity(workers + 1);
+    bounds.push(0usize);
+    for w in 1..workers {
+        let target = acc * w as u64 / workers as u64;
+        let cut = prefix.partition_point(|&p| p < target).min(total);
+        let prev = *bounds.last().expect("bounds start non-empty");
+        bounds.push(cut.max(prev));
+    }
+    bounds.push(total);
+    bounds
+}
+
 /// Inverts the triangular linearisation: the `(i, j)` pair (with
 /// `i < j < n`) stored at linear index `t` in `(i, j)` lexicographic
 /// order. Row `i` holds `n − i − 1` entries.
@@ -860,9 +900,14 @@ impl PairwiseCache {
             entries
         } else {
             // Partition the linearised triangular index into contiguous
-            // balanced chunks; every entry is a pure function of (i, j)
-            // over immutable inputs, so chunked and sequential fills
-            // produce identical bytes.
+            // *cost-weighted* chunks: a pair's AND-popcount pass costs
+            // roughly one sweep of its cheaper operand, so equal-count
+            // chunks mislay work whenever container sizes are skewed
+            // (one dense row can outweigh hundreds of sparse ones).
+            // Boundaries are placed at equal quantiles of the cumulative
+            // per-pair cost instead. Every entry remains a pure function
+            // of (i, j) over immutable inputs, so weighted and
+            // sequential fills produce identical bytes.
             let mut entries = vec![
                 PairEntry {
                     i: 0,
@@ -872,11 +917,20 @@ impl PairwiseCache {
                 };
                 total
             ];
-            let chunk = total.div_ceil(workers);
+            let bounds = weighted_chunk_bounds(&sets, workers);
             std::thread::scope(|scope| {
-                for (w, slice) in entries.chunks_mut(chunk).enumerate() {
+                let mut rest = entries.as_mut_slice();
+                let mut taken = 0usize;
+                for window in bounds.windows(2) {
+                    let (start, end) = (window[0], window[1]);
+                    if start == end {
+                        continue;
+                    }
+                    let (slice, tail) = rest.split_at_mut(end - taken);
+                    rest = tail;
+                    taken = end;
                     let (sets, intensities) = (&sets, &intensities);
-                    scope.spawn(move || fill_pair_chunk(slice, w * chunk, n, sets, intensities));
+                    scope.spawn(move || fill_pair_chunk(slice, start, n, sets, intensities));
                 }
             });
             entries
@@ -1184,6 +1238,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn weighted_chunk_bounds_tile_the_triangle() {
+        let wide: SharedTupleSet = Arc::new((0..20_000u32).step_by(3).collect());
+        let narrow: SharedTupleSet = Arc::new([1u32, 5, 9].into_iter().collect());
+        for n in [2usize, 3, 5, 9] {
+            // alternate dense/sparse rows to skew the per-pair costs
+            let sets: Vec<SharedTupleSet> = (0..n)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Arc::clone(&wide)
+                    } else {
+                        Arc::clone(&narrow)
+                    }
+                })
+                .collect();
+            let total = n * (n - 1) / 2;
+            for workers in [1usize, 2, 3, 8, 64] {
+                let bounds = weighted_chunk_bounds(&sets, workers);
+                assert_eq!(bounds.len(), workers + 1);
+                assert_eq!(bounds[0], 0);
+                assert_eq!(*bounds.last().unwrap(), total);
+                assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "{bounds:?}");
+            }
+        }
+        // With one dominant row, the cut isolates the heavy prefix: the
+        // (0, j) pairs of a dense row 0 outweigh all sparse-sparse pairs.
+        let sets = vec![
+            Arc::clone(&wide),
+            Arc::clone(&narrow),
+            Arc::clone(&narrow),
+            Arc::clone(&narrow),
+        ];
+        let bounds = weighted_chunk_bounds(&sets, 2);
+        assert!(
+            bounds[1] <= 3,
+            "heavy row 0 (pairs 0..3) should fill the first chunk alone: {bounds:?}"
+        );
     }
 
     #[test]

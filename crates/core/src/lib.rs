@@ -107,5 +107,5 @@ pub mod prelude {
         Preference, Provenance, QualitativePref, QuantitativePref, UserId,
     };
     pub use crate::skyline::{prioritized_skyline, skyline, AttributePref, Direction};
-    pub use crate::tupleset::{TupleSet, ARRAY_MAX};
+    pub use crate::tupleset::{TupleSet, ARRAY_MAX, RUN_MAX};
 }

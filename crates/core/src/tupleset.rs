@@ -1,45 +1,48 @@
-//! Adaptive compressed tuple sets: the roaring-style two-container
+//! Adaptive compressed tuple sets: the roaring-style **three-container**
 //! representation behind every tuple set the executor produces.
 //!
-//! PR 1 made tuple sets word-packed [`BitSet`]s, which is ideal for dense
-//! predicates (`year>=1990` matches most of the corpus) but wastes
-//! `span/64` words on the long tail of highly selective atoms —
-//! single-author predicates, rare venues — that dominate the extracted
-//! DBLP workload. A [`TupleSet`] adapts its container to its contents:
+//! PR 1 made tuple sets word-packed [`BitSet`]s, ideal for dense
+//! predicates but wasteful for the highly selective long tail; PR 2 added
+//! a sorted-array container for that tail. This revision adds the third
+//! classic roaring container — **run-length encoding** — because the
+//! interner assigns tuple ids in first-sight order: the corpus is scanned
+//! in row order, so the sets of year/range predicates (and every dense
+//! result derived from them) are a handful of *contiguous id runs* that
+//! collapse to a few `(start, len)` pairs. A [`TupleSet`] adapts its
+//! container to its contents:
 //!
-//! * **Array container** — a sorted, duplicate-free `Vec<u32>`. Storage
-//!   is `O(cardinality)` (4 bytes per id), intersection is a two-pointer
-//!   merge (or a galloping binary-search walk when the operand sizes are
-//!   badly skewed), and array∩bitmap runs one `contains` probe per array
-//!   element.
-//! * **Bitmap container** — the existing packed-word [`BitSet`], keeping
-//!   the word-wide `&`/`|`/popcount loops that made dense combination
-//!   algebra fast.
+//! * **Array container** — a sorted, duplicate-free `Vec<u32>`. Storage is
+//!   4 bytes per id, intersection is a two-pointer merge (galloping
+//!   binary search under heavy size skew), and array∩bitmap runs one
+//!   `contains` probe per array element.
+//! * **Run container** — maximal, disjoint, ascending `(u32 start,
+//!   u32 len)` runs. Storage is 8 bytes per run *regardless of
+//!   cardinality* (the whole universe is one 8-byte run), and the
+//!   algebra is interval sweeps: `O(r₁ + r₂)` merges for run∩run, masked
+//!   word walks against bitmaps, membership walks against arrays.
+//! * **Bitmap container** — the packed-word [`BitSet`]. Its algebra runs
+//!   on the SIMD-width kernels ([`BitSet::and_wide`] & co.): explicit
+//!   4×`u64` blocks the compiler autovectorises, while the plain word
+//!   loops remain frozen as the PR 1 bench control.
 //!
-//! The container choice follows roaring's actual design rationale — *use
-//! the array only where it is clearly the cheaper representation*. A set
-//! is an array iff
+//! ## The container rule
 //!
-//! 1. its cardinality is at most [`ARRAY_MAX`] (the classic roaring
-//!    cardinality threshold, bounding per-op merge work), **and**
-//! 2. `cardinality × SPAN_FACTOR ≤ span/64`, where `span` is the word
-//!    span of the equivalent (trimmed) bitmap. Tuple ids are interned
-//!    densely in first-sight order, so many mid-cardinality sets occupy a
-//!    handful of words — for those the bitmap is *both* smaller and
-//!    faster, and condition 2 keeps them dense. With `SPAN_FACTOR = 4`
-//!    an array is chosen only when it is at most **one eighth** of the
-//!    bitmap's size (`4·n` bytes vs at least `8·4·n` bytes of words), a
-//!    deliberately large margin that also keeps merge-based ops
-//!    competitive with the word loops at the boundary.
+//! The choice is a **pure function of the contents** — cardinality `n`,
+//! maximal-run count `r`, and word span `w` (`max_id/64 + 1`) — so the
+//! representation is canonical and `PartialEq`/`Eq` derive structurally:
 //!
-//! Containers convert automatically on mutation: an insert that violates
-//! either condition *promotes* the array to a bitmap, and a shrinking op
-//! (`and`, `and_not`, `remove`, …) whose bitmap result satisfies both
-//! *demotes* it back to an array (via an early-exit popcount, so dense
-//! results answer in a few words). The representation is therefore
-//! **canonical** — a set's container is a function of its contents alone —
-//! which, together with [`BitSet`]'s trailing-zero-word trimming, lets
-//! `PartialEq`/`Eq` be derived structurally: two equal sets are equal
+//! 1. **Runs** iff `r ≤ RUN_MAX` (bounds per-op sweep cost) and
+//!    `2·r ≤ n` (8 bytes per run is at most the array's `4·n`) and
+//!    `r < w` (strictly smaller than the bitmap's `8·w`);
+//! 2. else **Array** iff `n ≤ ARRAY_MAX` and `n × SPAN_FACTOR ≤ w`
+//!    (the PR 2 rule: the array only where it is at most 1/8 of the
+//!    bitmap's bytes);
+//! 3. else **Bitmap**.
+//!
+//! Every constructor and mutation re-establishes this rule, converting
+//! between any pair of containers in either direction (six conversion
+//! edges, all exercised by the boundary tests below). Together with
+//! [`BitSet`]'s trailing-zero-word trimming, two equal sets are equal
 //! container-for-container no matter which op sequence built them.
 //!
 //! The whole combination algebra of the executor ([`crate::exec`]), the
@@ -60,16 +63,25 @@ pub const ARRAY_MAX: usize = 512;
 /// i.e. only where the array is decisively the smaller container.
 pub const SPAN_FACTOR: usize = 4;
 
+/// Maximum number of runs the run container may hold — bounds the per-op
+/// interval-sweep cost exactly like [`ARRAY_MAX`] bounds array merges.
+pub const RUN_MAX: usize = 512;
+
 /// Size skew at which array∩array intersection switches from the
 /// two-pointer merge to galloping binary search over the larger side.
 const GALLOP_SKEW: usize = 16;
 
-/// The two containers. `Array` iff [`array_fits`] holds for the contents —
-/// every constructor and mutation re-establishes this invariant, so the
-/// derived equality is structural equality of contents.
+/// One maximal run of consecutive ids: `(start, len)`, `len ≥ 1`. Runs in
+/// a container are disjoint, non-adjacent and ascending by start.
+type Run = (u32, u32);
+
+/// The three containers. The variant is the one [`choose_kind`] picks for
+/// the contents — every constructor and mutation re-establishes this
+/// invariant, so the derived equality is structural equality of contents.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Repr {
     Array(Vec<u32>),
+    Runs(Vec<Run>),
     Bitmap(BitSet),
 }
 
@@ -79,16 +91,32 @@ impl Default for Repr {
     }
 }
 
-/// Whether a sorted, duplicate-free id list takes the array container.
-fn array_fits(ids: &[u32]) -> bool {
-    match ids.last() {
-        None => true,
-        Some(&max) => ids.len() <= ARRAY_MAX && ids.len() * SPAN_FACTOR <= max as usize / 64 + 1,
+/// The canonical container for contents with cardinality `n`, maximal-run
+/// count `r` and word span `w` — the module-doc rule, in code.
+fn choose_kind(n: usize, r: usize, w: usize) -> Kind {
+    if r <= RUN_MAX && 2 * r <= n && r < w {
+        Kind::Runs
+    } else if n <= ARRAY_MAX && n * SPAN_FACTOR <= w {
+        Kind::Array
+    } else {
+        Kind::Bitmap
     }
 }
 
-/// An adaptive compressed set of `u32` tuple ids (sorted array where that
-/// is the cheaper container, packed bitmap otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Array,
+    Runs,
+    Bitmap,
+}
+
+/// Word span of a set whose maximum id is `max`.
+fn word_span(max: u32) -> usize {
+    max as usize / 64 + 1
+}
+
+/// An adaptive compressed set of `u32` tuple ids (sorted array, run list
+/// or packed bitmap — whichever the container rule picks).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TupleSet {
     repr: Repr,
@@ -108,26 +136,49 @@ impl TupleSet {
         TupleSet::from_sorted(ids)
     }
 
-    /// Wraps a sorted, duplicate-free id vector in the right container.
+    /// Wraps a sorted, duplicate-free id vector in the canonical
+    /// container.
     fn from_sorted(ids: Vec<u32>) -> Self {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
-        if array_fits(&ids) {
-            TupleSet {
-                repr: Repr::Array(ids),
-            }
-        } else {
-            TupleSet {
-                repr: Repr::Bitmap(ids.into_iter().collect()),
-            }
-        }
+        let w = ids.last().map_or(0, |&m| word_span(m));
+        let repr = match choose_kind(ids.len(), run_count_sorted(&ids), w) {
+            Kind::Array => Repr::Array(ids),
+            Kind::Runs => Repr::Runs(runs_from_sorted(&ids)),
+            Kind::Bitmap => Repr::Bitmap(ids.into_iter().collect()),
+        };
+        TupleSet { repr }
     }
 
-    /// Wraps an existing bitmap, demoting it if the array container fits.
-    pub fn from_bitset(bits: BitSet) -> Self {
+    /// Wraps a maximal, disjoint, ascending run list in the canonical
+    /// container.
+    fn from_runs(runs: Vec<Run>) -> Self {
+        debug_assert!(
+            runs.windows(2)
+                .all(|w| (w[0].0 as u64 + w[0].1 as u64) < w[1].0 as u64)
+                && runs.iter().all(|&(_, l)| l >= 1),
+            "maximal disjoint ascending runs"
+        );
+        let n: usize = runs.iter().map(|&(_, l)| l as usize).sum();
+        let w = runs.last().map_or(0, |&(s, l)| word_span(s + (l - 1)));
+        let repr = match choose_kind(n, runs.len(), w) {
+            Kind::Array => Repr::Array(iter_runs(&runs).collect()),
+            Kind::Runs => Repr::Runs(runs),
+            Kind::Bitmap => Repr::Bitmap(runs_to_bitset(&runs)),
+        };
+        TupleSet { repr }
+    }
+
+    /// Wraps a bitmap result in the canonical container.
+    fn from_bits(bits: BitSet) -> Self {
         TupleSet {
             repr: Repr::Bitmap(bits),
         }
         .into_canonical()
+    }
+
+    /// Wraps an existing bitmap, demoting it if a smaller container fits.
+    pub fn from_bitset(bits: BitSet) -> Self {
+        TupleSet::from_bits(bits)
     }
 
     /// A copy of the contents as a plain dense [`BitSet`] — the bridge the
@@ -135,6 +186,7 @@ impl TupleSet {
     pub fn to_bitset(&self) -> BitSet {
         match &self.repr {
             Repr::Array(v) => v.iter().copied().collect(),
+            Repr::Runs(r) => runs_to_bitset(r),
             Repr::Bitmap(b) => b.clone(),
         }
     }
@@ -144,15 +196,31 @@ impl TupleSet {
         matches!(self.repr, Repr::Array(_))
     }
 
+    /// Whether the set currently uses the run-length container.
+    pub fn is_runs(&self) -> bool {
+        matches!(self.repr, Repr::Runs(_))
+    }
+
     /// Whether the set currently uses the bitmap container.
     pub fn is_bitmap(&self) -> bool {
         matches!(self.repr, Repr::Bitmap(_))
+    }
+
+    /// The current container's name (`"array"`, `"runs"` or `"bitmap"`)
+    /// — for bench reports and diagnostics.
+    pub fn container(&self) -> &'static str {
+        match &self.repr {
+            Repr::Array(_) => "array",
+            Repr::Runs(_) => "runs",
+            Repr::Bitmap(_) => "bitmap",
+        }
     }
 
     /// Number of ids in the set.
     pub fn count(&self) -> usize {
         match &self.repr {
             Repr::Array(v) => v.len(),
+            Repr::Runs(r) => r.iter().map(|&(_, l)| l as usize).sum(),
             Repr::Bitmap(b) => b.count(),
         }
     }
@@ -161,97 +229,112 @@ impl TupleSet {
     pub fn is_empty(&self) -> bool {
         match &self.repr {
             Repr::Array(v) => v.is_empty(),
+            Repr::Runs(r) => r.is_empty(),
             Repr::Bitmap(b) => b.is_empty(),
         }
     }
 
-    /// Bytes of container storage (4 per id in an array; 8 per word in a
-    /// bitmap) — the quantity the adaptive representation minimises.
+    /// Bytes of container storage (4 per id in an array; 8 per run in a
+    /// run list; 8 per word in a bitmap) — the quantity the adaptive
+    /// representation minimises.
     pub fn heap_bytes(&self) -> usize {
         match &self.repr {
             Repr::Array(v) => v.len() * std::mem::size_of::<u32>(),
+            Repr::Runs(r) => r.len() * std::mem::size_of::<Run>(),
             Repr::Bitmap(b) => b.heap_bytes(),
         }
     }
 
-    /// Whether the id is present (binary search / bit probe).
+    /// Approximate per-op work units of this container (array: elements,
+    /// runs: runs, bitmap: words) — what one sweep of a set-algebra op
+    /// costs. The cost-weighted pairwise-build chunking weighs pairs by
+    /// the cheaper operand's units.
+    pub fn op_cost(&self) -> usize {
+        match &self.repr {
+            Repr::Array(v) => v.len(),
+            Repr::Runs(r) => r.len(),
+            Repr::Bitmap(b) => b.words().len(),
+        }
+    }
+
+    /// Whether the id is present (binary search / interval search / bit
+    /// probe).
     pub fn contains(&self, id: u32) -> bool {
         match &self.repr {
             Repr::Array(v) => v.binary_search(&id).is_ok(),
+            Repr::Runs(r) => runs_contain(r, id),
             Repr::Bitmap(b) => b.contains(id),
         }
     }
 
-    /// Inserts an id; returns whether it was newly added. Promotes the
-    /// array container when the grown contents no longer fit it.
+    /// Inserts an id; returns whether it was newly added. Converts
+    /// container when the grown contents pick a different one (e.g. an
+    /// insert bridging two runs coalesces them; an isolated insert into a
+    /// run set can tip it back to an array).
     pub fn insert(&mut self, id: u32) -> bool {
-        match &mut self.repr {
+        let fresh = match &mut self.repr {
             Repr::Array(v) => match v.binary_search(&id) {
                 Ok(_) => false,
                 Err(pos) => {
                     v.insert(pos, id);
-                    if !array_fits(v) {
-                        self.repr = Repr::Bitmap(v.iter().copied().collect());
-                    }
                     true
                 }
             },
-            Repr::Bitmap(b) => {
-                let fresh = b.insert(id);
-                // Inserting into a bitmap can *extend* its span past the
-                // array-rule boundary of its (unchanged) cardinality — or
-                // leave a sparse set that now fits the array. Re-check.
-                if fresh {
-                    self.canonicalize();
-                }
-                fresh
-            }
+            Repr::Runs(r) => runs_insert(r, id),
+            Repr::Bitmap(b) => b.insert(id),
+        };
+        if fresh {
+            self.canonicalize();
         }
+        fresh
     }
 
     /// Removes an id; returns whether it was present. Converts container
-    /// when the shrunk contents fit the other one better (removing a far
-    /// outlier from an array can collapse its span onto a tiny bitmap;
-    /// draining a bitmap demotes it to an array).
+    /// when the shrunk contents pick a different one (removing a far
+    /// outlier can collapse an array's span onto a tiny bitmap; removing
+    /// a mid-run id splits a run in two).
     pub fn remove(&mut self, id: u32) -> bool {
-        match &mut self.repr {
+        let present = match &mut self.repr {
             Repr::Array(v) => match v.binary_search(&id) {
                 Ok(pos) => {
                     v.remove(pos);
-                    if !array_fits(v) {
-                        self.repr = Repr::Bitmap(v.iter().copied().collect());
-                    }
                     true
                 }
                 Err(_) => false,
             },
-            Repr::Bitmap(b) => {
-                let present = b.remove(id);
-                if present {
-                    self.canonicalize();
-                }
-                present
-            }
+            Repr::Runs(r) => runs_remove(r, id),
+            Repr::Bitmap(b) => b.remove(id),
+        };
+        if present {
+            self.canonicalize();
         }
+        present
     }
 
     /// `self ∩ other` as a new set, picking the container-pair fast path:
-    /// array∩array merge/gallop, array∩bitmap probe, bitmap∩bitmap
-    /// word-AND (demoted if the result fits the array container).
+    /// merge/gallop for array pairs, interval sweep for run pairs,
+    /// SIMD-width word-AND for bitmap pairs, probe/masked walks for the
+    /// mixed pairs.
     pub fn and(&self, other: &TupleSet) -> TupleSet {
         match (&self.repr, &other.repr) {
             (Repr::Array(a), Repr::Array(b)) => TupleSet::from_sorted(intersect_arrays(a, b)),
             (Repr::Array(a), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Array(a)) => {
                 TupleSet::from_sorted(a.iter().copied().filter(|&id| b.contains(id)).collect())
             }
-            (Repr::Bitmap(a), Repr::Bitmap(b)) => TupleSet {
-                repr: Repr::Bitmap(a.and(b)),
+            (Repr::Array(a), Repr::Runs(r)) | (Repr::Runs(r), Repr::Array(a)) => {
+                TupleSet::from_sorted(intersect_array_runs(a, r))
             }
-            .into_canonical(),
+            (Repr::Runs(a), Repr::Runs(b)) => TupleSet::from_runs(intersect_runs(a, b)),
+            (Repr::Runs(r), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Runs(r)) => {
+                TupleSet::from_bits(restrict_bitmap_to_runs(b, r))
+            }
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => TupleSet::from_bits(a.and_wide(b)),
         }
     }
 
-    /// `self ∪ other` as a new set (re-containerised as the union grows).
+    /// `self ∪ other` as a new set (re-containerised as the union grows —
+    /// unions of runny operands stay runs; mixed unions overlay runs onto
+    /// words).
     pub fn or(&self, other: &TupleSet) -> TupleSet {
         match (&self.repr, &other.repr) {
             (Repr::Array(a), Repr::Array(b)) => TupleSet::from_sorted(union_arrays(a, b)),
@@ -260,20 +343,21 @@ impl TupleSet {
                 for &id in a {
                     bits.insert(id);
                 }
-                TupleSet {
-                    repr: Repr::Bitmap(bits),
-                }
-                .into_canonical()
+                TupleSet::from_bits(bits)
             }
-            (Repr::Bitmap(a), Repr::Bitmap(b)) => TupleSet {
-                repr: Repr::Bitmap(a.or(b)),
+            (Repr::Array(a), Repr::Runs(r)) | (Repr::Runs(r), Repr::Array(a)) => {
+                TupleSet::from_runs(union_runs(&runs_from_sorted(a), r))
             }
-            .into_canonical(),
+            (Repr::Runs(a), Repr::Runs(b)) => TupleSet::from_runs(union_runs(a, b)),
+            (Repr::Runs(r), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Runs(r)) => {
+                TupleSet::from_bits(overlay_runs_on_bitmap(b, r))
+            }
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => TupleSet::from_bits(a.or_wide(b)),
         }
     }
 
-    /// `self \ other` as a new set (demoted when a bitmap collapses into
-    /// array range).
+    /// `self \ other` as a new set (an `and_not` can split runs; results
+    /// re-containerise like every other op).
     pub fn and_not(&self, other: &TupleSet) -> TupleSet {
         match (&self.repr, &other.repr) {
             (Repr::Array(a), _) => TupleSet::from_sorted(
@@ -282,55 +366,53 @@ impl TupleSet {
                     .filter(|&id| !other.contains(id))
                     .collect(),
             ),
-            (Repr::Bitmap(a), Repr::Bitmap(b)) => TupleSet {
-                repr: Repr::Bitmap(a.and_not(b)),
+            (Repr::Runs(a), Repr::Runs(b)) => TupleSet::from_runs(diff_runs(a, b)),
+            (Repr::Runs(a), Repr::Array(b)) => {
+                TupleSet::from_runs(diff_runs(a, &runs_from_sorted(b)))
             }
-            .into_canonical(),
+            (Repr::Runs(a), Repr::Bitmap(b)) => TupleSet::from_bits(runs_minus_bitmap(a, b)),
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => TupleSet::from_bits(a.and_not_wide(b)),
             (Repr::Bitmap(a), Repr::Array(b)) => {
                 let mut bits = a.clone();
                 for &id in b {
                     bits.remove(id);
                 }
-                TupleSet {
-                    repr: Repr::Bitmap(bits),
-                }
-                .into_canonical()
+                TupleSet::from_bits(bits)
+            }
+            (Repr::Bitmap(a), Repr::Runs(r)) => {
+                TupleSet::from_bits(subtract_runs_from_bitmap(a, r))
             }
         }
     }
 
-    /// In-place `self ∩= other`.
+    /// In-place `self ∩= other` (in place where the container allows it,
+    /// re-canonicalised afterwards).
     pub fn and_assign(&mut self, other: &TupleSet) {
         match (&mut self.repr, &other.repr) {
             (Repr::Array(a), _) => {
                 a.retain(|&id| other.contains(id));
-                if !array_fits(a) {
-                    self.repr = Repr::Bitmap(a.iter().copied().collect());
-                }
+                self.canonicalize();
             }
             (Repr::Bitmap(a), Repr::Bitmap(b)) => {
-                a.and_assign(b);
+                a.and_assign_wide(b);
                 self.canonicalize();
             }
             (Repr::Bitmap(a), Repr::Array(b)) => {
                 let kept: Vec<u32> = b.iter().copied().filter(|&id| a.contains(id)).collect();
                 *self = TupleSet::from_sorted(kept);
             }
+            (Repr::Bitmap(a), Repr::Runs(r)) => {
+                *self = TupleSet::from_bits(restrict_bitmap_to_runs(a, r));
+            }
+            (Repr::Runs(_), _) => *self = self.and(other),
         }
     }
 
     /// In-place `self ∪= other`.
     pub fn or_assign(&mut self, other: &TupleSet) {
         match (&mut self.repr, &other.repr) {
-            (Repr::Array(a), Repr::Array(b)) => {
-                *self = TupleSet::from_sorted(union_arrays(a, b));
-            }
-            (Repr::Array(a), Repr::Bitmap(b)) => {
-                let mut bits = b.clone();
-                for &id in a.iter() {
-                    bits.insert(id);
-                }
-                self.repr = Repr::Bitmap(bits);
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => {
+                a.or_assign(b);
                 self.canonicalize();
             }
             (Repr::Bitmap(a), Repr::Array(b)) => {
@@ -339,10 +421,10 @@ impl TupleSet {
                 }
                 self.canonicalize();
             }
-            (Repr::Bitmap(a), Repr::Bitmap(b)) => {
-                a.or_assign(b);
-                self.canonicalize();
+            (Repr::Bitmap(a), Repr::Runs(r)) => {
+                *self = TupleSet::from_bits(overlay_runs_on_bitmap(a, r));
             }
+            (Repr::Array(_) | Repr::Runs(_), _) => *self = self.or(other),
         }
     }
 
@@ -353,7 +435,20 @@ impl TupleSet {
             (Repr::Array(a), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Array(a)) => {
                 a.iter().filter(|&&id| b.contains(id)).count()
             }
-            (Repr::Bitmap(a), Repr::Bitmap(b)) => a.and_count(b),
+            (Repr::Array(a), Repr::Runs(r)) | (Repr::Runs(r), Repr::Array(a)) => {
+                intersect_count_array_runs(a, r)
+            }
+            (Repr::Runs(a), Repr::Runs(b)) => intersect_count_runs(a, b),
+            (Repr::Runs(r), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Runs(r)) => {
+                let words = b.words();
+                let mut n = 0usize;
+                for_run_words(r, words.len(), |wi, mask| {
+                    n += (words[wi] & mask).count_ones() as usize;
+                    true
+                });
+                n
+            }
+            (Repr::Bitmap(a), Repr::Bitmap(b)) => a.and_count_wide(b),
         }
     }
 
@@ -364,7 +459,47 @@ impl TupleSet {
             (Repr::Array(a), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Array(a)) => {
                 a.iter().any(|&id| b.contains(id))
             }
+            (Repr::Array(a), Repr::Runs(r)) | (Repr::Runs(r), Repr::Array(a)) => {
+                array_runs_intersect(a, r)
+            }
+            (Repr::Runs(a), Repr::Runs(b)) => runs_overlap(a, b),
+            (Repr::Runs(r), Repr::Bitmap(b)) | (Repr::Bitmap(b), Repr::Runs(r)) => {
+                let words = b.words();
+                let mut hit = false;
+                for_run_words(r, words.len(), |wi, mask| {
+                    hit = words[wi] & mask != 0;
+                    !hit
+                });
+                hit
+            }
             (Repr::Bitmap(a), Repr::Bitmap(b)) => a.intersects(b),
+        }
+    }
+
+    /// Visits the set as disjoint, ascending `(start, len)` id ranges —
+    /// maximal runs for the run container, per-word set-bit segments for
+    /// the bitmap, single ids for the array. Dense consumers (the PEPS
+    /// scorer) walk ranges so runny sets process as contiguous slice
+    /// sweeps instead of per-id iteration.
+    pub fn for_each_range(&self, mut f: impl FnMut(u32, u32)) {
+        match &self.repr {
+            Repr::Array(v) => v.iter().for_each(|&id| f(id, 1)),
+            Repr::Runs(r) => r.iter().for_each(|&(s, l)| f(s, l)),
+            Repr::Bitmap(b) => {
+                for (wi, &word) in b.words().iter().enumerate() {
+                    let base = wi as u64 * 64;
+                    let mut x = word;
+                    while x != 0 {
+                        let start = x.trailing_zeros() as u64;
+                        let len = (x >> start).trailing_ones() as u64;
+                        f((base + start) as u32, len as u32);
+                        if start + len >= 64 {
+                            break;
+                        }
+                        x &= !0u64 << (start + len);
+                    }
+                }
+            }
         }
     }
 
@@ -373,23 +508,45 @@ impl TupleSet {
         Iter {
             inner: match &self.repr {
                 Repr::Array(v) => IterInner::Array(v.iter()),
+                Repr::Runs(r) => IterInner::Runs {
+                    runs: r,
+                    idx: 0,
+                    next: 0,
+                },
                 Repr::Bitmap(b) => IterInner::Bitmap(b.iter()),
             },
         }
     }
 
-    /// Re-establishes the container invariant after a bitmap mutation: a
-    /// (trimmed) bitmap of `w` words demotes iff its cardinality is at
-    /// most `min(ARRAY_MAX, w / SPAN_FACTOR)` — checked with an
-    /// early-exit popcount so dense bitmaps answer in a few words.
+    /// Re-establishes the container rule after a mutation, converting to
+    /// whichever container the contents now pick. Array and run stats
+    /// are `O(current container size)`; bitmap stats are a single word
+    /// scan that exits early once both demotions are ruled out.
     fn canonicalize(&mut self) {
-        if let Repr::Bitmap(b) = &self.repr {
-            let words = b.heap_bytes() / std::mem::size_of::<u64>();
-            let limit = ARRAY_MAX.min(words / SPAN_FACTOR);
-            if b.count_at_most(limit).is_some() {
-                self.repr = Repr::Array(b.iter().collect());
-            }
-        }
+        let kind = match &self.repr {
+            Repr::Array(v) => choose_kind(
+                v.len(),
+                run_count_sorted(v),
+                v.last().map_or(0, |&m| word_span(m)),
+            ),
+            Repr::Runs(r) => choose_kind(
+                r.iter().map(|&(_, l)| l as usize).sum(),
+                r.len(),
+                r.last().map_or(0, |&(s, l)| word_span(s + (l - 1))),
+            ),
+            Repr::Bitmap(b) => bitmap_kind(b),
+        };
+        self.repr = match (std::mem::take(&mut self.repr), kind) {
+            (repr @ Repr::Array(_), Kind::Array)
+            | (repr @ Repr::Runs(_), Kind::Runs)
+            | (repr @ Repr::Bitmap(_), Kind::Bitmap) => repr,
+            (Repr::Array(v), Kind::Runs) => Repr::Runs(runs_from_sorted(&v)),
+            (Repr::Array(v), Kind::Bitmap) => Repr::Bitmap(v.into_iter().collect()),
+            (Repr::Runs(r), Kind::Array) => Repr::Array(iter_runs(&r).collect()),
+            (Repr::Runs(r), Kind::Bitmap) => Repr::Bitmap(runs_to_bitset(&r)),
+            (Repr::Bitmap(b), Kind::Array) => Repr::Array(b.iter().collect()),
+            (Repr::Bitmap(b), Kind::Runs) => Repr::Runs(bitmap_to_runs(&b)),
+        };
     }
 
     /// [`canonicalize`](Self::canonicalize) by value, for builder chains.
@@ -398,6 +555,440 @@ impl TupleSet {
         self
     }
 }
+
+/// The canonical container for a bitmap's contents: one scan computing
+/// cardinality and run count together, exiting early once the contents
+/// can only be a bitmap.
+fn bitmap_kind(b: &BitSet) -> Kind {
+    let words = b.words();
+    let w = words.len();
+    let run_limit = RUN_MAX.min(w.saturating_sub(1));
+    let array_limit = ARRAY_MAX.min(w / SPAN_FACTOR);
+    let mut n = 0usize;
+    let mut r = 0usize;
+    let mut carry = 0u64;
+    for &word in words {
+        n += word.count_ones() as usize;
+        r += (word & !((word << 1) | carry)).count_ones() as usize;
+        carry = word >> 63;
+        if r > run_limit && n > array_limit {
+            return Kind::Bitmap;
+        }
+    }
+    choose_kind(n, r, w)
+}
+
+// ----------------------------------------------------------------------
+// run-container helpers
+// ----------------------------------------------------------------------
+
+/// Number of maximal runs in a sorted, duplicate-free id list.
+fn run_count_sorted(ids: &[u32]) -> usize {
+    if ids.is_empty() {
+        return 0;
+    }
+    1 + ids.windows(2).filter(|w| w[1] != w[0] + 1).count()
+}
+
+/// The maximal run list of a sorted, duplicate-free id list.
+fn runs_from_sorted(ids: &[u32]) -> Vec<Run> {
+    let mut runs: Vec<Run> = Vec::new();
+    for &id in ids {
+        match runs.last_mut() {
+            Some((s, l)) if *s as u64 + *l as u64 == id as u64 => *l += 1,
+            _ => runs.push((id, 1)),
+        }
+    }
+    runs
+}
+
+/// Iterates the ids covered by a run list, ascending.
+fn iter_runs(runs: &[Run]) -> impl Iterator<Item = u32> + '_ {
+    // Widen before computing the exclusive end: a run ending at
+    // `u32::MAX` has `s + l == 2^32`, which overflows u32.
+    runs.iter()
+        .flat_map(|&(s, l)| (s as u64..s as u64 + l as u64).map(|id| id as u32))
+}
+
+/// Whether a run list covers `id` (binary search by run start).
+fn runs_contain(runs: &[Run], id: u32) -> bool {
+    let pos = runs.partition_point(|&(s, _)| s <= id);
+    pos > 0 && {
+        let (s, l) = runs[pos - 1];
+        (id as u64) < s as u64 + l as u64
+    }
+}
+
+/// Inserts `id` into a run list, extending, merging or creating runs as
+/// needed; returns whether it was newly added.
+fn runs_insert(runs: &mut Vec<Run>, id: u32) -> bool {
+    let pos = runs.partition_point(|&(s, _)| s <= id);
+    if pos > 0 {
+        let (s, l) = runs[pos - 1];
+        let end = s as u64 + l as u64; // exclusive
+        if (id as u64) < end {
+            return false;
+        }
+        if id as u64 == end {
+            runs[pos - 1].1 += 1;
+            // bridging insert: coalesce with the following run
+            if pos < runs.len() && runs[pos].0 as u64 == id as u64 + 1 {
+                runs[pos - 1].1 += runs[pos].1;
+                runs.remove(pos);
+            }
+            return true;
+        }
+    }
+    if pos < runs.len() && runs[pos].0 as u64 == id as u64 + 1 {
+        runs[pos].0 = id;
+        runs[pos].1 += 1;
+        return true;
+    }
+    runs.insert(pos, (id, 1));
+    true
+}
+
+/// Removes `id` from a run list, shrinking or splitting its run; returns
+/// whether it was present.
+fn runs_remove(runs: &mut Vec<Run>, id: u32) -> bool {
+    let pos = runs.partition_point(|&(s, _)| s <= id);
+    if pos == 0 {
+        return false;
+    }
+    let k = pos - 1;
+    let (s, l) = runs[k];
+    let end = s as u64 + l as u64;
+    if (id as u64) >= end {
+        return false;
+    }
+    if l == 1 {
+        runs.remove(k);
+    } else if id == s {
+        runs[k] = (s + 1, l - 1);
+    } else if id as u64 == end - 1 {
+        runs[k].1 = l - 1;
+    } else {
+        runs[k] = (s, id - s);
+        runs.insert(k + 1, (id + 1, (end - 1 - id as u64) as u32));
+    }
+    true
+}
+
+/// `a ∩ b` over run lists: a two-pointer interval sweep. The output is
+/// maximal (gaps in either input separate output runs).
+fn intersect_runs(a: &[Run], b: &[Run]) -> Vec<Run> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (a0, a1) = (a[i].0 as u64, a[i].0 as u64 + a[i].1 as u64);
+        let (b0, b1) = (b[j].0 as u64, b[j].0 as u64 + b[j].1 as u64);
+        let s = a0.max(b0);
+        let e = a1.min(b1);
+        if s < e {
+            out.push((s as u32, (e - s) as u32));
+        }
+        if a1 <= b1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// `|a ∩ b|` over run lists without materialising.
+fn intersect_count_runs(a: &[Run], b: &[Run]) -> usize {
+    let mut n = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (a0, a1) = (a[i].0 as u64, a[i].0 as u64 + a[i].1 as u64);
+        let (b0, b1) = (b[j].0 as u64, b[j].0 as u64 + b[j].1 as u64);
+        let s = a0.max(b0);
+        let e = a1.min(b1);
+        if s < e {
+            n += (e - s) as usize;
+        }
+        if a1 <= b1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    n
+}
+
+/// Whether two run lists overlap (short-circuiting sweep).
+fn runs_overlap(a: &[Run], b: &[Run]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (a0, a1) = (a[i].0 as u64, a[i].0 as u64 + a[i].1 as u64);
+        let (b0, b1) = (b[j].0 as u64, b[j].0 as u64 + b[j].1 as u64);
+        if a0.max(b0) < a1.min(b1) {
+            return true;
+        }
+        if a1 <= b1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    false
+}
+
+/// `a ∪ b` over run lists: an ascending merge that coalesces overlapping
+/// *and adjacent* runs, so the output is maximal.
+fn union_runs(a: &[Run], b: &[Run]) -> Vec<Run> {
+    let mut out: Vec<Run> = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut cur: Option<(u64, u64)> = None;
+    while i < a.len() || j < b.len() {
+        let take_a = j >= b.len() || (i < a.len() && a[i].0 <= b[j].0);
+        let (s, l) = if take_a {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+        let (s, e) = (s as u64, s as u64 + l as u64);
+        match &mut cur {
+            Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+            _ => {
+                if let Some((cs, ce)) = cur.take() {
+                    out.push((cs as u32, (ce - cs) as u32));
+                }
+                cur = Some((s, e));
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        out.push((cs as u32, (ce - cs) as u32));
+    }
+    out
+}
+
+/// `a \ b` over run lists: subtracts `b`'s intervals from each of `a`'s
+/// runs (splitting runs where `b` punches holes). The output is maximal.
+fn diff_runs(a: &[Run], b: &[Run]) -> Vec<Run> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &(s, l) in a {
+        let mut s = s as u64;
+        let e = s + l as u64;
+        while j < b.len() && b[j].0 as u64 + b[j].1 as u64 <= s {
+            j += 1;
+        }
+        let mut k = j;
+        while s < e {
+            if k >= b.len() || b[k].0 as u64 >= e {
+                out.push((s as u32, (e - s) as u32));
+                break;
+            }
+            let (b0, b1) = (b[k].0 as u64, b[k].0 as u64 + b[k].1 as u64);
+            if b0 > s {
+                out.push((s as u32, (b0 - s) as u32));
+            }
+            s = s.max(b1);
+            k += 1;
+        }
+    }
+    out
+}
+
+/// `ids ∩ runs` for a sorted array against a run list (merge walk).
+fn intersect_array_runs(ids: &[u32], runs: &[Run]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &id in ids {
+        while j < runs.len() && runs[j].0 as u64 + runs[j].1 as u64 <= id as u64 {
+            j += 1;
+        }
+        if j == runs.len() {
+            break;
+        }
+        if runs[j].0 <= id {
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// `|ids ∩ runs|` without materialising.
+fn intersect_count_array_runs(ids: &[u32], runs: &[Run]) -> usize {
+    let mut n = 0usize;
+    let mut j = 0usize;
+    for &id in ids {
+        while j < runs.len() && runs[j].0 as u64 + runs[j].1 as u64 <= id as u64 {
+            j += 1;
+        }
+        if j == runs.len() {
+            break;
+        }
+        if runs[j].0 <= id {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Whether a sorted array and a run list share an id (short-circuits).
+fn array_runs_intersect(ids: &[u32], runs: &[Run]) -> bool {
+    let mut j = 0usize;
+    for &id in ids {
+        while j < runs.len() && runs[j].0 as u64 + runs[j].1 as u64 <= id as u64 {
+            j += 1;
+        }
+        if j == runs.len() {
+            return false;
+        }
+        if runs[j].0 <= id {
+            return true;
+        }
+    }
+    false
+}
+
+/// The word mask covering the intersection of the 64-bit word starting
+/// at `word_base` with the half-open id interval `start..end`. Caller
+/// guarantees the interval overlaps the word.
+fn run_word_mask(word_base: u64, start: u64, end: u64) -> u64 {
+    let mut mask = !0u64;
+    if start > word_base {
+        mask <<= start - word_base;
+    }
+    if end < word_base + 64 {
+        mask &= !0u64 >> (word_base + 64 - end);
+    }
+    mask
+}
+
+/// Visits every `(word index, mask)` pair a run list covers below
+/// `max_words`, in ascending word order per run; the callback returns
+/// `false` to stop early.
+fn for_run_words(runs: &[Run], max_words: usize, mut f: impl FnMut(usize, u64) -> bool) {
+    for &(start, len) in runs {
+        let s = start as u64;
+        let e = s + len as u64;
+        let first = (s / 64) as usize;
+        if first >= max_words {
+            break;
+        }
+        let last = (((e - 1) / 64) as usize).min(max_words - 1);
+        for wi in first..=last {
+            if !f(wi, run_word_mask(wi as u64 * 64, s, e)) {
+                return;
+            }
+        }
+    }
+}
+
+/// A run list as a packed bitmap (word-masked fills, no per-bit inserts).
+fn runs_to_bitset(runs: &[Run]) -> BitSet {
+    let Some(&(ls, ll)) = runs.last() else {
+        return BitSet::new();
+    };
+    let span = word_span(ls + (ll - 1));
+    let mut words = vec![0u64; span];
+    for_run_words(runs, span, |wi, mask| {
+        words[wi] |= mask;
+        true
+    });
+    BitSet::from_words(words)
+}
+
+/// A bitmap's set bits as a maximal run list (per-word segment scan).
+fn bitmap_to_runs(b: &BitSet) -> Vec<Run> {
+    let mut runs: Vec<Run> = Vec::new();
+    // open run as (start, end exclusive)
+    let mut open: Option<(u32, u64)> = None;
+    let close = |open: &mut Option<(u32, u64)>, runs: &mut Vec<Run>| {
+        if let Some((s, e)) = open.take() {
+            runs.push((s, (e - s as u64) as u32));
+        }
+    };
+    for (wi, &word) in b.words().iter().enumerate() {
+        let base = wi as u64 * 64;
+        if word == 0 {
+            close(&mut open, &mut runs);
+            continue;
+        }
+        let mut x = word;
+        while x != 0 {
+            let start_bit = x.trailing_zeros() as u64;
+            let ones = (x >> start_bit).trailing_ones() as u64;
+            let (seg_start, seg_end) = (base + start_bit, base + start_bit + ones);
+            match &mut open {
+                Some((_, e)) if *e == seg_start => *e = seg_end,
+                _ => {
+                    close(&mut open, &mut runs);
+                    open = Some((seg_start as u32, seg_end));
+                }
+            }
+            if start_bit + ones >= 64 {
+                x = 0;
+            } else {
+                x &= !0u64 << (start_bit + ones);
+            }
+        }
+    }
+    close(&mut open, &mut runs);
+    runs
+}
+
+/// `bitmap ∩ runs` as a bitmap (masked word copies).
+fn restrict_bitmap_to_runs(bits: &BitSet, runs: &[Run]) -> BitSet {
+    let words = bits.words();
+    let mut out = vec![0u64; words.len()];
+    for_run_words(runs, words.len(), |wi, mask| {
+        out[wi] |= words[wi] & mask;
+        true
+    });
+    BitSet::from_words(out)
+}
+
+/// `bitmap \ runs` as a bitmap (masked word clears).
+fn subtract_runs_from_bitmap(bits: &BitSet, runs: &[Run]) -> BitSet {
+    let mut out = bits.words().to_vec();
+    for_run_words(runs, out.len(), |wi, mask| {
+        out[wi] &= !mask;
+        true
+    });
+    BitSet::from_words(out)
+}
+
+/// `runs \ bitmap` as a bitmap (masked complements over the runs' span).
+fn runs_minus_bitmap(runs: &[Run], bits: &BitSet) -> BitSet {
+    let Some(&(ls, ll)) = runs.last() else {
+        return BitSet::new();
+    };
+    let span = word_span(ls + (ll - 1));
+    let words = bits.words();
+    let mut out = vec![0u64; span];
+    for_run_words(runs, span, |wi, mask| {
+        out[wi] |= mask & !words.get(wi).copied().unwrap_or(0);
+        true
+    });
+    BitSet::from_words(out)
+}
+
+/// `bitmap ∪ runs` as a bitmap (masked word fills over the wider span).
+fn overlay_runs_on_bitmap(bits: &BitSet, runs: &[Run]) -> BitSet {
+    let span = runs
+        .last()
+        .map_or(0, |&(s, l)| word_span(s + (l - 1)))
+        .max(bits.words().len());
+    let mut out = bits.words().to_vec();
+    out.resize(span, 0);
+    for_run_words(runs, span, |wi, mask| {
+        out[wi] |= mask;
+        true
+    });
+    BitSet::from_words(out)
+}
+
+// ----------------------------------------------------------------------
+// array-container helpers (unchanged from PR 2)
+// ----------------------------------------------------------------------
 
 /// Sorted-array intersection: two-pointer merge, switching to galloping
 /// binary search when one side is ≥ [`GALLOP_SKEW`]× the other.
@@ -540,13 +1131,18 @@ impl<'a> IntoIterator for &'a TupleSet {
     }
 }
 
-/// Ascending id iterator over either container of a [`TupleSet`].
+/// Ascending id iterator over any container of a [`TupleSet`].
 pub struct Iter<'a> {
     inner: IterInner<'a>,
 }
 
 enum IterInner<'a> {
     Array(std::slice::Iter<'a, u32>),
+    Runs {
+        runs: &'a [Run],
+        idx: usize,
+        next: u64,
+    },
     Bitmap(crate::bitset::Iter<'a>),
 }
 
@@ -556,6 +1152,19 @@ impl Iterator for Iter<'_> {
     fn next(&mut self) -> Option<u32> {
         match &mut self.inner {
             IterInner::Array(it) => it.next().copied(),
+            IterInner::Runs { runs, idx, next } => loop {
+                let &(s, l) = runs.get(*idx)?;
+                let (s, e) = (s as u64, s as u64 + l as u64);
+                if *next < s {
+                    *next = s;
+                }
+                if *next < e {
+                    let id = *next as u32;
+                    *next += 1;
+                    return Some(id);
+                }
+                *idx += 1;
+            },
             IterInner::Bitmap(it) => it.next(),
         }
     }
@@ -566,8 +1175,9 @@ mod tests {
     use super::*;
     use std::collections::HashSet;
 
-    /// Wide enough id spacing that the span rule always admits the array
-    /// (one id per `SPAN_FACTOR` 64-bit words, with headroom).
+    /// Wide enough id spacing that isolated ids always pick the array
+    /// (one id per `SPAN_FACTOR` 64-bit words, with headroom, and no two
+    /// ids ever form a run).
     const WIDE: u32 = (64 * SPAN_FACTOR * 2) as u32;
 
     fn set(ids: &[u32]) -> TupleSet {
@@ -579,17 +1189,36 @@ mod tests {
         (0..n as u32).map(|i| start + i * stride).collect()
     }
 
-    /// The invariant every constructor and mutation must re-establish.
+    /// The rule every constructor and mutation must re-establish: the
+    /// container is the one `choose_kind` picks for the contents, and
+    /// rebuilding from the id list reproduces the set exactly.
     fn assert_canonical(s: &TupleSet) {
         let ids: Vec<u32> = s.iter().collect();
+        let want = choose_kind(
+            ids.len(),
+            run_count_sorted(&ids),
+            ids.last().map_or(0, |&m| word_span(m)),
+        );
+        let got = match &s.repr {
+            Repr::Array(_) => Kind::Array,
+            Repr::Runs(_) => Kind::Runs,
+            Repr::Bitmap(_) => Kind::Bitmap,
+        };
         assert_eq!(
-            s.is_array(),
-            array_fits(&ids),
+            got,
+            want,
             "container rule violated for {} ids (max {:?})",
             ids.len(),
             ids.last()
         );
         assert_eq!(s, &set(&ids), "not structurally canonical");
+        if let Repr::Runs(r) = &s.repr {
+            assert!(
+                r.windows(2)
+                    .all(|w| (w[0].0 as u64 + w[0].1 as u64) < w[1].0 as u64),
+                "runs not maximal/disjoint/ascending: {r:?}"
+            );
+        }
     }
 
     #[test]
@@ -614,9 +1243,9 @@ mod tests {
             }
             assert!(!s.contains(1_000_000));
             assert_canonical(&s);
-            // same ids through a bitmap container behave identically
+            // same ids through a run container behave identically
             let mut dense: TupleSet = (0..256).collect();
-            assert!(dense.is_bitmap(), "dense low-id set packs to a bitmap");
+            assert!(dense.is_runs(), "one dense run packs to runs");
             for &id in ids {
                 dense.insert(id);
                 assert!(dense.contains(id));
@@ -633,13 +1262,15 @@ mod tests {
         assert_eq!(empty.iter().count(), 0);
         assert_eq!(empty.heap_bytes(), 0);
 
+        // The whole universe is a single 8-byte run — the RLE win.
         let universe: TupleSet = (0..10_000).collect();
-        assert!(universe.is_bitmap());
+        assert!(universe.is_runs());
+        assert_eq!(universe.heap_bytes(), 8);
         assert_eq!(universe.count(), 10_000);
         assert_eq!(universe.and(&universe), universe);
         assert_eq!(universe.or(&universe), universe);
         assert!(universe.and_not(&universe).is_empty());
-        assert!(universe.and_not(&universe).is_array(), "demoted to array");
+        assert!(universe.and_not(&universe).is_array(), "empty is an array");
         assert_eq!(empty.and(&universe), empty);
         assert_eq!(empty.or(&universe), universe);
         assert_eq!(universe.and_count(&empty), 0);
@@ -650,9 +1281,10 @@ mod tests {
     }
 
     #[test]
-    fn promotion_exactly_at_the_cardinality_threshold() {
-        // WIDE spacing keeps the span rule satisfied throughout, so the
-        // promotion trigger is exactly the ARRAY_MAX cardinality cap.
+    fn promotion_exactly_at_the_array_cardinality_threshold() {
+        // WIDE spacing keeps the span rule satisfied and every id its own
+        // run (so runs never fit), making the promotion trigger exactly
+        // the ARRAY_MAX cardinality cap.
         let mut s = strided(0, ARRAY_MAX, WIDE);
         assert!(s.is_array(), "ARRAY_MAX ids still fit the array");
         assert_eq!(s.count(), ARRAY_MAX);
@@ -667,7 +1299,7 @@ mod tests {
     }
 
     #[test]
-    fn demotion_exactly_at_the_cardinality_threshold() {
+    fn demotion_exactly_at_the_array_cardinality_threshold() {
         let mut s = strided(0, ARRAY_MAX + 1, WIDE);
         assert!(s.is_bitmap());
         assert!(s.remove(0));
@@ -679,42 +1311,151 @@ mod tests {
     }
 
     #[test]
-    fn span_rule_keeps_compact_sets_dense() {
-        // 100 ids packed into two words: the array would be 400 B against
-        // a 16 B bitmap — the span rule must keep the bitmap.
-        let compact: TupleSet = (0..100).collect();
-        assert!(compact.is_bitmap());
-        assert_eq!(compact.heap_bytes(), 16);
-        // the same 100 ids scattered WIDE apart fit the array rule
-        let scattered = strided(0, 100, WIDE);
-        assert!(scattered.is_array());
-        assert_eq!(scattered.heap_bytes(), 400);
-        // boundary: n ids need span ≥ n × SPAN_FACTOR words exactly
-        let n = 8u32;
-        let just_enough = n as usize * SPAN_FACTOR * 64 - 64; // max id word index = n×SF−1
-        let at_rule = strided(0, n as usize - 1, 1)
-            .iter()
-            .chain(std::iter::once(just_enough as u32))
-            .collect::<TupleSet>();
-        assert!(at_rule.is_array(), "span exactly n×SPAN_FACTOR words");
-        let one_short = strided(0, n as usize - 1, 1)
-            .iter()
-            .chain(std::iter::once(just_enough as u32 - 64))
-            .collect::<TupleSet>();
-        assert!(one_short.is_bitmap(), "span one word short of the rule");
-        for s in [&compact, &scattered, &at_rule, &one_short] {
+    fn run_rule_thresholds() {
+        // RUN_MAX pairs of adjacent ids, pairs spaced WIDE apart: exactly
+        // RUN_MAX runs of length 2 → the run container, at its cap.
+        let paired = |n: usize| -> TupleSet {
+            (0..n as u32)
+                .flat_map(|i| [i * WIDE, i * WIDE + 1])
+                .collect()
+        };
+        let s = paired(RUN_MAX);
+        assert!(s.is_runs(), "RUN_MAX runs still fit the run container");
+        assert_eq!(s.heap_bytes(), RUN_MAX * 8);
+        // one more pair exceeds RUN_MAX runs → bitmap (2·RUN_MAX + 2 ids
+        // also exceeds ARRAY_MAX, and the span is far too wide anyway).
+        let over = paired(RUN_MAX + 1);
+        assert!(over.is_bitmap(), "over the run cap promotes");
+        // the 2r ≤ n rule: unit runs never pick the run container
+        let units = strided(0, 100, WIDE);
+        assert!(units.is_array(), "isolated ids stay an array");
+        // r < w: a run squeezed into one word is a bitmap, not a run
+        let one_word: TupleSet = (0..64).collect();
+        assert!(one_word.is_bitmap(), "single-word run stays a bitmap");
+        let two_words: TupleSet = (0..65).collect();
+        assert!(two_words.is_runs(), "a 65-id run beats two words");
+        for s in [&s, &over, &units, &one_word, &two_words] {
             assert_canonical(s);
         }
     }
 
     #[test]
-    fn removing_an_outlier_collapses_array_to_bitmap() {
-        // [0..n) plus one far outlier is an array (huge span); dropping
-        // the outlier collapses the span and the bitmap takes over.
-        let mut s: TupleSet = (0..6u32).chain(std::iter::once(1_000_000)).collect();
+    fn all_six_container_conversions_round_trip() {
+        // array → runs: an insert completing a long run.
+        let mut s = set(&[0, 1000]);
         assert!(s.is_array());
+        for id in 1..100 {
+            s.insert(id);
+        }
+        assert!(s.is_runs(), "array grew a long run");
+        assert_canonical(&s);
+
+        // runs → array: removals shattering the runs into isolated ids.
+        let mut s: TupleSet = (0..40).map(|i| i * WIDE).flat_map(|s| [s, s + 1]).collect();
+        assert!(s.is_runs());
+        for i in 0..40 {
+            s.remove(i * WIDE + 1);
+        }
+        assert!(s.is_array(), "unit runs fall back to the array");
+        assert_canonical(&s);
+
+        // array → bitmap: the PR 2 promotion (cap exceeded, wide span).
+        let mut s = strided(0, ARRAY_MAX, WIDE);
+        s.insert(ARRAY_MAX as u32 * WIDE);
+        assert!(s.is_bitmap());
+        assert_canonical(&s);
+
+        // bitmap → array: the PR 2 demotion.
+        let mut s = strided(0, ARRAY_MAX + 1, WIDE);
+        assert!(s.is_bitmap());
+        s.remove(0);
+        assert!(s.is_array());
+        assert_canonical(&s);
+
+        // runs → bitmap: punching every other id out of one run.
+        let mut s: TupleSet = (0..130).collect();
+        assert!(s.is_runs());
+        for id in (1..130).step_by(2) {
+            s.remove(id);
+        }
+        assert!(s.is_bitmap(), "alternating bits are bitmap territory");
+        assert_canonical(&s);
+
+        // bitmap → runs: filling the holes back in.
+        let mut s: TupleSet = (0..130).step_by(2).collect();
+        assert!(s.is_bitmap());
+        for id in (1..130).step_by(2) {
+            s.insert(id);
+        }
+        assert!(s.is_runs(), "contiguous again → runs");
+        assert_eq!(s, (0..130).collect::<TupleSet>());
+        assert_canonical(&s);
+    }
+
+    #[test]
+    fn adjacent_runs_coalesce_on_bridging_insert() {
+        // [0..100) and [101..200) with a hole at 100.
+        let mut s: TupleSet = (0..100).chain(101..200).collect();
+        assert!(s.is_runs());
+        assert_eq!(s.heap_bytes(), 16, "two runs");
+        assert!(s.insert(100));
+        assert!(s.is_runs());
+        assert_eq!(s.heap_bytes(), 8, "bridged into one run");
+        assert_eq!(s, (0..200).collect::<TupleSet>());
+        // extending at the front edge coalesces too
+        let mut s: TupleSet = (1..100).chain(101..200).collect();
+        assert!(s.insert(100));
+        assert!(s.insert(0));
+        assert_eq!(s, (0..200).collect::<TupleSet>());
+        assert_canonical(&s);
+    }
+
+    #[test]
+    fn and_not_splits_a_run() {
+        let big: TupleSet = (0..1_000).collect();
+        let hole: TupleSet = (400..500).collect();
+        assert!(big.is_runs() && hole.is_runs());
+        let split = big.and_not(&hole);
+        assert!(split.is_runs());
+        assert_eq!(split.heap_bytes(), 16, "one run split into two");
+        assert_eq!(split.count(), 900);
+        assert_eq!(split, (0..400).chain(500..1_000).collect::<TupleSet>());
+        // removing a mid-run id splits in place
+        let mut s: TupleSet = (0..1_000).collect();
+        assert!(s.remove(500));
+        assert_eq!(s, (0..500).chain(501..1_000).collect::<TupleSet>());
+        assert_eq!(s.heap_bytes(), 16);
+        assert_canonical(&split);
+        assert_canonical(&s);
+    }
+
+    #[test]
+    fn span_rule_keeps_scattered_sets_out_of_runs() {
+        // 100 ids packed into two words: runs (one 8-byte run) beat the
+        // 16-byte bitmap and the 400-byte array.
+        let compact: TupleSet = (0..100).collect();
+        assert!(compact.is_runs());
+        assert_eq!(compact.heap_bytes(), 8);
+        // the same 100 ids scattered WIDE apart fit the array rule
+        let scattered = strided(0, 100, WIDE);
+        assert!(scattered.is_array());
+        assert_eq!(scattered.heap_bytes(), 400);
+        // stride-2 ids (no runs) in a compact span: the bitmap wins
+        let striped = strided(0, 100, 2);
+        assert!(striped.is_bitmap());
+        for s in [&compact, &scattered, &striped] {
+            assert_canonical(s);
+        }
+    }
+
+    #[test]
+    fn removing_an_outlier_recontainerises() {
+        // [0..6) plus one far outlier: two runs, 16 B, beats the 28 B
+        // array; dropping the outlier leaves one word → bitmap.
+        let mut s: TupleSet = (0..6u32).chain(std::iter::once(1_000_000)).collect();
+        assert!(s.is_runs());
         assert!(s.remove(1_000_000));
-        assert!(s.is_bitmap(), "span collapsed; bitmap is now smaller");
+        assert!(s.is_bitmap(), "span collapsed; one word is now smaller");
         assert_eq!(s, (0..6u32).collect::<TupleSet>());
         assert_canonical(&s);
     }
@@ -723,9 +1464,10 @@ mod tests {
     fn and_not_collapses_bitmap_under_the_threshold() {
         let big: TupleSet = (0..40_000).collect();
         let mask: TupleSet = (0..40_000 - 5).collect();
-        assert!(big.is_bitmap() && mask.is_bitmap());
+        assert!(big.is_runs() && mask.is_runs());
         let sparse = big.and_not(&mask);
-        assert!(sparse.is_array(), "bitmap result demoted");
+        assert!(sparse.is_runs(), "tiny contiguous residue is one run");
+        assert_eq!(sparse.heap_bytes(), 8);
         assert_eq!(
             sparse.iter().collect::<Vec<_>>(),
             (40_000 - 5..40_000).collect::<Vec<_>>()
@@ -736,19 +1478,22 @@ mod tests {
             "canonical across builds"
         );
         assert_canonical(&sparse);
-        // bitmap \ array stays canonical too
+        // a striped bitmap minus an array stays canonical too
+        let striped: TupleSet = (0..40_000).step_by(2).collect();
+        assert!(striped.is_bitmap());
         let few = strided(0, 2, WIDE);
-        let nearly = big.and_not(&few);
+        let nearly = striped.and_not(&few);
         assert!(nearly.is_bitmap());
-        assert_eq!(nearly.count(), 40_000 - 2);
+        assert_eq!(nearly.count(), 20_000 - 2);
         assert_canonical(&nearly);
     }
 
     #[test]
-    fn mixed_container_ops_in_both_argument_orders() {
-        let sparse = strided(3, 4, 40_000); // ids 3, 40003, 80003, 120003
-        let dense: TupleSet = (0..1_500).collect();
-        assert!(sparse.is_array() && dense.is_bitmap());
+    fn mixed_container_ops_in_all_argument_orders() {
+        let sparse = strided(3, 4, 40_000); // array: ids 3, 40003, 80003, 120003
+        let dense: TupleSet = (0..1_500).collect(); // runs: one run
+        let striped: TupleSet = (0..3_000).step_by(2).collect(); // bitmap
+        assert!(sparse.is_array() && dense.is_runs() && striped.is_bitmap());
 
         for (x, y) in [(&sparse, &dense), (&dense, &sparse)] {
             let and = x.and(y);
@@ -760,7 +1505,6 @@ mod tests {
             let or = x.or(y);
             assert_eq!(or.count(), 1_500 + 3);
             assert!(or.contains(120_003) && or.contains(0));
-            assert!(or.is_bitmap());
 
             let mut acc = x.clone();
             acc.and_assign(y);
@@ -772,31 +1516,55 @@ mod tests {
             assert_canonical(&or);
         }
 
+        for (x, y) in [(&striped, &dense), (&dense, &striped)] {
+            let and = x.and(y);
+            assert_eq!(and.count(), 750);
+            assert_eq!(x.and_count(y), 750);
+            assert!(x.intersects(y));
+            let or = x.or(y);
+            assert_eq!(or.count(), 1_500 + 750);
+            let mut acc = x.clone();
+            acc.and_assign(y);
+            assert_eq!(acc, and);
+            let mut acc = x.clone();
+            acc.or_assign(y);
+            assert_eq!(acc, or);
+            assert_canonical(&and);
+            assert_canonical(&or);
+        }
+
         // difference is order-sensitive; check both directions explicitly
         assert_eq!(
             sparse.and_not(&dense).iter().collect::<Vec<_>>(),
             vec![40_003, 80_003, 120_003]
         );
         assert_eq!(dense.and_not(&sparse).count(), 1_500 - 1);
+        assert_eq!(dense.and_not(&striped).count(), 750);
+        assert_eq!(striped.and_not(&dense).count(), 750);
 
         let disjoint = set(&[9_999_999]);
         assert!(!disjoint.intersects(&dense));
         assert!(!dense.intersects(&disjoint));
+        assert!(!striped.intersects(&disjoint));
         assert_eq!(dense.and_count(&disjoint), 0);
     }
 
     #[test]
     fn algebra_matches_hashset_semantics_across_container_pairs() {
-        // array/array, array/bitmap and bitmap/bitmap operand pairs all
-        // reduce to plain set semantics, and every result re-establishes
-        // the container invariant.
+        // array, run and bitmap operands in every pairing reduce to plain
+        // set semantics, and every result re-establishes the container
+        // rule.
         let shapes = [
             strided(0, 40, WIDE),                     // scattered array
-            strided(3, 700, 2),                       // compact bitmap
+            (3..1_403).collect::<TupleSet>(),         // single run
+            (0..600).chain(10_000..10_600).collect(), // two runs
             strided(1, ARRAY_MAX, WIDE),              // array at the cap
-            strided(0, 2 * ARRAY_MAX + 1, 1),         // dense bitmap
-            strided(64, 30, 64 * SPAN_FACTOR as u32), // array at the span rule
+            strided(0, 2 * ARRAY_MAX + 1, 2),         // striped bitmap
+            (0..64).collect::<TupleSet>(),            // one-word bitmap
         ];
+        assert!(shapes[0].is_array() && shapes[3].is_array());
+        assert!(shapes[1].is_runs() && shapes[2].is_runs());
+        assert!(shapes[4].is_bitmap() && shapes[5].is_bitmap());
         for a in &shapes {
             for b in &shapes {
                 let ha: HashSet<u32> = a.iter().collect();
@@ -815,6 +1583,12 @@ mod tests {
                 let mut want_diff: Vec<u32> = ha.difference(&hb).copied().collect();
                 want_diff.sort_unstable();
                 assert_eq!(a.and_not(b).iter().collect::<Vec<_>>(), want_diff);
+                let mut and_acc = a.clone();
+                and_acc.and_assign(b);
+                assert_eq!(and_acc, a.and(b), "and_assign ≡ and");
+                let mut or_acc = a.clone();
+                or_acc.or_assign(b);
+                assert_eq!(or_acc, a.or(b), "or_assign ≡ or");
                 for r in [a.and(b), a.or(b), a.and_not(b)] {
                     assert_canonical(&r);
                 }
@@ -838,7 +1612,7 @@ mod tests {
     }
 
     #[test]
-    fn memory_footprint_shrinks_for_sparse_sets() {
+    fn memory_footprint_shrinks_for_sparse_and_runny_sets() {
         let sparse = set(&[5, 900, 40_000]);
         let dense_equivalent = sparse.to_bitset();
         assert_eq!(sparse.heap_bytes(), 12);
@@ -850,6 +1624,13 @@ mod tests {
         );
         // round-trip through the dense container preserves contents
         assert_eq!(TupleSet::from_bitset(dense_equivalent), sparse);
+        // a year-range-shaped set: contiguous ids, 8 bytes total
+        let range: TupleSet = (2_000..12_000).collect();
+        assert!(range.is_runs());
+        assert_eq!(range.heap_bytes(), 8);
+        assert_eq!(range.to_bitset().heap_bytes(), (11_999 / 64 + 1) * 8);
+        assert_eq!(TupleSet::from_bitset(range.to_bitset()), range);
+        assert_eq!(range.op_cost(), 1);
     }
 
     #[test]
@@ -858,7 +1639,91 @@ mod tests {
         assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, WIDE * 3, WIDE * 5]);
         assert!(s.is_array());
         let big = TupleSet::from_unsorted((0..3_000).rev().collect());
-        assert!(big.is_bitmap());
+        assert!(big.is_runs());
         assert_eq!(big.count(), 3_000);
+    }
+
+    #[test]
+    fn several_runs_in_one_word_accumulate_against_bitmaps() {
+        // Two runs inside the same 64-bit word: masked-word ops must OR
+        // their contributions, not overwrite them.
+        let runs: TupleSet = (0..20).chain(30..50).chain(100..300).collect();
+        assert!(runs.is_runs());
+        let striped: TupleSet = (0..300).step_by(2).collect();
+        assert!(striped.is_bitmap());
+        let want: Vec<u32> = (0..20)
+            .chain(30..50)
+            .chain(100..300)
+            .filter(|id| id % 2 == 0)
+            .collect();
+        for (a, b) in [(&runs, &striped), (&striped, &runs)] {
+            assert_eq!(a.and(b).iter().collect::<Vec<_>>(), want);
+            assert_eq!(a.and_count(b), want.len());
+            assert_eq!(a.and(b).count(), a.and_count(b));
+        }
+        assert_eq!(runs.or(&striped).count(), 240 + 150 - want.len());
+        assert_eq!(runs.and_not(&striped).count(), 240 - want.len());
+        assert_eq!(striped.and_not(&runs).count(), 150 - want.len());
+    }
+
+    #[test]
+    fn for_each_range_covers_exactly_the_iterated_ids() {
+        let shapes = [
+            TupleSet::new(),
+            set(&[7]),
+            strided(0, 40, WIDE),                     // array
+            (0..600).chain(10_000..10_600).collect(), // runs
+            strided(0, 2 * ARRAY_MAX + 1, 2),         // striped bitmap
+            (0..64).collect(),                        // full-word bitmap
+            (30..70).step_by(3).chain(100..170).collect(),
+        ];
+        for s in &shapes {
+            let mut ids: Vec<u32> = Vec::new();
+            let mut prev_end = 0u64;
+            s.for_each_range(|start, len| {
+                assert!(len >= 1);
+                assert!(start as u64 >= prev_end, "ranges ascending + disjoint");
+                prev_end = start as u64 + len as u64;
+                ids.extend(start..start + (len - 1) + 1);
+            });
+            assert_eq!(ids, s.iter().collect::<Vec<_>>(), "{}", s.container());
+        }
+    }
+
+    #[test]
+    fn runs_ending_at_the_id_space_ceiling_convert_without_overflow() {
+        // A run whose exclusive end is 2^32: converting it out of the
+        // run container must widen before computing the end.
+        let mut s: TupleSet = (0..10u32).chain([u32::MAX - 1, u32::MAX]).collect();
+        assert!(s.is_runs());
+        assert!(s.contains(u32::MAX));
+        // shatter the low run so the rule re-picks the array
+        for id in (1..10).step_by(2) {
+            assert!(s.remove(id));
+        }
+        assert!(s.is_array(), "scattered survivors fall back to the array");
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            (0..10u32)
+                .step_by(2)
+                .chain([u32::MAX - 1, u32::MAX])
+                .collect::<Vec<_>>()
+        );
+        assert_canonical(&s);
+    }
+
+    #[test]
+    fn run_iteration_and_probes_cross_word_boundaries() {
+        let s: TupleSet = (60..70).chain(200..266).collect();
+        assert!(s.is_runs());
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            (60..70).chain(200..266).collect::<Vec<_>>()
+        );
+        assert!(s.contains(60) && s.contains(69) && s.contains(265));
+        assert!(!s.contains(59) && !s.contains(70) && !s.contains(266));
+        assert_eq!(s.count(), 76);
+        // bitmap round trip hits the word-mask edges
+        assert_eq!(TupleSet::from_bitset(s.to_bitset()), s);
     }
 }

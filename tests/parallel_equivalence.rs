@@ -79,6 +79,40 @@ fn peps_top_k_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn peps_round_expansion_byte_identical_across_worker_counts() {
+    // PR 4: the PEPS rounds themselves shard their seed expansions
+    // across the executor's Parallelism workers. The dedup set is
+    // claimed sequentially before the fan-out and per-tuple scores merge
+    // as maxima, so every worker count must produce byte-identical
+    // rankings *and* byte-identical ORDER lists.
+    let fx = fixture();
+    let atoms = rich_atoms();
+    let exec = fx.executor();
+    let pairs = PairwiseCache::build_with(&atoms, &exec, Parallelism::Sequential).unwrap();
+    for variant in [PepsVariant::Complete, PepsVariant::Approximate] {
+        exec.set_parallelism(Parallelism::Sequential);
+        let reference = Peps::new(&atoms, &exec, &pairs, variant);
+        let want_top = reference.top_k(25).unwrap();
+        let want_order = reference.ordered_combinations().unwrap();
+        for threads in [1usize, 2, 8] {
+            exec.set_parallelism(Parallelism::threads(threads));
+            let peps = Peps::new(&atoms, &exec, &pairs, variant);
+            assert_eq!(
+                peps.top_k(25).unwrap(),
+                want_top,
+                "top_k diverged at {threads} expansion workers ({variant:?})"
+            );
+            assert_eq!(
+                peps.ordered_combinations().unwrap(),
+                want_order,
+                "ordered_combinations diverged at {threads} expansion workers ({variant:?})"
+            );
+        }
+    }
+    exec.set_parallelism(Parallelism::Sequential);
+}
+
+#[test]
 fn concurrent_sessions_sharing_one_profile_cache_rank_identically() {
     let fx = fixture();
     let atoms = rich_atoms();

@@ -76,15 +76,30 @@ fn eval_adaptive(expr: &Expr, exec: &Executor<'_>) -> TupleSet {
         Expr::Or(a, b) => eval_adaptive(a, exec).or(&eval_adaptive(b, exec)),
         Expr::AndNot(a, b) => eval_adaptive(a, exec).and_not(&eval_adaptive(b, exec)),
     };
-    // canonical container: rebuilding from the id list reproduces the
-    // representation exactly (array iff the contents pick the array)
+    assert_canonical(&out);
+    out
+}
+
+/// Canonical-container invariant: rebuilding from the id list reproduces
+/// the representation exactly (the container is a pure function of the
+/// contents), and each container respects its cost cap.
+fn assert_canonical(out: &TupleSet) {
     let rebuilt: TupleSet = out.iter().collect();
-    assert_eq!(out, rebuilt, "non-canonical container");
-    assert_eq!(out.is_array(), rebuilt.is_array());
+    assert_eq!(out, &rebuilt, "non-canonical container");
+    assert_eq!(out.container(), rebuilt.container());
     if out.is_array() {
         assert!(out.count() <= ARRAY_MAX, "array container over the cap");
     }
-    out
+    if out.is_runs() {
+        assert!(
+            out.heap_bytes() / 8 <= RUN_MAX,
+            "run container over the cap"
+        );
+        assert!(
+            2 * (out.heap_bytes() / 8) <= out.count(),
+            "run container holding mostly unit runs"
+        );
+    }
 }
 
 /// Evaluates the tree over the pure-bitmap reference algebra.
@@ -185,6 +200,84 @@ proptest! {
             or_acc.or_assign(y);
             prop_assert_eq!(&or_acc, &x.or(y), "or_assign ≡ or");
         }
+    }
+}
+
+/// A random id set shaped to exercise all three containers and their
+/// boundaries: a union of a few contiguous ranges (run territory) plus
+/// scattered ids (array/bitmap territory), so op results land on every
+/// side of the promotion rules.
+fn shaped_ids() -> impl Strategy<Value = Vec<u32>> {
+    (
+        prop::collection::vec((0u32..50_000, 1u32..2_000), 0..6),
+        prop::collection::vec(0u32..200_000, 0..40),
+    )
+        .prop_map(|(ranges, scatter)| {
+            let mut ids: Vec<u32> = scatter;
+            for (s, l) in ranges {
+                ids.extend(s..s.saturating_add(l));
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Run-container boundary property: on synthetic range-plus-scatter
+    /// sets, every op agrees with plain `HashSet<u32>` semantics in both
+    /// argument orders, every result keeps a canonical container, and
+    /// run-edge mutations (inserts that bridge runs, removes that split
+    /// them) match reference mutations exactly.
+    #[test]
+    fn prop_run_boundary_algebra_agrees_with_hashset(a in shaped_ids(), b in shaped_ids()) {
+        let ta: TupleSet = a.iter().copied().collect();
+        let tb: TupleSet = b.iter().copied().collect();
+        let ha: HashSet<u32> = a.iter().copied().collect();
+        let hb: HashSet<u32> = b.iter().copied().collect();
+        assert_canonical(&ta);
+        assert_canonical(&tb);
+
+        for ((x, y), (p, q)) in [((&ta, &tb), (&ha, &hb)), ((&tb, &ta), (&hb, &ha))] {
+            let mut want_and: Vec<u32> = p.intersection(q).copied().collect();
+            want_and.sort_unstable();
+            prop_assert_eq!(&x.and(y).iter().collect::<Vec<u32>>(), &want_and);
+            prop_assert_eq!(x.and_count(y), want_and.len());
+            prop_assert_eq!(x.intersects(y), !want_and.is_empty());
+            let mut want_or: Vec<u32> = p.union(q).copied().collect();
+            want_or.sort_unstable();
+            prop_assert_eq!(x.or(y).iter().collect::<Vec<u32>>(), want_or);
+            let mut want_diff: Vec<u32> = p.difference(q).copied().collect();
+            want_diff.sort_unstable();
+            prop_assert_eq!(x.and_not(y).iter().collect::<Vec<u32>>(), want_diff);
+            let mut and_acc = x.clone();
+            and_acc.and_assign(y);
+            prop_assert_eq!(&and_acc, &x.and(y));
+            let mut or_acc = x.clone();
+            or_acc.or_assign(y);
+            prop_assert_eq!(&or_acc, &x.or(y));
+            for r in [x.and(y), x.or(y), x.and_not(y)] {
+                assert_canonical(&r);
+            }
+        }
+
+        // Mutations at run edges: split each run at its midpoint, then
+        // re-bridge it; the set must round-trip and stay canonical.
+        let mut mutated = ta.clone();
+        let mut reference = ha.clone();
+        let probes: Vec<u32> = a.iter().copied().take(8).collect();
+        for id in &probes {
+            prop_assert_eq!(mutated.remove(*id), reference.remove(id));
+            prop_assert_eq!(mutated.contains(*id), false);
+            assert_canonical(&mutated);
+        }
+        for id in &probes {
+            prop_assert_eq!(mutated.insert(*id), reference.insert(*id));
+            assert_canonical(&mutated);
+        }
+        prop_assert_eq!(&mutated, &ta, "remove/insert round trip");
     }
 }
 
