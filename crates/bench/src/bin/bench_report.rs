@@ -30,7 +30,12 @@
 //!   profile query;
 //! * `containers` — PR 4: how the rich profile's tuple sets distribute
 //!   over the three adaptive containers (array / runs / bitmap), with
-//!   per-container byte totals against the pure-bitmap footprint.
+//!   per-container byte totals against the pure-bitmap footprint;
+//! * `live_ingest` — PR 6: warming on a 95 % base corpus then ingesting
+//!   the remaining 5 % as an append-only delta
+//!   (`ProfileCache::ingest_delta`) versus a cold full re-warm over the
+//!   grown corpus. Non-headline: the rows carry no `name` field, so the
+//!   regression guard ignores them.
 //!
 //! The **headline rows** (`pairwise_build`, `peps_top_k` — including the
 //! PR 4 `sparse_k10` row over a sparse/range-heavy synthetic profile,
@@ -126,6 +131,16 @@ struct MultiSessionRow {
     warm_build_ns: u128,
 }
 
+/// One live-ingest row: appending a delta into a warmed snapshot versus
+/// a cold full re-warm over the grown corpus.
+struct LiveIngestRow {
+    papers: usize,
+    delta_rows: usize,
+    changed_predicates: usize,
+    ingest_ns: u128,
+    rewarm_ns: u128,
+}
+
 fn measure<R>(f: impl FnMut() -> R) -> u128 {
     median_time(5, Duration::from_millis(120), f).as_nanos()
 }
@@ -218,6 +233,7 @@ fn main() {
     let mut parallel: Vec<ParallelRow> = Vec::new();
     let mut containers: Vec<ContainerRow> = Vec::new();
     let mut multi: Vec<MultiSessionRow> = Vec::new();
+    let mut live: Vec<LiveIngestRow> = Vec::new();
     let mut extra = String::new();
 
     for &n in &sizes {
@@ -373,6 +389,29 @@ fn main() {
             warm_build_ns,
         });
 
+        // PR 6: live ingest — warm once on a 95 % base corpus, then
+        // append the remaining 5 % as an append-only delta. The
+        // incremental path re-scores only the predicates the delta
+        // touches; the alternative is a cold full re-warm.
+        let split = hypre_bench::ingest::split_corpus(&fx.dataset, 0.95);
+        let predicates: Vec<&relstore::Predicate> = atoms.iter().map(|a| &a.predicate).collect();
+        let base_cache = ProfileCache::warm(&split.base, BaseQuery::dblp(), predicates.clone())
+            .expect("base warm-up succeeds");
+        let (_, report) = base_cache
+            .ingest_delta(&split.full)
+            .expect("append-only delta ingests");
+        live.push(LiveIngestRow {
+            papers: n,
+            delta_rows: split.delta_papers + split.delta_links,
+            changed_predicates: report.changed.len(),
+            ingest_ns: measure(|| base_cache.ingest_delta(&split.full).unwrap().1.new_tuples),
+            rewarm_ns: measure(|| {
+                ProfileCache::warm(&split.full, BaseQuery::dblp(), predicates.clone())
+                    .unwrap()
+                    .len()
+            }),
+        });
+
         // Operand picks: densest pair (bitmap containers) and sparsest
         // non-empty pair (array containers).
         let counts: Vec<u64> = atoms
@@ -511,6 +550,20 @@ fn main() {
             if i + 1 == multi.len() { "" } else { "," },
         );
     }
+    json.push_str("  ],\n  \"live_ingest\": [\n");
+    for (i, l) in live.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"papers\":{},\"delta_rows\":{},\"changed_predicates\":{},\"ingest_ns\":{},\"rewarm_ns\":{},\"speedup\":{:.2}}}{}",
+            l.papers,
+            l.delta_rows,
+            l.changed_predicates,
+            l.ingest_ns,
+            l.rewarm_ns,
+            l.rewarm_ns as f64 / l.ingest_ns.max(1) as f64,
+            if i + 1 == live.len() { "" } else { "," },
+        );
+    }
     json.push_str("  ],\n  \"memory\": [\n");
     for (i, m) in mem.iter().enumerate() {
         let _ = writeln!(
@@ -564,6 +617,18 @@ fn main() {
             m.shared_ns,
             m.cold_ns as f64 / m.shared_ns.max(1) as f64,
             m.warm_build_ns,
+        );
+    }
+    for l in &live {
+        println!(
+            "{:>18} delta={:<6} n={:<6} changed={:<4} ingest {:>12} ns  full re-warm {:>12} ns  ({:.1}x)",
+            "live_ingest",
+            l.delta_rows,
+            l.papers,
+            l.changed_predicates,
+            l.ingest_ns,
+            l.rewarm_ns,
+            l.rewarm_ns as f64 / l.ingest_ns.max(1) as f64,
         );
     }
     for m in &mem {

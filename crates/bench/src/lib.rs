@@ -17,7 +17,10 @@
 //! * [`timing`] — wall-clock helpers for the `bench_report` binary;
 //! * [`serving`] — the concurrent multi-session harness (cold executors
 //!   vs one shared `ProfileCache` snapshot) shared by `bench_report`
-//!   and the `parallel` bench.
+//!   and the `parallel` bench;
+//! * [`ingest`] — append-only corpus splits (base + delta) for the
+//!   live-ingest equivalence tests and the `ingest_delta` vs
+//!   `full_rewarm` bench rows.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +29,7 @@ pub mod baseline;
 pub mod bitset_baseline;
 pub mod experiments;
 pub mod fixture;
+pub mod ingest;
 pub mod report;
 pub mod serving;
 pub mod ta_glue;

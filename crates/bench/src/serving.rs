@@ -57,7 +57,8 @@ pub fn serve_shared_concurrent(
             .map(|_| {
                 let cache = Arc::clone(cache);
                 scope.spawn(move || {
-                    let session = Executor::with_cache(db, cache);
+                    let session =
+                        Executor::with_cache(db, cache).expect("cache matches the corpus");
                     let pairs =
                         PairwiseCache::build(atoms, &session).expect("shared pairwise build");
                     Peps::new(atoms, &session, &pairs, PepsVariant::Complete)

@@ -54,11 +54,9 @@ impl Combo {
 
     fn with_or_into(&self, key: &AttrKey, idx: usize) -> Self {
         let mut c = self.clone();
-        let group = c
-            .groups
-            .iter_mut()
-            .find(|(k, _)| k == key)
-            .expect("caller checked the attribute is present");
+        let Some(group) = c.groups.iter_mut().find(|(k, _)| k == key) else {
+            unreachable!("caller checked the attribute is present");
+        };
         group.1.push(idx);
         c
     }
@@ -123,7 +121,9 @@ pub fn partially_combine_all(
             }
             attributes_used.push(key);
         } else {
-            let last = ran.last().expect("ran is non-empty");
+            let Some(last) = ran.last() else {
+                unreachable!("ran is non-empty");
+            };
             if !last.is_multi_group() {
                 // Rule 2: OR into the last combination only.
                 if last.contains_attr(&key) {

@@ -282,7 +282,11 @@ impl<'a, 'db> Peps<'a, 'db> {
                     })
                     .collect();
                 for handle in handles {
-                    sink.absorb(handle.join().expect("PEPS expansion worker panicked"));
+                    sink.absorb(
+                        handle
+                            .join()
+                            .unwrap_or_else(|e| std::panic::resume_unwind(e)),
+                    );
                 }
             });
         }
@@ -401,7 +405,9 @@ impl Expander<'_> {
         debug_assert!(path.windows(2).all(|w| w[0] < w[1]), "ascending chain");
         debug_assert_eq!(set.count() as u64, count);
         sink.emit(path, intensity, count, &set);
-        let last = *path.last().expect("combinations are non-empty");
+        let Some(&last) = path.last() else {
+            unreachable!("combinations are non-empty");
+        };
         // `pairs_from(last)` only yields applicable partners above
         // `last`, so none can repeat a member.
         let live: Vec<(usize, u64)> = self
@@ -419,16 +425,29 @@ impl Expander<'_> {
             let child = if child_count == count {
                 // the extension did not shrink the set: share it
                 if last_child {
-                    parent.take().expect("parent taken only once")
+                    parent
+                        .take()
+                        .unwrap_or_else(|| unreachable!("parent taken only once"))
                 } else {
-                    Arc::clone(parent.as_ref().expect("parent present until last child"))
+                    Arc::clone(
+                        parent
+                            .as_ref()
+                            .unwrap_or_else(|| unreachable!("parent present until last child")),
+                    )
                 }
             } else if last_child {
-                let mut owned = parent.take().expect("parent taken only once");
+                let mut owned = parent
+                    .take()
+                    .unwrap_or_else(|| unreachable!("parent taken only once"));
                 Arc::make_mut(&mut owned).and_assign(&sets[m]);
                 owned
             } else {
-                Arc::new(parent.as_ref().expect("parent present").and(&sets[m]))
+                Arc::new(
+                    parent
+                        .as_ref()
+                        .unwrap_or_else(|| unreachable!("parent present"))
+                        .and(&sets[m]),
+                )
             };
             path.push(m);
             self.expand(

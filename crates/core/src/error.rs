@@ -24,6 +24,30 @@ pub enum HypreError {
     Graph(GraphError),
     /// Top-K was asked for `k = 0`.
     ZeroK,
+    /// A `ProfileCache` snapshot no longer matches the corpus it was
+    /// warmed on: the named table's row count moved (or the table itself
+    /// appeared/disappeared). Re-warm, or ingest the delta with
+    /// [`ProfileCache::ingest_delta`](crate::exec::ProfileCache::ingest_delta).
+    StaleSnapshot {
+        /// The table whose shape diverged.
+        table: String,
+        /// Row count recorded at warm time (`None` = table was absent).
+        warmed: Option<usize>,
+        /// Row count observed now (`None` = table is absent).
+        current: Option<usize>,
+    },
+    /// The dense `u32` tuple-id space is exhausted — the corpus grew past
+    /// `u32::MAX` distinct driver keys. Ingest degrades into this error
+    /// instead of aborting the process.
+    IdSpaceExhausted,
+    /// A warm-up or delta-ingest attempt failed even after the bounded
+    /// retry budget; carries the attempt count and the last error.
+    WarmUpFailed {
+        /// Total attempts made (initial try + retries).
+        attempts: usize,
+        /// The error from the final attempt.
+        last: Box<HypreError>,
+    },
 }
 
 impl fmt::Display for HypreError {
@@ -45,6 +69,32 @@ impl fmt::Display for HypreError {
             HypreError::Rel(e) => write!(f, "relational engine: {e}"),
             HypreError::Graph(e) => write!(f, "graph engine: {e}"),
             HypreError::ZeroK => write!(f, "top-k requires k >= 1"),
+            HypreError::StaleSnapshot {
+                table,
+                warmed,
+                current,
+            } => {
+                let show = |n: &Option<usize>| match n {
+                    Some(n) => n.to_string(),
+                    None => "absent".to_string(),
+                };
+                write!(
+                    f,
+                    "profile snapshot warmed on a different corpus: table '{table}' \
+                     had {} rows at warm time but {} now",
+                    show(warmed),
+                    show(current)
+                )
+            }
+            HypreError::IdSpaceExhausted => {
+                write!(
+                    f,
+                    "tuple id space exhausted: more than u32::MAX tuple identities"
+                )
+            }
+            HypreError::WarmUpFailed { attempts, last } => {
+                write!(f, "warm-up failed after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -54,6 +104,7 @@ impl std::error::Error for HypreError {
         match self {
             HypreError::Rel(e) => Some(e),
             HypreError::Graph(e) => Some(e),
+            HypreError::WarmUpFailed { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -87,5 +138,32 @@ mod tests {
         assert!(HypreError::IntensityOutOfRange(1.5)
             .to_string()
             .contains("1.5"));
+    }
+
+    #[test]
+    fn live_corpus_variants_render_their_detail() {
+        let e = HypreError::StaleSnapshot {
+            table: "dblp".into(),
+            warmed: Some(100),
+            current: Some(105),
+        };
+        assert!(e.to_string().contains("different corpus"));
+        assert!(e.to_string().contains("dblp"));
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("105"));
+        let gone = HypreError::StaleSnapshot {
+            table: "dblp".into(),
+            warmed: Some(100),
+            current: None,
+        };
+        assert!(gone.to_string().contains("absent"));
+        assert!(HypreError::IdSpaceExhausted.to_string().contains("u32"));
+        let wrapped = HypreError::WarmUpFailed {
+            attempts: 3,
+            last: Box::new(HypreError::ZeroK),
+        };
+        assert!(wrapped.to_string().contains("3 attempt"));
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
     }
 }

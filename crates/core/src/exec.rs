@@ -89,15 +89,54 @@
 //!
 //! PEPS stays sequential *per session*; sessions run concurrently (see
 //! `examples/multi_user_serving.rs` and the multi-session bench rows).
+//!
+//! ## Epoch lifecycle: live corpora without stop-the-world
+//!
+//! A frozen snapshot over a *live* corpus needs versioning, not a
+//! restart. [`EpochCache`] holds an atomically-swappable **current
+//! epoch** (an epoch number plus an `Arc<ProfileCache>`):
+//!
+//! 1. **Open** — a session ([`EpochSession::open`]) *pins* the current
+//!    epoch; the pin is a counted guard ([`EpochPin`]) that keeps the
+//!    epoch's snapshot alive however many publishes happen later.
+//! 2. **Serve** — the session opens executors over its pinned snapshot
+//!    with [`Executor::with_cache_pinned`], which tolerates append-only
+//!    growth of the underlying tables: cached predicates answer exactly
+//!    as warmed while the corpus grows underneath.
+//! 3. **Ingest** — [`EpochCache::ingest`] absorbs an append-only delta
+//!    off to the side ([`ProfileCache::ingest_delta`]: delta rows →
+//!    candidate driver rows → per-predicate incremental re-evaluation →
+//!    copy-on-write container growth) and *publishes* the result as a
+//!    new epoch. Nothing blocks: old-epoch sessions keep answering
+//!    throughout.
+//! 4. **Drain** — at its next `top_k` boundary a session calls
+//!    [`EpochSession::drain`], atomically re-pinning to the newest
+//!    epoch. [`PairwiseCache::refresh_for`] then re-scores only the
+//!    pairs whose atoms gained tuples ([`DeltaReport::changed_flags`]).
+//! 5. **Evict** — a retired epoch is dropped once its pin count reaches
+//!    zero (lazily, on the next `EpochCache` access).
+//!
+//! **Failure atomicity:** warm-up and ingest build a complete new
+//! snapshot *before* anything is published — a mid-build failure (SQL
+//! error, injected fault, stale fingerprint) surfaces as a typed
+//! [`HypreError`] and leaves the current epoch untouched and serving.
+//! There is no partially-warmed epoch by construction; the bounded-retry
+//! wrappers ([`ProfileCache::warm_with_retry`], [`EpochCache::ingest`])
+//! retry whole attempts, never resume half-built state. A corpus change
+//! appends cannot explain (a table shrank or vanished) is
+//! [`HypreError::StaleSnapshot`] — never a panic. The fault-injection
+//! harness (`relstore::FailSchedule`) and `tests/live_corpus.rs` pin
+//! this contract at every injection point.
 
 use std::cell::{Cell, Ref, RefCell};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use relstore::{ColRef, Database, Predicate, SelectQuery, Value};
+use relstore::{ColRef, Database, Predicate, RowId, SelectQuery, Value};
 
 use crate::combine::{f_and, PrefAtom};
-use crate::error::Result;
+use crate::error::{HypreError, Result};
 use crate::tupleset::TupleSet;
 
 /// The base select query every preference combination enhances — the
@@ -227,7 +266,10 @@ impl TupleInterner {
     pub fn value(&self, id: u32) -> &Value {
         let base_len = self.base_len();
         if (id as usize) < base_len {
-            &self.base.as_ref().expect("base ids imply a base").values[id as usize]
+            let Some(base) = self.base.as_ref() else {
+                unreachable!("base ids imply a base layer");
+            };
+            &base.values[id as usize]
         } else {
             &self.values[id as usize - base_len]
         }
@@ -235,14 +277,19 @@ impl TupleInterner {
 
     /// Interns a value, cloning it only on first sight. A layered
     /// interner never re-interns a value its base already holds.
-    fn intern(&mut self, value: &Value) -> u32 {
+    ///
+    /// # Errors
+    /// [`HypreError::IdSpaceExhausted`] once the dense `u32` id space is
+    /// full — ingest at scale degrades into an error, not a process
+    /// abort.
+    fn intern(&mut self, value: &Value) -> Result<u32> {
         if let Some(id) = self.id(value) {
-            return id;
+            return Ok(id);
         }
-        let id = u32::try_from(self.len()).expect("more than u32::MAX tuple identities");
+        let id = next_id(self.len())?;
         self.ids.insert(value.clone(), id);
         self.values.push(value.clone());
-        id
+        Ok(id)
     }
 
     /// A flat, self-contained copy (base and overlay merged) — what a
@@ -263,6 +310,12 @@ impl TupleInterner {
             }
         }
     }
+}
+
+/// The next dense tuple id for an id space of `len` identities, or
+/// [`HypreError::IdSpaceExhausted`] when the `u32` space is full.
+fn next_id(len: usize) -> Result<u32> {
+    u32::try_from(len).map_err(|_| HypreError::IdSpaceExhausted)
 }
 
 /// A shared, immutable tuple set: an adaptive compressed set
@@ -316,7 +369,7 @@ pub struct Executor<'db> {
     db: &'db Database,
     base: BaseQuery,
     interner: RefCell<TupleInterner>,
-    atom_cache: RefCell<HashMap<String, SharedTupleSet>>,
+    atom_cache: RefCell<HashMap<String, (Predicate, SharedTupleSet)>>,
     shared: Option<Arc<ProfileCache>>,
     parallelism: Cell<Parallelism>,
     queries_run: Cell<usize>,
@@ -350,20 +403,59 @@ impl<'db> Executor<'db> {
     /// warmed on, or cached sets would silently disagree with fresh
     /// queries.
     ///
-    /// # Panics
-    /// Panics when `db`'s base-table row counts do not match the counts
-    /// recorded when the snapshot was taken — the cheap fingerprint that
-    /// turns a mixed-corpora session (stale cached sets beside fresh SQL
-    /// against a different corpus) into an immediate error instead of a
-    /// silently wrong ranking.
-    pub fn with_cache(db: &'db Database, cache: Arc<ProfileCache>) -> Self {
+    /// # Errors
+    /// [`HypreError::StaleSnapshot`] when `db`'s base-table row counts do
+    /// not match the counts recorded when the snapshot was taken — the
+    /// cheap fingerprint that turns a mixed-corpora session (stale cached
+    /// sets beside fresh SQL against a different corpus) into an
+    /// immediate typed error instead of a silently wrong ranking.
+    pub fn with_cache(db: &'db Database, cache: Arc<ProfileCache>) -> Result<Self> {
+        Executor::open_session(db, cache, false)
+    }
+
+    /// Like [`Executor::with_cache`], but tolerant of *append-only
+    /// growth*: the session opens as long as every base-query table is at
+    /// least as long as it was at warm time. This is how sessions pinned
+    /// to a retired [`EpochCache`] epoch keep answering while the live
+    /// corpus grows underneath them — cached predicates resolve from the
+    /// pinned snapshot exactly as warmed; only predicates the snapshot
+    /// never materialised fall through to SQL and would observe the
+    /// grown corpus.
+    ///
+    /// # Errors
+    /// [`HypreError::StaleSnapshot`] when a table shrank, disappeared or
+    /// appeared — changes an append-only corpus cannot produce.
+    pub fn with_cache_pinned(db: &'db Database, cache: Arc<ProfileCache>) -> Result<Self> {
+        Executor::open_session(db, cache, true)
+    }
+
+    fn open_session(
+        db: &'db Database,
+        cache: Arc<ProfileCache>,
+        allow_growth: bool,
+    ) -> Result<Self> {
         let current = corpus_fingerprint(db, &cache.base);
-        assert_eq!(
-            current, cache.fingerprint,
-            "ProfileCache was warmed on a different corpus than this session's \
-             Database (base-table row counts changed) — re-warm the cache"
-        );
-        Executor {
+        for ((table, warmed), (_, now)) in cache.fingerprint.iter().zip(&current) {
+            let ok = match (warmed, now) {
+                (None, None) => true,
+                (Some(w), Some(c)) => {
+                    if allow_growth {
+                        c >= w
+                    } else {
+                        c == w
+                    }
+                }
+                _ => false,
+            };
+            if !ok {
+                return Err(HypreError::StaleSnapshot {
+                    table: table.clone(),
+                    warmed: *warmed,
+                    current: *now,
+                });
+            }
+        }
+        Ok(Executor {
             db,
             base: cache.base.clone(),
             interner: RefCell::new(TupleInterner::layered(Arc::clone(&cache.interner))),
@@ -373,7 +465,7 @@ impl<'db> Executor<'db> {
             queries_run: Cell::new(0),
             cache_hits: Cell::new(0),
             shared_hits: Cell::new(0),
-        }
+        })
     }
 
     /// Sets the parallelism knob (builder form).
@@ -456,13 +548,15 @@ impl<'db> Executor<'db> {
                 return Ok(set);
             }
         }
-        if let Some(set) = self.atom_cache.borrow().get(&key) {
+        if let Some((_, set)) = self.atom_cache.borrow().get(&key) {
             self.cache_hits.set(self.cache_hits.get() + 1);
             return Ok(Arc::clone(set));
         }
         self.queries_run.set(self.queries_run.get() + 1);
         let set: SharedTupleSet = Arc::new(self.run_and_intern(unit)?);
-        self.atom_cache.borrow_mut().insert(key, Arc::clone(&set));
+        self.atom_cache
+            .borrow_mut()
+            .insert(key, (unit.clone(), Arc::clone(&set)));
         Ok(set)
     }
 
@@ -479,10 +573,12 @@ impl<'db> Executor<'db> {
             if let Some(key_idx) = driver.schema().index_of(&self.base.key.column) {
                 let mut interner = self.interner.borrow_mut();
                 for rid in q.distinct_row_set(self.db)? {
-                    let row = driver.row(rid).expect("row ids from the scan are valid");
+                    let Some(row) = driver.row(rid) else {
+                        unreachable!("row ids from the scan are valid");
+                    };
                     let v = &row[key_idx];
                     if !v.is_null() {
-                        ids.push(interner.intern(v));
+                        ids.push(interner.intern(v)?);
                     }
                 }
                 return Ok(TupleSet::from_unsorted(ids));
@@ -492,7 +588,7 @@ impl<'db> Executor<'db> {
         // value-level deduplication.
         let mut interner = self.interner.borrow_mut();
         for v in q.distinct_values(self.db, &self.base.key)? {
-            ids.push(interner.intern(&v));
+            ids.push(interner.intern(&v)?);
         }
         Ok(TupleSet::from_unsorted(ids))
     }
@@ -631,6 +727,10 @@ pub struct ProfileCache {
     base: BaseQuery,
     interner: Arc<TupleInterner>,
     sets: HashMap<String, SharedTupleSet>,
+    /// The predicate AST behind every materialised set (same keys as
+    /// `sets`) — what delta ingest re-evaluates over changed rows
+    /// without re-parsing canonical text.
+    preds: HashMap<String, Predicate>,
     /// Row counts of the base query's tables at snapshot time — the
     /// cheap corpus identity [`Executor::with_cache`] checks so a
     /// snapshot is never silently served against a different database.
@@ -659,18 +759,20 @@ impl ProfileCache {
             Some(base) if interner.values.is_empty() => Arc::clone(base),
             _ => Arc::new(interner.flattened()),
         };
-        let mut sets = exec
+        let (mut sets, mut preds) = exec
             .shared
             .as_ref()
-            .map(|c| c.sets.clone())
+            .map(|c| (c.sets.clone(), c.preds.clone()))
             .unwrap_or_default();
-        for (key, set) in exec.atom_cache.borrow().iter() {
+        for (key, (pred, set)) in exec.atom_cache.borrow().iter() {
             sets.insert(key.clone(), Arc::clone(set));
+            preds.insert(key.clone(), pred.clone());
         }
         ProfileCache {
             base: exec.base.clone(),
             interner,
             sets,
+            preds,
             fingerprint: corpus_fingerprint(exec.db, &exec.base),
         }
     }
@@ -718,6 +820,524 @@ impl ProfileCache {
     /// Size of the frozen tuple-id space.
     pub fn tuple_universe(&self) -> usize {
         self.interner.len()
+    }
+
+    /// The predicates behind the materialised sets, in canonical-key
+    /// order (deterministic).
+    pub fn predicates(&self) -> Vec<&Predicate> {
+        let mut keys: Vec<&String> = self.preds.keys().collect();
+        keys.sort();
+        keys.into_iter().filter_map(|k| self.preds.get(k)).collect()
+    }
+
+    /// [`ProfileCache::warm`] with a bounded retry budget: up to
+    /// `retries` extra attempts after the first failure. Each attempt
+    /// builds a completely fresh snapshot, so a mid-warm failure (e.g. an
+    /// injected driver fault) never leaks partially-warmed state —
+    /// either a fully-warmed cache is returned, or nothing is.
+    ///
+    /// # Errors
+    /// [`HypreError::WarmUpFailed`] wrapping the final attempt's error
+    /// once the budget is exhausted.
+    pub fn warm_with_retry<'p>(
+        db: &Database,
+        base: BaseQuery,
+        predicates: impl IntoIterator<Item = &'p Predicate>,
+        retries: usize,
+    ) -> Result<Self> {
+        let preds: Vec<&Predicate> = predicates.into_iter().collect();
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            match ProfileCache::warm(db, base.clone(), preds.iter().copied()) {
+                Ok(cache) => return Ok(cache),
+                Err(e) if attempts > retries => {
+                    return Err(HypreError::WarmUpFailed {
+                        attempts,
+                        last: Box::new(e),
+                    });
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Absorbs an *append-only* corpus delta into a new snapshot without
+    /// re-deriving any predicate from SQL scratch: for every base-query
+    /// table that grew since warm time, the delta rows are mapped to the
+    /// driver rows they could affect (new driver rows directly; new
+    /// joined rows through their join key against the warmed driver
+    /// prefix), each predicate is re-evaluated over just those candidate
+    /// rows ([`relstore::SelectQuery::distinct_row_set_among`]), fresh
+    /// matches intern *above* the frozen id space, and the matching run /
+    /// array / bitmap containers grow copy-on-write — untouched sets are
+    /// shared structurally with the old snapshot. Because the tables are
+    /// append-only, predicate matches are monotone (a driver row can only
+    /// *gain* witnesses), so insert-only maintenance is exact.
+    ///
+    /// `self` is never mutated: on any error the old snapshot remains
+    /// fully intact and serving — the atomicity contract the epoch layer
+    /// builds on. If no table grew, the snapshot is returned unchanged
+    /// (a cheap no-op) with an empty report.
+    ///
+    /// Base queries whose key column lives off the driving table (or
+    /// with joins not anchored on the driver) fall back to a full
+    /// re-warm against `db` — still atomic, just not incremental.
+    ///
+    /// # Errors
+    /// [`HypreError::StaleSnapshot`] when the corpus changed in a way
+    /// appends cannot produce (a table shrank, appeared or disappeared);
+    /// any error from the underlying queries (e.g. injected faults).
+    pub fn ingest_delta(&self, db: &Database) -> Result<(ProfileCache, DeltaReport)> {
+        let current = corpus_fingerprint(db, &self.base);
+        let mut appended: Vec<(String, usize)> = Vec::new();
+        let mut spans: HashMap<&str, (usize, usize)> = HashMap::new();
+        for ((table, warmed), (_, now)) in self.fingerprint.iter().zip(&current) {
+            match (warmed, now) {
+                (None, None) => {}
+                (Some(w), Some(c)) if c >= w => {
+                    if c > w {
+                        appended.push((table.clone(), c - w));
+                    }
+                    spans.insert(table.as_str(), (*w, *c));
+                }
+                _ => {
+                    return Err(HypreError::StaleSnapshot {
+                        table: table.clone(),
+                        warmed: *warmed,
+                        current: *now,
+                    });
+                }
+            }
+        }
+        if appended.is_empty() {
+            return Ok((self.clone(), DeltaReport::default()));
+        }
+
+        // Incremental maintenance needs the interner's zero-clone feed:
+        // key on the driver, every join anchored on a driver column.
+        let driver_anchored = self.base.key_on_driver()
+            && self
+                .base
+                .joins
+                .iter()
+                .all(|(_, left, _)| left.table.as_deref() == Some(self.base.table.as_str()));
+        let driver = db.table(&self.base.table)?;
+        let key_idx = driver.schema().index_of(&self.base.key.column);
+        let (Some(key_idx), true) = (key_idx, driver_anchored) else {
+            let cache = ProfileCache::warm(db, self.base.clone(), self.predicates())?;
+            let mut changed: Vec<String> = self.preds.keys().cloned().collect();
+            changed.sort();
+            let new_tuples = cache.tuple_universe().saturating_sub(self.tuple_universe());
+            return Ok((
+                cache,
+                DeltaReport {
+                    appended,
+                    changed,
+                    new_tuples,
+                },
+            ));
+        };
+
+        let (driver_old, driver_now) = spans
+            .get(self.base.table.as_str())
+            .copied()
+            .unwrap_or((driver.len(), driver.len()));
+
+        // Per joined table that grew: the *old* driver rows reachable
+        // from its delta rows through the join key. One probe map per
+        // driver join column, built once and shared across predicates.
+        let mut probe_maps: HashMap<&str, HashMap<&Value, Vec<RowId>>> = HashMap::new();
+        let mut joined_candidates: HashMap<&str, Vec<RowId>> = HashMap::new();
+        for (table, left, right) in &self.base.joins {
+            let Some(&(old, now)) = spans.get(table.as_str()) else {
+                continue;
+            };
+            if now == old {
+                continue;
+            }
+            if !probe_maps.contains_key(left.column.as_str()) {
+                let left_idx = driver
+                    .schema()
+                    .require(Some(&self.base.table), &left.column)?;
+                let mut map: HashMap<&Value, Vec<RowId>> = HashMap::new();
+                for (rid, row) in driver.scan() {
+                    let v = &row[left_idx];
+                    if !v.is_null() {
+                        map.entry(v).or_default().push(rid);
+                    }
+                }
+                probe_maps.insert(left.column.as_str(), map);
+            }
+            let jt = db.table(table)?;
+            let right_idx = jt.schema().require(Some(table), &right.column)?;
+            let Some(probe) = probe_maps.get(left.column.as_str()) else {
+                unreachable!("probe map built above");
+            };
+            let cands = joined_candidates.entry(table.as_str()).or_default();
+            for idx in old..now {
+                let Some(row) = jt.row(RowId(idx)) else {
+                    continue;
+                };
+                let key = &row[right_idx];
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(hits) = probe.get(key) {
+                    cands.extend_from_slice(hits);
+                }
+            }
+        }
+        let new_driver: Vec<RowId> = (driver_old..driver_now).map(RowId).collect();
+
+        // Re-evaluate each predicate over only its candidate rows,
+        // growing the matching containers copy-on-write. Keys iterate in
+        // sorted order so id assignment is deterministic.
+        let mut interner = (*self.interner).clone();
+        let before_universe = interner.len();
+        let mut sets: HashMap<String, SharedTupleSet> = HashMap::with_capacity(self.sets.len());
+        let mut changed: Vec<String> = Vec::new();
+        let mut keys: Vec<&String> = self.preds.keys().collect();
+        keys.sort();
+        for key in keys {
+            let (Some(pred), Some(old_set)) = (self.preds.get(key), self.sets.get(key)) else {
+                unreachable!("preds and sets share keys");
+            };
+            let mut cands: Vec<RowId> = new_driver.clone();
+            let referenced = pred.tables();
+            for (table, _, _) in &self.base.joins {
+                if referenced.contains(table) {
+                    if let Some(c) = joined_candidates.get(table.as_str()) {
+                        cands.extend_from_slice(c);
+                    }
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            if cands.is_empty() {
+                sets.insert(key.clone(), Arc::clone(old_set));
+                continue;
+            }
+            let q = self.base.select_for(pred);
+            let mut fresh: Vec<u32> = Vec::new();
+            for rid in q.distinct_row_set_among(db, &cands)? {
+                let Some(row) = driver.row(rid) else {
+                    unreachable!("candidate rows exist");
+                };
+                let v = &row[key_idx];
+                if v.is_null() {
+                    continue;
+                }
+                let id = interner.intern(v)?;
+                if !old_set.contains(id) {
+                    fresh.push(id);
+                }
+            }
+            if fresh.is_empty() {
+                sets.insert(key.clone(), Arc::clone(old_set));
+            } else {
+                let mut grown = (**old_set).clone();
+                grown.insert_all(fresh);
+                changed.push(key.clone());
+                sets.insert(key.clone(), Arc::new(grown));
+            }
+        }
+        let new_tuples = interner.len() - before_universe;
+        Ok((
+            ProfileCache {
+                base: self.base.clone(),
+                interner: Arc::new(interner),
+                sets,
+                preds: self.preds.clone(),
+                fingerprint: current,
+            },
+            DeltaReport {
+                appended,
+                changed,
+                new_tuples,
+            },
+        ))
+    }
+}
+
+/// What one [`ProfileCache::ingest_delta`] absorbed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// `(table, appended row count)` for every base-query table that
+    /// grew since warm time. Empty means the ingest was a no-op.
+    pub appended: Vec<(String, usize)>,
+    /// Canonical keys of the predicates whose tuple sets gained members,
+    /// sorted.
+    pub changed: Vec<String>,
+    /// Tuple identities interned above the previous frozen id space.
+    pub new_tuples: usize,
+}
+
+impl DeltaReport {
+    /// Whether nothing changed (no table grew).
+    pub fn is_noop(&self) -> bool {
+        self.appended.is_empty()
+    }
+
+    /// Per-atom changed flags for a profile — the input
+    /// [`PairwiseCache::refresh_for`] expects: `true` where the atom's
+    /// predicate gained tuples in this ingest.
+    pub fn changed_flags(&self, atoms: &[PrefAtom]) -> Vec<bool> {
+        atoms
+            .iter()
+            .map(|a| {
+                let key = a.predicate.canonical();
+                self.changed.binary_search(&key).is_ok()
+            })
+            .collect()
+    }
+}
+
+/// An epoch: one published [`ProfileCache`] snapshot plus the count of
+/// sessions still pinned to it. Epoch numbers start at 1 and increase by
+/// one per publish.
+#[derive(Debug)]
+pub struct Epoch {
+    number: u64,
+    cache: Arc<ProfileCache>,
+    pins: AtomicUsize,
+}
+
+impl Epoch {
+    /// The epoch number (1-based, monotonically increasing).
+    pub fn number(&self) -> u64 {
+        self.number
+    }
+
+    /// The snapshot this epoch serves.
+    pub fn cache(&self) -> &Arc<ProfileCache> {
+        &self.cache
+    }
+
+    /// Sessions currently pinned to this epoch.
+    pub fn pin_count(&self) -> usize {
+        self.pins.load(Ordering::Acquire)
+    }
+}
+
+/// The epoch-versioned cache layer: an atomically-swappable *current*
+/// snapshot plus the retired epochs still pinned by live sessions — the
+/// live-corpus serving shape with no stop-the-world. See the module docs
+/// for the lifecycle and the failure-atomicity contract.
+#[derive(Debug)]
+pub struct EpochCache {
+    state: Mutex<EpochState>,
+}
+
+#[derive(Debug)]
+struct EpochState {
+    current: Arc<Epoch>,
+    retired: Vec<Arc<Epoch>>,
+    evicted: u64,
+}
+
+impl EpochCache {
+    /// Starts the epoch sequence at epoch 1 with an initial snapshot.
+    pub fn new(cache: ProfileCache) -> Self {
+        EpochCache {
+            state: Mutex::new(EpochState {
+                current: Arc::new(Epoch {
+                    number: 1,
+                    cache: Arc::new(cache),
+                    pins: AtomicUsize::new(0),
+                }),
+                retired: Vec::new(),
+                evicted: 0,
+            }),
+        }
+    }
+
+    /// Locks the state, recovering from a poisoned mutex (the state is
+    /// swap-only, never left half-written).
+    fn lock(&self) -> MutexGuard<'_, EpochState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The current epoch (unpinned peek — for a serving handle use
+    /// [`EpochCache::pin`]).
+    pub fn current(&self) -> Arc<Epoch> {
+        let mut st = self.lock();
+        evict_unpinned(&mut st);
+        Arc::clone(&st.current)
+    }
+
+    /// The current epoch number.
+    pub fn current_epoch(&self) -> u64 {
+        self.lock().current.number
+    }
+
+    /// Pins the current epoch: the returned guard keeps its snapshot
+    /// alive (never evicted) until dropped.
+    pub fn pin(&self) -> EpochPin {
+        let mut st = self.lock();
+        evict_unpinned(&mut st);
+        st.current.pins.fetch_add(1, Ordering::AcqRel);
+        EpochPin {
+            epoch: Arc::clone(&st.current),
+        }
+    }
+
+    /// Publishes a fully-built snapshot as the new current epoch,
+    /// retiring the old one; returns the new epoch number. Sessions
+    /// pinned to the retired epoch keep serving from it until they
+    /// [`EpochSession::drain`].
+    pub fn publish(&self, cache: ProfileCache) -> u64 {
+        let mut st = self.lock();
+        let number = st.current.number + 1;
+        let next = Arc::new(Epoch {
+            number,
+            cache: Arc::new(cache),
+            pins: AtomicUsize::new(0),
+        });
+        let old = std::mem::replace(&mut st.current, next);
+        st.retired.push(old);
+        evict_unpinned(&mut st);
+        number
+    }
+
+    /// Ingests an append-only delta from `db` into the current epoch's
+    /// snapshot ([`ProfileCache::ingest_delta`]) with a bounded retry
+    /// budget, publishing the result as a new epoch on success. The
+    /// build runs entirely off to the side: a failed attempt (even the
+    /// last) leaves the current epoch untouched and serving, and a
+    /// no-op delta publishes nothing.
+    ///
+    /// # Errors
+    /// [`HypreError::WarmUpFailed`] wrapping the final attempt's error
+    /// once the budget (first try + `retries`) is exhausted.
+    pub fn ingest(&self, db: &Database, retries: usize) -> Result<DeltaReport> {
+        let snapshot = { Arc::clone(&self.lock().current) };
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            match snapshot.cache.ingest_delta(db) {
+                Ok((cache, report)) => {
+                    if !report.is_noop() {
+                        self.publish(cache);
+                    }
+                    return Ok(report);
+                }
+                Err(e) if attempts > retries => {
+                    return Err(HypreError::WarmUpFailed {
+                        attempts,
+                        last: Box::new(e),
+                    });
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Retired epochs still held for pinned sessions (after evicting the
+    /// unpinned ones).
+    pub fn retired_count(&self) -> usize {
+        let mut st = self.lock();
+        evict_unpinned(&mut st);
+        st.retired.len()
+    }
+
+    /// Retired epochs evicted so far (pin count reached zero).
+    pub fn evicted_count(&self) -> u64 {
+        let mut st = self.lock();
+        evict_unpinned(&mut st);
+        st.evicted
+    }
+}
+
+/// Drops retired epochs whose pin count reached zero. Eviction is lazy:
+/// it runs on every state access rather than from `EpochPin::drop`
+/// (which cannot reach the cache), so a retired epoch lingers at most
+/// until the next `EpochCache` call after its last unpin.
+fn evict_unpinned(st: &mut EpochState) {
+    let before = st.retired.len();
+    st.retired.retain(|e| e.pins.load(Ordering::Acquire) > 0);
+    st.evicted += (before - st.retired.len()) as u64;
+}
+
+/// A pin on one epoch: keeps the snapshot alive and opens executors over
+/// it. Dropping the pin releases the epoch for eviction.
+#[derive(Debug)]
+pub struct EpochPin {
+    epoch: Arc<Epoch>,
+}
+
+impl EpochPin {
+    /// The pinned epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.number
+    }
+
+    /// The pinned snapshot.
+    pub fn cache(&self) -> Arc<ProfileCache> {
+        Arc::clone(&self.epoch.cache)
+    }
+
+    /// Opens a session executor over the pinned snapshot, tolerant of
+    /// append-only growth ([`Executor::with_cache_pinned`]) — the whole
+    /// point of pinning is serving while the corpus moves on.
+    ///
+    /// # Errors
+    /// [`HypreError::StaleSnapshot`] if `db` diverged non-monotonically.
+    pub fn executor<'db>(&self, db: &'db Database) -> Result<Executor<'db>> {
+        Executor::with_cache_pinned(db, self.cache())
+    }
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        self.epoch.pins.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A serving session in the epoch lifecycle: pins the epoch it opened
+/// on, answers from it for as long as it likes, and drains onto the
+/// newest epoch at a query boundary of its choosing (conventionally
+/// after a `top_k` completes).
+#[derive(Debug)]
+pub struct EpochSession {
+    pin: EpochPin,
+}
+
+impl EpochSession {
+    /// Opens a session pinned to the current epoch.
+    pub fn open(epochs: &EpochCache) -> Self {
+        EpochSession { pin: epochs.pin() }
+    }
+
+    /// The epoch this session is pinned to.
+    pub fn epoch(&self) -> u64 {
+        self.pin.epoch()
+    }
+
+    /// The pinned snapshot.
+    pub fn cache(&self) -> Arc<ProfileCache> {
+        self.pin.cache()
+    }
+
+    /// Opens an executor over the pinned snapshot (see
+    /// [`EpochPin::executor`]).
+    ///
+    /// # Errors
+    /// [`HypreError::StaleSnapshot`] if `db` diverged non-monotonically.
+    pub fn executor<'db>(&self, db: &'db Database) -> Result<Executor<'db>> {
+        self.pin.executor(db)
+    }
+
+    /// Re-pins to the newest epoch if one was published since this
+    /// session pinned; returns whether the session moved. Call at a
+    /// `top_k` boundary — mid-query the old pin keeps answers
+    /// consistent.
+    pub fn drain(&mut self, epochs: &EpochCache) -> bool {
+        if epochs.current_epoch() == self.pin.epoch() {
+            return false;
+        }
+        self.pin = epochs.pin();
+        true
     }
 }
 
@@ -777,7 +1397,7 @@ fn weighted_chunk_bounds(sets: &[SharedTupleSet], workers: usize) -> Vec<usize> 
     for w in 1..workers {
         let target = acc * w as u64 / workers as u64;
         let cut = prefix.partition_point(|&p| p < target).min(total);
-        let prev = *bounds.last().expect("bounds start non-empty");
+        let prev = bounds.last().copied().unwrap_or(0);
         bounds.push(cut.max(prev));
     }
     bounds.push(total);
@@ -794,6 +1414,27 @@ fn unrank_pair(t: usize, n: usize) -> (usize, usize) {
         i += 1;
     }
     (i, i + 1 + (t - row_start))
+}
+
+/// Builds the per-first-member retrieval index over a pairwise table:
+/// applicable entries grouped by `i`, each group in descending combined
+/// intensity (ties by ascending `j`) — the order PEPS consumes.
+fn index_by_first(entries: &[PairEntry]) -> HashMap<usize, Vec<usize>> {
+    let mut by_first: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (idx, e) in entries.iter().enumerate() {
+        if e.applicable() {
+            by_first.entry(e.i).or_default().push(idx);
+        }
+    }
+    for list in by_first.values_mut() {
+        list.sort_by(|&x, &y| {
+            entries[y]
+                .intensity
+                .total_cmp(&entries[x].intensity)
+                .then(entries[x].j.cmp(&entries[y].j))
+        });
+    }
+    by_first
 }
 
 /// Intersects shared tuple sets smallest-first, bailing on empty.
@@ -935,22 +1576,57 @@ impl PairwiseCache {
             });
             entries
         };
-        let mut by_first: HashMap<usize, Vec<usize>> = HashMap::new();
-        for (idx, e) in entries.iter().enumerate() {
-            if e.applicable() {
-                by_first.entry(e.i).or_default().push(idx);
-            }
-        }
-        for list in by_first.values_mut() {
-            list.sort_by(|&x, &y| {
-                entries[y]
-                    .intensity
-                    .total_cmp(&entries[x].intensity)
-                    .then(entries[x].j.cmp(&entries[y].j))
-            });
-        }
+        let by_first = index_by_first(&entries);
         Ok(PairwiseCache {
             n: atoms.len(),
+            entries,
+            by_first,
+        })
+    }
+
+    /// Incremental rebuild after a delta ingest: recomputes only the
+    /// entries touching an atom whose tuple set changed (`changed[i] ||
+    /// changed[j]`) and copies the rest — the PEPS re-scoring companion
+    /// of [`ProfileCache::ingest_delta`]. Falls back to a full
+    /// [`build`](Self::build) when the profile shape moved underneath
+    /// the cache; returns a structural clone when nothing changed. The
+    /// result is byte-identical to a full rebuild over the same
+    /// executor.
+    pub fn refresh_for(
+        &self,
+        atoms: &[PrefAtom],
+        exec: &Executor<'_>,
+        changed: &[bool],
+    ) -> Result<Self> {
+        if self.n != atoms.len() || changed.len() != atoms.len() {
+            return PairwiseCache::build(atoms, exec);
+        }
+        if !changed.contains(&true) {
+            return Ok(self.clone());
+        }
+        let mut sets = Vec::with_capacity(atoms.len());
+        for a in atoms {
+            sets.push(exec.tuple_set(&a.predicate)?);
+        }
+        let intensities: Vec<f64> = atoms.iter().map(|a| a.intensity).collect();
+        let mut entries = self.entries.clone();
+        let mut idx = 0usize;
+        for i in 0..self.n {
+            for j in i + 1..self.n {
+                if changed[i] || changed[j] {
+                    entries[idx] = PairEntry {
+                        i,
+                        j,
+                        intensity: f_and(intensities[i], intensities[j]),
+                        count: sets[i].and_count(&sets[j]) as u64,
+                    };
+                }
+                idx += 1;
+            }
+        }
+        let by_first = index_by_first(&entries);
+        Ok(PairwiseCache {
+            n: self.n,
             entries,
             by_first,
         })
@@ -1215,6 +1891,11 @@ mod tests {
         check::<ProfileCache>();
         check::<PairwiseCache>();
         check::<Parallelism>();
+        check::<Epoch>();
+        check::<EpochCache>();
+        check::<EpochPin>();
+        check::<EpochSession>();
+        check::<DeltaReport>();
     }
 
     #[test]
@@ -1321,7 +2002,7 @@ mod tests {
         assert!(!cache.is_empty());
         assert!(cache.tuple_universe() >= 3);
 
-        let session = Executor::with_cache(&db, Arc::clone(&cache));
+        let session = Executor::with_cache(&db, Arc::clone(&cache)).unwrap();
         // Cached predicates: zero SQL, shared hits instead.
         let set = session.tuple_set(&vldb).unwrap();
         assert_eq!(set.count(), 2);
@@ -1346,14 +2027,13 @@ mod tests {
         let folded = ProfileCache::snapshot(&session);
         assert_eq!(folded.len(), 3);
         assert_eq!(folded.tuple_universe(), session.tuple_universe());
-        let session2 = Executor::with_cache(&db, Arc::new(folded));
+        let session2 = Executor::with_cache(&db, Arc::new(folded)).unwrap();
         assert_eq!(session2.tuples(&pods).unwrap(), want);
         assert_eq!(session2.queries_run(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "warmed on a different corpus")]
-    fn session_over_a_different_corpus_is_rejected() {
+    fn session_over_a_different_corpus_is_a_typed_error_not_a_panic() {
         let base_db = db();
         let cache = Arc::new(
             ProfileCache::warm(&base_db, BaseQuery::dblp(), [&p("dblp.venue='VLDB'")]).unwrap(),
@@ -1364,7 +2044,210 @@ mod tests {
             .unwrap()
             .insert(vec![9.into(), "ICDE".into(), 2013.into()])
             .unwrap();
-        let _ = Executor::with_cache(&other, cache);
+        let err = Executor::with_cache(&other, Arc::clone(&cache))
+            .err()
+            .expect("grown corpus must be rejected by the strict opener");
+        assert!(matches!(
+            err,
+            HypreError::StaleSnapshot {
+                ref table,
+                warmed: Some(4),
+                current: Some(5),
+            } if table == "dblp"
+        ));
+        // The pinned opener tolerates append-only growth…
+        let pinned = Executor::with_cache_pinned(&other, Arc::clone(&cache)).unwrap();
+        assert_eq!(
+            pinned.tuple_set(&p("dblp.venue='VLDB'")).unwrap().count(),
+            2
+        );
+        assert_eq!(pinned.queries_run(), 0);
+        // …but still rejects a shrunken corpus.
+        let mut tiny = Database::new();
+        tiny.create_table(
+            "dblp",
+            Schema::of(&[
+                ("pid", DataType::Int),
+                ("venue", DataType::Str),
+                ("year", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        assert!(matches!(
+            Executor::with_cache_pinned(&tiny, cache),
+            Err(HypreError::StaleSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn id_space_exhaustion_is_a_typed_error() {
+        assert_eq!(next_id(0).unwrap(), 0);
+        assert_eq!(next_id(41).unwrap(), 41);
+        assert_eq!(next_id(u32::MAX as usize).unwrap(), u32::MAX);
+        assert_eq!(
+            next_id(u32::MAX as usize + 1),
+            Err(HypreError::IdSpaceExhausted)
+        );
+    }
+
+    #[test]
+    fn ingest_delta_of_an_unchanged_corpus_is_a_noop() {
+        let db = db();
+        let cache = ProfileCache::warm(&db, BaseQuery::dblp(), [&p("dblp.venue='VLDB'")]).unwrap();
+        let (same, report) = cache.ingest_delta(&db).unwrap();
+        assert!(report.is_noop());
+        assert!(report.changed.is_empty());
+        assert_eq!(report.new_tuples, 0);
+        assert_eq!(same.len(), cache.len());
+        assert_eq!(same.tuple_universe(), cache.tuple_universe());
+    }
+
+    #[test]
+    fn ingest_delta_appends_matches_and_shares_untouched_sets() {
+        let base_db = db();
+        let vldb = p("dblp.venue='VLDB'");
+        let pods = p("dblp.venue='PODS'");
+        let coauth = p("dblp_author.aid=11");
+        let cache =
+            ProfileCache::warm(&base_db, BaseQuery::dblp(), [&vldb, &pods, &coauth]).unwrap();
+
+        // Append one VLDB paper and link existing paper 1 to author 11.
+        let mut grown = base_db.clone();
+        grown
+            .table_mut("dblp")
+            .unwrap()
+            .insert(vec![5.into(), "VLDB".into(), 2015.into()])
+            .unwrap();
+        for (pid, aid) in [(5, 13), (1, 11)] {
+            grown
+                .table_mut("dblp_author")
+                .unwrap()
+                .insert(vec![pid.into(), aid.into()])
+                .unwrap();
+        }
+        let (next, report) = cache.ingest_delta(&grown).unwrap();
+        assert!(!report.is_noop());
+        assert_eq!(
+            report.changed,
+            vec![vldb.canonical(), coauth.canonical()],
+            "VLDB gains paper 5, aid=11 gains paper 1; PODS untouched"
+        );
+        // Untouched set is shared structurally, not copied.
+        assert!(Arc::ptr_eq(
+            &cache.get(&pods.canonical()).unwrap(),
+            &next.get(&pods.canonical()).unwrap()
+        ));
+        // The grown sets agree with a cold executor over the grown db.
+        let fresh = Executor::new(&grown, BaseQuery::dblp());
+        let session = Executor::with_cache(&grown, Arc::new(next)).unwrap();
+        for pred in [&vldb, &pods, &coauth] {
+            assert_eq!(
+                session.tuples(pred).unwrap(),
+                fresh.tuples(pred).unwrap(),
+                "{}",
+                pred.canonical()
+            );
+        }
+        assert_eq!(session.queries_run(), 0, "ingest left nothing to re-run");
+    }
+
+    #[test]
+    fn ingest_delta_rejects_non_append_changes() {
+        let base_db = db();
+        let cache =
+            ProfileCache::warm(&base_db, BaseQuery::dblp(), [&p("dblp.venue='VLDB'")]).unwrap();
+        let mut shrunk = Database::new();
+        shrunk
+            .create_table(
+                "dblp",
+                Schema::of(&[
+                    ("pid", DataType::Int),
+                    ("venue", DataType::Str),
+                    ("year", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        assert!(matches!(
+            cache.ingest_delta(&shrunk),
+            Err(HypreError::StaleSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn epoch_cache_pins_publishes_and_evicts() {
+        let db = db();
+        let cache = ProfileCache::warm(&db, BaseQuery::dblp(), [&p("dblp.venue='VLDB'")]).unwrap();
+        let epochs = EpochCache::new(cache.clone());
+        assert_eq!(epochs.current_epoch(), 1);
+        assert_eq!(epochs.retired_count(), 0);
+
+        let mut session = EpochSession::open(&epochs);
+        assert_eq!(session.epoch(), 1);
+        assert!(!session.drain(&epochs), "nothing newer to drain onto");
+
+        // Publish while the session is pinned: epoch 1 is retired but
+        // kept alive for the pin.
+        assert_eq!(epochs.publish(cache.clone()), 2);
+        assert_eq!(epochs.current_epoch(), 2);
+        assert_eq!(epochs.retired_count(), 1);
+        assert_eq!(session.epoch(), 1, "session stays on its pinned epoch");
+
+        // Drain: the session re-pins onto epoch 2 and the unpinned
+        // retired epoch is evicted.
+        assert!(session.drain(&epochs));
+        assert_eq!(session.epoch(), 2);
+        assert_eq!(epochs.retired_count(), 0);
+        assert_eq!(epochs.evicted_count(), 1);
+        drop(session);
+        assert_eq!(epochs.current().pin_count(), 0);
+    }
+
+    #[test]
+    fn refresh_for_matches_a_full_rebuild() {
+        let base_db = db();
+        let atoms = vec![
+            atom(0, "dblp.venue='VLDB'", 0.8),
+            atom(1, "dblp_author.aid=11", 0.5),
+            atom(2, "dblp.venue='SIGMOD'", 0.3),
+        ];
+        let preds: Vec<&Predicate> = atoms.iter().map(|a| &a.predicate).collect();
+        let cache = ProfileCache::warm(&base_db, BaseQuery::dblp(), preds).unwrap();
+        let exec0 = Executor::with_cache(&base_db, Arc::new(cache.clone())).unwrap();
+        let pairs0 = PairwiseCache::build(&atoms, &exec0).unwrap();
+
+        let mut grown = base_db.clone();
+        grown
+            .table_mut("dblp")
+            .unwrap()
+            .insert(vec![5.into(), "VLDB".into(), 2015.into()])
+            .unwrap();
+        grown
+            .table_mut("dblp_author")
+            .unwrap()
+            .insert(vec![5.into(), 11.into()])
+            .unwrap();
+        let (next, report) = cache.ingest_delta(&grown).unwrap();
+        let flags = report.changed_flags(&atoms);
+        assert_eq!(flags, vec![true, true, false]);
+
+        let session = Executor::with_cache(&grown, Arc::new(next)).unwrap();
+        let refreshed = pairs0.refresh_for(&atoms, &session, &flags).unwrap();
+        let rebuilt = PairwiseCache::build(&atoms, &session).unwrap();
+        assert_eq!(refreshed.entries(), rebuilt.entries());
+        for i in 0..atoms.len() {
+            assert_eq!(
+                refreshed.pairs_from(i).collect::<Vec<_>>(),
+                rebuilt.pairs_from(i).collect::<Vec<_>>()
+            );
+        }
+        // Shape mismatch falls back to a full build; no-change clones.
+        assert_eq!(
+            pairs0
+                .refresh_for(&atoms, &session, &[false, false, false])
+                .unwrap()
+                .entries(),
+            pairs0.entries()
+        );
     }
 
     #[test]
@@ -1388,7 +2271,7 @@ mod tests {
         .unwrap();
 
         let cache = Arc::new(ProfileCache::snapshot(&fresh));
-        let session = Executor::with_cache(&db, Arc::clone(&cache));
+        let session = Executor::with_cache(&db, Arc::clone(&cache)).unwrap();
         let pairs = PairwiseCache::build(&atoms, &session).unwrap();
         assert_eq!(pairs.entries(), fresh_pairs.entries());
         assert_eq!(session.queries_run(), 0, "all sets came from the cache");

@@ -166,7 +166,7 @@ impl HypreGraph {
         let mut graph = PropertyGraph::new();
         graph
             .create_index(NODE_LABEL, "uid")
-            .expect("fresh graph has no indexes");
+            .unwrap_or_else(|e| unreachable!("fresh graph has no indexes: {e}"));
         HypreGraph {
             graph,
             model,
@@ -237,7 +237,7 @@ impl HypreGraph {
             let id = existing.id();
             self.graph
                 .set_edge_prop(id, "intensity", ql.value())
-                .expect("edge exists");
+                .unwrap_or_else(|e| unreachable!("edge exists: {e}"));
             return Ok(QualInsertOutcome {
                 edge: id,
                 kind: EdgeKind::Prefers,
@@ -581,10 +581,10 @@ impl HypreGraph {
     fn set_intensity(&mut self, node: NodeId, value: f64, provenance: Provenance) {
         self.graph
             .set_node_prop(node, "intensity", value)
-            .expect("node exists");
+            .unwrap_or_else(|e| unreachable!("node exists: {e}"));
         self.graph
             .set_node_prop(node, "provenance", provenance.as_str())
-            .expect("node exists");
+            .unwrap_or_else(|e| unreachable!("node exists: {e}"));
         self.revalidate_incident_edges(node);
     }
 
@@ -613,7 +613,7 @@ impl HypreGraph {
                 EdgeKind::Prefers if l < r => {
                     self.graph
                         .set_edge_label(id, EdgeKind::Discard.label())
-                        .expect("edge exists");
+                        .unwrap_or_else(|e| unreachable!("edge exists: {e}"));
                 }
                 EdgeKind::Discard
                     if l >= r
@@ -626,7 +626,7 @@ impl HypreGraph {
                 {
                     self.graph
                         .set_edge_label(id, EdgeKind::Prefers.label())
-                        .expect("edge exists");
+                        .unwrap_or_else(|e| unreachable!("edge exists: {e}"));
                 }
                 _ => {}
             }
@@ -642,7 +642,7 @@ impl HypreGraph {
     ) -> EdgeId {
         self.graph
             .create_edge(left, right, kind.label(), [("intensity", ql.value())])
-            .expect("endpoints exist")
+            .unwrap_or_else(|e| unreachable!("endpoints exist: {e}"))
     }
 }
 

@@ -59,6 +59,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod algo;
 pub mod bitset;
@@ -90,8 +91,8 @@ pub mod prelude {
     pub use crate::enhance::{enhance_query, score_tuples, EnhancedQuery, ScoredTuple};
     pub use crate::error::{HypreError, Result};
     pub use crate::exec::{
-        BaseQuery, Executor, PairEntry, PairwiseCache, Parallelism, ProfileCache, SharedTupleSet,
-        TupleInterner,
+        BaseQuery, DeltaReport, Epoch, EpochCache, EpochPin, EpochSession, Executor, PairEntry,
+        PairwiseCache, Parallelism, ProfileCache, SharedTupleSet, TupleInterner,
     };
     pub use crate::graph::{
         EdgeKind, HypreGraph, IngestReport, QualInsertOutcome, StoredPreference, NODE_LABEL,

@@ -2,8 +2,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{RelError, Result};
+use crate::fault::FailSchedule;
 use crate::schema::Schema;
 use crate::table::Table;
 
@@ -11,9 +13,15 @@ use crate::table::Table;
 ///
 /// Tables are stored in a `BTreeMap` so iteration (statistics, display) is
 /// deterministic.
+///
+/// A database may be *armed* with a [`FailSchedule`]; query execution then
+/// consults the schedule once per public entry point and fails with
+/// [`RelError::FaultInjected`] on the scheduled ordinals. Clones share the
+/// schedule (and its operation counter) through the `Arc`.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    faults: Option<Arc<FailSchedule>>,
 }
 
 impl Database {
@@ -67,6 +75,25 @@ impl Database {
     /// Number of tables.
     pub fn table_count(&self) -> usize {
         self.tables.len()
+    }
+
+    /// Arms the database with a deterministic fault schedule: every public
+    /// query entry point consults it before touching data.
+    pub fn arm_faults(&mut self, schedule: Arc<FailSchedule>) {
+        self.faults = Some(schedule);
+    }
+
+    /// Disarms fault injection, returning the schedule if one was armed.
+    pub fn disarm_faults(&mut self) -> Option<Arc<FailSchedule>> {
+        self.faults.take()
+    }
+
+    /// Consult the armed fault schedule, if any.
+    pub(crate) fn fault_check(&self) -> Result<()> {
+        match &self.faults {
+            Some(s) => s.check(),
+            None => Ok(()),
+        }
     }
 }
 

@@ -55,6 +55,10 @@ pub enum RelError {
     EmptyFrom,
     /// A join condition referenced a table absent from the FROM list.
     JoinTableNotInFrom(String),
+    /// A deterministic fault schedule injected a failure on this query
+    /// operation (1-based op ordinal). Only produced by databases armed
+    /// with a [`FailSchedule`](crate::fault::FailSchedule).
+    FaultInjected(u64),
 }
 
 impl fmt::Display for RelError {
@@ -89,6 +93,12 @@ impl fmt::Display for RelError {
             RelError::EmptyFrom => write!(f, "query has an empty FROM list"),
             RelError::JoinTableNotInFrom(t) => {
                 write!(f, "join condition references table '{t}' not in FROM")
+            }
+            RelError::FaultInjected(op) => {
+                write!(
+                    f,
+                    "injected fault: query operation #{op} failed by schedule"
+                )
             }
         }
     }

@@ -1,0 +1,154 @@
+//! Deterministic fault injection for query execution.
+//!
+//! A [`FailSchedule`] counts query operations (every public
+//! [`SelectQuery`](crate::query::SelectQuery) entry point is one
+//! operation) and errors with [`RelError::FaultInjected`] on the exact
+//! ordinals it was built with — no clock, no randomness, so a failing
+//! test replays identically every run. Arm a [`Database`] with
+//! [`Database::arm_faults`](crate::database::Database::arm_faults), or
+//! wrap one in a [`FailingDriver`] which owns the pairing.
+//!
+//! The schedule lives behind an [`Arc`], so clones of an armed database
+//! share one operation counter: a warm-up that clones the database still
+//! trips the same global ordinals.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::database::Database;
+use crate::error::{RelError, Result};
+
+/// A deterministic schedule of query operations that must fail.
+///
+/// Operations are numbered from 1 in execution order. The crate-private
+/// `check` hook is called once per public query entry point; when the
+/// current ordinal is in the scheduled set it returns
+/// [`RelError::FaultInjected`] and records the injection. Thread-safe:
+/// the counter is atomic, the set is immutable.
+#[derive(Debug, Default)]
+pub struct FailSchedule {
+    fail_ops: BTreeSet<u64>,
+    next_op: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FailSchedule {
+    /// A schedule that never fails (useful as a counting probe).
+    #[must_use]
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// Fail exactly the `n`th query operation (1-based).
+    #[must_use]
+    pub fn nth(n: u64) -> Self {
+        Self::failing_at([n])
+    }
+
+    /// Fail every listed operation ordinal (1-based).
+    #[must_use]
+    pub fn failing_at<I: IntoIterator<Item = u64>>(ops: I) -> Self {
+        FailSchedule {
+            fail_ops: ops.into_iter().collect(),
+            next_op: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of query operations started so far (failed ones included).
+    #[must_use]
+    pub fn ops_started(&self) -> u64 {
+        self.next_op.load(Ordering::Relaxed)
+    }
+
+    /// Number of faults actually injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Count one operation; error if its ordinal is scheduled to fail.
+    pub(crate) fn check(&self) -> Result<()> {
+        let op = self.next_op.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.fail_ops.contains(&op) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(RelError::FaultInjected(op));
+        }
+        Ok(())
+    }
+}
+
+/// A database wrapped with an armed [`FailSchedule`] — the test-harness
+/// face of fault injection.
+///
+/// Inserts flow through [`database_mut`](FailingDriver::database_mut)
+/// untouched (only query execution is gated), so a live-ingest test can
+/// keep appending rows while scheduled query failures fire.
+#[derive(Debug)]
+pub struct FailingDriver {
+    db: Database,
+    schedule: Arc<FailSchedule>,
+}
+
+impl FailingDriver {
+    /// Arm `db` with `schedule` and take ownership of both.
+    #[must_use]
+    pub fn new(mut db: Database, schedule: FailSchedule) -> Self {
+        let schedule = Arc::new(schedule);
+        db.arm_faults(Arc::clone(&schedule));
+        FailingDriver { db, schedule }
+    }
+
+    /// The armed database; queries against it honour the schedule.
+    #[must_use]
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access for ingest; the schedule stays armed.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The shared schedule, for asserting on op / injection counts.
+    #[must_use]
+    pub fn schedule(&self) -> &FailSchedule {
+        &self.schedule
+    }
+
+    /// Disarm and return the plain database.
+    #[must_use]
+    pub fn into_database(self) -> Database {
+        let mut db = self.db;
+        db.disarm_faults();
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_fails_exactly_the_listed_ordinals() {
+        let s = FailSchedule::failing_at([2, 4]);
+        assert!(s.check().is_ok());
+        assert_eq!(s.check(), Err(RelError::FaultInjected(2)));
+        assert!(s.check().is_ok());
+        assert_eq!(s.check(), Err(RelError::FaultInjected(4)));
+        assert!(s.check().is_ok());
+        assert_eq!(s.ops_started(), 5);
+        assert_eq!(s.injected(), 2);
+    }
+
+    #[test]
+    fn never_schedule_only_counts() {
+        let s = FailSchedule::never();
+        for _ in 0..10 {
+            assert!(s.check().is_ok());
+        }
+        assert_eq!(s.ops_started(), 10);
+        assert_eq!(s.injected(), 0);
+    }
+}

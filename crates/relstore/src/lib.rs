@@ -33,9 +33,11 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod database;
 pub mod error;
+pub mod fault;
 pub mod index;
 pub mod parser;
 pub mod predicate;
@@ -46,6 +48,7 @@ pub mod value;
 
 pub use database::Database;
 pub use error::{RelError, Result};
+pub use fault::{FailSchedule, FailingDriver};
 pub use index::{Index, IndexKind};
 pub use parser::parse_predicate;
 pub use predicate::{CmpOp, ColRef, ColumnResolver, Predicate};

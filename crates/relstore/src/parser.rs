@@ -182,9 +182,12 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
                             }
                         }
                         Some(_) => {
-                            // advance one UTF-8 scalar
+                            // advance one UTF-8 scalar; the byte probe above
+                            // guarantees the remainder is non-empty
                             let rest = &input[i..];
-                            let ch = rest.chars().next().expect("non-empty");
+                            let Some(ch) = rest.chars().next() else {
+                                unreachable!("non-empty remainder");
+                            };
                             s.push(ch);
                             i += ch.len_utf8();
                         }

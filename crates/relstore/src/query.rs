@@ -89,7 +89,7 @@ impl SelectQuery {
     pub fn run(&self, db: &Database) -> Result<ResultSet> {
         let bound = self.bind(db)?;
         let mut out = ResultSet::new(&bound);
-        self.execute(db, &bound, |_, joined| {
+        self.execute(db, &bound, None, |_, joined| {
             out.rows.push(joined.concat_values());
             Ok(true)
         })?;
@@ -100,7 +100,7 @@ impl SelectQuery {
     pub fn count(&self, db: &Database) -> Result<u64> {
         let bound = self.bind(db)?;
         let mut n = 0u64;
-        self.execute(db, &bound, |_, _| {
+        self.execute(db, &bound, None, |_, _| {
             n += 1;
             Ok(true)
         })?;
@@ -115,7 +115,7 @@ impl SelectQuery {
         let bound = self.bind(db)?;
         let target = bound.locate(col)?;
         let mut seen: HashSet<&Value> = HashSet::new();
-        self.execute(db, &bound, |_, joined| {
+        self.execute(db, &bound, None, |_, joined| {
             let v = joined.value_at(target);
             if !v.is_null() {
                 seen.insert(v);
@@ -134,7 +134,7 @@ impl SelectQuery {
         let target = bound.locate(col)?;
         let mut seen: HashSet<&Value> = HashSet::new();
         let mut out = Vec::new();
-        self.execute(db, &bound, |_, joined| {
+        self.execute(db, &bound, None, |_, joined| {
             let v = joined.value_at(target);
             if !v.is_null() && seen.insert(v) {
                 out.push(v.clone());
@@ -154,10 +154,29 @@ impl SelectQuery {
     /// joined row — for a paper with twelve authors, eleven join probes
     /// are skipped.
     pub fn distinct_row_set(&self, db: &Database) -> Result<Vec<RowId>> {
+        self.row_set_impl(db, None)
+    }
+
+    /// Like [`SelectQuery::distinct_row_set`], but only the listed
+    /// driving-table rows are considered as candidates — the filter and
+    /// join pipeline run unchanged over them. This is the delta-ingest
+    /// seam: after an append, the executor re-evaluates a predicate over
+    /// just the rows a delta could have affected instead of the whole
+    /// table. Out-of-range and duplicate candidates are ignored; the
+    /// result is in ascending `RowId` order.
+    pub fn distinct_row_set_among(
+        &self,
+        db: &Database,
+        candidates: &[RowId],
+    ) -> Result<Vec<RowId>> {
+        self.row_set_impl(db, Some(candidates))
+    }
+
+    fn row_set_impl(&self, db: &Database, seed: Option<&[RowId]>) -> Result<Vec<RowId>> {
         let bound = self.bind(db)?;
         let mut seen = vec![false; bound.tables[0].len()];
         let mut out = Vec::new();
-        self.execute(db, &bound, |rid, _| {
+        self.execute(db, &bound, seed, |rid, _| {
             if !seen[rid.0] {
                 seen[rid.0] = true;
                 out.push(rid);
@@ -203,12 +222,19 @@ impl SelectQuery {
     /// returns whether to keep expanding the *current* driving row's join
     /// matches (`false` short-circuits to the next driving row — the
     /// existence-only fast path of [`SelectQuery::distinct_row_set`]).
+    ///
+    /// `seed_override` restricts the driving-table candidates to an
+    /// explicit row-id list (the delta-ingest path); `None` uses the
+    /// index-or-scan access path. Counts one operation against any armed
+    /// fault schedule before touching data.
     fn execute<'db>(
         &self,
-        _db: &Database,
+        db: &Database,
         bound: &BoundQuery<'db>,
+        seed_override: Option<&[RowId]>,
         mut sink: impl FnMut(RowId, &JoinedRow<'_, 'db>) -> Result<bool>,
     ) -> Result<()> {
+        db.fault_check()?;
         // Validate the filter's column references once, up front, so that a
         // typo'd predicate is an error rather than silently matching nothing.
         for attr in self.filter.attributes() {
@@ -217,9 +243,12 @@ impl SelectQuery {
 
         // Seed: candidate rows of the driving table, via index if possible.
         let driver = bound.tables[0];
-        let seed: Vec<RowId> = match self.index_seed(driver, &bound.names[0]) {
-            Some(ids) => ids,
-            None => driver.scan().map(|(id, _)| id).collect(),
+        let seed: Vec<RowId> = match seed_override {
+            Some(ids) => ids.to_vec(),
+            None => match self.index_seed(driver, &bound.names[0]) {
+                Some(ids) => ids,
+                None => driver.scan().map(|(id, _)| id).collect(),
+            },
         };
 
         // Build hash tables for each joined table keyed on its join column.
@@ -259,10 +288,11 @@ impl SelectQuery {
             });
         }
 
-        // Depth-first pipeline over the join chain.
+        // Depth-first pipeline over the join chain. Out-of-range ids (only
+        // possible via a stale `seed_override`) are skipped, not a panic.
         let mut rows: Vec<&'db [Value]> = Vec::with_capacity(bound.tables.len());
         for id in seed {
-            let row = driver.row(id).expect("seed row ids are valid");
+            let Some(row) = driver.row(id) else { continue };
             rows.push(row);
             self.join_level(bound, &built, 0, id, &mut rows, &mut sink)?;
             rows.pop();
@@ -295,7 +325,10 @@ impl SelectQuery {
         }
         if let Some(matches) = jb.hash.get(&probe_val) {
             for &id in matches {
-                let row = jb.table.row(id).expect("hash row ids are valid");
+                let Some(row) = jb.table.row(id) else {
+                    // Hash-build ids come straight from the table scan.
+                    unreachable!("hash row ids are valid");
+                };
                 rows.push(row);
                 let keep_going =
                     self.join_level(bound, built, level + 1, driver_row, rows, sink)?;

@@ -97,8 +97,9 @@ fn main() -> Result<()> {
                 let cache = Arc::clone(&cache);
                 let db = &db;
                 scope.spawn(move || {
-                    let session =
-                        Executor::with_cache(db, cache).with_parallelism(Parallelism::Auto);
+                    let session = Executor::with_cache(db, cache)
+                        .expect("cache matches the corpus")
+                        .with_parallelism(Parallelism::Auto);
                     let pairs = PairwiseCache::build(atoms, &session).expect("session build");
                     let top = Peps::new(atoms, &session, &pairs, PepsVariant::Complete)
                         .top_k(10)

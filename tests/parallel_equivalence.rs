@@ -137,8 +137,9 @@ fn concurrent_sessions_sharing_one_profile_cache_rank_identically() {
                 let atoms = &atoms;
                 let db = &fx.db;
                 scope.spawn(move || {
-                    let session =
-                        Executor::with_cache(db, cache).with_parallelism(Parallelism::threads(2));
+                    let session = Executor::with_cache(db, cache)
+                        .expect("cache matches the corpus")
+                        .with_parallelism(Parallelism::threads(2));
                     let pairs = PairwiseCache::build(atoms, &session).unwrap();
                     let top = Peps::new(atoms, &session, &pairs, PepsVariant::Complete)
                         .top_k(20)
@@ -179,7 +180,7 @@ fn session_over_a_partial_snapshot_matches_a_fresh_executor() {
         .map(|a| a.predicate.canonical())
         .filter(|key| !modest_atoms.iter().any(|m| m.predicate.canonical() == *key))
         .collect();
-    let session = Executor::with_cache(&fx.db, cache);
+    let session = Executor::with_cache(&fx.db, cache).expect("cache matches the corpus");
     let pairs = PairwiseCache::build(&rich, &session).unwrap();
     let got = Peps::new(&rich, &session, &pairs, PepsVariant::Complete)
         .top_k(15)
