@@ -35,7 +35,14 @@
 //!   the remaining 5 % as an append-only delta
 //!   (`ProfileCache::ingest_delta`) versus a cold full re-warm over the
 //!   grown corpus. Non-headline: the rows carry no `name` field, so the
-//!   regression guard ignores them.
+//!   regression guard ignores them;
+//! * `batched_serving` — PR 7: 100–400 simulated sessions drawing
+//!   profiles Zipf-popularly from the variant pool, served unbatched
+//!   (every session its own executor + PEPS rounds, fanned over 4 OS
+//!   threads) versus one `BatchScheduler` run that evaluates each
+//!   distinct profile identity once and demultiplexes. Both shapes are
+//!   checksum-verified equal before timing. Non-headline, same as
+//!   `live_ingest`.
 //!
 //! The **headline rows** (`pairwise_build`, `peps_top_k` — including the
 //! PR 4 `sparse_k10` row over a sparse/range-heavy synthetic profile,
@@ -141,6 +148,18 @@ struct LiveIngestRow {
     rewarm_ns: u128,
 }
 
+/// One batched-serving row: a Zipf session mix served unbatched versus
+/// through one `BatchScheduler` run.
+struct BatchedServingRow {
+    papers: usize,
+    sessions: usize,
+    profiles: usize,
+    groups: usize,
+    shared: usize,
+    unbatched_ns: u128,
+    batched_ns: u128,
+}
+
 fn measure<R>(f: impl FnMut() -> R) -> u128 {
     median_time(5, Duration::from_millis(120), f).as_nanos()
 }
@@ -234,6 +253,7 @@ fn main() {
     let mut containers: Vec<ContainerRow> = Vec::new();
     let mut multi: Vec<MultiSessionRow> = Vec::new();
     let mut live: Vec<LiveIngestRow> = Vec::new();
+    let mut batched: Vec<BatchedServingRow> = Vec::new();
     let mut extra = String::new();
 
     for &n in &sizes {
@@ -412,6 +432,55 @@ fn main() {
             }),
         });
 
+        // PR 7: batched cross-session serving. Sessions draw their
+        // profile Zipf-popularly from the variant pool (overlapping
+        // slices of the two study users' profiles), so a real mix of
+        // hot and long-tail identities reaches the scheduler. The
+        // unbatched baseline runs every session's own PEPS rounds over
+        // 4 OS threads; the batched shape evaluates each distinct
+        // profile identity once and demultiplexes.
+        let modest_atoms = fx.graph.positive_profile(fx.modest_user);
+        let profiles = hypre_bench::profile_variants(&atoms, &modest_atoms);
+        let zipf_cache = {
+            let warm = fx.executor();
+            for profile in &profiles {
+                for atom in profile {
+                    warm.tuple_set(&atom.predicate).expect("variant predicate");
+                }
+            }
+            Arc::new(ProfileCache::snapshot(&warm))
+        };
+        let session_counts: &[usize] = if n < 10_000 { &[100, 400] } else { &[100] };
+        for &sessions in session_counts {
+            let mix = serving::zipf_session_mix(&profiles, sessions, 10, 1.1, 42);
+            let unbatched_total = serving::serve_unbatched_sessions(&fx.db, &zipf_cache, &mix, 4);
+            let (batched_total, stats) =
+                serving::serve_batched_sessions(&fx.db, &zipf_cache, &mix, Parallelism::threads(4));
+            assert_eq!(
+                unbatched_total, batched_total,
+                "batched and unbatched serving must agree before timing"
+            );
+            batched.push(BatchedServingRow {
+                papers: n,
+                sessions,
+                profiles: profiles.len(),
+                groups: stats.groups,
+                shared: stats.shared,
+                unbatched_ns: measure(|| {
+                    serving::serve_unbatched_sessions(&fx.db, &zipf_cache, &mix, 4)
+                }),
+                batched_ns: measure(|| {
+                    serving::serve_batched_sessions(
+                        &fx.db,
+                        &zipf_cache,
+                        &mix,
+                        Parallelism::threads(4),
+                    )
+                    .0
+                }),
+            });
+        }
+
         // Operand picks: densest pair (bitmap containers) and sparsest
         // non-empty pair (array containers).
         let counts: Vec<u64> = atoms
@@ -564,6 +633,22 @@ fn main() {
             if i + 1 == live.len() { "" } else { "," },
         );
     }
+    json.push_str("  ],\n  \"batched_serving\": [\n");
+    for (i, b) in batched.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"papers\":{},\"sessions\":{},\"profiles\":{},\"groups\":{},\"shared\":{},\"unbatched_ns\":{},\"batched_ns\":{},\"speedup\":{:.2}}}{}",
+            b.papers,
+            b.sessions,
+            b.profiles,
+            b.groups,
+            b.shared,
+            b.unbatched_ns,
+            b.batched_ns,
+            b.unbatched_ns as f64 / b.batched_ns.max(1) as f64,
+            if i + 1 == batched.len() { "" } else { "," },
+        );
+    }
     json.push_str("  ],\n  \"memory\": [\n");
     for (i, m) in mem.iter().enumerate() {
         let _ = writeln!(
@@ -629,6 +714,20 @@ fn main() {
             l.ingest_ns,
             l.rewarm_ns,
             l.rewarm_ns as f64 / l.ingest_ns.max(1) as f64,
+        );
+    }
+    for b in &batched {
+        println!(
+            "{:>18} {} sessions  n={:<6} {} profiles → {} groups ({} shared)  unbatched {:>12} ns  batched {:>12} ns  ({:.1}x)",
+            "batched_serving",
+            b.sessions,
+            b.papers,
+            b.profiles,
+            b.groups,
+            b.shared,
+            b.unbatched_ns,
+            b.batched_ns,
+            b.unbatched_ns as f64 / b.batched_ns.max(1) as f64,
         );
     }
     for m in &mem {

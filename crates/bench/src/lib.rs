@@ -16,8 +16,9 @@
 //!   equivalence tests can measure all three generations;
 //! * [`timing`] — wall-clock helpers for the `bench_report` binary;
 //! * [`serving`] — the concurrent multi-session harness (cold executors
-//!   vs one shared `ProfileCache` snapshot) shared by `bench_report`
-//!   and the `parallel` bench;
+//!   vs one shared `ProfileCache` snapshot, plus the PR 7 Zipf
+//!   session mixes served unbatched vs through the batch scheduler)
+//!   shared by `bench_report` and the `parallel` bench;
 //! * [`ingest`] — append-only corpus splits (base + delta) for the
 //!   live-ingest equivalence tests and the `ingest_delta` vs
 //!   `full_rewarm` bench rows.
@@ -36,3 +37,47 @@ pub mod ta_glue;
 pub mod timing;
 
 pub use fixture::Fixture;
+
+use hypre_core::prelude::PrefAtom;
+
+/// Overlapping-and-disjoint profile variants derived from the two study
+/// users' profiles — the distinct profile identities the Zipf serving
+/// mixes draw from. Slices of a descending-intensity profile stay
+/// descending; atoms are re-indexed so each variant is a well-formed
+/// profile of its own.
+pub fn profile_variants(rich: &[PrefAtom], modest: &[PrefAtom]) -> Vec<Vec<PrefAtom>> {
+    let reindex = |atoms: &[PrefAtom]| -> Vec<PrefAtom> {
+        atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| PrefAtom::new(i, a.predicate.clone(), a.intensity))
+            .collect()
+    };
+    let mut variants = vec![reindex(rich), reindex(modest)];
+    if rich.len() > 2 {
+        variants.push(reindex(&rich[..rich.len() / 2]));
+        variants.push(reindex(&rich[rich.len() / 2..]));
+        variants.push(reindex(&rich[1..]));
+    }
+    if modest.len() > 1 {
+        variants.push(reindex(&modest[..modest.len().div_ceil(2)]));
+    }
+    if rich.len() > 1 && modest.len() > 1 {
+        // A blended profile: strongest half of each, re-sorted by
+        // descending intensity (profiles are intensity-ordered).
+        let mut blend: Vec<PrefAtom> = rich[..rich.len() / 2]
+            .iter()
+            .chain(&modest[..modest.len() / 2])
+            .cloned()
+            .collect();
+        blend.sort_by(|a, b| b.intensity.total_cmp(&a.intensity));
+        let mut deduped: Vec<PrefAtom> = Vec::with_capacity(blend.len());
+        for atom in blend {
+            if !deduped.iter().any(|d| d.predicate == atom.predicate) {
+                deduped.push(atom);
+            }
+        }
+        variants.push(reindex(&deduped));
+    }
+    variants
+}

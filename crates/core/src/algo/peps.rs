@@ -185,29 +185,67 @@ impl<'a, 'db> Peps<'a, 'db> {
     /// # Errors
     /// [`HypreError::ZeroK`] when `k == 0`.
     pub fn top_k(&self, k: usize) -> Result<Vec<RankedTuple>> {
-        if k == 0 {
+        let mut results = self.top_k_multi(std::slice::from_ref(&k))?;
+        Ok(results.pop().unwrap_or_default())
+    }
+
+    /// Runs the rounds **once** and extracts a Top-K ranking for *each*
+    /// requested `k` — the batch entry point behind
+    /// [`BatchScheduler`](crate::sched::BatchScheduler).
+    ///
+    /// Rounds are `k`-independent: the dense score array after rounds
+    /// `0..=s` is the same whatever `k` was asked for — `k` only decides
+    /// *when to stop* and *how much to materialise*. So the shared
+    /// execution runs rounds until every requested `k` has satisfied its
+    /// own early-termination condition (or rounds are exhausted) and
+    /// snapshots each `k`'s ranking at exactly the round where a
+    /// standalone [`top_k(k)`](Peps::top_k) would have stopped. Every
+    /// returned ranking is therefore **byte-identical** to the
+    /// standalone call, whatever the other `k`s in the batch are.
+    ///
+    /// # Errors
+    /// [`HypreError::ZeroK`] when any requested `k` is zero.
+    pub fn top_k_multi(&self, ks: &[usize]) -> Result<Vec<Vec<RankedTuple>>> {
+        if ks.contains(&0) {
             return Err(HypreError::ZeroK);
         }
         let sets = self.atom_sets()?;
         let mut emitted = EmittedSet::new(self.atoms.len());
         let mut sink = ScoreSink::default();
+        let mut results: Vec<Option<Vec<RankedTuple>>> = vec![None; ks.len()];
+        let mut pending = ks.len();
         for s in 0..self.atoms.len() {
-            self.run_round(s, &sets, &mut emitted, &mut sink);
-            // Early termination: every combination a later round can emit
-            // is capped by this round's threshold.
-            let threshold = self.atoms[s].intensity;
-            if sink.n_ranked >= k && kth_best(&sink.ranked, k) >= threshold {
+            if pending == 0 {
                 break;
             }
+            self.run_round(s, &sets, &mut emitted, &mut sink);
+            // Early termination, per requested k: every combination a
+            // later round can emit is capped by this round's threshold,
+            // so a k whose k-th best score has reached it is final — its
+            // ranking is snapshotted here, before any further rounds run.
+            let threshold = self.atoms[s].intensity;
+            for (slot, &k) in results.iter_mut().zip(ks) {
+                if slot.is_none() && sink.n_ranked >= k && kth_best(&sink.ranked, k) >= threshold {
+                    *slot = Some(self.finalize_top_k(&sink.ranked, k));
+                    pending -= 1;
+                }
+            }
         }
-        // Materialise identities for the Top-K slice only: select the
-        // k-th best score first (linear time), keep every candidate at
-        // or above it (ties included), and clone `Value`s for just those
-        // — not for every tuple the rounds ever scored. The tie-break by
-        // ascending tuple value runs over the candidate set, so the
-        // result is identical to fully sorting the whole ranking.
-        let mut scored: Vec<(u32, f64)> = sink
-            .ranked
+        Ok(results
+            .into_iter()
+            .zip(ks)
+            .map(|(slot, &k)| slot.unwrap_or_else(|| self.finalize_top_k(&sink.ranked, k)))
+            .collect())
+    }
+
+    /// Materialises the Top-K slice from the dense score array: select
+    /// the k-th best score first (linear time), keep every candidate at
+    /// or above it (ties included), and clone `Value`s for just those —
+    /// not for every tuple the rounds ever scored. The tie-break by
+    /// ascending tuple value runs over the candidate set, so the result
+    /// is identical to fully sorting the whole ranking.
+    fn finalize_top_k(&self, ranked: &[f64], k: usize) -> Vec<RankedTuple> {
+        let mut scored: Vec<(u32, f64)> = ranked
             .iter()
             .enumerate()
             .filter(|(_, &score)| score > f64::NEG_INFINITY)
@@ -224,7 +262,7 @@ impl<'a, 'db> Peps<'a, 'db> {
             .collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out.truncate(k);
-        Ok(out)
+        out
     }
 
     // ------------------------------------------------------------------

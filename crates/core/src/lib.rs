@@ -24,6 +24,14 @@
 //! * **[`tupleset`]** / **[`bitset`]** — the adaptive compressed tuple-set
 //!   representation (sorted-array container for sparse sets, packed-word
 //!   bitmap for dense ones) the executor's set algebra runs on.
+//! * **[`sched`]** — batched cross-session scheduling: concurrent
+//!   `top_k` calls grouped by profile-atom identity so each distinct
+//!   round expansion is evaluated once and demultiplexed, byte-identical
+//!   to per-session execution.
+//! * **[`serve`]** — a std-only, thread-per-core sharded TCP serving
+//!   loop over the batch scheduler: hand-rolled length-prefixed framing,
+//!   bounded-queue admission control with typed overload rejection,
+//!   per-tenant stats and epoch-session draining.
 //! * **[`metrics`]** — utility, coverage, similarity and overlap.
 //! * **[`skyline`]** — the attribute-based preference extension (§1.4,
 //!   §8.2) with block-nested-loop skyline evaluation.
@@ -71,6 +79,8 @@ pub mod graph;
 pub mod intensity;
 pub mod metrics;
 pub mod preference;
+pub mod sched;
+pub mod serve;
 pub mod skyline;
 pub mod tupleset;
 
@@ -107,6 +117,7 @@ pub mod prelude {
     pub use crate::preference::{
         Preference, Provenance, QualitativePref, QuantitativePref, UserId,
     };
+    pub use crate::sched::{BatchOutcome, BatchRequest, BatchScheduler, BatchStats};
     pub use crate::skyline::{prioritized_skyline, skyline, AttributePref, Direction};
     pub use crate::tupleset::{TupleSet, ARRAY_MAX, RUN_MAX};
 }

@@ -1,0 +1,429 @@
+//! Batched cross-session scheduling: evaluate each distinct round
+//! expansion once, demultiplex per-session Top-K answers.
+//!
+//! At serving scale most concurrent `top_k` calls are not unique work:
+//! popular profiles repeat across sessions, and a warmed
+//! [`ProfileCache`] hands every session *pointer-identical*
+//! [`SharedTupleSet`](crate::exec::SharedTupleSet)s for the same
+//! canonical predicate. [`BatchScheduler`] exploits that: it groups the
+//! requests of one batch by **profile-atom identity** — two requests
+//! land in the same group exactly when their atom lists pair up with
+//! [`Arc::ptr_eq`]-identical tuple sets and bit-identical intensities
+//! under the same [`PepsVariant`] — runs the PEPS rounds **once per
+//! group** through [`Peps::top_k_multi`], and fans the per-`k` rankings
+//! back out to each member session.
+//!
+//! # Determinism contract
+//!
+//! Batching is a pure dedup of evaluations whose outputs are already
+//! pinned byte-identical by the executor's parallel-equivalence
+//! contract:
+//!
+//! * a group only forms when the inputs of the PEPS rounds (tuple sets,
+//!   intensities, variant) are identical, so the shared evaluation *is*
+//!   the evaluation each member would have run alone;
+//! * [`Peps::top_k_multi`] snapshots each requested `k` at exactly the
+//!   round where a standalone `top_k(k)` would have early-terminated,
+//!   so mixed `k`s inside a group cannot perturb each other;
+//! * groups are formed and evaluated in first-occurrence request order,
+//!   and the worker knob only shards round expansions that merge
+//!   order-independently.
+//!
+//! Hence every answer is **byte-identical at every worker count and
+//! batch composition** to running that session alone on a fresh
+//! sequential executor — the contract `tests/batched_equivalence.rs`
+//! pins.
+//!
+//! # Epoch integration
+//!
+//! A scheduler holds no corpus state: each [`BatchScheduler::run`] call
+//! takes the database and the `Arc<ProfileCache>` snapshot to serve
+//! from, so a serving loop drives it with
+//! [`EpochSession::cache`](crate::exec::EpochSession::cache) and drains
+//! the session **between** batches — in-flight batches keep answering
+//! on the epoch they started on, drained sessions pick up the next
+//! published epoch (`tests/batched_equivalence.rs` pins that lifecycle
+//! too).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use relstore::Database;
+
+use crate::algo::peps::{Peps, PepsVariant, RankedTuple};
+use crate::combine::PrefAtom;
+use crate::error::{HypreError, Result};
+use crate::exec::{Executor, PairwiseCache, Parallelism, ProfileCache};
+
+/// One session's Top-K call, queued for batched evaluation.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The session's positive profile, in descending intensity order
+    /// (the order [`HypreGraph::positive_profile`](crate::graph::HypreGraph::positive_profile)
+    /// returns).
+    pub atoms: Vec<PrefAtom>,
+    /// How many tuples the session asked for.
+    pub k: usize,
+    /// Which PEPS variant the session runs.
+    pub variant: PepsVariant,
+}
+
+impl BatchRequest {
+    /// A Complete-variant request — the common serving shape.
+    pub fn new(atoms: Vec<PrefAtom>, k: usize) -> Self {
+        BatchRequest {
+            atoms,
+            k,
+            variant: PepsVariant::Complete,
+        }
+    }
+
+    /// Overrides the PEPS variant.
+    pub fn with_variant(mut self, variant: PepsVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+}
+
+/// What one batch evaluation shared, for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Distinct (profile identity, variant) groups — each ran the PEPS
+    /// rounds exactly once.
+    pub groups: usize,
+    /// Requests answered off another request's evaluation
+    /// (`requests - groups`, minus any request that failed before
+    /// grouping).
+    pub shared: usize,
+    /// SQL queries the batch executor ran — `0` when every predicate
+    /// was served from the warmed cache.
+    pub queries_run: usize,
+}
+
+/// A completed batch: one answer slot per request, in request order.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-request results. A request fails alone (bad predicate,
+    /// `k = 0`) without poisoning its batch.
+    pub results: Vec<Result<Vec<RankedTuple>>>,
+    /// What the batch shared.
+    pub stats: BatchStats,
+}
+
+/// Groups concurrent Top-K calls by profile-atom identity and evaluates
+/// each distinct round expansion once (module docs spell out the
+/// determinism contract).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchScheduler {
+    parallelism: Parallelism,
+}
+
+/// The grouping key: the PEPS-round inputs that must be identical for
+/// two requests to share an evaluation. Tuple-set identity is the
+/// `Arc`'s pointer (two `SharedTupleSet`s from one executor are
+/// [`Arc::ptr_eq`] exactly when they came from the same cache or memo
+/// entry, i.e. the same canonical predicate), intensity is compared by
+/// bit pattern.
+type GroupKey = (u8, Vec<(usize, u64)>);
+
+/// One distinct evaluation: the first member's atoms stand in for the
+/// whole group (the key guarantees every member's rounds are identical).
+struct Group {
+    atoms: Vec<PrefAtom>,
+    variant: PepsVariant,
+    /// Distinct requested `k`s, ascending.
+    ks: Vec<usize>,
+    /// `(request index, k)` per member.
+    members: Vec<(usize, usize)>,
+}
+
+impl BatchScheduler {
+    /// A scheduler whose shared evaluations run round expansions under
+    /// the given [`Parallelism`] knob.
+    pub fn new(parallelism: Parallelism) -> Self {
+        BatchScheduler { parallelism }
+    }
+
+    /// A fully sequential scheduler.
+    pub fn sequential() -> Self {
+        BatchScheduler::new(Parallelism::Sequential)
+    }
+
+    /// Evaluates one batch against a cache snapshot.
+    ///
+    /// Opens a single pinned session executor over `cache` (pinned, so
+    /// an append-only corpus that has already grown past the snapshot
+    /// still serves — the epoch-session path), resolves every request's
+    /// atom sets through it (pointer-identical for identical canonical
+    /// predicates, cached or batch-memoised), groups, evaluates each
+    /// group once, and demultiplexes.
+    ///
+    /// # Errors
+    /// Fails as a whole only when the session executor cannot open
+    /// (e.g. [`HypreError::IdSpaceExhausted`]); per-request failures
+    /// come back in their own [`BatchOutcome::results`] slot.
+    pub fn run(
+        &self,
+        db: &Database,
+        cache: &Arc<ProfileCache>,
+        requests: &[BatchRequest],
+    ) -> Result<BatchOutcome> {
+        let mut stats = BatchStats {
+            requests: requests.len(),
+            ..BatchStats::default()
+        };
+        if requests.is_empty() {
+            return Ok(BatchOutcome {
+                results: Vec::new(),
+                stats,
+            });
+        }
+        let exec = Executor::with_cache_pinned(db, Arc::clone(cache))?;
+        exec.set_parallelism(self.parallelism);
+
+        // Group by profile-atom identity, in first-occurrence order.
+        let mut results: Vec<Result<Vec<RankedTuple>>> =
+            requests.iter().map(|_| Ok(Vec::new())).collect();
+        let mut index: HashMap<GroupKey, usize> = HashMap::new();
+        let mut groups: Vec<Group> = Vec::new();
+        for (r, req) in requests.iter().enumerate() {
+            if req.k == 0 {
+                results[r] = Err(HypreError::ZeroK);
+                continue;
+            }
+            let mut key_atoms = Vec::with_capacity(req.atoms.len());
+            let mut resolve_err = None;
+            for atom in &req.atoms {
+                match exec.tuple_set(&atom.predicate) {
+                    Ok(set) => {
+                        key_atoms.push((Arc::as_ptr(&set) as usize, atom.intensity.to_bits()));
+                    }
+                    Err(e) => {
+                        resolve_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = resolve_err {
+                results[r] = Err(e);
+                continue;
+            }
+            let key: GroupKey = (variant_tag(req.variant), key_atoms);
+            let g = *index.entry(key).or_insert_with(|| {
+                groups.push(Group {
+                    atoms: req.atoms.clone(),
+                    variant: req.variant,
+                    ks: Vec::new(),
+                    members: Vec::new(),
+                });
+                groups.len() - 1
+            });
+            if let Err(slot) = groups[g].ks.binary_search(&req.k) {
+                groups[g].ks.insert(slot, req.k);
+            }
+            groups[g].members.push((r, req.k));
+        }
+
+        // Evaluate each distinct round expansion once; demultiplex.
+        stats.groups = groups.len();
+        for group in &groups {
+            let per_k = PairwiseCache::build(&group.atoms, &exec).and_then(|pairs| {
+                Peps::new(&group.atoms, &exec, &pairs, group.variant).top_k_multi(&group.ks)
+            });
+            match per_k {
+                Ok(per_k) => {
+                    for &(r, k) in &group.members {
+                        results[r] = Ok(group
+                            .ks
+                            .binary_search(&k)
+                            .ok()
+                            .and_then(|slot| per_k.get(slot))
+                            .cloned()
+                            .unwrap_or_default());
+                    }
+                }
+                Err(e) => {
+                    for &(r, _) in &group.members {
+                        results[r] = Err(e.clone());
+                    }
+                }
+            }
+            stats.shared += group.members.len() - 1;
+        }
+        stats.queries_run = exec.queries_run();
+        Ok(BatchOutcome { results, stats })
+    }
+}
+
+fn variant_tag(variant: PepsVariant) -> u8 {
+    match variant {
+        PepsVariant::Complete => 0,
+        PepsVariant::Approximate => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::BaseQuery;
+    use relstore::{parse_predicate, ColRef, DataType, Database, Predicate, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let papers = db
+            .create_table(
+                "dblp",
+                Schema::of(&[
+                    ("pid", DataType::Int),
+                    ("venue", DataType::Str),
+                    ("year", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        for (pid, venue, year) in [
+            (1, "VLDB", 2010),
+            (2, "VLDB", 2005),
+            (3, "SIGMOD", 2010),
+            (4, "PODS", 2010),
+            (5, "PODS", 2004),
+            (6, "ICDE", 1999),
+        ] {
+            papers
+                .insert(vec![pid.into(), venue.into(), year.into()])
+                .unwrap();
+        }
+        db
+    }
+
+    fn atoms(specs: &[(&str, f64)]) -> Vec<PrefAtom> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, (p, w))| PrefAtom::new(i, parse_predicate(p).unwrap(), *w))
+            .collect()
+    }
+
+    fn rich() -> Vec<PrefAtom> {
+        atoms(&[
+            ("dblp.year>=2005", 0.6),
+            ("dblp.venue='VLDB'", 0.5),
+            ("dblp.venue='PODS'", 0.3),
+            ("dblp.year>=2010", 0.2),
+        ])
+    }
+
+    fn warmed(db: &Database) -> Arc<ProfileCache> {
+        let profile = rich();
+        let preds: Vec<&Predicate> = profile.iter().map(|a| &a.predicate).collect();
+        Arc::new(
+            ProfileCache::warm(
+                db,
+                BaseQuery::single("dblp", ColRef::parse("dblp.pid")),
+                preds,
+            )
+            .unwrap(),
+        )
+    }
+
+    fn solo(db: &Database, req: &BatchRequest) -> Vec<RankedTuple> {
+        let exec = Executor::new(db, BaseQuery::single("dblp", ColRef::parse("dblp.pid")));
+        let pairs = PairwiseCache::build(&req.atoms, &exec).unwrap();
+        Peps::new(&req.atoms, &exec, &pairs, req.variant)
+            .top_k(req.k)
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_profiles_share_one_evaluation() {
+        let db = db();
+        let cache = warmed(&db);
+        let reqs = vec![
+            BatchRequest::new(rich(), 3),
+            BatchRequest::new(rich(), 6),
+            BatchRequest::new(rich(), 3),
+        ];
+        let out = BatchScheduler::sequential()
+            .run(&db, &cache, &reqs)
+            .unwrap();
+        assert_eq!(out.stats.requests, 3);
+        assert_eq!(out.stats.groups, 1, "one distinct profile identity");
+        assert_eq!(out.stats.shared, 2);
+        assert_eq!(out.stats.queries_run, 0, "fully warmed cache");
+        for (got, req) in out.results.iter().zip(&reqs) {
+            assert_eq!(got.as_ref().unwrap(), &solo(&db, req));
+        }
+    }
+
+    #[test]
+    fn distinct_profiles_and_variants_get_their_own_groups() {
+        let db = db();
+        let cache = warmed(&db);
+        let sub = atoms(&[("dblp.year>=2005", 0.6), ("dblp.venue='VLDB'", 0.5)]);
+        let reqs = vec![
+            BatchRequest::new(rich(), 4),
+            BatchRequest::new(sub.clone(), 4),
+            BatchRequest::new(rich(), 4).with_variant(PepsVariant::Approximate),
+            BatchRequest::new(sub, 2),
+        ];
+        let out = BatchScheduler::sequential()
+            .run(&db, &cache, &reqs)
+            .unwrap();
+        assert_eq!(out.stats.groups, 3);
+        assert_eq!(out.stats.shared, 1);
+        for (got, req) in out.results.iter().zip(&reqs) {
+            assert_eq!(got.as_ref().unwrap(), &solo(&db, req));
+        }
+    }
+
+    #[test]
+    fn bad_requests_fail_alone_without_poisoning_the_batch() {
+        let db = db();
+        let cache = warmed(&db);
+        let reqs = vec![
+            BatchRequest::new(rich(), 0),
+            BatchRequest::new(rich(), 2),
+            BatchRequest::new(atoms(&[("nosuch.col>1", 0.5)]), 2),
+        ];
+        let out = BatchScheduler::sequential()
+            .run(&db, &cache, &reqs)
+            .unwrap();
+        assert!(matches!(out.results[0], Err(HypreError::ZeroK)));
+        assert_eq!(out.results[1].as_ref().unwrap(), &solo(&db, &reqs[1]));
+        assert!(matches!(out.results[2], Err(HypreError::Rel(_))));
+        assert_eq!(out.stats.groups, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let db = db();
+        let cache = warmed(&db);
+        let out = BatchScheduler::sequential().run(&db, &cache, &[]).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats, BatchStats::default());
+    }
+
+    #[test]
+    fn uncached_predicates_still_group_within_a_batch() {
+        // A predicate missing from the cache resolves through the batch
+        // executor's memo — still one Arc per canonical predicate, so
+        // identical uncached profiles share an evaluation (and the SQL
+        // runs once).
+        let db = db();
+        let cache = warmed(&db);
+        let cold = atoms(&[("dblp.venue='SIGMOD'", 0.7), ("dblp.year>=2010", 0.4)]);
+        let reqs = vec![
+            BatchRequest::new(cold.clone(), 3),
+            BatchRequest::new(cold, 5),
+        ];
+        let out = BatchScheduler::sequential()
+            .run(&db, &cache, &reqs)
+            .unwrap();
+        assert_eq!(out.stats.groups, 1);
+        assert!(out.stats.queries_run > 0, "cold predicates hit SQL once");
+        for (got, req) in out.results.iter().zip(&reqs) {
+            assert_eq!(got.as_ref().unwrap(), &solo(&db, req));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! The batched-scheduling determinism contract: `BatchScheduler` over
+//! randomized session mixes (overlapping and disjoint profiles, k ∈
+//! {1, 10, 100}, mixed PEPS variants) must be **byte-identical** to
+//! running each session alone on a fresh sequential executor — at every
+//! worker count and in every batch composition. Plus the epoch
+//! lifecycle: a batch in flight across an `EpochCache::ingest` answers
+//! on its pinned epoch, a drained session answers on the new one, both
+//! verified against cold executors (the `tests/live_corpus.rs` shape).
+
+use std::sync::{Arc, OnceLock};
+
+use hypre_bench::ingest::split_corpus;
+use hypre_bench::{profile_variants, Fixture};
+use hypre_repro::prelude::*;
+use hypre_repro::relstore::{Database, Predicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(Fixture::small)
+}
+
+/// The distinct profile identities the mixes draw from: the two study
+/// users' profiles plus overlapping slices and a blended variant.
+fn variants() -> Vec<Vec<PrefAtom>> {
+    let fx = fixture();
+    profile_variants(
+        &fx.graph.positive_profile(fx.rich_user),
+        &fx.graph.positive_profile(fx.modest_user),
+    )
+}
+
+/// A snapshot warmed with every variant predicate, so batches run SQL-free.
+fn warmed_cache() -> Arc<ProfileCache> {
+    let warm = fixture().executor();
+    for profile in variants() {
+        for atom in &profile {
+            warm.tuple_set(&atom.predicate).unwrap();
+        }
+    }
+    Arc::new(ProfileCache::snapshot(&warm))
+}
+
+/// A randomized session mix over the profile variants.
+fn random_mix(seed: u64, sessions: usize) -> Vec<BatchRequest> {
+    let profiles = variants();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..sessions)
+        .map(|_| {
+            let profile = profiles[rng.gen_range(0..profiles.len())].clone();
+            let k = [1usize, 10, 100][rng.gen_range(0..3usize)];
+            let variant = if rng.gen_bool(0.3) {
+                PepsVariant::Approximate
+            } else {
+                PepsVariant::Complete
+            };
+            BatchRequest::new(profile, k).with_variant(variant)
+        })
+        .collect()
+}
+
+/// The reference: the request run alone on a fresh, fully sequential
+/// executor (cold — its own SQL, its own interning).
+fn solo(db: &Database, req: &BatchRequest) -> Vec<RankedTuple> {
+    let exec = Executor::new(db, BaseQuery::dblp());
+    let pairs = PairwiseCache::build(&req.atoms, &exec).unwrap();
+    Peps::new(&req.atoms, &exec, &pairs, req.variant)
+        .top_k(req.k)
+        .unwrap()
+}
+
+#[test]
+fn batched_matches_solo_sequential_at_every_worker_count() {
+    let fx = fixture();
+    let cache = warmed_cache();
+    for seed in [11u64, 42, 2026] {
+        let mix = random_mix(seed, 12);
+        let want: Vec<Vec<RankedTuple>> = mix.iter().map(|req| solo(&fx.db, req)).collect();
+        for workers in [1usize, 2, 8] {
+            let out = BatchScheduler::new(Parallelism::threads(workers))
+                .run(&fx.db, &cache, &mix)
+                .unwrap();
+            for (i, (got, want)) in out.results.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    got.as_ref().unwrap(),
+                    want,
+                    "request {i} diverged from solo execution (seed {seed}, {workers} workers)"
+                );
+            }
+            assert_eq!(out.stats.requests, mix.len());
+            assert!(
+                out.stats.groups < mix.len(),
+                "a 12-session mix over {} profiles must share evaluations \
+                 (got {} groups)",
+                variants().len(),
+                out.stats.groups
+            );
+            assert_eq!(out.stats.shared, mix.len() - out.stats.groups);
+            assert_eq!(out.stats.queries_run, 0, "warmed snapshot serves SQL-free");
+        }
+    }
+}
+
+#[test]
+fn batch_composition_cannot_change_an_answer() {
+    // The same request must get the same bytes whether it rides alone,
+    // with strangers, or duplicated — batching dedups computation, it
+    // never blends it.
+    let fx = fixture();
+    let cache = warmed_cache();
+    let scheduler = BatchScheduler::sequential();
+    let mix = random_mix(7, 10);
+    let in_batch = scheduler.run(&fx.db, &cache, &mix).unwrap();
+    for (i, req) in mix.iter().enumerate() {
+        let alone = scheduler
+            .run(&fx.db, &cache, std::slice::from_ref(req))
+            .unwrap();
+        assert_eq!(
+            alone.results[0].as_ref().unwrap(),
+            in_batch.results[i].as_ref().unwrap(),
+            "request {i} answered differently alone vs in a batch of {}",
+            mix.len()
+        );
+    }
+    // And a doubled batch answers both copies identically.
+    let mut doubled = mix.clone();
+    doubled.extend(mix.iter().cloned());
+    let out = scheduler.run(&fx.db, &cache, &doubled).unwrap();
+    for i in 0..mix.len() {
+        assert_eq!(
+            out.results[i].as_ref().unwrap(),
+            out.results[i + mix.len()].as_ref().unwrap(),
+            "duplicated request {i} diverged inside one batch"
+        );
+    }
+}
+
+#[test]
+fn mixed_k_inside_one_group_matches_every_standalone_k() {
+    // k ∈ {1, 10, 100} over the *same* profile lands in one group and
+    // one shared round evaluation; each k's ranking must still be what
+    // a standalone top_k(k) returns — including the early-termination
+    // point, which differs per k.
+    let fx = fixture();
+    let cache = warmed_cache();
+    let profile = variants().remove(0);
+    let mix: Vec<BatchRequest> = [1usize, 10, 100, 10, 1]
+        .into_iter()
+        .map(|k| BatchRequest::new(profile.clone(), k))
+        .collect();
+    let out = BatchScheduler::sequential()
+        .run(&fx.db, &cache, &mix)
+        .unwrap();
+    assert_eq!(out.stats.groups, 1, "one profile identity, one evaluation");
+    for (got, req) in out.results.iter().zip(&mix) {
+        assert_eq!(got.as_ref().unwrap(), &solo(&fx.db, req), "k = {}", req.k);
+    }
+}
+
+#[test]
+fn in_flight_batches_pin_their_epoch_and_drained_sessions_pick_up_the_new_one() {
+    // The live-corpus lifecycle, batched: warm on the base corpus,
+    // publish epoch 1, pin a session; ingest the delta to epoch 2 while
+    // the session is still pinned. Batches through the pinned session
+    // answer epoch-1 results (verified against a cold executor on the
+    // base corpus); after drain() the same batches answer epoch-2
+    // results (verified against a cold executor on the full corpus).
+    let fx = fixture();
+    let split = split_corpus(&fx.dataset, 0.6);
+    let profiles = variants();
+    let predicates: Vec<&Predicate> = profiles
+        .iter()
+        .flat_map(|p| p.iter().map(|a| &a.predicate))
+        .collect();
+    let cache = ProfileCache::warm(&split.base, BaseQuery::dblp(), predicates).unwrap();
+    let epochs = EpochCache::new(cache);
+    let mut session = EpochSession::open(&epochs);
+    assert_eq!(session.epoch(), 1);
+
+    let mix: Vec<BatchRequest> = profiles
+        .iter()
+        .map(|p| BatchRequest::new(p.clone(), 20))
+        .collect();
+    let want_old: Vec<Vec<RankedTuple>> = mix.iter().map(|r| solo(&split.base, r)).collect();
+    let want_new: Vec<Vec<RankedTuple>> = mix.iter().map(|r| solo(&split.full, r)).collect();
+    assert_ne!(
+        want_old[0], want_new[0],
+        "the delta must actually move the top-20"
+    );
+
+    let scheduler = BatchScheduler::new(Parallelism::threads(2));
+    let before = scheduler.run(&split.full, &session.cache(), &mix).unwrap();
+    for (got, want) in before.results.iter().zip(&want_old) {
+        assert_eq!(got.as_ref().unwrap(), want, "epoch-1 batch");
+    }
+
+    // The delta goes live mid-serving: epoch 2 published, session still
+    // pinned to epoch 1 — its batches must keep answering old results.
+    let report = epochs.ingest(&split.full, 0).unwrap();
+    assert!(report.new_tuples > 0);
+    assert_eq!(epochs.current_epoch(), 2);
+    assert_eq!(session.epoch(), 1, "no stop-the-world: the pin holds");
+    let pinned = scheduler.run(&split.full, &session.cache(), &mix).unwrap();
+    for (got, want) in pinned.results.iter().zip(&want_old) {
+        assert_eq!(
+            got.as_ref().unwrap(),
+            want,
+            "a batch in flight on the pinned epoch must not see the ingest"
+        );
+    }
+
+    // Drain at the batch boundary: the very next batch serves epoch 2.
+    assert!(session.drain(&epochs), "a newer epoch was published");
+    assert_eq!(session.epoch(), 2);
+    let after = scheduler.run(&split.full, &session.cache(), &mix).unwrap();
+    for (got, want) in after.results.iter().zip(&want_new) {
+        assert_eq!(got.as_ref().unwrap(), want, "epoch-2 batch");
+    }
+    assert_eq!(
+        after.stats.queries_run, 0,
+        "the ingested epoch serves SQL-free"
+    );
+}

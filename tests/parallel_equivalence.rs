@@ -158,6 +158,55 @@ fn concurrent_sessions_sharing_one_profile_cache_rank_identically() {
 }
 
 #[test]
+fn mixed_parallelism_knobs_in_one_process_stay_byte_identical() {
+    // The worker-count sweeps above pin each knob in isolation; this
+    // pins the *mixed* case — one `Fixed(2)` and one `Auto` executor
+    // sharing the same `ProfileCache` snapshot, running concurrently in
+    // one process — against the sequential reference. Different knobs
+    // may schedule their round expansions completely differently, but
+    // the rankings and ORDER lists must not move by a byte.
+    let fx = fixture();
+    let atoms = rich_atoms();
+    let fresh = fx.executor();
+    let fresh_pairs = PairwiseCache::build(&atoms, &fresh).unwrap();
+    let reference = Peps::new(&atoms, &fresh, &fresh_pairs, PepsVariant::Complete);
+    let want_top = reference.top_k(25).unwrap();
+    let want_order = reference.ordered_combinations().unwrap();
+    let cache = Arc::new(ProfileCache::snapshot(&fresh));
+
+    let knobs = [Parallelism::threads(2), Parallelism::Auto];
+    let results: Vec<(Vec<RankedTuple>, Vec<CombinationRecord>, usize)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = knobs
+                .iter()
+                .map(|&knob| {
+                    let cache = Arc::clone(&cache);
+                    let atoms = &atoms;
+                    let db = &fx.db;
+                    scope.spawn(move || {
+                        let session = Executor::with_cache(db, cache)
+                            .expect("cache matches the corpus")
+                            .with_parallelism(knob);
+                        let pairs = PairwiseCache::build(atoms, &session).unwrap();
+                        let peps = Peps::new(atoms, &session, &pairs, PepsVariant::Complete);
+                        (
+                            peps.top_k(25).unwrap(),
+                            peps.ordered_combinations().unwrap(),
+                            session.queries_run(),
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+    for ((top, order, queries), knob) in results.iter().zip(&knobs) {
+        assert_eq!(top, &want_top, "top_k diverged under {knob:?}");
+        assert_eq!(order, &want_order, "ORDER list diverged under {knob:?}");
+        assert_eq!(*queries, 0, "sessions must not re-run profile SQL");
+    }
+}
+
+#[test]
 fn session_over_a_partial_snapshot_matches_a_fresh_executor() {
     // A snapshot warmed with only the modest user's predicates still
     // serves the rich user's profile: overlapping predicates resolve
