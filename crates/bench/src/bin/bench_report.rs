@@ -36,6 +36,16 @@
 //!   (`ProfileCache::ingest_delta`) versus a cold full re-warm over the
 //!   grown corpus. Non-headline: the rows carry no `name` field, so the
 //!   regression guard ignores them;
+//! * `scaling` — PR 8 (only with `--scaling`, the `scripts/ci.sh
+//!   --scaling` mode): per-thread-count curves at 1, 2, 4 and 8 workers
+//!   for the pairwise build, PEPS top-k (work-stealing rounds) and
+//!   batched serving, each with its speedup over the 1-worker run. On a
+//!   1-core host the section records an explicit
+//!   `"skipped": "available_parallelism=1"` marker instead of junk
+//!   spawn-overhead rows; without the flag it records
+//!   `"skipped": "not_requested"`. Non-headline either way (the rows
+//!   carry no `name` field), so the regression guard never trips on a
+//!   host's core count;
 //! * `batched_serving` — PR 7: 100–400 simulated sessions drawing
 //!   profiles Zipf-popularly from the variant pool, served unbatched
 //!   (every session its own executor + PEPS rounds, fanned over 4 OS
@@ -56,9 +66,10 @@
 //! tripping the gate; PR 1-era baselines fall back to raw wall-clock.
 //!
 //! Usage: `cargo run --release -p hypre-bench --bin bench_report
-//! [out.json [baseline.json]]` — with no arguments the output name is
-//! derived as `BENCH_PR{n+1}.json` from the newest checked-in
-//! `BENCH_PR{n}.json`, which doubles as the baseline.
+//! [--scaling] [out.json [baseline.json]]` — with no positional
+//! arguments the output name is derived as `BENCH_PR{n+1}.json` from
+//! the newest checked-in `BENCH_PR{n}.json`, which doubles as the
+//! baseline.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -148,6 +159,19 @@ struct LiveIngestRow {
     rewarm_ns: u128,
 }
 
+/// Worker counts the `--scaling` curves sweep.
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One scaling-curve row: a warm parallel phase at a worker count, for
+/// the multi-core curves the `--scaling` mode emits. Non-headline (no
+/// `name` field in the JSON), so the regression guard ignores it.
+struct ScalingRow {
+    phase: &'static str,
+    papers: usize,
+    threads: usize,
+    ns: u128,
+}
+
 /// One batched-serving row: a Zipf session mix served unbatched versus
 /// through one `BatchScheduler` run.
 struct BatchedServingRow {
@@ -222,7 +246,19 @@ fn bench_files_newest_first() -> Vec<(u32, String)> {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut scaling_requested = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--scaling" => scaling_requested = true,
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag: {other} (supported: --scaling)");
+                std::process::exit(2);
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let mut args = positional.into_iter();
     let known = bench_files_newest_first();
     let out_path = args
         .next()
@@ -254,7 +290,15 @@ fn main() {
     let mut multi: Vec<MultiSessionRow> = Vec::new();
     let mut live: Vec<LiveIngestRow> = Vec::new();
     let mut batched: Vec<BatchedServingRow> = Vec::new();
+    let mut scaling: Vec<ScalingRow> = Vec::new();
     let mut extra = String::new();
+
+    let cores = Parallelism::Auto.workers();
+    // The scaling curves only mean something with real cores behind
+    // them: a 1-core host would measure thread-spawn overhead, not
+    // scaling, so the section is skipped with an explicit marker and
+    // the headline guard never sees a core-count artifact.
+    let measure_scaling = scaling_requested && cores > 1;
 
     for &n in &sizes {
         eprintln!("building {n}-paper fixture…");
@@ -481,6 +525,51 @@ fn main() {
             });
         }
 
+        // PR 8: multi-core scaling curves (only with --scaling, and
+        // only when the host actually has cores to scale over). Three
+        // phases per thread count: the cost-weighted work-stealing
+        // pairwise build, PEPS top-k with work-stealing rounds, and
+        // batched Zipf serving through the scheduler. Results are
+        // byte-identical at every count (tests/parallel_equivalence.rs
+        // pins this), so the curves measure pure scheduling.
+        if measure_scaling {
+            let scaling_mix = serving::zipf_session_mix(&profiles, 100, 10, 1.1, 42);
+            for threads in SCALING_THREADS {
+                scaling.push(ScalingRow {
+                    phase: "pairwise_build",
+                    papers: n,
+                    threads,
+                    ns: measure(|| {
+                        PairwiseCache::build_with(&atoms, &exec, Parallelism::threads(threads))
+                            .unwrap()
+                            .applicable_count()
+                    }),
+                });
+                exec.set_parallelism(Parallelism::threads(threads));
+                scaling.push(ScalingRow {
+                    phase: "peps_top_k",
+                    papers: n,
+                    threads,
+                    ns: measure(|| peps.top_k(100).unwrap().len()),
+                });
+                exec.set_parallelism(Parallelism::Sequential);
+                scaling.push(ScalingRow {
+                    phase: "batched_serving",
+                    papers: n,
+                    threads,
+                    ns: measure(|| {
+                        serving::serve_batched_sessions(
+                            &fx.db,
+                            &zipf_cache,
+                            &scaling_mix,
+                            Parallelism::threads(threads),
+                        )
+                        .0
+                    }),
+                });
+            }
+        }
+
         // Operand picks: densest pair (bitmap containers) and sparsest
         // non-empty pair (array containers).
         let counts: Vec<u64> = atoms
@@ -557,7 +646,6 @@ fn main() {
         }
     }
 
-    let cores = Parallelism::Auto.workers();
     let mut json = String::from("{\n");
     let _ = write!(
         json,
@@ -649,7 +737,33 @@ fn main() {
             if i + 1 == batched.len() { "" } else { "," },
         );
     }
-    json.push_str("  ],\n  \"memory\": [\n");
+    // The scaling section is always present so downstream parsers see a
+    // stable schema: either measured rows or an explicit skip marker
+    // (1-core hosts would measure spawn overhead, not scaling).
+    json.push_str("  ],\n  \"scaling\": ");
+    if measure_scaling {
+        let _ = writeln!(json, "{{\"threads\": {SCALING_THREADS:?}, \"rows\": [");
+        for (i, s) in scaling.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {{\"section\":\"scaling\",\"phase\":\"{}\",\"papers\":{},\"threads\":{},\"ns\":{},\"speedup_vs_1\":{:.2}}}{}",
+                s.phase,
+                s.papers,
+                s.threads,
+                s.ns,
+                scaling_speedup(&scaling, s),
+                if i + 1 == scaling.len() { "" } else { "," },
+            );
+        }
+        json.push_str("  ]},\n  \"memory\": [\n");
+    } else {
+        let reason = if scaling_requested {
+            "available_parallelism=1"
+        } else {
+            "not_requested"
+        };
+        let _ = write!(json, "{{\"skipped\": \"{reason}\"}},\n  \"memory\": [\n");
+    }
     for (i, m) in mem.iter().enumerate() {
         let _ = writeln!(
             json,
@@ -730,6 +844,24 @@ fn main() {
             b.unbatched_ns as f64 / b.batched_ns.max(1) as f64,
         );
     }
+    if measure_scaling {
+        for s in &scaling {
+            println!(
+                "{:>18} {:<16} threads={:<3} n={:<6} {:>12} ns  ({:.2}x vs 1 worker, {cores} cores)",
+                "scaling",
+                s.phase,
+                s.threads,
+                s.papers,
+                s.ns,
+                scaling_speedup(&scaling, s),
+            );
+        }
+    } else if scaling_requested {
+        println!(
+            "{:>18} skipped: available_parallelism=1 (spawn overhead is not a scaling curve)",
+            "scaling"
+        );
+    }
     for m in &mem {
         println!(
             "{:>18} {:<22} n={:<6} |set|={:<6} [{:<6}] adaptive {:>8} B  bitset {:>8} B",
@@ -764,6 +896,14 @@ fn main() {
     if !regression_guard(&baseline_path, &baseline_rows, &rows) {
         std::process::exit(1);
     }
+}
+
+/// Speedup of a scaling row over the 1-worker run of the same phase and
+/// corpus size.
+fn scaling_speedup(rows: &[ScalingRow], row: &ScalingRow) -> f64 {
+    rows.iter()
+        .find(|r| r.phase == row.phase && r.papers == row.papers && r.threads == 1)
+        .map_or(1.0, |base| base.ns as f64 / row.ns.max(1) as f64)
 }
 
 /// One parsed baseline result row: `(section, name, papers, engine_ns,

@@ -53,16 +53,21 @@
 //!
 //! Within a round, the admitted seed pairs expand independently: the
 //! dedup set is consulted and updated **sequentially, in pairwise-list
-//! order, before any expansion runs**, after which the seed list is
-//! sharded into contiguous chunks across [`std::thread::scope`] workers
-//! (the executor's [`Parallelism`](crate::exec::Parallelism) knob).
-//! Each worker scores into a private dense array (or collects private
-//! combination records) and the results merge in worker order; because
-//! ranking takes a per-tuple *maximum* over emitted combinations and the
-//! ORDER list is globally sorted by a total order, `top_k` and
-//! `ordered_combinations` are **byte-identical at every worker count** —
-//! the contract `tests/parallel_equivalence.rs` pins at 1, 2 and 8
-//! threads.
+//! order, before any expansion runs** (claim order is fixed), after
+//! which the seed list fans out over a **work-stealing deque**
+//! (`crate::steal`, PR 8): each [`std::thread::scope`] worker (the
+//! executor's [`Parallelism`](crate::exec::Parallelism) knob) starts
+//! with a contiguous range of the claim-ordered list, pops its own
+//! head, and steals whole seed subtrees from the tail of the
+//! most-loaded victim once idle — so one dominant expansion subtree no
+//! longer idles the rest of the pool behind the round barrier. Only
+//! *execution placement* floats: each worker scores into a private
+//! dense array (or collects private combination records) and the
+//! results merge order-insensitively; because ranking takes a per-tuple
+//! *maximum* over emitted combinations and the ORDER list is globally
+//! sorted by a total order, `top_k` and `ordered_combinations` are
+//! **byte-identical at every worker count** — the contract
+//! `tests/parallel_equivalence.rs` pins at 1, 2 and 8 threads.
 
 use std::sync::Arc;
 
@@ -109,13 +114,13 @@ pub type RankedTuple = (Value, f64);
 /// # Determinism contract
 ///
 /// The executor's [`Parallelism`](crate::exec::Parallelism) knob only
-/// changes *wall-clock*: round expansions are sharded across scoped
-/// worker threads, but seed admission and deduplication happen
-/// sequentially in pairwise-list order before the fan-out, per-tuple
-/// scores merge as order-independent maxima, and the ORDER list is
-/// sorted by a total order — so [`Peps::top_k`] and
-/// [`Peps::ordered_combinations`] return byte-identical results at every
-/// worker count.
+/// changes *wall-clock*: round expansions fan out across scoped worker
+/// threads with work stealing, but seed admission and deduplication
+/// happen sequentially in pairwise-list order before the fan-out,
+/// per-tuple scores merge as order-independent maxima, and the ORDER
+/// list is sorted by a total order — so [`Peps::top_k`] and
+/// [`Peps::ordered_combinations`] return byte-identical results at
+/// every worker count.
 pub struct Peps<'a, 'db> {
     atoms: &'a [PrefAtom],
     exec: &'a Executor<'db>,
@@ -268,11 +273,12 @@ impl<'a, 'db> Peps<'a, 'db> {
     // ------------------------------------------------------------------
 
     /// Runs one round: admits pairs at threshold `τ_s`, claims them in
-    /// the dedup set (sequentially, in pairwise-list order — the ordered
-    /// merge that keeps every worker count byte-identical), expands them
-    /// depth-first — sharded across the executor's
-    /// [`Parallelism`](crate::exec::Parallelism) workers — and emits the
-    /// seed's singleton combination.
+    /// the dedup set (sequentially, in pairwise-list order — claim
+    /// order stays fixed at every worker count), expands them
+    /// depth-first — fanned over the executor's
+    /// [`Parallelism`](crate::exec::Parallelism) workers with
+    /// tail-stealing of whole seed subtrees — and emits the seed's
+    /// singleton combination.
     fn run_round<S: RoundSink>(
         &self,
         s: usize,
@@ -305,28 +311,27 @@ impl<'a, 'db> Peps<'a, 'db> {
                 exp.expand_seed(i, j, intensity, count, sets, sink);
             }
         } else {
-            let chunk = seeds.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = seeds
-                    .chunks(chunk)
-                    .map(|part| {
-                        let mut local = sink.fork();
-                        scope.spawn(move || {
-                            for &(i, j, intensity, count) in part {
-                                exp.expand_seed(i, j, intensity, count, sets, &mut local);
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    sink.absorb(
-                        handle
-                            .join()
-                            .unwrap_or_else(|e| std::panic::resume_unwind(e)),
-                    );
-                }
-            });
+            // Work-stealing fan-out: each worker starts with a
+            // contiguous range of the claim-ordered seed list, pops its
+            // own head and steals whole seed subtrees from the tail of
+            // the most-loaded victim once idle — so one dominant
+            // subtree no longer idles the other workers behind the
+            // round barrier. Which worker expands which seed is
+            // timing-dependent; byte-identical output only needs the
+            // sink merge to be order-insensitive (per-tuple maxima /
+            // totally-ordered ORDER list — see `RoundSink`).
+            let bounds = crate::steal::even_bounds(seeds.len(), workers);
+            let locals = crate::steal::run_stealing(
+                &bounds,
+                || sink.fork(),
+                |local, idx| {
+                    let (i, j, intensity, count) = seeds[idx];
+                    exp.expand_seed(i, j, intensity, count, sets, local);
+                },
+            );
+            for local in locals {
+                sink.absorb(local);
+            }
         }
         // The seed preference by itself (the fallback that guarantees k
         // tuples can always be reached eventually). Zero-copy: the sink
@@ -538,16 +543,21 @@ impl EmittedSet {
     }
 }
 
-/// Where a round's emitted combinations go. Implementations must be
-/// order-insensitive up to [`absorb`](RoundSink::absorb)-in-worker-order,
-/// which is what keeps the sharded expansion byte-identical to the
-/// sequential one.
-trait RoundSink: Send {
+/// Where a round's emitted combinations go. With work-stealing rounds
+/// (PR 8) the seed-to-worker assignment is timing-dependent, so
+/// implementations must be **merge-order-insensitive, period** — a
+/// commutative [`absorb`](RoundSink::absorb) (the score sink's
+/// per-tuple maximum) or a final total-order sort over everything
+/// emitted (the ORDER list) — which is what keeps the stolen expansion
+/// byte-identical to the sequential one. (`Sync` because workers fork
+/// their local sinks from the shared parent on their own threads.)
+trait RoundSink: Send + Sync {
     /// A fresh, empty sink for a worker thread.
     fn fork(&self) -> Self;
     /// Records one emitted combination.
     fn emit(&mut self, members: &[usize], intensity: f64, tuples: u64, set: &TupleSet);
-    /// Merges a worker's sink back (workers absorb in seed order).
+    /// Merges a worker's sink back (workers absorb in worker-index
+    /// order, but the merge must not depend on it).
     fn absorb(&mut self, other: Self);
 }
 

@@ -1379,6 +1379,14 @@ fn fill_pair_chunk(
 /// can hand one worker almost all the real work. Boundaries only move
 /// *where* the table is split, never what is computed, so results stay
 /// byte-identical at every worker count.
+/// Oversubscription factor for the work-stealing pairwise fill: the
+/// triangle is carved into this many cost-weighted blocks *per worker*,
+/// so that when the `op_cost` model underestimates a block, idle
+/// workers have tail blocks to steal instead of waiting out the error.
+/// Small enough that per-block overhead (one `Vec` + one claim) stays
+/// negligible against the fill itself.
+const PAIR_STEAL_BLOCKS_PER_WORKER: usize = 4;
+
 fn weighted_chunk_bounds(sets: &[SharedTupleSet], workers: usize) -> Vec<usize> {
     let n = sets.len();
     let costs: Vec<u64> = sets.iter().map(|s| s.op_cost() as u64).collect();
@@ -1496,8 +1504,9 @@ impl PairwiseCache {
     /// Builds the cache for a profile: `n` tuple-set fetches through the
     /// executor plus `n(n−1)/2` container-adaptive intersection-count
     /// passes — no pairwise intersection is ever materialised. The
-    /// triangular pass is sharded across the executor's [`Parallelism`]
-    /// workers; results are byte-identical at every worker count.
+    /// triangular pass fans out across the executor's [`Parallelism`]
+    /// workers as cost-weighted blocks with work stealing; results are
+    /// byte-identical at every worker count.
     pub fn build(atoms: &[PrefAtom], exec: &Executor<'_>) -> Result<Self> {
         PairwiseCache::build_with(atoms, exec, exec.parallelism())
     }
@@ -1541,39 +1550,47 @@ impl PairwiseCache {
             entries
         } else {
             // Partition the linearised triangular index into contiguous
-            // *cost-weighted* chunks: a pair's AND-popcount pass costs
+            // *cost-weighted* blocks: a pair's AND-popcount pass costs
             // roughly one sweep of its cheaper operand, so equal-count
-            // chunks mislay work whenever container sizes are skewed
+            // blocks mislay work whenever container sizes are skewed
             // (one dense row can outweigh hundreds of sparse ones).
             // Boundaries are placed at equal quantiles of the cumulative
-            // per-pair cost instead. Every entry remains a pure function
-            // of (i, j) over immutable inputs, so weighted and
-            // sequential fills produce identical bytes.
-            let mut entries = vec![
-                PairEntry {
-                    i: 0,
-                    j: 0,
-                    intensity: 0.0,
-                    count: 0,
-                };
-                total
-            ];
-            let bounds = weighted_chunk_bounds(&sets, workers);
-            std::thread::scope(|scope| {
-                let mut rest = entries.as_mut_slice();
-                let mut taken = 0usize;
-                for window in bounds.windows(2) {
-                    let (start, end) = (window[0], window[1]);
-                    if start == end {
-                        continue;
-                    }
-                    let (slice, tail) = rest.split_at_mut(end - taken);
-                    rest = tail;
-                    taken = end;
-                    let (sets, intensities) = (&sets, &intensities);
-                    scope.spawn(move || fill_pair_chunk(slice, start, n, sets, intensities));
-                }
-            });
+            // per-pair cost. PR 8: the triangle is over-split into
+            // `PAIR_STEAL_BLOCKS_PER_WORKER` blocks per worker and run
+            // over the work-stealing deque — the cost model is an
+            // estimate, and stealing absorbs whatever it gets wrong
+            // instead of idling workers behind the slowest chunk. Every
+            // entry remains a pure function of (i, j) over immutable
+            // inputs and blocks are stitched back in block order, so
+            // stolen and sequential fills produce identical bytes.
+            let block_bounds = weighted_chunk_bounds(&sets, workers * PAIR_STEAL_BLOCKS_PER_WORKER);
+            let n_blocks = block_bounds.len().saturating_sub(1);
+            let worker_bounds = crate::steal::even_bounds(n_blocks, workers);
+            let per_worker = crate::steal::run_stealing(
+                &worker_bounds,
+                Vec::new,
+                |acc: &mut Vec<(usize, Vec<PairEntry>)>, b| {
+                    let (start, end) = (block_bounds[b], block_bounds[b + 1]);
+                    let mut part = vec![
+                        PairEntry {
+                            i: 0,
+                            j: 0,
+                            intensity: 0.0,
+                            count: 0,
+                        };
+                        end - start
+                    ];
+                    fill_pair_chunk(&mut part, start, n, &sets, &intensities);
+                    acc.push((b, part));
+                },
+            );
+            let mut blocks: Vec<(usize, Vec<PairEntry>)> =
+                per_worker.into_iter().flatten().collect();
+            blocks.sort_unstable_by_key(|&(b, _)| b);
+            let mut entries = Vec::with_capacity(total);
+            for (_, part) in blocks {
+                entries.extend(part);
+            }
             entries
         };
         let by_first = index_by_first(&entries);

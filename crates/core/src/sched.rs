@@ -29,6 +29,14 @@
 //!   and the worker knob only shards round expansions that merge
 //!   order-independently.
 //!
+//! Since PR 8 the sharding under that knob is **work-stealing**: a
+//! round's seeds start on contiguous per-worker deques and idle workers
+//! steal whole expansion subtrees from the tail of the most-loaded
+//! victim (see [`Peps`]). That floats only
+//! *where* a subtree runs, never *what* runs or how sinks merge, so the
+//! batched contract is unchanged — one skewed group member's expansion
+//! no longer idles the other workers of the shared evaluation.
+//!
 //! Hence every answer is **byte-identical at every worker count and
 //! batch composition** to running that session alone on a fresh
 //! sequential executor — the contract `tests/batched_equivalence.rs`
@@ -149,6 +157,11 @@ impl BatchScheduler {
     /// A fully sequential scheduler.
     pub fn sequential() -> Self {
         BatchScheduler::new(Parallelism::Sequential)
+    }
+
+    /// The [`Parallelism`] knob shared evaluations run under.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Evaluates one batch against a cache snapshot.
@@ -393,6 +406,20 @@ mod tests {
         assert_eq!(out.results[1].as_ref().unwrap(), &solo(&db, &reqs[1]));
         assert!(matches!(out.results[2], Err(HypreError::Rel(_))));
         assert_eq!(out.stats.groups, 1);
+    }
+
+    #[test]
+    fn scheduler_reports_its_parallelism_knob() {
+        assert_eq!(
+            BatchScheduler::sequential().parallelism().workers(),
+            Parallelism::Sequential.workers()
+        );
+        assert_eq!(
+            BatchScheduler::new(Parallelism::threads(4))
+                .parallelism()
+                .workers(),
+            4
+        );
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Deterministic work-stealing execution of an indexed task list.
+//!
+//! PR 8 replaces the fixed per-round fan-out (contiguous chunks, one per
+//! worker, joined at a barrier) with a **work-stealing deque over task
+//! indices**: each worker starts with a contiguous range of the task
+//! list in claim order, pops from its own *head*, and — once its own
+//! deque is empty — steals whole tasks from the *tail* of the victim
+//! with the most remaining work. A skewed task (one PEPS seed whose
+//! expansion subtree dominates the round, one cost-heavy pairwise block)
+//! no longer idles every other worker behind the barrier; the idle
+//! workers drain the rest of the list instead.
+//!
+//! ## Determinism contract
+//!
+//! Stealing floats *which worker* runs a task and *when*, never *what*
+//! runs: every task index executes exactly once, and the per-worker
+//! accumulators come back in worker-index order. Callers therefore stay
+//! byte-identical at every worker count as long as their fold is
+//! **merge-order-insensitive** — a commutative merge (the PEPS score
+//! sink's per-tuple maximum), a final total-order sort (the ORDER
+//! list), or a reassembly keyed by task index (the pairwise build's
+//! block stitching). That is the same contract the fixed fan-out
+//! already imposed, tightened from "insensitive up to worker order" to
+//! "insensitive, period" — `tests/parallel_equivalence.rs` pins it.
+
+use std::sync::Mutex;
+
+/// Evenly splits `n` tasks into `workers` contiguous ranges, returned as
+/// `workers + 1` fence posts (`bounds[w]..bounds[w + 1]` is worker `w`'s
+/// initial deque). The first `n % workers` ranges are one task longer,
+/// matching the `div_ceil` chunking the fixed fan-out used.
+pub(crate) fn even_bounds(n: usize, workers: usize) -> Vec<usize> {
+    debug_assert!(workers > 0, "at least one worker");
+    let base = n / workers;
+    let extra = n % workers;
+    let mut bounds = Vec::with_capacity(workers + 1);
+    let mut cursor = 0;
+    bounds.push(0);
+    for w in 0..workers {
+        cursor += base + usize::from(w < extra);
+        bounds.push(cursor);
+    }
+    bounds
+}
+
+/// One worker's deque: the half-open range of task indices it still
+/// owns. Owners pop at `head`; thieves steal at `tail`. A `Mutex` per
+/// deque is deliberate — claims are two integer updates, contention is
+/// bounded by the worker count, and the lock cost is noise next to one
+/// task's expansion work.
+struct Deque {
+    range: Mutex<(usize, usize)>,
+}
+
+impl Deque {
+    fn new(head: usize, tail: usize) -> Self {
+        Deque {
+            range: Mutex::new((head, tail)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, (usize, usize)> {
+        // A poisoned deque means another worker panicked mid-claim; the
+        // range itself is still two valid integers, and the panic is
+        // re-raised by the scope join — recover the guard.
+        self.range
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Claims the task at the head of the deque (owner side).
+    fn pop_front(&self) -> Option<usize> {
+        let mut r = self.lock();
+        (r.0 < r.1).then(|| {
+            let idx = r.0;
+            r.0 += 1;
+            idx
+        })
+    }
+
+    /// Claims the task at the tail of the deque (thief side).
+    fn pop_back(&self) -> Option<usize> {
+        let mut r = self.lock();
+        (r.0 < r.1).then(|| {
+            r.1 -= 1;
+            r.1
+        })
+    }
+
+    fn remaining(&self) -> usize {
+        let r = self.lock();
+        r.1 - r.0
+    }
+}
+
+/// The shared scheduler state: one deque per worker.
+struct Deques {
+    queues: Vec<Deque>,
+}
+
+impl Deques {
+    fn new(bounds: &[usize]) -> Self {
+        Deques {
+            queues: bounds.windows(2).map(|w| Deque::new(w[0], w[1])).collect(),
+        }
+    }
+
+    /// The next task for worker `w`: its own head, else a steal from the
+    /// tail of the victim with the most remaining work. Returns `None`
+    /// only when every deque is empty — at which point no new work can
+    /// appear (tasks are fixed up front), so the worker is done.
+    fn next(&self, w: usize) -> Option<usize> {
+        if let Some(idx) = self.queues[w].pop_front() {
+            return Some(idx);
+        }
+        loop {
+            let victim = self
+                .queues
+                .iter()
+                .enumerate()
+                .filter(|&(v, _)| v != w)
+                .map(|(v, q)| (q.remaining(), v))
+                .max()?;
+            let (remaining, v) = victim;
+            if remaining == 0 {
+                return None;
+            }
+            // The victim may have drained between the scan and the
+            // claim; re-scan rather than give up.
+            if let Some(idx) = self.queues[v].pop_back() {
+                return Some(idx);
+            }
+        }
+    }
+}
+
+/// Runs tasks `0..bounds[last]` across `bounds.len() - 1` scoped worker
+/// threads with tail-stealing, folding each worker's tasks into a
+/// private accumulator (`make` builds it, `step` folds one task index
+/// in). Returns the accumulators in worker-index order.
+///
+/// Every task runs exactly once; which accumulator it lands in is
+/// timing-dependent, so the caller's merge must be order-insensitive
+/// (see the module docs). A worker panic propagates after all workers
+/// join, as with the plain scoped fan-out.
+pub(crate) fn run_stealing<A, M, S>(bounds: &[usize], make: M, step: S) -> Vec<A>
+where
+    A: Send,
+    M: Fn() -> A + Sync,
+    S: Fn(&mut A, usize) + Sync,
+{
+    let workers = bounds.len().saturating_sub(1);
+    debug_assert!(workers > 0, "at least one worker range");
+    let deques = Deques::new(bounds);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let deques = &deques;
+                let make = &make;
+                let step = &step;
+                scope.spawn(move || {
+                    let mut acc = make();
+                    while let Some(idx) = deques.next(w) {
+                        step(&mut acc, idx);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn even_bounds_tile_the_range() {
+        assert_eq!(even_bounds(10, 3), vec![0, 4, 7, 10]);
+        assert_eq!(even_bounds(4, 4), vec![0, 1, 2, 3, 4]);
+        assert_eq!(even_bounds(3, 8), vec![0, 1, 2, 3, 3, 3, 3, 3, 3]);
+        assert_eq!(even_bounds(0, 2), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        for (n, workers) in [(0usize, 2usize), (1, 4), (7, 3), (64, 8), (100, 7)] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let accs = run_stealing(
+                &even_bounds(n, workers),
+                Vec::new,
+                |acc: &mut Vec<usize>, idx| {
+                    hits[idx].fetch_add(1, Ordering::Relaxed);
+                    acc.push(idx);
+                },
+            );
+            assert_eq!(accs.len(), workers, "{n} tasks / {workers} workers");
+            for (idx, hit) in hits.iter().enumerate() {
+                assert_eq!(hit.load(Ordering::Relaxed), 1, "task {idx} ran once");
+            }
+            let total: usize = accs.iter().map(Vec::len).sum();
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn skewed_first_task_does_not_serialize_the_rest() {
+        // Worker 0 owns a task that blocks until every other task has
+        // run — only stealing can make progress, so completing at all
+        // proves idle workers steal from the skewed owner's backlog.
+        let n = 16;
+        let done = AtomicUsize::new(0);
+        let accs = run_stealing(
+            &even_bounds(n, 4),
+            || 0usize,
+            |acc: &mut usize, idx| {
+                if idx == 0 {
+                    while done.load(Ordering::Relaxed) < n - 1 {
+                        std::thread::yield_now();
+                    }
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                *acc += 1;
+            },
+        );
+        assert_eq!(done.load(Ordering::Relaxed), n);
+        assert_eq!(accs.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn thieves_take_from_the_tail() {
+        let q = Deque::new(0, 5);
+        assert_eq!(q.pop_back(), Some(4));
+        assert_eq!(q.pop_front(), Some(0));
+        assert_eq!(q.pop_back(), Some(3));
+        assert_eq!(q.pop_front(), Some(1));
+        assert_eq!(q.pop_front(), Some(2));
+        assert_eq!(q.pop_front(), None);
+        assert_eq!(q.pop_back(), None);
+    }
+
+    #[test]
+    fn accumulators_come_back_in_worker_order() {
+        // With a single task per worker and no skew, worker w's own
+        // range is task w — tag accumulators and check the order.
+        let accs = run_stealing(&even_bounds(4, 4), Vec::new, |acc: &mut Vec<usize>, idx| {
+            acc.push(idx)
+        });
+        let all: Vec<usize> = accs.into_iter().flatten().collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+}

@@ -33,7 +33,10 @@
 //!
 //! 1. **Runs** iff `r ≤ RUN_MAX` (bounds per-op sweep cost) and
 //!    `2·r ≤ n` (8 bytes per run is at most the array's `4·n`) and
-//!    `r < w` (strictly smaller than the bitmap's `8·w`);
+//!    `RUN_COST_FACTOR·r ≤ w` (one run-sweep step costs ~4× a bitmap
+//!    word step, so runs only where the sweep decisively beats the
+//!    word walk — the PR 8 op_cost-informed cap; it also keeps runs
+//!    strictly smaller than the bitmap's `8·w` bytes);
 //! 2. else **Array** iff `n ≤ ARRAY_MAX` and `n × SPAN_FACTOR ≤ w`
 //!    (the PR 2 rule: the array only where it is at most 1/8 of the
 //!    bitmap's bytes);
@@ -67,6 +70,17 @@ pub const SPAN_FACTOR: usize = 4;
 /// interval-sweep cost exactly like [`ARRAY_MAX`] bounds array merges.
 pub const RUN_MAX: usize = 512;
 
+/// Cost factor of one run-sweep step relative to one bitmap word step
+/// (PR 8): a run step is branchy u64 interval arithmetic, a word step
+/// is one AND+popcount in a 4-wide kernel, roughly a 4× gap measured
+/// on the `set_algebra` micro rows. The run container is kept only
+/// while `RUN_COST_FACTOR · r ≤ w` — i.e. only where the interval
+/// sweep decisively beats the word walk under [`TupleSet::op_cost`] —
+/// which resolves the on-record PR 4 trade-off where dense many-run
+/// sets (`r` close to `w`) made isolated `and_count` ~6× slower at
+/// 20k ids.
+pub const RUN_COST_FACTOR: usize = 4;
+
 /// Size skew at which array∩array intersection switches from the
 /// two-pointer merge to galloping binary search over the larger side.
 const GALLOP_SKEW: usize = 16;
@@ -94,7 +108,9 @@ impl Default for Repr {
 /// The canonical container for contents with cardinality `n`, maximal-run
 /// count `r` and word span `w` — the module-doc rule, in code.
 fn choose_kind(n: usize, r: usize, w: usize) -> Kind {
-    if r <= RUN_MAX && 2 * r <= n && r < w {
+    // `r ≥ 1` keeps the empty set out of the run branch (every rule
+    // below is vacuously true at n = r = w = 0; empty is an array).
+    if (1..=RUN_MAX).contains(&r) && 2 * r <= n && RUN_COST_FACTOR * r <= w {
         Kind::Runs
     } else if n <= ARRAY_MAX && n * SPAN_FACTOR <= w {
         Kind::Array
@@ -588,7 +604,7 @@ impl TupleSet {
 fn bitmap_kind(b: &BitSet) -> Kind {
     let words = b.words();
     let w = words.len();
-    let run_limit = RUN_MAX.min(w.saturating_sub(1));
+    let run_limit = RUN_MAX.min(w / RUN_COST_FACTOR);
     let array_limit = ARRAY_MAX.min(w / SPAN_FACTOR);
     let mut n = 0usize;
     let mut r = 0usize;
@@ -700,9 +716,59 @@ fn runs_remove(runs: &mut Vec<Run>, id: u32) -> bool {
     true
 }
 
-/// `a ∩ b` over run lists: a two-pointer interval sweep. The output is
-/// maximal (gaps in either input separate output runs).
+/// Whether a run×run op should take the seek path: the same ≥16× size
+/// skew at which the array kernels switch to galloping.
+fn runs_skewed(a: &[Run], b: &[Run]) -> bool {
+    a.len().min(b.len()) * GALLOP_SKEW < a.len().max(b.len())
+}
+
+/// The seek path for run×run sweeps under ≥[`GALLOP_SKEW`]× size skew
+/// (PR 8), mirroring the array galloping rule: for each run of the
+/// smaller list, `partition_point` over the larger list's tail finds
+/// the first run that can overlap it, then the overlaps are emitted in
+/// order — `O(|small| · log |large|)` instead of the two-pointer
+/// sweep's `O(|small| + |large|)`. The seek cursor only moves forward,
+/// so the worst case stays linear. Emits exactly the overlap intervals
+/// the sweep would, in the same order; `emit` returning `false` stops
+/// early (the overlap probe's short-circuit).
+fn gallop_runs<F: FnMut(u64, u64) -> bool>(small: &[Run], large: &[Run], mut emit: F) {
+    let mut lo = 0usize;
+    for &(s, l) in small {
+        let (s, e) = (s as u64, s as u64 + l as u64);
+        lo += large[lo..].partition_point(|&(bs, bl)| bs as u64 + bl as u64 <= s);
+        let mut k = lo;
+        while k < large.len() {
+            let (b0, b1) = (large[k].0 as u64, large[k].0 as u64 + large[k].1 as u64);
+            if b0 >= e {
+                break;
+            }
+            if !emit(s.max(b0), e.min(b1)) {
+                return;
+            }
+            if b1 > e {
+                // This large run extends past the current small run, so
+                // it may also overlap the next one: leave it in place.
+                break;
+            }
+            k += 1;
+        }
+        lo = k;
+    }
+}
+
+/// `a ∩ b` over run lists: a two-pointer interval sweep, switching to
+/// the galloping seek path under ≥16× skew. The output is maximal
+/// (gaps in either input separate output runs).
 fn intersect_runs(a: &[Run], b: &[Run]) -> Vec<Run> {
+    if runs_skewed(a, b) {
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::new();
+        gallop_runs(small, large, |s, e| {
+            out.push((s as u32, (e - s) as u32));
+            true
+        });
+        return out;
+    }
     let mut out = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
@@ -722,8 +788,18 @@ fn intersect_runs(a: &[Run], b: &[Run]) -> Vec<Run> {
     out
 }
 
-/// `|a ∩ b|` over run lists without materialising.
+/// `|a ∩ b|` over run lists without materialising (galloping under
+/// ≥16× skew, like [`intersect_runs`]).
 fn intersect_count_runs(a: &[Run], b: &[Run]) -> usize {
+    if runs_skewed(a, b) {
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let mut n = 0usize;
+        gallop_runs(small, large, |s, e| {
+            n += (e - s) as usize;
+            true
+        });
+        return n;
+    }
     let mut n = 0usize;
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
@@ -743,8 +819,18 @@ fn intersect_count_runs(a: &[Run], b: &[Run]) -> usize {
     n
 }
 
-/// Whether two run lists overlap (short-circuiting sweep).
+/// Whether two run lists overlap (short-circuiting sweep, galloping
+/// under ≥16× skew).
 fn runs_overlap(a: &[Run], b: &[Run]) -> bool {
+    if runs_skewed(a, b) {
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let mut hit = false;
+        gallop_runs(small, large, |_, _| {
+            hit = true;
+            false
+        });
+        return hit;
+    }
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         let (a0, a1) = (a[i].0 as u64, a[i].0 as u64 + a[i].1 as u64);
@@ -1382,14 +1468,102 @@ mod tests {
         // the 2r ≤ n rule: unit runs never pick the run container
         let units = strided(0, 100, WIDE);
         assert!(units.is_array(), "isolated ids stay an array");
-        // r < w: a run squeezed into one word is a bitmap, not a run
-        let one_word: TupleSet = (0..64).collect();
-        assert!(one_word.is_bitmap(), "single-word run stays a bitmap");
-        let two_words: TupleSet = (0..65).collect();
-        assert!(two_words.is_runs(), "a 65-id run beats two words");
-        for s in [&s, &over, &units, &one_word, &two_words] {
+        // RUN_COST_FACTOR·r ≤ w: a run only beats the bitmap once its
+        // span reaches RUN_COST_FACTOR words — below that the wide word
+        // walk is cheaper than the branchy interval sweep.
+        let narrow: TupleSet = (0..129).collect(); // 3 words: 4·1 > 3
+        assert!(narrow.is_bitmap(), "a sub-cap-span run stays a bitmap");
+        let wide: TupleSet = (0..193).collect(); // 4 words: 4·1 ≤ 4
+        assert!(wide.is_runs(), "a 4-word run beats the bitmap");
+        for s in [&s, &over, &units, &narrow, &wide] {
             assert_canonical(s);
         }
+    }
+
+    #[test]
+    fn run_gallop_switches_exactly_at_the_skew_threshold() {
+        // 1 small run against GALLOP_SKEW (sweep) and GALLOP_SKEW + 1
+        // (seek) large runs: both paths must agree with the id-level
+        // reference exactly at and across the switch, in both argument
+        // orders.
+        let small: Vec<Run> = vec![(100, 1_000)];
+        let all_large: Vec<Run> = (0..GALLOP_SKEW as u32 + 1).map(|k| (k * 320, 4)).collect();
+        for len in [GALLOP_SKEW, GALLOP_SKEW + 1] {
+            let large = &all_large[..len];
+            assert_eq!(
+                small.len() * GALLOP_SKEW < large.len(),
+                len > GALLOP_SKEW,
+                "gallop exactly past {GALLOP_SKEW}×"
+            );
+            let a: std::collections::BTreeSet<u32> = iter_runs(&small).collect();
+            let b: std::collections::BTreeSet<u32> = iter_runs(large).collect();
+            let want: Vec<u32> = a.intersection(&b).copied().collect();
+            assert!(!want.is_empty(), "the shapes overlap");
+            for (x, y) in [(small.as_slice(), large), (large, small.as_slice())] {
+                let got: Vec<u32> = iter_runs(&intersect_runs(x, y)).collect();
+                assert_eq!(got, want, "intersect at skew {len}");
+                assert_eq!(intersect_count_runs(x, y), want.len());
+                assert!(runs_overlap(x, y));
+            }
+        }
+        // disjoint skewed lists: the seek path must find nothing
+        let hole: Vec<Run> = vec![(50_000, 10)];
+        for (x, y) in [(hole.as_slice(), all_large.as_slice()), (&all_large, &hole)] {
+            assert!(!runs_overlap(x, y));
+            assert!(intersect_runs(x, y).is_empty());
+            assert_eq!(intersect_count_runs(x, y), 0);
+        }
+    }
+
+    #[test]
+    fn run_gallop_keeps_a_spanning_run_live_across_small_runs() {
+        // One run of the larger list covers *several* runs of the
+        // smaller list: the seek cursor must not consume it after the
+        // first overlap.
+        let small: Vec<Run> = vec![(10, 10), (100, 10)];
+        let large: Vec<Run> = std::iter::once((0u32, 5_000u32))
+            .chain((0..32).map(|k| (10_000 + k * 640, 4)))
+            .collect();
+        assert!(small.len() * GALLOP_SKEW < large.len(), "gallop path");
+        for (x, y) in [(small.as_slice(), large.as_slice()), (&large, &small)] {
+            assert_eq!(intersect_runs(x, y), small, "both small runs survive");
+            assert_eq!(intersect_count_runs(x, y), 20);
+            assert!(runs_overlap(x, y));
+        }
+    }
+
+    #[test]
+    fn run_count_cap_boundary_in_both_argument_orders() {
+        // Exactly RUN_COST_FACTOR·r = w: 7 id pairs one word apart plus
+        // a tail run ending in word 31 → r = 8 runs over w = 32 words
+        // holds the run container; one more pair tips 4·9 = 36 > 32 and
+        // the set becomes a bitmap.
+        let at_cap: TupleSet = (0..7u32)
+            .flat_map(|k| [k * 64, k * 64 + 1])
+            .chain(1_984..1_990)
+            .collect();
+        assert!(at_cap.is_runs(), "4·8 = 32 ≤ 32 words stays runs");
+        let over_cap: TupleSet = (0..7u32)
+            .flat_map(|k| [k * 64, k * 64 + 1])
+            .chain([448, 449])
+            .chain(1_984..1_990)
+            .collect();
+        assert!(over_cap.is_bitmap(), "4·9 = 36 > 32 words promotes");
+        // ops agree in both argument orders across the cap boundary
+        // (at_cap ⊂ over_cap by construction)
+        for (a, b) in [(&at_cap, &over_cap), (&over_cap, &at_cap)] {
+            assert_eq!(a.and(b), at_cap);
+            assert_eq!(a.and_count(b), at_cap.count());
+            assert_eq!(a.or(b), over_cap);
+            assert!(a.intersects(b));
+        }
+        assert_eq!(
+            over_cap.and_not(&at_cap),
+            TupleSet::from_unsorted(vec![448, 449])
+        );
+        assert!(at_cap.and_not(&over_cap).is_empty());
+        assert_canonical(&at_cap);
+        assert_canonical(&over_cap);
     }
 
     #[test]
@@ -1426,40 +1600,40 @@ mod tests {
         assert_canonical(&s);
 
         // runs → bitmap: punching every other id out of one run.
-        let mut s: TupleSet = (0..130).collect();
+        let mut s: TupleSet = (0..260).collect();
         assert!(s.is_runs());
-        for id in (1..130).step_by(2) {
+        for id in (1..260).step_by(2) {
             s.remove(id);
         }
         assert!(s.is_bitmap(), "alternating bits are bitmap territory");
         assert_canonical(&s);
 
         // bitmap → runs: filling the holes back in.
-        let mut s: TupleSet = (0..130).step_by(2).collect();
+        let mut s: TupleSet = (0..260).step_by(2).collect();
         assert!(s.is_bitmap());
-        for id in (1..130).step_by(2) {
+        for id in (1..260).step_by(2) {
             s.insert(id);
         }
         assert!(s.is_runs(), "contiguous again → runs");
-        assert_eq!(s, (0..130).collect::<TupleSet>());
+        assert_eq!(s, (0..260).collect::<TupleSet>());
         assert_canonical(&s);
     }
 
     #[test]
     fn adjacent_runs_coalesce_on_bridging_insert() {
-        // [0..100) and [101..200) with a hole at 100.
-        let mut s: TupleSet = (0..100).chain(101..200).collect();
+        // [0..400) and [401..800) with a hole at 400.
+        let mut s: TupleSet = (0..400).chain(401..800).collect();
         assert!(s.is_runs());
         assert_eq!(s.heap_bytes(), 16, "two runs");
-        assert!(s.insert(100));
+        assert!(s.insert(400));
         assert!(s.is_runs());
         assert_eq!(s.heap_bytes(), 8, "bridged into one run");
-        assert_eq!(s, (0..200).collect::<TupleSet>());
+        assert_eq!(s, (0..800).collect::<TupleSet>());
         // extending at the front edge coalesces too
-        let mut s: TupleSet = (1..100).chain(101..200).collect();
-        assert!(s.insert(100));
+        let mut s: TupleSet = (1..400).chain(401..800).collect();
+        assert!(s.insert(400));
         assert!(s.insert(0));
-        assert_eq!(s, (0..200).collect::<TupleSet>());
+        assert_eq!(s, (0..800).collect::<TupleSet>());
         assert_canonical(&s);
     }
 
@@ -1484,12 +1658,12 @@ mod tests {
 
     #[test]
     fn span_rule_keeps_scattered_sets_out_of_runs() {
-        // 100 ids packed into two words: runs (one 8-byte run) beat the
-        // 16-byte bitmap and the 400-byte array.
-        let compact: TupleSet = (0..100).collect();
+        // 300 ids packed into five words: runs (one 8-byte run) beat
+        // the 40-byte bitmap and the 1200-byte array.
+        let compact: TupleSet = (0..300).collect();
         assert!(compact.is_runs());
         assert_eq!(compact.heap_bytes(), 8);
-        // the same 100 ids scattered WIDE apart fit the array rule
+        // 100 ids scattered WIDE apart fit the array rule
         let scattered = strided(0, 100, WIDE);
         assert!(scattered.is_array());
         assert_eq!(scattered.heap_bytes(), 400);
@@ -1700,13 +1874,13 @@ mod tests {
     fn several_runs_in_one_word_accumulate_against_bitmaps() {
         // Two runs inside the same 64-bit word: masked-word ops must OR
         // their contributions, not overwrite them.
-        let runs: TupleSet = (0..20).chain(30..50).chain(100..300).collect();
+        let runs: TupleSet = (0..20).chain(30..50).chain(100..760).collect();
         assert!(runs.is_runs());
-        let striped: TupleSet = (0..300).step_by(2).collect();
+        let striped: TupleSet = (0..760).step_by(2).collect();
         assert!(striped.is_bitmap());
         let want: Vec<u32> = (0..20)
             .chain(30..50)
-            .chain(100..300)
+            .chain(100..760)
             .filter(|id| id % 2 == 0)
             .collect();
         for (a, b) in [(&runs, &striped), (&striped, &runs)] {
@@ -1714,9 +1888,9 @@ mod tests {
             assert_eq!(a.and_count(b), want.len());
             assert_eq!(a.and(b).count(), a.and_count(b));
         }
-        assert_eq!(runs.or(&striped).count(), 240 + 150 - want.len());
-        assert_eq!(runs.and_not(&striped).count(), 240 - want.len());
-        assert_eq!(striped.and_not(&runs).count(), 150 - want.len());
+        assert_eq!(runs.or(&striped).count(), 700 + 380 - want.len());
+        assert_eq!(runs.and_not(&striped).count(), 700 - want.len());
+        assert_eq!(striped.and_not(&runs).count(), 380 - want.len());
     }
 
     #[test]
@@ -1767,15 +1941,17 @@ mod tests {
 
     #[test]
     fn run_iteration_and_probes_cross_word_boundaries() {
-        let s: TupleSet = (60..70).chain(200..266).collect();
+        // Two runs over 8 words — exactly at the RUN_COST_FACTOR·r = w
+        // boundary, so the run container holds.
+        let s: TupleSet = (60..70).chain(200..466).collect();
         assert!(s.is_runs());
         assert_eq!(
             s.iter().collect::<Vec<_>>(),
-            (60..70).chain(200..266).collect::<Vec<_>>()
+            (60..70).chain(200..466).collect::<Vec<_>>()
         );
-        assert!(s.contains(60) && s.contains(69) && s.contains(265));
-        assert!(!s.contains(59) && !s.contains(70) && !s.contains(266));
-        assert_eq!(s.count(), 76);
+        assert!(s.contains(60) && s.contains(69) && s.contains(465));
+        assert!(!s.contains(59) && !s.contains(70) && !s.contains(466));
+        assert_eq!(s.count(), 276);
         // bitmap round trip hits the word-mask edges
         assert_eq!(TupleSet::from_bitset(s.to_bitset()), s);
     }

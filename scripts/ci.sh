@@ -4,7 +4,7 @@
 #   tests → rustdoc (warnings are errors) → compile-and-run every
 #   example (doc rot and broken examples fail CI).
 #
-# Usage: scripts/ci.sh [--release-bench]
+# Usage: scripts/ci.sh [--release-bench] [--scaling]
 #   --release-bench  additionally regenerates the bench report and runs
 #                    the bench-regression guard (slow; off by default).
 #                    The output and baseline names are derived from the
@@ -14,8 +14,35 @@
 #                    BENCH_PR<n>.json; any headline row (pairwise build,
 #                    PEPS top-k) regressing by more than 25% exits
 #                    non-zero.
+#   --scaling        pass --scaling through to bench_report so the
+#                    report includes 1/2/4/8-worker scaling curves for
+#                    the pairwise build, PEPS top-k and batched serving.
+#                    Implies the bench run. On a 1-core host the report
+#                    records an explicit skip marker instead of curves;
+#                    the headline guard never keys on core count, so
+#                    this mode is safe on any runner.
+#
+# Each example runs under `timeout` (EXAMPLE_TIMEOUT seconds, default
+# 300) with its output captured; a failing or hanging example prints its
+# captured output instead of failing silently.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+release_bench=0
+scaling=0
+for arg in "$@"; do
+    case "${arg}" in
+        --release-bench) release_bench=1 ;;
+        --scaling)
+            release_bench=1
+            scaling=1
+            ;;
+        *)
+            echo "unknown flag: ${arg} (supported: --release-bench --scaling)" >&2
+            exit 2
+            ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check
@@ -32,13 +59,34 @@ cargo test --workspace -q
 echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+EXAMPLE_TIMEOUT="${EXAMPLE_TIMEOUT:-300}"
+example_log="$(mktemp)"
+trap 'rm -f "${example_log}"' EXIT
 for example in examples/*.rs; do
     name="$(basename "${example%.rs}")"
-    echo "==> example: ${name}"
-    cargo run --quiet --release --example "${name}" >/dev/null
+    echo "==> example: ${name} (timeout ${EXAMPLE_TIMEOUT}s)"
+    status=0
+    timeout "${EXAMPLE_TIMEOUT}" \
+        cargo run --quiet --release --example "${name}" \
+        >"${example_log}" 2>&1 || status=$?
+    if [[ "${status}" -ne 0 ]]; then
+        if [[ "${status}" -eq 124 ]]; then
+            echo "example ${name} timed out after ${EXAMPLE_TIMEOUT}s" >&2
+        else
+            echo "example ${name} failed (exit ${status})" >&2
+        fi
+        echo "---- ${name} output ----" >&2
+        cat "${example_log}" >&2
+        echo "---- end ${name} output ----" >&2
+        exit "${status}"
+    fi
 done
 
-if [[ "${1:-}" == "--release-bench" ]]; then
+if [[ "${release_bench}" -eq 1 ]]; then
+    bench_flags=()
+    if [[ "${scaling}" -eq 1 ]]; then
+        bench_flags+=(--scaling)
+    fi
     # Derive both file names from what is *checked in* (git, not the
     # working tree — stray reports from earlier local runs must not
     # become the comparison point), so this script never needs editing
@@ -52,10 +100,12 @@ if [[ "${1:-}" == "--release-bench" ]]; then
         num="${num%.json}"
         out="BENCH_PR$((num + 1)).json"
         echo "==> bench_report (${out} + regression guard vs ${baseline})"
-        cargo run --release -p hypre-bench --bin bench_report "${out}" "${baseline}"
+        cargo run --release -p hypre-bench --bin bench_report \
+            ${bench_flags[@]+"${bench_flags[@]}"} "${out}" "${baseline}"
     else
         echo "==> bench_report (BENCH_PR1.json, no baseline yet)"
-        cargo run --release -p hypre-bench --bin bench_report BENCH_PR1.json
+        cargo run --release -p hypre-bench --bin bench_report \
+            ${bench_flags[@]+"${bench_flags[@]}"} BENCH_PR1.json
     fi
 fi
 

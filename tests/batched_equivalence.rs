@@ -103,6 +103,48 @@ fn batched_matches_solo_sequential_at_every_worker_count() {
 }
 
 #[test]
+fn skewed_batches_stay_byte_identical_under_work_stealing() {
+    // PR 8: shared evaluations now run their rounds with work-stealing
+    // workers. Build a deliberately skewed mix — one heavy profile
+    // repeated (one big group whose expansion dominates) next to light
+    // singletons — and sweep odd worker counts, which give the stealing
+    // scheduler uneven initial deques. Every answer must still match
+    // solo sequential execution exactly.
+    let fx = fixture();
+    let cache = warmed_cache();
+    let profiles = variants();
+    let heavy = profiles
+        .iter()
+        .max_by_key(|p| p.len())
+        .expect("variants is non-empty")
+        .clone();
+    let mut mix: Vec<BatchRequest> = (0..4)
+        .map(|_| BatchRequest::new(heavy.clone(), 100))
+        .collect();
+    for p in &profiles {
+        mix.push(BatchRequest::new(p.clone(), 5));
+    }
+    let want: Vec<Vec<RankedTuple>> = mix.iter().map(|req| solo(&fx.db, req)).collect();
+    for workers in [3usize, 5, 8] {
+        let out = BatchScheduler::new(Parallelism::threads(workers))
+            .run(&fx.db, &cache, &mix)
+            .unwrap();
+        for (i, (got, want)) in out.results.iter().zip(&want).enumerate() {
+            assert_eq!(
+                got.as_ref().unwrap(),
+                want,
+                "request {i} diverged under stealing ({workers} workers)"
+            );
+        }
+        assert_eq!(
+            out.stats.groups,
+            profiles.len(),
+            "the four heavy copies share one evaluation"
+        );
+    }
+}
+
+#[test]
 fn batch_composition_cannot_change_an_answer() {
     // The same request must get the same bytes whether it rides alone,
     // with strangers, or duplicated — batching dedups computation, it

@@ -1,6 +1,8 @@
 //! Parallelism-determinism and shared-cache equivalence over the
-//! generated DBLP corpus: the sharded pairwise build must be
-//! byte-identical to the sequential engine at every worker count, and
+//! generated DBLP corpus: the work-stealing pairwise build and PEPS
+//! rounds must be byte-identical to the sequential engine at every
+//! worker count (and on randomized profiles — the steal schedule is
+//! timing-dependent, the output may not be), and
 //! concurrent session executors sharing one `ProfileCache` snapshot must
 //! rank exactly like a fresh single-threaded executor — the contract
 //! that lets the multi-user serving path reuse materialised tuple sets
@@ -11,6 +13,8 @@ use std::sync::{Arc, OnceLock};
 use hypre_bench::Fixture;
 use hypre_repro::prelude::*;
 use hypre_repro::relstore::Predicate;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn fixture() -> &'static Fixture {
     static FX: OnceLock<Fixture> = OnceLock::new();
@@ -110,6 +114,66 @@ fn peps_round_expansion_byte_identical_across_worker_counts() {
         }
     }
     exec.set_parallelism(Parallelism::Sequential);
+}
+
+#[test]
+fn work_stealing_rounds_match_sequential_on_randomized_profiles() {
+    // PR 8 property: the work-stealing round execution (idle workers
+    // steal whole expansion subtrees from the tail of the most-loaded
+    // victim) must stay byte-identical to the sequential engine on
+    // *randomized* profiles, not just the two study users' — random
+    // sub-profiles (random subset, random order, random variant) swept
+    // across worker counts, including an odd count that forces uneven
+    // initial deques. The steal schedule itself is timing-dependent,
+    // which is exactly the point: no schedule may move a byte.
+    let fx = fixture();
+    let mut pool = rich_atoms();
+    pool.extend(fx.graph.positive_profile(fx.modest_user));
+    let exec = fx.executor();
+    let mut rng = StdRng::seed_from_u64(0x5EED_0008);
+    for trial in 0..8 {
+        let size = rng.gen_range(4..=pool.len());
+        let mut idx: Vec<usize> = (0..pool.len()).collect();
+        for i in 0..size {
+            let j = rng.gen_range(i..pool.len());
+            idx.swap(i, j);
+        }
+        let atoms: Vec<PrefAtom> = idx[..size].iter().map(|&i| pool[i].clone()).collect();
+        let variant = if rng.gen_bool(0.3) {
+            PepsVariant::Approximate
+        } else {
+            PepsVariant::Complete
+        };
+
+        exec.set_parallelism(Parallelism::Sequential);
+        let pairs = PairwiseCache::build_with(&atoms, &exec, Parallelism::Sequential).unwrap();
+        let reference = Peps::new(&atoms, &exec, &pairs, variant);
+        let want_top = reference.top_k(20).unwrap();
+        let want_order = reference.ordered_combinations().unwrap();
+
+        for workers in [2usize, 3, 8] {
+            let stolen =
+                PairwiseCache::build_with(&atoms, &exec, Parallelism::threads(workers)).unwrap();
+            assert_eq!(
+                stolen.entries(),
+                pairs.entries(),
+                "pairwise build diverged (trial {trial}, {workers} workers)"
+            );
+            exec.set_parallelism(Parallelism::threads(workers));
+            let peps = Peps::new(&atoms, &exec, &stolen, variant);
+            assert_eq!(
+                peps.top_k(20).unwrap(),
+                want_top,
+                "top_k diverged (trial {trial}, {workers} workers, {variant:?})"
+            );
+            assert_eq!(
+                peps.ordered_combinations().unwrap(),
+                want_order,
+                "ordered_combinations diverged (trial {trial}, {workers} workers, {variant:?})"
+            );
+        }
+        exec.set_parallelism(Parallelism::Sequential);
+    }
 }
 
 #[test]
