@@ -52,7 +52,18 @@
 //!   threads) versus one `BatchScheduler` run that evaluates each
 //!   distinct profile identity once and demultiplexes. Both shapes are
 //!   checksum-verified equal before timing. Non-headline, same as
-//!   `live_ingest`.
+//!   `live_ingest`;
+//! * `storage_1m` — PR 9: the columnar `distinct_row_set` plan versus
+//!   the row-materialising reference on scan- and join-shaped queries,
+//!   and warm-snapshot persistence (`ProfileCache::save_to` /
+//!   `load_from`) versus a cold SQL re-warm, at every `BENCH_SIZES`
+//!   corpus. With `--bench-1m` the section additionally streams a
+//!   million-paper corpus (`BENCH_1M_PAPERS` overrides the size)
+//!   through `load_streamed` and records single-shot end-to-end
+//!   timings: corpus build, profile warm, pairwise build, PEPS top-k,
+//!   snapshot save/load, and the columnar-vs-rowwise scan at scale.
+//!   Non-headline (custom field names), so the regression guard and
+//!   the delta printer ignore every row.
 //!
 //! The **headline rows** (`pairwise_build`, `peps_top_k` — including the
 //! PR 4 `sparse_k10` row over a sparse/range-heavy synthetic profile,
@@ -66,7 +77,7 @@
 //! tripping the gate; PR 1-era baselines fall back to raw wall-clock.
 //!
 //! Usage: `cargo run --release -p hypre-bench --bin bench_report
-//! [--scaling] [out.json [baseline.json]]` — with no positional
+//! [--scaling] [--bench-1m] [out.json [baseline.json]]` — with no positional
 //! arguments the output name is derived as `BENCH_PR{n+1}.json` from
 //! the newest checked-in `BENCH_PR{n}.json`, which doubles as the
 //! baseline.
@@ -163,13 +174,54 @@ struct LiveIngestRow {
 const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// One scaling-curve row: a warm parallel phase at a worker count, for
-/// the multi-core curves the `--scaling` mode emits. Non-headline (no
-/// `name` field in the JSON), so the regression guard ignores it.
+/// the multi-core curves the `--scaling` mode emits, plus the summed
+/// work-stealing counters (`crate::steal`) of one instrumented run of
+/// the phase — tasks claimed, successful steals, idle victim probes.
+/// Phases that never enter the work-stealing pool report zeros.
+/// Non-headline (no `name` field in the JSON), so the regression guard
+/// ignores it.
 struct ScalingRow {
     phase: &'static str,
     papers: usize,
     threads: usize,
     ns: u128,
+    tasks: usize,
+    steals: usize,
+    idle_probes: usize,
+}
+
+/// One storage row (PR 9): the columnar `distinct_row_set` plan versus
+/// the row-materialising reference over the identical query. Custom
+/// field names keep it out of the regression guard.
+struct StorageScanRow {
+    papers: usize,
+    name: &'static str,
+    rows_out: usize,
+    columnar_ns: u128,
+    rowwise_ns: u128,
+}
+
+/// One snapshot row (PR 9): persisting a warmed `ProfileCache` to the
+/// versioned binary snapshot format versus re-warming the same profile
+/// from SQL.
+struct StorageSnapRow {
+    papers: usize,
+    sets: usize,
+    snapshot_bytes: u64,
+    save_ns: u128,
+    load_ns: u128,
+    rewarm_ns: u128,
+}
+
+/// One million-paper gate row (PR 9, `--bench-1m`): a single-shot
+/// end-to-end phase timing over the streamed corpus — these phases run
+/// seconds to minutes, so they are timed once with [`time_once`]
+/// instead of the median-of-5 harness.
+struct StorageMillionRow {
+    papers: usize,
+    phase: &'static str,
+    ns: u128,
+    detail: String,
 }
 
 /// One batched-serving row: a Zipf session mix served unbatched versus
@@ -186,6 +238,24 @@ struct BatchedServingRow {
 
 fn measure<R>(f: impl FnMut() -> R) -> u128 {
     median_time(5, Duration::from_millis(120), f).as_nanos()
+}
+
+/// Times one execution of `f` — for the `--bench-1m` phases, where a
+/// single run already takes seconds and median-of-5 would be wasteful.
+fn time_once<R>(f: impl FnOnce() -> R) -> (u128, R) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (start.elapsed().as_nanos(), out)
+}
+
+/// Drains the process-wide work-stealing counters and sums them across
+/// workers: `(tasks, steals, idle_probes)`.
+fn steal_totals() -> (usize, usize, usize) {
+    take_cumulative_stats()
+        .iter()
+        .fold((0, 0, 0), |(t, s, p), w| {
+            (t + w.tasks, s + w.steals, p + w.idle_probes)
+        })
 }
 
 /// A sparse/range-heavy synthetic profile: year windows (whose tuple
@@ -247,12 +317,14 @@ fn bench_files_newest_first() -> Vec<(u32, String)> {
 
 fn main() {
     let mut scaling_requested = false;
+    let mut bench_1m = false;
     let mut positional: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--scaling" => scaling_requested = true,
+            "--bench-1m" => bench_1m = true,
             other if other.starts_with("--") => {
-                eprintln!("unknown flag: {other} (supported: --scaling)");
+                eprintln!("unknown flag: {other} (supported: --scaling, --bench-1m)");
                 std::process::exit(2);
             }
             _ => positional.push(arg),
@@ -291,6 +363,9 @@ fn main() {
     let mut live: Vec<LiveIngestRow> = Vec::new();
     let mut batched: Vec<BatchedServingRow> = Vec::new();
     let mut scaling: Vec<ScalingRow> = Vec::new();
+    let mut storage_scans: Vec<StorageScanRow> = Vec::new();
+    let mut storage_snaps: Vec<StorageSnapRow> = Vec::new();
+    let mut storage_million: Vec<StorageMillionRow> = Vec::new();
     let mut extra = String::new();
 
     let cores = Parallelism::Auto.workers();
@@ -476,6 +551,64 @@ fn main() {
             }),
         });
 
+        // PR 9: columnar segment storage. Two query shapes where the
+        // columnar plan and the row-materialising reference do the same
+        // logical work: an OR-of-ranges scan (no usable index seed, so
+        // both paths walk every driving row) and a joined filter (the
+        // plan membership-tests typed key segments; the reference
+        // builds the generic hash-join pipeline).
+        let scan_q = relstore::SelectQuery::from("dblp").filter(
+            relstore::parse_predicate("dblp.year>=2005 OR dblp.year<1995")
+                .expect("static predicate parses"),
+        );
+        let join_q = relstore::SelectQuery::from("dblp")
+            .join(
+                "dblp_author",
+                relstore::ColRef::parse("dblp.pid"),
+                relstore::ColRef::parse("dblp_author.pid"),
+            )
+            .filter(
+                relstore::parse_predicate("dblp_author.aid<=25").expect("static predicate parses"),
+            );
+        for (name, q) in [("scan_or_filter", &scan_q), ("joined_filter", &join_q)] {
+            let fast = q.distinct_row_set(&fx.db).unwrap();
+            let slow = q.distinct_row_set_rowwise(&fx.db).unwrap();
+            assert_eq!(fast, slow, "columnar and rowwise plans must agree ({name})");
+            storage_scans.push(StorageScanRow {
+                papers: n,
+                name,
+                rows_out: fast.len(),
+                columnar_ns: measure(|| q.distinct_row_set(&fx.db).unwrap().len()),
+                rowwise_ns: measure(|| q.distinct_row_set_rowwise(&fx.db).unwrap().len()),
+            });
+        }
+
+        // PR 9: warm-snapshot persistence — save the warmed profile
+        // cache to the versioned binary format, load it back, and
+        // compare the load against what it replaces: a cold SQL
+        // re-warm of the same predicates.
+        let snap_path =
+            std::env::temp_dir().join(format!("hypre_bench_{n}_{}.hyprsnap", std::process::id()));
+        let warm_cache = ProfileCache::warm(&fx.db, BaseQuery::dblp(), predicates.clone())
+            .expect("profile warm-up succeeds");
+        let save_ns = measure(|| warm_cache.save_to(&snap_path, None).unwrap());
+        let snapshot_bytes = std::fs::metadata(&snap_path)
+            .expect("snapshot written")
+            .len();
+        storage_snaps.push(StorageSnapRow {
+            papers: n,
+            sets: warm_cache.len(),
+            snapshot_bytes,
+            save_ns,
+            load_ns: measure(|| ProfileCache::load_from(&snap_path, &fx.db).unwrap().0.len()),
+            rewarm_ns: measure(|| {
+                ProfileCache::warm(&fx.db, BaseQuery::dblp(), predicates.clone())
+                    .unwrap()
+                    .len()
+            }),
+        });
+        let _ = std::fs::remove_file(&snap_path);
+
         // PR 7: batched cross-session serving. Sessions draw their
         // profile Zipf-popularly from the variant pool (overlapping
         // slices of the two study users' profiles), so a real mix of
@@ -533,39 +666,70 @@ fn main() {
         // byte-identical at every count (tests/parallel_equivalence.rs
         // pins this), so the curves measure pure scheduling.
         if measure_scaling {
+            // Each phase is timed with the median harness, then run
+            // once more with the cumulative steal counters drained so
+            // the row carries the per-run work-stealing profile.
             let scaling_mix = serving::zipf_session_mix(&profiles, 100, 10, 1.1, 42);
             for threads in SCALING_THREADS {
+                let ns = measure(|| {
+                    PairwiseCache::build_with(&atoms, &exec, Parallelism::threads(threads))
+                        .unwrap()
+                        .applicable_count()
+                });
+                let _ = take_cumulative_stats();
+                PairwiseCache::build_with(&atoms, &exec, Parallelism::threads(threads))
+                    .unwrap()
+                    .applicable_count();
+                let (tasks, steals, idle_probes) = steal_totals();
                 scaling.push(ScalingRow {
                     phase: "pairwise_build",
                     papers: n,
                     threads,
-                    ns: measure(|| {
-                        PairwiseCache::build_with(&atoms, &exec, Parallelism::threads(threads))
-                            .unwrap()
-                            .applicable_count()
-                    }),
+                    ns,
+                    tasks,
+                    steals,
+                    idle_probes,
                 });
                 exec.set_parallelism(Parallelism::threads(threads));
+                let ns = measure(|| peps.top_k(100).unwrap().len());
+                let _ = take_cumulative_stats();
+                peps.top_k(100).unwrap();
+                let (tasks, steals, idle_probes) = steal_totals();
                 scaling.push(ScalingRow {
                     phase: "peps_top_k",
                     papers: n,
                     threads,
-                    ns: measure(|| peps.top_k(100).unwrap().len()),
+                    ns,
+                    tasks,
+                    steals,
+                    idle_probes,
                 });
                 exec.set_parallelism(Parallelism::Sequential);
+                let ns = measure(|| {
+                    serving::serve_batched_sessions(
+                        &fx.db,
+                        &zipf_cache,
+                        &scaling_mix,
+                        Parallelism::threads(threads),
+                    )
+                    .0
+                });
+                let _ = take_cumulative_stats();
+                serving::serve_batched_sessions(
+                    &fx.db,
+                    &zipf_cache,
+                    &scaling_mix,
+                    Parallelism::threads(threads),
+                );
+                let (tasks, steals, idle_probes) = steal_totals();
                 scaling.push(ScalingRow {
                     phase: "batched_serving",
                     papers: n,
                     threads,
-                    ns: measure(|| {
-                        serving::serve_batched_sessions(
-                            &fx.db,
-                            &zipf_cache,
-                            &scaling_mix,
-                            Parallelism::threads(threads),
-                        )
-                        .0
-                    }),
+                    ns,
+                    tasks,
+                    steals,
+                    idle_probes,
                 });
             }
         }
@@ -644,6 +808,112 @@ fn main() {
                 hashset_ns: measure(|| ha.difference(&hb).count()),
             });
         }
+    }
+
+    // PR 9: the million-paper gate. Streams the corpus straight into
+    // columnar segments (`load_streamed` — no materialised dataset on
+    // the way in), warms a fixed synthetic profile (preference
+    // extraction needs a materialised dataset, which is exactly what
+    // streaming avoids), and records single-shot end-to-end timings
+    // for each serving phase at scale.
+    if bench_1m {
+        let m_papers: usize = std::env::var("BENCH_1M_PAPERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1_000_000);
+        eprintln!("streaming {m_papers}-paper corpus (--bench-1m)…");
+        let config = dblp_workload::GeneratorConfig {
+            papers: m_papers,
+            authors: (m_papers * 2 / 5).max(50),
+            venues: (m_papers / 65).clamp(8, 120),
+            ..dblp_workload::GeneratorConfig::default()
+        };
+        let (build_ns, db) =
+            time_once(|| dblp_workload::load_streamed(&config).expect("streamed load succeeds"));
+        let paper_rows = db.table("dblp").expect("dblp loaded").len();
+        let link_rows = db.table("dblp_author").expect("links loaded").len();
+        storage_million.push(StorageMillionRow {
+            papers: paper_rows,
+            phase: "load_streamed",
+            ns: build_ns,
+            detail: format!("paper_rows={paper_rows} link_rows={link_rows}"),
+        });
+
+        let atoms = sparse_profile();
+        let predicates: Vec<&relstore::Predicate> = atoms.iter().map(|a| &a.predicate).collect();
+        let (warm_ns, cache) = time_once(|| {
+            ProfileCache::warm(&db, BaseQuery::dblp(), predicates.clone())
+                .expect("million-paper warm succeeds")
+        });
+        storage_million.push(StorageMillionRow {
+            papers: paper_rows,
+            phase: "profile_warm",
+            ns: warm_ns,
+            detail: format!("sets={}", cache.len()),
+        });
+
+        let cache = Arc::new(cache);
+        let session = Executor::with_cache(&db, Arc::clone(&cache)).expect("cached executor");
+        let (pair_ns, pairs) =
+            time_once(|| PairwiseCache::build(&atoms, &session).expect("pairwise build succeeds"));
+        storage_million.push(StorageMillionRow {
+            papers: paper_rows,
+            phase: "pairwise_build",
+            ns: pair_ns,
+            detail: format!("applicable={}", pairs.applicable_count()),
+        });
+
+        let peps = Peps::new(&atoms, &session, &pairs, PepsVariant::Complete);
+        let (topk_ns, top) = time_once(|| peps.top_k(10).expect("top-k succeeds"));
+        storage_million.push(StorageMillionRow {
+            papers: paper_rows,
+            phase: "peps_top_k_k10",
+            ns: topk_ns,
+            detail: format!("returned={}", top.len()),
+        });
+
+        // Snapshot at scale: save + load once each; the re-warm
+        // comparison is the single-shot warm measured above over the
+        // same corpus and predicates.
+        let snap_path =
+            std::env::temp_dir().join(format!("hypre_bench_1m_{}.hyprsnap", std::process::id()));
+        let (save_ns, _) = time_once(|| {
+            cache
+                .save_to(&snap_path, Some(&pairs))
+                .expect("snapshot save")
+        });
+        let snapshot_bytes = std::fs::metadata(&snap_path)
+            .expect("snapshot written")
+            .len();
+        let (load_ns, loaded) =
+            time_once(|| ProfileCache::load_from(&snap_path, &db).expect("snapshot load"));
+        let _ = std::fs::remove_file(&snap_path);
+        storage_snaps.push(StorageSnapRow {
+            papers: paper_rows,
+            sets: loaded.0.len(),
+            snapshot_bytes,
+            save_ns,
+            load_ns,
+            rewarm_ns: warm_ns,
+        });
+
+        let scan_q = relstore::SelectQuery::from("dblp").filter(
+            relstore::parse_predicate("dblp.year>=2005 OR dblp.year<1995")
+                .expect("static predicate parses"),
+        );
+        let (columnar_ns, fast) =
+            time_once(|| scan_q.distinct_row_set(&db).expect("columnar scan"));
+        let (rowwise_ns, slow) =
+            time_once(|| scan_q.distinct_row_set_rowwise(&db).expect("rowwise scan"));
+        assert_eq!(fast, slow, "columnar and rowwise plans must agree at 1M");
+        storage_scans.push(StorageScanRow {
+            papers: paper_rows,
+            name: "scan_or_filter",
+            rows_out: fast.len(),
+            columnar_ns,
+            rowwise_ns,
+        });
     }
 
     let mut json = String::from("{\n");
@@ -737,6 +1007,58 @@ fn main() {
             if i + 1 == batched.len() { "" } else { "," },
         );
     }
+    // PR 9 storage rows: three shapes share the section, told apart by
+    // their `kind` field. Custom field names (no `name`/`adaptive_ns`)
+    // keep every row out of the regression guard and the delta printer.
+    json.push_str("  ],\n  \"storage_1m\": [\n");
+    let storage_total = storage_scans.len() + storage_snaps.len() + storage_million.len();
+    let mut storage_emitted = 0usize;
+    let storage_sep = |emitted: &mut usize| {
+        *emitted += 1;
+        if *emitted == storage_total {
+            ""
+        } else {
+            ","
+        }
+    };
+    for s in &storage_scans {
+        let _ = writeln!(
+            json,
+            "    {{\"section\":\"storage_1m\",\"kind\":\"distinct_row_set\",\"query\":\"{}\",\"papers\":{},\"rows_out\":{},\"columnar_ns\":{},\"rowwise_ns\":{},\"speedup\":{:.2}}}{}",
+            s.name,
+            s.papers,
+            s.rows_out,
+            s.columnar_ns,
+            s.rowwise_ns,
+            s.rowwise_ns as f64 / s.columnar_ns.max(1) as f64,
+            storage_sep(&mut storage_emitted),
+        );
+    }
+    for s in &storage_snaps {
+        let _ = writeln!(
+            json,
+            "    {{\"section\":\"storage_1m\",\"kind\":\"snapshot\",\"papers\":{},\"sets\":{},\"snapshot_bytes\":{},\"save_ns\":{},\"load_ns\":{},\"rewarm_ns\":{},\"speedup\":{:.2}}}{}",
+            s.papers,
+            s.sets,
+            s.snapshot_bytes,
+            s.save_ns,
+            s.load_ns,
+            s.rewarm_ns,
+            s.rewarm_ns as f64 / s.load_ns.max(1) as f64,
+            storage_sep(&mut storage_emitted),
+        );
+    }
+    for s in &storage_million {
+        let _ = writeln!(
+            json,
+            "    {{\"section\":\"storage_1m\",\"kind\":\"million_gate\",\"phase\":\"{}\",\"papers\":{},\"ns\":{},\"detail\":\"{}\"}}{}",
+            s.phase,
+            s.papers,
+            s.ns,
+            s.detail,
+            storage_sep(&mut storage_emitted),
+        );
+    }
     // The scaling section is always present so downstream parsers see a
     // stable schema: either measured rows or an explicit skip marker
     // (1-core hosts would measure spawn overhead, not scaling).
@@ -746,12 +1068,15 @@ fn main() {
         for (i, s) in scaling.iter().enumerate() {
             let _ = writeln!(
                 json,
-                "    {{\"section\":\"scaling\",\"phase\":\"{}\",\"papers\":{},\"threads\":{},\"ns\":{},\"speedup_vs_1\":{:.2}}}{}",
+                "    {{\"section\":\"scaling\",\"phase\":\"{}\",\"papers\":{},\"threads\":{},\"ns\":{},\"speedup_vs_1\":{:.2},\"tasks\":{},\"steals\":{},\"idle_probes\":{}}}{}",
                 s.phase,
                 s.papers,
                 s.threads,
                 s.ns,
                 scaling_speedup(&scaling, s),
+                s.tasks,
+                s.steals,
+                s.idle_probes,
                 if i + 1 == scaling.len() { "" } else { "," },
             );
         }
@@ -844,16 +1169,51 @@ fn main() {
             b.unbatched_ns as f64 / b.batched_ns.max(1) as f64,
         );
     }
+    for s in &storage_scans {
+        println!(
+            "{:>18} {:<16} n={:<8} |out|={:<7} columnar {:>12} ns  rowwise {:>12} ns  ({:.1}x)",
+            "storage_1m",
+            s.name,
+            s.papers,
+            s.rows_out,
+            s.columnar_ns,
+            s.rowwise_ns,
+            s.rowwise_ns as f64 / s.columnar_ns.max(1) as f64,
+        );
+    }
+    for s in &storage_snaps {
+        println!(
+            "{:>18} {:<16} n={:<8} sets={:<4} {:>9} B  save {:>11} ns  load {:>11} ns  re-warm {:>12} ns  ({:.1}x)",
+            "storage_1m",
+            "snapshot",
+            s.papers,
+            s.sets,
+            s.snapshot_bytes,
+            s.save_ns,
+            s.load_ns,
+            s.rewarm_ns,
+            s.rewarm_ns as f64 / s.load_ns.max(1) as f64,
+        );
+    }
+    for s in &storage_million {
+        println!(
+            "{:>18} {:<16} n={:<8} {:>12} ns  ({})",
+            "storage_1m", s.phase, s.papers, s.ns, s.detail,
+        );
+    }
     if measure_scaling {
         for s in &scaling {
             println!(
-                "{:>18} {:<16} threads={:<3} n={:<6} {:>12} ns  ({:.2}x vs 1 worker, {cores} cores)",
+                "{:>18} {:<16} threads={:<3} n={:<6} {:>12} ns  ({:.2}x vs 1 worker, {cores} cores; tasks={} steals={} probes={})",
                 "scaling",
                 s.phase,
                 s.threads,
                 s.papers,
                 s.ns,
                 scaling_speedup(&scaling, s),
+                s.tasks,
+                s.steals,
+                s.idle_probes,
             );
         }
     } else if scaling_requested {

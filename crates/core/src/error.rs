@@ -48,6 +48,28 @@ pub enum HypreError {
         /// The error from the final attempt.
         last: Box<HypreError>,
     },
+    /// An I/O failure while writing or reading a profile snapshot file.
+    /// Carries the rendered `std::io::Error` (the error type itself is
+    /// neither `Clone` nor `PartialEq`).
+    SnapshotIo {
+        /// Human-readable operation + OS error detail.
+        detail: String,
+    },
+    /// A snapshot file with a valid magic number but a format version this
+    /// build does not speak.
+    SnapshotVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// Highest version this build can load.
+        supported: u32,
+    },
+    /// A snapshot file that is truncated, has a bad magic number, or fails
+    /// structural validation (counts past end-of-file, non-canonical
+    /// containers, dangling references).
+    SnapshotCorrupt {
+        /// What failed to parse, and where.
+        detail: String,
+    },
 }
 
 impl fmt::Display for HypreError {
@@ -94,6 +116,18 @@ impl fmt::Display for HypreError {
             }
             HypreError::WarmUpFailed { attempts, last } => {
                 write!(f, "warm-up failed after {attempts} attempt(s): {last}")
+            }
+            HypreError::SnapshotIo { detail } => {
+                write!(f, "snapshot i/o: {detail}")
+            }
+            HypreError::SnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} not supported (this build reads <= {supported})"
+                )
+            }
+            HypreError::SnapshotCorrupt { detail } => {
+                write!(f, "snapshot corrupt: {detail}")
             }
         }
     }
@@ -165,5 +199,23 @@ mod tests {
         assert!(wrapped.to_string().contains("3 attempt"));
         use std::error::Error;
         assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn snapshot_variants_render_their_detail() {
+        let e = HypreError::SnapshotIo {
+            detail: "open /tmp/x: permission denied".into(),
+        };
+        assert!(e.to_string().contains("permission denied"));
+        let e = HypreError::SnapshotVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains("<= 1"));
+        let e = HypreError::SnapshotCorrupt {
+            detail: "interner table truncated at entry 12".into(),
+        };
+        assert!(e.to_string().contains("truncated at entry 12"));
     }
 }

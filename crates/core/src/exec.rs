@@ -139,6 +139,8 @@ use crate::combine::{f_and, PrefAtom};
 use crate::error::{HypreError, Result};
 use crate::tupleset::TupleSet;
 
+pub mod snapshot;
+
 /// The base select query every preference combination enhances — the
 /// dissertation's `SELECT count(distinct dblp.pid) FROM dblp JOIN
 /// dblp_author ON dblp.pid = dblp_author.pid WHERE …` (§5.3).
@@ -568,17 +570,48 @@ impl<'db> Executor<'db> {
         let mut ids: Vec<u32> = Vec::new();
         if self.base.key_on_driver() {
             // Fast path: distinct driving rows (no Value hashed or cloned
-            // per joined row), then one interner probe per distinct row.
+            // per joined row), then one interner probe per distinct row —
+            // fed straight from the driver's typed key segment, so no row
+            // is ever materialised.
             let driver = self.db.table(&self.base.table)?;
             if let Some(key_idx) = driver.schema().index_of(&self.base.key.column) {
+                let rids = q.distinct_row_set(self.db)?;
                 let mut interner = self.interner.borrow_mut();
-                for rid in q.distinct_row_set(self.db)? {
-                    let Some(row) = driver.row(rid) else {
-                        unreachable!("row ids from the scan are valid");
-                    };
-                    let v = &row[key_idx];
-                    if !v.is_null() {
-                        ids.push(interner.intern(v)?);
+                if let Some(vals) = driver.int_values(key_idx) {
+                    for rid in rids {
+                        if !driver.is_null_at(rid.0, key_idx) {
+                            ids.push(interner.intern(&Value::Int(vals[rid.0]))?);
+                        }
+                    }
+                } else if let Some((codes, dict)) = driver.str_codes(key_idx) {
+                    // The column dictionary feeds the interner directly:
+                    // one intern per distinct *code*, memoised, so string
+                    // keys keep the dense corpus-order id assignment.
+                    let mut code_ids: HashMap<u32, u32> = HashMap::new();
+                    for rid in rids {
+                        if driver.is_null_at(rid.0, key_idx) {
+                            continue;
+                        }
+                        let code = codes[rid.0];
+                        let id = if let Some(&id) = code_ids.get(&code) {
+                            id
+                        } else {
+                            let Some(s) = dict.get(code) else {
+                                unreachable!("codes come from this dictionary");
+                            };
+                            let id = interner.intern(&Value::str(s))?;
+                            code_ids.insert(code, id);
+                            id
+                        };
+                        ids.push(id);
+                    }
+                } else {
+                    for rid in rids {
+                        if let Some(v) = driver.value_at(rid.0, key_idx) {
+                            if !v.is_null() {
+                                ids.push(interner.intern(&v)?);
+                            }
+                        }
                     }
                 }
                 return Ok(TupleSet::from_unsorted(ids));
@@ -947,7 +980,7 @@ impl ProfileCache {
         // Per joined table that grew: the *old* driver rows reachable
         // from its delta rows through the join key. One probe map per
         // driver join column, built once and shared across predicates.
-        let mut probe_maps: HashMap<&str, HashMap<&Value, Vec<RowId>>> = HashMap::new();
+        let mut probe_maps: HashMap<&str, HashMap<Value, Vec<RowId>>> = HashMap::new();
         let mut joined_candidates: HashMap<&str, Vec<RowId>> = HashMap::new();
         for (table, left, right) in &self.base.joins {
             let Some(&(old, now)) = spans.get(table.as_str()) else {
@@ -960,11 +993,12 @@ impl ProfileCache {
                 let left_idx = driver
                     .schema()
                     .require(Some(&self.base.table), &left.column)?;
-                let mut map: HashMap<&Value, Vec<RowId>> = HashMap::new();
-                for (rid, row) in driver.scan() {
-                    let v = &row[left_idx];
-                    if !v.is_null() {
-                        map.entry(v).or_default().push(rid);
+                let mut map: HashMap<Value, Vec<RowId>> = HashMap::new();
+                for rid in 0..driver.len() {
+                    if let Some(v) = driver.value_at(rid, left_idx) {
+                        if !v.is_null() {
+                            map.entry(v).or_default().push(RowId(rid));
+                        }
                     }
                 }
                 probe_maps.insert(left.column.as_str(), map);
@@ -976,14 +1010,13 @@ impl ProfileCache {
             };
             let cands = joined_candidates.entry(table.as_str()).or_default();
             for idx in old..now {
-                let Some(row) = jt.row(RowId(idx)) else {
+                let Some(key) = jt.value_at(idx, right_idx) else {
                     continue;
                 };
-                let key = &row[right_idx];
                 if key.is_null() {
                     continue;
                 }
-                if let Some(hits) = probe.get(key) {
+                if let Some(hits) = probe.get(&key) {
                     cands.extend_from_slice(hits);
                 }
             }

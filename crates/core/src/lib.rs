@@ -82,7 +82,7 @@ pub mod preference;
 pub mod sched;
 pub mod serve;
 pub mod skyline;
-pub(crate) mod steal;
+pub mod steal;
 pub mod tupleset;
 
 pub use error::{HypreError, Result};
@@ -120,5 +120,6 @@ pub mod prelude {
     };
     pub use crate::sched::{BatchOutcome, BatchRequest, BatchScheduler, BatchStats};
     pub use crate::skyline::{prioritized_skyline, skyline, AttributePref, Direction};
+    pub use crate::steal::{run_stealing_with_stats, take_cumulative_stats, WorkerStealStats};
     pub use crate::tupleset::{TupleSet, ARRAY_MAX, RUN_COST_FACTOR, RUN_MAX};
 }

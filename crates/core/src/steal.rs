@@ -109,11 +109,14 @@ impl Deques {
     /// tail of the victim with the most remaining work. Returns `None`
     /// only when every deque is empty — at which point no new work can
     /// appear (tasks are fixed up front), so the worker is done.
-    fn next(&self, w: usize) -> Option<usize> {
+    /// Scheduling decisions are tallied into `stats`.
+    fn next(&self, w: usize, stats: &mut WorkerStealStats) -> Option<usize> {
         if let Some(idx) = self.queues[w].pop_front() {
+            stats.tasks += 1;
             return Some(idx);
         }
         loop {
+            stats.idle_probes += 1;
             let victim = self
                 .queues
                 .iter()
@@ -128,10 +131,67 @@ impl Deques {
             // The victim may have drained between the scan and the
             // claim; re-scan rather than give up.
             if let Some(idx) = self.queues[v].pop_back() {
+                stats.tasks += 1;
+                stats.steals += 1;
                 return Some(idx);
             }
         }
     }
+}
+
+/// Per-worker scheduling counters from one [`run_stealing_with_stats`]
+/// round: how much work the worker ran, how much of it was stolen from
+/// other workers' deques, and how often it scanned for a victim. The
+/// bench harness aggregates these across rounds (via
+/// [`take_cumulative_stats`]) to report how much rebalancing the
+/// stealing scheduler actually did at each worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStealStats {
+    /// Tasks this worker executed (own + stolen).
+    pub tasks: usize,
+    /// Of those, tasks claimed from another worker's tail.
+    pub steals: usize,
+    /// Victim scans while idle (each is one pass over the other deques,
+    /// whether or not it yielded a task).
+    pub idle_probes: usize,
+}
+
+impl WorkerStealStats {
+    /// Component-wise accumulation.
+    fn merge(&mut self, other: &WorkerStealStats) {
+        self.tasks += other.tasks;
+        self.steals += other.steals;
+        self.idle_probes += other.idle_probes;
+    }
+}
+
+/// Process-wide steal-stats accumulator, indexed by worker. Every
+/// `run_stealing*` round folds its per-worker counters in here, so the
+/// bench harness can observe scheduling behaviour of rounds that happen
+/// deep inside `PairwiseCache::build` or PEPS without threading a stats
+/// sink through every call site.
+static CUMULATIVE: Mutex<Vec<WorkerStealStats>> = Mutex::new(Vec::new());
+
+fn record_cumulative(stats: &[WorkerStealStats]) {
+    let mut acc = CUMULATIVE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if acc.len() < stats.len() {
+        acc.resize(stats.len(), WorkerStealStats::default());
+    }
+    for (slot, s) in acc.iter_mut().zip(stats) {
+        slot.merge(s);
+    }
+}
+
+/// Drains the process-wide per-worker counters accumulated since the
+/// last call (or process start), resetting them to zero. Index `w` is
+/// worker `w`'s total across every stealing round in the window.
+pub fn take_cumulative_stats() -> Vec<WorkerStealStats> {
+    let mut acc = CUMULATIVE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    std::mem::take(&mut *acc)
 }
 
 /// Runs tasks `0..bounds[last]` across `bounds.len() - 1` scoped worker
@@ -149,10 +209,28 @@ where
     M: Fn() -> A + Sync,
     S: Fn(&mut A, usize) + Sync,
 {
+    run_stealing_with_stats(bounds, make, step).0
+}
+
+/// Work-stealing fan-out (the crate-internal `run_stealing` contract)
+/// returning, alongside the accumulators, one [`WorkerStealStats`] per
+/// worker (same worker-index order). The stats are also folded into the
+/// process-wide cumulative counters that [`take_cumulative_stats`]
+/// drains.
+pub fn run_stealing_with_stats<A, M, S>(
+    bounds: &[usize],
+    make: M,
+    step: S,
+) -> (Vec<A>, Vec<WorkerStealStats>)
+where
+    A: Send,
+    M: Fn() -> A + Sync,
+    S: Fn(&mut A, usize) + Sync,
+{
     let workers = bounds.len().saturating_sub(1);
     debug_assert!(workers > 0, "at least one worker range");
     let deques = Deques::new(bounds);
-    std::thread::scope(|scope| {
+    let results: Vec<(A, WorkerStealStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let deques = &deques;
@@ -160,10 +238,11 @@ where
                 let step = &step;
                 scope.spawn(move || {
                     let mut acc = make();
-                    while let Some(idx) = deques.next(w) {
+                    let mut stats = WorkerStealStats::default();
+                    while let Some(idx) = deques.next(w, &mut stats) {
                         step(&mut acc, idx);
                     }
-                    acc
+                    (acc, stats)
                 })
             })
             .collect();
@@ -171,7 +250,10 @@ where
             .into_iter()
             .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
-    })
+    });
+    let (accs, stats): (Vec<A>, Vec<WorkerStealStats>) = results.into_iter().unzip();
+    record_cumulative(&stats);
+    (accs, stats)
 }
 
 #[cfg(test)]
@@ -242,6 +324,56 @@ mod tests {
         assert_eq!(q.pop_front(), Some(2));
         assert_eq!(q.pop_front(), None);
         assert_eq!(q.pop_back(), None);
+    }
+
+    #[test]
+    fn stats_account_for_every_task() {
+        let n = 64;
+        let (accs, stats) =
+            run_stealing_with_stats(&even_bounds(n, 4), || 0usize, |acc, _| *acc += 1);
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.tasks).sum::<usize>(), n);
+        assert_eq!(accs.iter().sum::<usize>(), n);
+        for (w, s) in stats.iter().enumerate() {
+            assert!(s.steals <= s.tasks, "worker {w}: steals within tasks");
+        }
+    }
+
+    #[test]
+    fn skew_forces_observable_steals() {
+        // Worker 0 blocks on task 0 until every other task has run, so
+        // its remaining own tasks (1..4) can only complete via steals.
+        let n = 16;
+        let done = AtomicUsize::new(0);
+        let (_, stats) = run_stealing_with_stats(
+            &even_bounds(n, 4),
+            || (),
+            |_, idx| {
+                if idx == 0 {
+                    while done.load(Ordering::Relaxed) < n - 1 {
+                        std::thread::yield_now();
+                    }
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        let steals: usize = stats.iter().map(|s| s.steals).sum();
+        assert!(steals >= 3, "worker 0's backlog was stolen ({steals})");
+        let probes: usize = stats.iter().map(|s| s.idle_probes).sum();
+        assert!(probes >= steals, "every steal needs at least one probe");
+    }
+
+    #[test]
+    fn cumulative_stats_accumulate_across_rounds() {
+        // No other test drains the global accumulator, so after two
+        // rounds here a take sees at least their tasks (other tests'
+        // rounds may add more — never less).
+        let _ = take_cumulative_stats();
+        run_stealing_with_stats(&even_bounds(8, 2), || (), |_, _| {});
+        run_stealing_with_stats(&even_bounds(8, 2), || (), |_, _| {});
+        let cum = take_cumulative_stats();
+        assert!(cum.len() >= 2);
+        assert!(cum.iter().map(|s| s.tasks).sum::<usize>() >= 16);
     }
 
     #[test]

@@ -126,6 +126,17 @@ enum Kind {
     Bitmap,
 }
 
+/// A borrowed view of one container's raw payload, produced by
+/// [`TupleSet::dump`] for the snapshot serialiser.
+pub(crate) enum ContainerDump<'a> {
+    /// Sorted, duplicate-free ids.
+    Array(&'a [u32]),
+    /// Maximal, disjoint, ascending `(start, len)` runs.
+    Runs(&'a [Run]),
+    /// Packed bitmap words.
+    Bitmap(&'a BitSet),
+}
+
 /// Word span of a set whose maximum id is `max`.
 fn word_span(max: u32) -> usize {
     max as usize / 64 + 1
@@ -205,6 +216,45 @@ impl TupleSet {
             Repr::Runs(r) => runs_to_bitset(r),
             Repr::Bitmap(b) => b.clone(),
         }
+    }
+
+    /// A borrowed view of the current container's raw payload — the
+    /// snapshot serialiser writes exactly this, so a saved set costs no
+    /// re-encoding and restores to a byte-identical container.
+    pub(crate) fn dump(&self) -> ContainerDump<'_> {
+        match &self.repr {
+            Repr::Array(v) => ContainerDump::Array(v),
+            Repr::Runs(r) => ContainerDump::Runs(r),
+            Repr::Bitmap(b) => ContainerDump::Bitmap(b),
+        }
+    }
+
+    /// Rebuilds a set from a snapshot array dump. Validates the sorted,
+    /// duplicate-free invariant up front (corrupt input must produce
+    /// `None`, not a debug-assert panic) and re-derives the canonical
+    /// container, which by construction matches what was dumped.
+    pub(crate) fn restore_array(ids: Vec<u32>) -> Option<TupleSet> {
+        ids.windows(2)
+            .all(|w| w[0] < w[1])
+            .then(|| TupleSet::from_sorted(ids))
+    }
+
+    /// Rebuilds a set from a snapshot run dump, validating the maximal,
+    /// disjoint, ascending, non-empty invariant up front.
+    pub(crate) fn restore_runs(runs: Vec<Run>) -> Option<TupleSet> {
+        (!runs.is_empty()
+            && runs.iter().all(|&(_, l)| l >= 1)
+            && runs
+                .windows(2)
+                .all(|w| (w[0].0 as u64 + w[0].1 as u64) < w[1].0 as u64))
+        .then(|| TupleSet::from_runs(runs))
+    }
+
+    /// Rebuilds a set from a snapshot bitmap dump (any word vector is a
+    /// valid bitmap; canonicalisation demotes if a smaller container fits,
+    /// which for a dump of a canonical bitmap is a no-op).
+    pub(crate) fn restore_bitmap(words: Vec<u64>) -> TupleSet {
+        TupleSet::from_bits(BitSet::from_words(words))
     }
 
     /// Whether the set currently uses the sorted-array container.

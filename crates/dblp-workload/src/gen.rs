@@ -105,90 +105,166 @@ fn zipf(rng: &mut StdRng, n: usize, s: f64, weights: &mut Vec<f64>) -> usize {
     weights.partition_point(|&c| c < x).min(n - 1)
 }
 
-/// Generates a dataset from the configuration.
-pub fn generate(config: &GeneratorConfig) -> DblpDataset {
-    assert!(config.papers > 0 && config.authors > 0 && config.venues > 0);
-    assert!(config.year_range.0 <= config.year_range.1);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+/// A streaming paper generator: yields each paper with its author-id
+/// list one at a time, holding only the community rosters and degree
+/// counters (O(authors) memory) — never the corpus itself. This is the
+/// constant-memory path `load_streamed` uses to build million-paper
+/// databases without materialising a [`DblpDataset`] first.
+///
+/// The stream performs the author and paper phases of [`generate`] with
+/// the *identical* RNG draw sequence ([`generate`] is itself implemented
+/// on top of it), so for equal configs the streamed papers are exactly
+/// the materialised ones. Citations are not streamed: they need the
+/// whole paper list for rich-get-richer sampling, so they exist only on
+/// the materialised path.
+pub struct PaperStream {
+    rng: StdRng,
+    config: GeneratorConfig,
+    venue_weights: Vec<f64>,
+    community: Vec<Vec<u64>>,
+    author_degree: Vec<usize>,
+    next_paper: usize,
+}
 
-    // Authors, each with a home venue (community) drawn Zipf-like so big
-    // venues host big communities.
-    let mut venue_weights = Vec::new();
-    let authors: Vec<Author> = (0..config.authors)
-        .map(|i| Author {
-            aid: i as u64 + 1,
-            full_name: format!("Author {}", i + 1),
-        })
-        .collect();
-    let home_venue: Vec<usize> = (0..config.authors)
-        .map(|_| {
-            zipf(
-                &mut rng,
-                config.venues,
-                config.venue_skew,
-                &mut venue_weights,
-            )
-        })
-        .collect();
-    // Community rosters for fast sampling.
-    let mut community: Vec<Vec<u64>> = vec![Vec::new(); config.venues];
-    for (i, &v) in home_venue.iter().enumerate() {
-        community[v].push(i as u64 + 1);
-    }
-    for (v, members) in community.iter_mut().enumerate() {
-        if members.is_empty() {
-            // Guarantee each venue has at least one potential author.
-            members.push((v % config.authors) as u64 + 1);
+impl PaperStream {
+    /// Runs the author phase (home-venue communities) and positions the
+    /// stream at the first paper.
+    pub fn new(config: GeneratorConfig) -> Self {
+        assert!(config.papers > 0 && config.authors > 0 && config.venues > 0);
+        assert!(config.year_range.0 <= config.year_range.1);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Authors, each with a home venue (community) drawn Zipf-like so
+        // big venues host big communities.
+        let mut venue_weights = Vec::new();
+        let home_venue: Vec<usize> = (0..config.authors)
+            .map(|_| {
+                zipf(
+                    &mut rng,
+                    config.venues,
+                    config.venue_skew,
+                    &mut venue_weights,
+                )
+            })
+            .collect();
+        // Community rosters for fast sampling.
+        let mut community: Vec<Vec<u64>> = vec![Vec::new(); config.venues];
+        for (i, &v) in home_venue.iter().enumerate() {
+            community[v].push(i as u64 + 1);
+        }
+        for (v, members) in community.iter_mut().enumerate() {
+            if members.is_empty() {
+                // Guarantee each venue has at least one potential author.
+                members.push((v % config.authors) as u64 + 1);
+            }
+        }
+        let author_degree = vec![0; config.authors + 1];
+        PaperStream {
+            rng,
+            config,
+            venue_weights,
+            community,
+            author_degree,
+            next_paper: 0,
         }
     }
 
-    // Papers: venue Zipf-drawn; years uniform; author count geometric-ish
-    // with preferential attachment inside the venue community.
-    let mut papers = Vec::with_capacity(config.papers);
-    let mut paper_authors = Vec::with_capacity(config.papers * 2);
-    let mut author_degree: Vec<usize> = vec![0; config.authors + 1];
-    for p in 0..config.papers {
-        let pid = p as u64 + 1;
+    /// The author rows of the corpus (synthesised, no RNG draws).
+    pub fn author_rows(&self) -> impl Iterator<Item = Author> {
+        (0..self.config.authors).map(|i| Author {
+            aid: i as u64 + 1,
+            full_name: format!("Author {}", i + 1),
+        })
+    }
+
+    /// Papers this stream will yield in total.
+    pub fn paper_count(&self) -> usize {
+        self.config.papers
+    }
+
+    /// Hands back the RNG once the paper phase is done, positioned
+    /// exactly where [`generate`]'s citation phase expects it.
+    fn into_rng(self) -> StdRng {
+        debug_assert_eq!(self.next_paper, self.config.papers, "stream drained");
+        self.rng
+    }
+}
+
+impl Iterator for PaperStream {
+    type Item = (Paper, Vec<u64>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Papers: venue Zipf-drawn; years uniform; author count
+        // geometric-ish with preferential attachment inside the venue
+        // community.
+        if self.next_paper >= self.config.papers {
+            return None;
+        }
+        let pid = self.next_paper as u64 + 1;
+        self.next_paper += 1;
         let venue_idx = zipf(
-            &mut rng,
-            config.venues,
-            config.venue_skew,
-            &mut venue_weights,
+            &mut self.rng,
+            self.config.venues,
+            self.config.venue_skew,
+            &mut self.venue_weights,
         );
-        let year = rng.gen_range(config.year_range.0..=config.year_range.1);
-        papers.push(Paper {
+        let year = self
+            .rng
+            .gen_range(self.config.year_range.0..=self.config.year_range.1);
+        let paper = Paper {
             pid,
             title: format!("Paper {pid}"),
             year,
             venue: venue_name(venue_idx),
-        });
+        };
         // 1..=max authors, biased towards fewer.
         let mut n_authors = 1;
-        while n_authors < config.max_authors_per_paper && rng.gen_bool(0.45) {
+        while n_authors < self.config.max_authors_per_paper && self.rng.gen_bool(0.45) {
             n_authors += 1;
         }
         let mut chosen: Vec<u64> = Vec::with_capacity(n_authors);
-        let roster = &community[venue_idx];
+        let roster = &self.community[venue_idx];
         for _ in 0..n_authors {
             // 60 %: home-community author (preferential by degree);
             // 40 %: anyone (cross-community collaboration). The split
             // keeps authors venue-concentrated without driving their
             // top venue share to 1.0 (the dissertation's profiles top
             // out around 0.5, Fig. 26).
-            let aid = if rng.gen_bool(0.6) {
-                preferential_pick(&mut rng, roster, &author_degree)
+            let aid = if self.rng.gen_bool(0.6) {
+                preferential_pick(&mut self.rng, roster, &self.author_degree)
             } else {
-                rng.gen_range(1..=config.authors as u64)
+                self.rng.gen_range(1..=self.config.authors as u64)
             };
             if !chosen.contains(&aid) {
                 chosen.push(aid);
             }
         }
         for &aid in &chosen {
-            author_degree[aid as usize] += 1;
+            self.author_degree[aid as usize] += 1;
+        }
+        Some((paper, chosen))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.config.papers - self.next_paper;
+        (left, Some(left))
+    }
+}
+
+/// Generates a dataset from the configuration.
+pub fn generate(config: &GeneratorConfig) -> DblpDataset {
+    let mut stream = PaperStream::new(config.clone());
+    let authors: Vec<Author> = stream.author_rows().collect();
+    let mut papers = Vec::with_capacity(config.papers);
+    let mut paper_authors = Vec::with_capacity(config.papers * 2);
+    for (paper, chosen) in stream.by_ref() {
+        let pid = paper.pid;
+        papers.push(paper);
+        for aid in chosen {
             paper_authors.push(PaperAuthor { pid, aid });
         }
     }
+    let mut rng = stream.into_rng();
 
     // Citations: each paper cites earlier papers, preferring already-cited
     // ones (rich get richer) and its own venue 60 % of the time.
@@ -311,6 +387,23 @@ mod tests {
         assert_eq!(a.papers, b.papers);
         assert_eq!(a.citations, b.citations);
         assert_eq!(a.paper_authors, b.paper_authors);
+    }
+
+    #[test]
+    fn stream_yields_exactly_the_materialised_papers() {
+        let c = GeneratorConfig::tiny(9);
+        let d = generate(&c);
+        let mut links: Vec<PaperAuthor> = Vec::new();
+        let papers: Vec<Paper> = PaperStream::new(c.clone())
+            .map(|(p, aids)| {
+                for aid in aids {
+                    links.push(PaperAuthor { pid: p.pid, aid });
+                }
+                p
+            })
+            .collect();
+        assert_eq!(papers, d.papers);
+        assert_eq!(links, d.paper_authors);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod stats;
 pub mod tsv;
 
 pub use extract::{extract, ExtractedWorkload, ExtractionConfig};
-pub use gen::{generate, GeneratorConfig};
-pub use load::load;
+pub use gen::{generate, GeneratorConfig, PaperStream};
+pub use load::{load, load_streamed};
 pub use model::{Author, Citation, DblpDataset, Paper, PaperAuthor};
 pub use stats::{table10, StatRow};

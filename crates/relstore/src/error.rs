@@ -59,6 +59,12 @@ pub enum RelError {
     /// operation (1-based op ordinal). Only produced by databases armed
     /// with a [`FailSchedule`](crate::fault::FailSchedule).
     FaultInjected(u64),
+    /// A string column's dictionary ran out of `u32` codes (more than
+    /// 2^32 - 1 distinct strings in one column).
+    DictionaryFull {
+        /// The column whose dictionary overflowed.
+        column: String,
+    },
 }
 
 impl fmt::Display for RelError {
@@ -99,6 +105,9 @@ impl fmt::Display for RelError {
                     f,
                     "injected fault: query operation #{op} failed by schedule"
                 )
+            }
+            RelError::DictionaryFull { column } => {
+                write!(f, "string dictionary for column '{column}' is full")
             }
         }
     }

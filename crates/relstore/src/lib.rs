@@ -54,5 +54,5 @@ pub use parser::parse_predicate;
 pub use predicate::{CmpOp, ColRef, ColumnResolver, Predicate};
 pub use query::{JoinCond, ResultSet, SelectQuery};
 pub use schema::{Column, Schema};
-pub use table::{RowId, Table};
+pub use table::{RowId, StrDict, Table};
 pub use value::{DataType, Value};

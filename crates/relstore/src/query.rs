@@ -13,13 +13,29 @@
 //! of inner equi-joined tables) with hash joins, and accelerates the driving
 //! table's scan with an index when the filter contains a usable top-level
 //! equality conjunct.
+//!
+//! ## Columnar fast path
+//!
+//! [`SelectQuery::distinct_row_set`] — the call feeding the tuple interner
+//! in `hypre-core` — compiles the filter into a crate-internal `FastPred` over the
+//! table's columnar segments when the query has one of three shapes: a
+//! single-table select, a single equi-join with a driver-only filter
+//! (semi-join membership test), or a single equi-join filtered on the
+//! joined side (filtered key-set membership). A compiled atom reads the
+//! typed segment directly — `i64`/`f64` comparisons delegate to
+//! [`Value::compare`] on stack-built values, and string atoms are
+//! evaluated **once per dictionary code** into a truth table, so a scan
+//! over a million rows compares a million `u32`s, not a million strings.
+//! Any shape or predicate the compiler does not cover falls back to the
+//! row-materialising pipeline below, which remains the semantic reference
+//! ([`SelectQuery::distinct_row_set_rowwise`] pins it for benches).
 
 use std::collections::{HashMap, HashSet};
 
 use crate::database::Database;
 use crate::error::{RelError, Result};
 use crate::predicate::{CmpOp, ColRef, ColumnResolver, Predicate};
-use crate::table::{RowId, Table};
+use crate::table::{ColumnData, NullMask, RowId, StrDict, Table};
 use crate::value::Value;
 
 /// An inner equi-join condition `left = right` between two qualified columns.
@@ -108,17 +124,16 @@ impl SelectQuery {
     }
 
     /// `SELECT COUNT(DISTINCT col)` — the workhorse of the dissertation's
-    /// applicable-combination checks. Deduplicates by *reference* into the
-    /// stored rows: no `Value` is cloned no matter how many joined rows
-    /// stream past.
+    /// applicable-combination checks. Each distinct value is cloned exactly
+    /// once into the probe set, no matter how many joined rows stream past.
     pub fn count_distinct(&self, db: &Database, col: &ColRef) -> Result<u64> {
         let bound = self.bind(db)?;
         let target = bound.locate(col)?;
-        let mut seen: HashSet<&Value> = HashSet::new();
+        let mut seen: HashSet<Value> = HashSet::new();
         self.execute(db, &bound, None, |_, joined| {
             let v = joined.value_at(target);
-            if !v.is_null() {
-                seen.insert(v);
+            if !v.is_null() && !seen.contains(v) {
+                seen.insert(v.clone());
             }
             Ok(true)
         })?;
@@ -127,16 +142,16 @@ impl SelectQuery {
 
     /// Collects the distinct values of `col` over the filtered join — used
     /// when the caller needs tuple identities (e.g. coverage sets) rather
-    /// than just counts. Probes by reference and clones each distinct
-    /// value exactly once.
+    /// than just counts. Clones each distinct value exactly once.
     pub fn distinct_values(&self, db: &Database, col: &ColRef) -> Result<Vec<Value>> {
         let bound = self.bind(db)?;
         let target = bound.locate(col)?;
-        let mut seen: HashSet<&Value> = HashSet::new();
+        let mut seen: HashSet<Value> = HashSet::new();
         let mut out = Vec::new();
         self.execute(db, &bound, None, |_, joined| {
             let v = joined.value_at(target);
-            if !v.is_null() && seen.insert(v) {
+            if !v.is_null() && !seen.contains(v) {
+                seen.insert(v.clone());
                 out.push(v.clone());
             }
             Ok(true)
@@ -147,14 +162,24 @@ impl SelectQuery {
     /// The distinct *driving-table* rows with at least one joined row
     /// passing the filter, in scan (ascending `RowId`) order.
     ///
-    /// This is the zero-clone fast path feeding the tuple interner in
-    /// `hypre-core`: deduplication is a dense `Vec<bool>` over row ids
-    /// (no `Value` is hashed or cloned), and the join pipeline
+    /// This is the fast path feeding the tuple interner in `hypre-core`.
+    /// Supported query shapes compile into a columnar plan (see the module
+    /// docs) that scans typed segments without materialising a single row;
+    /// everything else runs the reference join pipeline, where
+    /// deduplication is a dense `Vec<bool>` over row ids and the join
     /// short-circuits the moment a driving row produces its first passing
-    /// joined row — for a paper with twelve authors, eleven join probes
-    /// are skipped.
+    /// joined row.
     pub fn distinct_row_set(&self, db: &Database) -> Result<Vec<RowId>> {
-        self.row_set_impl(db, None)
+        self.row_set_impl(db, None, true)
+    }
+
+    /// The reference row-materialising implementation of
+    /// [`SelectQuery::distinct_row_set`]: identical semantics, but every
+    /// candidate row is materialised to `Vec<Value>` and the filter is
+    /// evaluated through the generic resolver. Kept public so benches can
+    /// measure the columnar plan against it.
+    pub fn distinct_row_set_rowwise(&self, db: &Database) -> Result<Vec<RowId>> {
+        self.row_set_impl(db, None, false)
     }
 
     /// Like [`SelectQuery::distinct_row_set`], but only the listed
@@ -169,11 +194,26 @@ impl SelectQuery {
         db: &Database,
         candidates: &[RowId],
     ) -> Result<Vec<RowId>> {
-        self.row_set_impl(db, Some(candidates))
+        self.row_set_impl(db, Some(candidates), false)
     }
 
-    fn row_set_impl(&self, db: &Database, seed: Option<&[RowId]>) -> Result<Vec<RowId>> {
+    fn row_set_impl(
+        &self,
+        db: &Database,
+        seed: Option<&[RowId]>,
+        allow_fast: bool,
+    ) -> Result<Vec<RowId>> {
         let bound = self.bind(db)?;
+        if seed.is_none() && allow_fast {
+            // Compilability is decided before the fault check so that both
+            // outcomes charge exactly one operation against an armed fault
+            // schedule (compile failures fall through to `execute`, which
+            // performs the check itself).
+            if let Some(plan) = FastPlan::compile(self, &bound) {
+                db.fault_check()?;
+                return Ok(plan.run(self, &bound));
+            }
+        }
         let mut seen = vec![false; bound.tables[0].len()];
         let mut out = Vec::new();
         self.execute(db, &bound, seed, |rid, _| {
@@ -247,7 +287,7 @@ impl SelectQuery {
             Some(ids) => ids.to_vec(),
             None => match self.index_seed(driver, &bound.names[0]) {
                 Some(ids) => ids,
-                None => driver.scan().map(|(id, _)| id).collect(),
+                None => (0..driver.len()).map(RowId).collect(),
             },
         };
 
@@ -274,11 +314,12 @@ impl SelectQuery {
                     old_side.table.clone().unwrap_or_default(),
                 ));
             }
-            let mut hash: HashMap<&'db Value, Vec<RowId>> = HashMap::with_capacity(new_table.len());
-            for (id, row) in new_table.scan() {
-                let key = &row[key_idx];
-                if !key.is_null() {
-                    hash.entry(key).or_default().push(id);
+            let mut hash: HashMap<Value, Vec<RowId>> = HashMap::with_capacity(new_table.len());
+            for row in 0..new_table.len() {
+                if let Some(key) = new_table.value_at(row, key_idx) {
+                    if !key.is_null() {
+                        hash.entry(key).or_default().push(RowId(row));
+                    }
                 }
             }
             built.push(JoinBuild {
@@ -290,7 +331,7 @@ impl SelectQuery {
 
         // Depth-first pipeline over the join chain. Out-of-range ids (only
         // possible via a stale `seed_override`) are skipped, not a panic.
-        let mut rows: Vec<&'db [Value]> = Vec::with_capacity(bound.tables.len());
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(bound.tables.len());
         for id in seed {
             let Some(row) = driver.row(id) else { continue };
             rows.push(row);
@@ -301,13 +342,13 @@ impl SelectQuery {
     }
 
     /// Returns whether to continue expanding the current driving row.
-    fn join_level<'a, 'db>(
+    fn join_level<'db>(
         &self,
         bound: &BoundQuery<'db>,
-        built: &'a [JoinBuild<'db>],
+        built: &[JoinBuild<'db>],
         level: usize,
         driver_row: RowId,
-        rows: &mut Vec<&'db [Value]>,
+        rows: &mut Vec<Vec<Value>>,
         sink: &mut impl FnMut(RowId, &JoinedRow<'_, 'db>) -> Result<bool>,
     ) -> Result<bool> {
         if level == built.len() {
@@ -398,6 +439,335 @@ impl SelectQuery {
     }
 }
 
+// ----------------------------------------------------------------------
+// columnar fast path
+// ----------------------------------------------------------------------
+
+/// A compiled columnar plan for [`SelectQuery::distinct_row_set`]. Each
+/// variant borrows the typed segments it scans; compilation fails (to the
+/// generic pipeline) rather than approximating.
+enum FastPlan<'db> {
+    /// Single-table select: evaluate the compiled filter per driver row.
+    Scan { pred: FastPred<'db> },
+    /// One equi-join, filter on the driver only: a driver row qualifies if
+    /// the filter passes *and* its key appears in the joined key segment.
+    SemiJoin {
+        pred: FastPred<'db>,
+        driver_key: IntKeyCol<'db>,
+        joined_key: IntKeyCol<'db>,
+    },
+    /// One equi-join, filter on the joined table only: collect the keys of
+    /// passing joined rows, then membership-test the driver key segment.
+    JoinedFilter {
+        pred: FastPred<'db>,
+        driver_key: IntKeyCol<'db>,
+        joined_key: IntKeyCol<'db>,
+    },
+}
+
+/// An `INT` join-key segment: values plus null mask.
+struct IntKeyCol<'db> {
+    values: &'db [i64],
+    nulls: &'db NullMask,
+}
+
+fn int_key_col<'db>(table: &'db Table, col_idx: usize) -> Option<IntKeyCol<'db>> {
+    match table.column_data(col_idx)? {
+        ColumnData::Int { values, nulls } => Some(IntKeyCol { values, nulls }),
+        _ => None,
+    }
+}
+
+impl<'db> FastPlan<'db> {
+    fn compile(q: &SelectQuery, bound: &BoundQuery<'db>) -> Option<FastPlan<'db>> {
+        match q.joins.as_slice() {
+            [] => Some(FastPlan::Scan {
+                pred: FastPred::compile(&q.filter, bound, 0)?,
+            }),
+            [cond] => {
+                // Resolve the join exactly as `execute` does; any failure
+                // here falls back so the generic path raises the error.
+                let new_name = &bound.names[1];
+                let (new_side, old_side) = if cond.left.table.as_deref() == Some(new_name.as_str())
+                {
+                    (&cond.left, &cond.right)
+                } else if cond.right.table.as_deref() == Some(new_name.as_str()) {
+                    (&cond.right, &cond.left)
+                } else {
+                    return None;
+                };
+                let joined_idx = bound.tables[1].schema().index_of(&new_side.column)?;
+                let probe = bound.locate(old_side).ok()?;
+                if probe.table_idx != 0 {
+                    return None;
+                }
+                let driver_key = int_key_col(bound.tables[0], probe.col_idx)?;
+                let joined_key = int_key_col(bound.tables[1], joined_idx)?;
+                if let Some(pred) = FastPred::compile(&q.filter, bound, 0) {
+                    return Some(FastPlan::SemiJoin {
+                        pred,
+                        driver_key,
+                        joined_key,
+                    });
+                }
+                let pred = FastPred::compile(&q.filter, bound, 1)?;
+                Some(FastPlan::JoinedFilter {
+                    pred,
+                    driver_key,
+                    joined_key,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Runs the plan. Infallible: compilation resolved every reference.
+    fn run(&self, q: &SelectQuery, bound: &BoundQuery<'db>) -> Vec<RowId> {
+        let driver = bound.tables[0];
+        // The same index seeding the generic path uses; candidates are
+        // unique but not necessarily in RowId order.
+        let candidates = q.index_seed(driver, &bound.names[0]);
+        let rows: Box<dyn Iterator<Item = usize>> = match &candidates {
+            Some(ids) => Box::new(ids.iter().map(|id| id.0)),
+            None => Box::new(0..driver.len()),
+        };
+        let mut out: Vec<RowId> = match self {
+            FastPlan::Scan { pred } => rows.filter(|&r| pred.eval(r)).map(RowId).collect(),
+            FastPlan::SemiJoin {
+                pred,
+                driver_key,
+                joined_key,
+            } => {
+                let present: HashSet<i64> = joined_key
+                    .values
+                    .iter()
+                    .enumerate()
+                    .filter(|&(r, _)| !joined_key.nulls.is_null(r))
+                    .map(|(_, &k)| k)
+                    .collect();
+                rows.filter(|&r| {
+                    pred.eval(r)
+                        && !driver_key.nulls.is_null(r)
+                        && present.contains(&driver_key.values[r])
+                })
+                .map(RowId)
+                .collect()
+            }
+            FastPlan::JoinedFilter {
+                pred,
+                driver_key,
+                joined_key,
+            } => {
+                let passing: HashSet<i64> = joined_key
+                    .values
+                    .iter()
+                    .enumerate()
+                    .filter(|&(r, _)| !joined_key.nulls.is_null(r) && pred.eval(r))
+                    .map(|(_, &k)| k)
+                    .collect();
+                rows.filter(|&r| {
+                    !driver_key.nulls.is_null(r) && passing.contains(&driver_key.values[r])
+                })
+                .map(RowId)
+                .collect()
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A predicate compiled against one table's columnar segments. Atom
+/// semantics mirror [`Predicate::eval`] exactly: `NULL` or incomparable
+/// operands collapse to `false` at the atom, and `Not`/`And`/`Or` compose
+/// the collapsed booleans.
+enum FastPred<'db> {
+    Const(bool),
+    IntAtom {
+        values: &'db [i64],
+        nulls: &'db NullMask,
+        node: NumNode,
+    },
+    FloatAtom {
+        values: &'db [f64],
+        nulls: &'db NullMask,
+        node: NumNode,
+    },
+    /// String atoms are pre-evaluated per dictionary code.
+    StrAtom {
+        codes: &'db [u32],
+        nulls: &'db NullMask,
+        matches: Vec<bool>,
+    },
+    Not(Box<FastPred<'db>>),
+    And(Vec<FastPred<'db>>),
+    Or(Vec<FastPred<'db>>),
+}
+
+/// The literal side of a compiled numeric atom; evaluation delegates to
+/// [`Value::compare`]/[`Value::sql_eq`] on a stack-built column value, so
+/// cross-type comparison semantics are inherited, not re-implemented.
+enum NumNode {
+    Cmp(CmpOp, Value),
+    Between(Value, Value),
+    InList(Vec<Value>),
+}
+
+impl NumNode {
+    fn eval(&self, v: &Value) -> bool {
+        match self {
+            NumNode::Cmp(op, lit) => v.compare(lit).map(|o| op.matches(o)).unwrap_or(false),
+            NumNode::Between(lo, hi) => {
+                let ge_lo = v.compare(lo).map(|o| CmpOp::Ge.matches(o)).unwrap_or(false);
+                let le_hi = v.compare(hi).map(|o| CmpOp::Le.matches(o)).unwrap_or(false);
+                ge_lo && le_hi
+            }
+            NumNode::InList(vals) => vals.iter().any(|lit| v.sql_eq(lit)),
+        }
+    }
+}
+
+/// Builds the per-code truth table for a string atom: `f` is evaluated
+/// once per distinct dictionary string.
+fn str_matches(dict: &StrDict, f: impl Fn(&str) -> bool) -> Vec<bool> {
+    dict.iter().map(f).collect()
+}
+
+/// `Value::compare` restricted to a string left-hand side: comparable only
+/// against string literals (strings have no numeric image, and `NULL`
+/// compares as incomparable).
+fn cmp_str_lit(s: &str, lit: &Value) -> Option<std::cmp::Ordering> {
+    match lit {
+        Value::Str(l) => Some(s.cmp(l.as_str())),
+        _ => None,
+    }
+}
+
+impl<'db> FastPred<'db> {
+    /// Compiles `pred` for evaluation over rows of `bound.tables[table_idx]`.
+    /// Every column reference must resolve to that table; anything else
+    /// (unknown columns, other tables, ambiguity) returns `None` and the
+    /// caller falls back to the generic pipeline.
+    fn compile(
+        pred: &Predicate,
+        bound: &BoundQuery<'db>,
+        table_idx: usize,
+    ) -> Option<FastPred<'db>> {
+        let atom = |col: &ColRef| -> Option<&'db ColumnData> {
+            let loc = bound.locate(col).ok()?;
+            (loc.table_idx == table_idx)
+                .then(|| bound.tables[table_idx].column_data(loc.col_idx))
+                .flatten()
+        };
+        Some(match pred {
+            Predicate::True => FastPred::Const(true),
+            Predicate::False => FastPred::Const(false),
+            Predicate::Cmp(col, op, lit) => match atom(col)? {
+                ColumnData::Int { values, nulls } => FastPred::IntAtom {
+                    values,
+                    nulls,
+                    node: NumNode::Cmp(*op, lit.clone()),
+                },
+                ColumnData::Float { values, nulls } => FastPred::FloatAtom {
+                    values,
+                    nulls,
+                    node: NumNode::Cmp(*op, lit.clone()),
+                },
+                ColumnData::Str { codes, dict, nulls } => FastPred::StrAtom {
+                    codes,
+                    nulls,
+                    matches: str_matches(dict, |s| {
+                        cmp_str_lit(s, lit).map(|o| op.matches(o)).unwrap_or(false)
+                    }),
+                },
+            },
+            Predicate::Between(col, lo, hi) => match atom(col)? {
+                ColumnData::Int { values, nulls } => FastPred::IntAtom {
+                    values,
+                    nulls,
+                    node: NumNode::Between(lo.clone(), hi.clone()),
+                },
+                ColumnData::Float { values, nulls } => FastPred::FloatAtom {
+                    values,
+                    nulls,
+                    node: NumNode::Between(lo.clone(), hi.clone()),
+                },
+                ColumnData::Str { codes, dict, nulls } => FastPred::StrAtom {
+                    codes,
+                    nulls,
+                    matches: str_matches(dict, |s| {
+                        let ge_lo = cmp_str_lit(s, lo)
+                            .map(|o| CmpOp::Ge.matches(o))
+                            .unwrap_or(false);
+                        let le_hi = cmp_str_lit(s, hi)
+                            .map(|o| CmpOp::Le.matches(o))
+                            .unwrap_or(false);
+                        ge_lo && le_hi
+                    }),
+                },
+            },
+            Predicate::InList(col, vals) => match atom(col)? {
+                ColumnData::Int { values, nulls } => FastPred::IntAtom {
+                    values,
+                    nulls,
+                    node: NumNode::InList(vals.clone()),
+                },
+                ColumnData::Float { values, nulls } => FastPred::FloatAtom {
+                    values,
+                    nulls,
+                    node: NumNode::InList(vals.clone()),
+                },
+                ColumnData::Str { codes, dict, nulls } => FastPred::StrAtom {
+                    codes,
+                    nulls,
+                    matches: str_matches(dict, |s| {
+                        vals.iter()
+                            .any(|lit| matches!(lit, Value::Str(l) if s == l.as_str()))
+                    }),
+                },
+            },
+            Predicate::Not(inner) => {
+                FastPred::Not(Box::new(Self::compile(inner, bound, table_idx)?))
+            }
+            Predicate::And(ps) => FastPred::And(
+                ps.iter()
+                    .map(|p| Self::compile(p, bound, table_idx))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+            Predicate::Or(ps) => FastPred::Or(
+                ps.iter()
+                    .map(|p| Self::compile(p, bound, table_idx))
+                    .collect::<Option<Vec<_>>>()?,
+            ),
+        })
+    }
+
+    fn eval(&self, row: usize) -> bool {
+        match self {
+            FastPred::Const(b) => *b,
+            FastPred::IntAtom {
+                values,
+                nulls,
+                node,
+            } => !nulls.is_null(row) && node.eval(&Value::Int(values[row])),
+            FastPred::FloatAtom {
+                values,
+                nulls,
+                node,
+            } => !nulls.is_null(row) && node.eval(&Value::Float(values[row])),
+            FastPred::StrAtom {
+                codes,
+                nulls,
+                matches,
+            } => !nulls.is_null(row) && matches.get(codes[row] as usize).copied().unwrap_or(false),
+            FastPred::Not(p) => !p.eval(row),
+            FastPred::And(ps) => ps.iter().all(|p| p.eval(row)),
+            FastPred::Or(ps) => ps.iter().any(|p| p.eval(row)),
+        }
+    }
+}
+
 /// Index point lookup that also probes the literal's numeric type twin, so
 /// `col=2008.0` still finds `Int(2008)` keys (predicate evaluation compares
 /// numerically; index keys compare structurally for hash indexes).
@@ -459,7 +829,7 @@ struct Located {
 
 struct JoinBuild<'db> {
     table: &'db Table,
-    hash: HashMap<&'db Value, Vec<RowId>>,
+    hash: HashMap<Value, Vec<RowId>>,
     probe: Located,
 }
 
@@ -510,16 +880,16 @@ impl<'db> BoundQuery<'db> {
 /// One joined row during execution; resolves predicate column references.
 struct JoinedRow<'a, 'db> {
     bound: &'a BoundQuery<'db>,
-    rows: &'a [&'db [Value]],
+    rows: &'a [Vec<Value>],
 }
 
-impl<'a, 'db> JoinedRow<'a, 'db> {
-    fn value_at(&self, loc: Located) -> &'db Value {
+impl<'a> JoinedRow<'a, '_> {
+    fn value_at(&self, loc: Located) -> &'a Value {
         &self.rows[loc.table_idx][loc.col_idx]
     }
 
     fn concat_values(&self) -> Vec<Value> {
-        let total: usize = self.rows.iter().map(|r| r.len()).sum();
+        let total: usize = self.rows.iter().map(Vec::len).sum();
         let mut out = Vec::with_capacity(total);
         for r in self.rows {
             out.extend_from_slice(r);
@@ -1017,6 +1387,110 @@ mod tests {
             let vals = q.count_distinct(&db, &ColRef::parse("dblp.pid")).unwrap();
             assert_eq!(rows, vals, "pid is the driver key, so both agree: {filter}");
         }
+    }
+
+    #[test]
+    fn columnar_plan_matches_rowwise_reference() {
+        // The battery: every supported atom type and connective, over both
+        // the single-table and the joined shapes, must agree byte-for-byte
+        // with the row-materialising reference path.
+        let mut db = mini_dblp();
+        db.table_mut("dblp")
+            .unwrap()
+            .insert(vec![7.into(), Value::Null, Value::Null, Value::Null])
+            .unwrap();
+        let filters = [
+            "dblp.venue='PVLDB'",
+            "dblp.venue<>'PVLDB'",
+            "dblp.venue>'PVLDB'",
+            "dblp.venue IN ('VLDB','SIGMOD','nope')",
+            "dblp.venue BETWEEN 'INFOCOM' AND 'SIGMOD'",
+            "dblp.year=2010",
+            "dblp.year>=2008",
+            "dblp.year BETWEEN 2006 AND 2010",
+            "dblp.year IN (2000, 2008)",
+            "dblp.year=2010.0",
+            "dblp.venue='VLDB' AND dblp.year<2005",
+            "dblp.venue='VLDB' OR dblp.year=2008",
+            "NOT dblp.venue='VLDB'",
+            "NOT (dblp.venue='VLDB' OR dblp.venue='PVLDB')",
+            "dblp.venue=2010",  // type-mismatched literal: matches nothing
+            "dblp.year='VLDB'", // likewise in the numeric direction
+        ];
+        for text in filters {
+            let q = SelectQuery::from("dblp").filter(parse_predicate(text).unwrap());
+            assert_eq!(
+                q.distinct_row_set(&db).unwrap(),
+                q.distinct_row_set_rowwise(&db).unwrap(),
+                "single-table: {text}"
+            );
+        }
+        for text in [
+            "dblp.venue='PVLDB'",
+            "dblp.year>=2008",
+            "dblp_author.aid=102",
+            "dblp_author.aid IN (100, 103)",
+            "NOT dblp_author.aid=100",
+        ] {
+            let q = SelectQuery::from("dblp")
+                .join(
+                    "dblp_author",
+                    ColRef::parse("dblp.pid"),
+                    ColRef::parse("dblp_author.pid"),
+                )
+                .filter(parse_predicate(text).unwrap());
+            assert_eq!(
+                q.distinct_row_set(&db).unwrap(),
+                q.distinct_row_set_rowwise(&db).unwrap(),
+                "joined: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_plan_agrees_under_indexes() {
+        // Index seeding reorders candidates; the fast path must still come
+        // back sorted and deduplicated.
+        let mut db = mini_dblp();
+        db.table_mut("dblp")
+            .unwrap()
+            .create_index("venue", IndexKind::Hash)
+            .unwrap();
+        db.table_mut("dblp")
+            .unwrap()
+            .create_index("year", IndexKind::BTree)
+            .unwrap();
+        for text in [
+            "dblp.venue='VLDB'",
+            "dblp.year>=2008",
+            "dblp.year BETWEEN 2006 AND 2010",
+            "dblp.venue IN ('VLDB','SIGMOD')",
+            "dblp.venue='PVLDB' AND dblp.year=2010",
+        ] {
+            let q = SelectQuery::from("dblp").filter(parse_predicate(text).unwrap());
+            assert_eq!(
+                q.distinct_row_set(&db).unwrap(),
+                q.distinct_row_set_rowwise(&db).unwrap(),
+                "indexed: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_semi_join_requires_a_join_partner() {
+        // Paper 6 has no authors: a driver-only filter over the joined
+        // query shape must still drop it (inner-join semantics).
+        let db = mini_dblp();
+        let q = SelectQuery::from("dblp")
+            .join(
+                "dblp_author",
+                ColRef::parse("dblp.pid"),
+                ColRef::parse("dblp_author.pid"),
+            )
+            .filter(parse_predicate("dblp.year=2010").unwrap());
+        let fast = q.distinct_row_set(&db).unwrap();
+        assert_eq!(fast, q.distinct_row_set_rowwise(&db).unwrap());
+        assert_eq!(fast, vec![RowId(2), RowId(3)], "paper 6 (2010) authorless");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 #   tests → rustdoc (warnings are errors) → compile-and-run every
 #   example (doc rot and broken examples fail CI).
 #
-# Usage: scripts/ci.sh [--release-bench] [--scaling]
+# Usage: scripts/ci.sh [--release-bench] [--scaling] [--bench-1m]
 #   --release-bench  additionally regenerates the bench report and runs
 #                    the bench-regression guard (slow; off by default).
 #                    The output and baseline names are derived from the
@@ -21,15 +21,26 @@
 #                    records an explicit skip marker instead of curves;
 #                    the headline guard never keys on core count, so
 #                    this mode is safe on any runner.
+#   --bench-1m       pass --bench-1m through to bench_report: stream a
+#                    million-paper corpus (override the size with
+#                    BENCH_1M_PAPERS) and record single-shot end-to-end
+#                    storage/serving timings in the storage_1m section.
+#                    Implies the bench run. Slow and memory-hungry —
+#                    meant for the manual bench-gate job, never the
+#                    per-push gate.
 #
 # Each example runs under `timeout` (EXAMPLE_TIMEOUT seconds, default
 # 300) with its output captured; a failing or hanging example prints its
-# captured output instead of failing silently.
+# captured output instead of failing silently. The bench run gets its
+# own budget (BENCH_TIMEOUT seconds, default 3600 — the million-paper
+# sweep is minutes, not seconds), and any snapshot temp files the bench
+# leaves in TMPDIR are removed on exit even if it is killed mid-save.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 release_bench=0
 scaling=0
+bench_1m=0
 for arg in "$@"; do
     case "${arg}" in
         --release-bench) release_bench=1 ;;
@@ -37,8 +48,12 @@ for arg in "$@"; do
             release_bench=1
             scaling=1
             ;;
+        --bench-1m)
+            release_bench=1
+            bench_1m=1
+            ;;
         *)
-            echo "unknown flag: ${arg} (supported: --release-bench --scaling)" >&2
+            echo "unknown flag: ${arg} (supported: --release-bench --scaling --bench-1m)" >&2
             exit 2
             ;;
     esac
@@ -61,7 +76,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 EXAMPLE_TIMEOUT="${EXAMPLE_TIMEOUT:-300}"
 example_log="$(mktemp)"
-trap 'rm -f "${example_log}"' EXIT
+# The bench writes warm snapshots as hypre_bench_*.hyprsnap in TMPDIR
+# and normally removes them itself; the trap covers a bench killed
+# mid-run (timeout, ^C) so temp files never accumulate on a runner.
+trap 'rm -f "${example_log}" "${TMPDIR:-/tmp}"/hypre_bench_*.hyprsnap' EXIT
 for example in examples/*.rs; do
     name="$(basename "${example%.rs}")"
     echo "==> example: ${name} (timeout ${EXAMPLE_TIMEOUT}s)"
@@ -83,9 +101,13 @@ for example in examples/*.rs; do
 done
 
 if [[ "${release_bench}" -eq 1 ]]; then
+    BENCH_TIMEOUT="${BENCH_TIMEOUT:-3600}"
     bench_flags=()
     if [[ "${scaling}" -eq 1 ]]; then
         bench_flags+=(--scaling)
+    fi
+    if [[ "${bench_1m}" -eq 1 ]]; then
+        bench_flags+=(--bench-1m)
     fi
     # Derive both file names from what is *checked in* (git, not the
     # working tree — stray reports from earlier local runs must not
@@ -99,12 +121,14 @@ if [[ "${release_bench}" -eq 1 ]]; then
         num="${baseline#BENCH_PR}"
         num="${num%.json}"
         out="BENCH_PR$((num + 1)).json"
-        echo "==> bench_report (${out} + regression guard vs ${baseline})"
-        cargo run --release -p hypre-bench --bin bench_report \
+        echo "==> bench_report (${out} + regression guard vs ${baseline}, timeout ${BENCH_TIMEOUT}s)"
+        timeout "${BENCH_TIMEOUT}" \
+            cargo run --release -p hypre-bench --bin bench_report \
             ${bench_flags[@]+"${bench_flags[@]}"} "${out}" "${baseline}"
     else
-        echo "==> bench_report (BENCH_PR1.json, no baseline yet)"
-        cargo run --release -p hypre-bench --bin bench_report \
+        echo "==> bench_report (BENCH_PR1.json, no baseline yet, timeout ${BENCH_TIMEOUT}s)"
+        timeout "${BENCH_TIMEOUT}" \
+            cargo run --release -p hypre-bench --bin bench_report \
             ${bench_flags[@]+"${bench_flags[@]}"} BENCH_PR1.json
     fi
 fi
