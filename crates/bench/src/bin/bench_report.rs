@@ -53,6 +53,12 @@
 //!   distinct profile identity once and demultiplexes. Both shapes are
 //!   checksum-verified equal before timing. Non-headline, same as
 //!   `live_ingest`;
+//! * `graph_workload` — PR 10: the graph-derived workload end to end —
+//!   property-graph build over the corpus, co-author/venue co-occurrence
+//!   derivation, DSL parse + compile of a profile naming `COAUTHOR_OF` /
+//!   `SAME_VENUE_AS` atoms, and PEPS top-k over the compiled atoms.
+//!   Non-headline (the rows carry a `stage` field, no `name`), so the
+//!   regression guard and the delta printer ignore them;
 //! * `storage_1m` — PR 9: the columnar `distinct_row_set` plan versus
 //!   the row-materialising reference on scan- and join-shaped queries,
 //!   and warm-snapshot persistence (`ProfileCache::save_to` /
@@ -236,6 +242,17 @@ struct BatchedServingRow {
     batched_ns: u128,
 }
 
+/// One graph-workload row (PR 10): a stage of the graph-derived pipeline
+/// — property-graph build, co-occurrence derivation, DSL compile, PEPS
+/// top-k over derived atoms. Non-headline: the `stage` field (no `name`)
+/// keeps every row out of the regression guard and the delta printer.
+struct GraphWorkloadRow {
+    papers: usize,
+    stage: &'static str,
+    ns: u128,
+    detail: String,
+}
+
 fn measure<R>(f: impl FnMut() -> R) -> u128 {
     median_time(5, Duration::from_millis(120), f).as_nanos()
 }
@@ -362,6 +379,7 @@ fn main() {
     let mut multi: Vec<MultiSessionRow> = Vec::new();
     let mut live: Vec<LiveIngestRow> = Vec::new();
     let mut batched: Vec<BatchedServingRow> = Vec::new();
+    let mut graph_rows: Vec<GraphWorkloadRow> = Vec::new();
     let mut scaling: Vec<ScalingRow> = Vec::new();
     let mut storage_scans: Vec<StorageScanRow> = Vec::new();
     let mut storage_snaps: Vec<StorageSnapRow> = Vec::new();
@@ -655,6 +673,92 @@ fn main() {
                     )
                     .0
                 }),
+            });
+        }
+
+        // PR 10: the graph-derived workload family — corpus into the
+        // property graph, co-occurrence derivation, a DSL profile naming
+        // the derived atoms, and PEPS top-k over them. Non-headline
+        // (`stage` field, no `name`), so the guard never sees it.
+        {
+            use dblp_workload::graph::PaperGraph;
+            let (build_ns, mut pg) =
+                time_once(|| PaperGraph::build(&fx.dataset).expect("corpus loads into the graph"));
+            graph_rows.push(GraphWorkloadRow {
+                papers: n,
+                stage: "build_graph",
+                ns: build_ns,
+                detail: format!(
+                    "{} nodes, {} edges",
+                    pg.graph.node_count(),
+                    pg.graph.edge_count()
+                ),
+            });
+            let (derive_ns, (co_report, venue_report)) =
+                time_once(|| pg.derive_preference_edges(4).expect("derivation succeeds"));
+            graph_rows.push(GraphWorkloadRow {
+                papers: n,
+                stage: "derive_edges",
+                ns: derive_ns,
+                detail: format!(
+                    "{} coauthor + {} venue pairs",
+                    co_report.pairs, venue_report.pairs
+                ),
+            });
+            let catalog = pg.derived_catalog(&fx.dataset);
+            let author = fx
+                .dataset
+                .authors
+                .iter()
+                .max_by_key(|a| pg.coauthor_aids(a.aid).len())
+                .expect("corpus has authors");
+            let venue = fx
+                .dataset
+                .venues()
+                .into_iter()
+                .map(String::from)
+                .max_by_key(|v| pg.co_venues(v).len())
+                .expect("corpus has venues");
+            let source = format!(
+                "PROFILE bench OVER dblp {{
+                    COAUTHOR_OF('{author_name}') @ 0.8;
+                    SAME_VENUE_AS('{venue_name}') @ 0.5;
+                    COAUTHOR_OF('{author_name}') PRIOR @ 0.6 year < 2005;
+                }}",
+                author_name = author.full_name.replace('\'', "''"),
+                venue_name = venue.replace('\'', "''"),
+            );
+            let compile_ns = measure(|| {
+                parse_profile(&source)
+                    .expect("bench profile parses")
+                    .compile(UserId(999), &catalog)
+                    .expect("bench profile compiles")
+                    .atoms()
+                    .expect("atoms build")
+                    .len()
+            });
+            let g_atoms = parse_profile(&source)
+                .expect("bench profile parses")
+                .compile(UserId(999), &catalog)
+                .expect("bench profile compiles")
+                .atoms()
+                .expect("atoms build");
+            graph_rows.push(GraphWorkloadRow {
+                papers: n,
+                stage: "dsl_compile",
+                ns: compile_ns,
+                detail: format!("{} positive atoms", g_atoms.len()),
+            });
+            let g_exec = fx.executor();
+            let g_pairs =
+                PairwiseCache::build(&g_atoms, &g_exec).expect("pairwise over derived atoms");
+            let g_peps = Peps::new(&g_atoms, &g_exec, &g_pairs, PepsVariant::Complete);
+            let topk_ns = measure(|| g_peps.top_k(10).expect("top-k over derived atoms").len());
+            graph_rows.push(GraphWorkloadRow {
+                papers: n,
+                stage: "graph_top_k",
+                ns: topk_ns,
+                detail: "k=10".to_owned(),
             });
         }
 
@@ -1007,6 +1111,18 @@ fn main() {
             if i + 1 == batched.len() { "" } else { "," },
         );
     }
+    json.push_str("  ],\n  \"graph_workload\": [\n");
+    for (i, g) in graph_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"section\":\"graph_workload\",\"papers\":{},\"stage\":\"{}\",\"ns\":{},\"detail\":\"{}\"}}{}",
+            g.papers,
+            g.stage,
+            g.ns,
+            g.detail,
+            if i + 1 == graph_rows.len() { "" } else { "," },
+        );
+    }
     // PR 9 storage rows: three shapes share the section, told apart by
     // their `kind` field. Custom field names (no `name`/`adaptive_ns`)
     // keep every row out of the regression guard and the delta printer.
@@ -1167,6 +1283,12 @@ fn main() {
             b.unbatched_ns,
             b.batched_ns,
             b.unbatched_ns as f64 / b.batched_ns.max(1) as f64,
+        );
+    }
+    for g in &graph_rows {
+        println!(
+            "{:>18} {:<16} n={:<8} {:>12} ns  ({})",
+            "graph_workload", g.stage, g.papers, g.ns, g.detail,
         );
     }
     for s in &storage_scans {

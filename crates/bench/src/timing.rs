@@ -48,7 +48,11 @@ mod tests {
     #[test]
     fn median_is_positive_and_ordered() {
         let fast = median_time(3, Duration::from_millis(5), || 21u64 * 2);
-        let slow = median_time(3, Duration::from_millis(5), || (0..20_000u64).sum::<u64>());
+        // black_box per element: a plain `(0..n).sum()` const-folds to its
+        // closed form in release builds and measures as zero.
+        let slow = median_time(3, Duration::from_millis(5), || {
+            (0..20_000u64).fold(0, |a, x| a ^ std::hint::black_box(x))
+        });
         assert!(fast <= slow, "{fast:?} vs {slow:?}");
         assert!(slow > Duration::ZERO);
     }

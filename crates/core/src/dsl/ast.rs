@@ -1,0 +1,217 @@
+//! The profile AST the parser produces and `Display` re-prints.
+//!
+//! Equality is *structural modulo positions*: two ASTs that differ only in
+//! source coordinates compare equal, which is what makes the
+//! parse → print → parse round-trip a meaningful property (`Display`
+//! re-lays-out the source, so positions never survive a round trip).
+
+use std::fmt;
+
+use relstore::Predicate;
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line, starting at 1.
+    pub line: u32,
+    /// Column in characters, starting at 1.
+    pub column: u32,
+}
+
+impl Pos {
+    /// The position `1:1` — used when a node is built programmatically
+    /// rather than parsed.
+    pub fn start() -> Self {
+        Pos { line: 1, column: 1 }
+    }
+}
+
+/// A named preference profile: `PROFILE name OVER table { … }`.
+#[derive(Debug, Clone)]
+pub struct ProfileAst {
+    /// Profile name.
+    pub name: String,
+    /// Default table for bare column references.
+    pub table: String,
+    /// The `;`-terminated composition statements, in source order.
+    pub statements: Vec<PrefExpr>,
+}
+
+impl PartialEq for ProfileAst {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.table == other.table && self.statements == other.statements
+    }
+}
+
+/// A composition expression over preference atoms.
+#[derive(Debug, Clone)]
+pub enum PrefExpr {
+    /// A leaf: one predicate (or derived) atom.
+    Atom(AtomAst),
+    /// Prioritized composition `left PRIOR @ strength right`: every atom
+    /// of `left` is preferred over every atom of `right`.
+    Prior {
+        /// Edge strength in `[0, 1]` (`0.5` when not written).
+        strength: f64,
+        /// The preferred side.
+        left: Box<PrefExpr>,
+        /// The less-preferred side.
+        right: Box<PrefExpr>,
+        /// Source position of the `PRIOR` keyword.
+        pos: Pos,
+    },
+    /// Pareto composition `left PARETO right`: both sides equally
+    /// important, no priority edge.
+    Pareto {
+        /// Left operand.
+        left: Box<PrefExpr>,
+        /// Right operand.
+        right: Box<PrefExpr>,
+    },
+}
+
+impl PartialEq for PrefExpr {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (PrefExpr::Atom(a), PrefExpr::Atom(b)) => a == b,
+            (
+                PrefExpr::Prior {
+                    strength: s1,
+                    left: l1,
+                    right: r1,
+                    ..
+                },
+                PrefExpr::Prior {
+                    strength: s2,
+                    left: l2,
+                    right: r2,
+                    ..
+                },
+            ) => s1.to_bits() == s2.to_bits() && l1 == l2 && r1 == r2,
+            (
+                PrefExpr::Pareto {
+                    left: l1,
+                    right: r1,
+                },
+                PrefExpr::Pareto {
+                    left: l2,
+                    right: r2,
+                },
+            ) => l1 == l2 && r1 == r2,
+            _ => false,
+        }
+    }
+}
+
+impl PrefExpr {
+    /// All leaf atoms of the expression, left to right.
+    pub fn leaves(&self) -> Vec<&AtomAst> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a AtomAst>) {
+        match self {
+            PrefExpr::Atom(a) => out.push(a),
+            PrefExpr::Prior { left, right, .. } | PrefExpr::Pareto { left, right } => {
+                left.collect_leaves(out);
+                right.collect_leaves(out);
+            }
+        }
+    }
+}
+
+/// One preference atom: a predicate (or graph-derived shorthand) plus an
+/// optional explicit intensity.
+#[derive(Debug, Clone)]
+pub struct AtomAst {
+    /// What the atom selects.
+    pub kind: AtomKind,
+    /// Explicit intensity in `[-1, 1]`; `None` when the atom is only
+    /// mentioned qualitatively (its score comes from propagation).
+    pub intensity: Option<f64>,
+    /// Source position of the atom's first token.
+    pub pos: Pos,
+}
+
+impl PartialEq for AtomAst {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.intensity.map(f64::to_bits) == other.intensity.map(f64::to_bits)
+    }
+}
+
+/// The selector of an atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomKind {
+    /// A plain SQL predicate, columns fully qualified.
+    Predicate(Predicate),
+    /// `COAUTHOR_OF('name')` — papers by co-authors of the named author,
+    /// resolved against a derived-edge catalog at compile time.
+    CoauthorOf(String),
+    /// `SAME_VENUE_AS('venue')` — papers in venues co-occurring with the
+    /// named venue, resolved against a derived-edge catalog.
+    SameVenueAs(String),
+}
+
+/// SQL-style single-quoted string with doubled-quote escaping.
+fn sql_quote(s: &str) -> String {
+    format!("'{}'", s.replace('\'', "''"))
+}
+
+impl fmt::Display for AtomAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            AtomKind::Predicate(p) => write!(f, "{p}")?,
+            AtomKind::CoauthorOf(name) => write!(f, "COAUTHOR_OF({})", sql_quote(name))?,
+            AtomKind::SameVenueAs(name) => write!(f, "SAME_VENUE_AS({})", sql_quote(name))?,
+        }
+        if let Some(w) = self.intensity {
+            write!(f, " @ {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PrefExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Operator operands print parenthesized whenever they are
+        // themselves operators, so the printed form re-parses into the
+        // identical tree without precedence bookkeeping.
+        fn operand(f: &mut fmt::Formatter<'_>, e: &PrefExpr) -> fmt::Result {
+            match e {
+                PrefExpr::Atom(a) => write!(f, "{a}"),
+                _ => write!(f, "({e})"),
+            }
+        }
+        match self {
+            PrefExpr::Atom(a) => write!(f, "{a}"),
+            PrefExpr::Prior {
+                strength,
+                left,
+                right,
+                ..
+            } => {
+                operand(f, left)?;
+                write!(f, " PRIOR @ {strength} ")?;
+                operand(f, right)
+            }
+            PrefExpr::Pareto { left, right } => {
+                operand(f, left)?;
+                write!(f, " PARETO ")?;
+                operand(f, right)
+            }
+        }
+    }
+}
+
+impl fmt::Display for ProfileAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PROFILE {} OVER {} {{", self.name, self.table)?;
+        for stmt in &self.statements {
+            writeln!(f, "    {stmt};")?;
+        }
+        write!(f, "}}")
+    }
+}

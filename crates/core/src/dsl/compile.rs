@@ -1,0 +1,450 @@
+//! Lowering a parsed [`ProfileAst`] onto the existing preference
+//! structures.
+//!
+//! Compilation replays exactly the `add_quantitative` / `add_qualitative`
+//! sequence a hand-built equivalent would: statements in source order,
+//! and within each statement atoms left-to-right before `PRIOR` edges
+//! (inner edges before outer). [`CompiledProfile`] records that sequence
+//! as an ordered op list so [`CompiledProfile::apply_to`] reproduces the
+//! hand-built graph node for node — incremental propagation (Algorithm 1)
+//! is order-sensitive, so the order is part of the contract.
+
+use std::collections::BTreeMap;
+
+use relstore::Predicate;
+
+use crate::graph::HypreGraph;
+use crate::intensity::{Intensity, QualIntensity};
+use crate::preference::{QualitativePref, QuantitativePref, UserId};
+
+use super::ast::{AtomAst, AtomKind, Pos, PrefExpr, ProfileAst};
+use super::{DslError, DslErrorKind};
+
+/// Predicates for the graph-derived atoms a DSL source may name.
+///
+/// `COAUTHOR_OF('x')` / `SAME_VENUE_AS('y')` resolve against this catalog
+/// at compile time; naming an entry the catalog lacks is a typed
+/// [`DslError`] ([`DslErrorKind::UnknownCoauthor`] /
+/// [`DslErrorKind::UnknownVenue`]), not a silent empty predicate.
+/// `crates/dblp-workload` builds catalogs from materialised `graphstore`
+/// co-occurrence edges.
+#[derive(Debug, Clone, Default)]
+pub struct DerivedCatalog {
+    coauthors: BTreeMap<String, Predicate>,
+    venues: BTreeMap<String, Predicate>,
+}
+
+impl DerivedCatalog {
+    /// An empty catalog: every derived atom is an error.
+    pub fn new() -> Self {
+        DerivedCatalog::default()
+    }
+
+    /// Registers the predicate `COAUTHOR_OF(author)` lowers to.
+    pub fn insert_coauthor(&mut self, author: impl Into<String>, predicate: Predicate) {
+        self.coauthors.insert(author.into(), predicate);
+    }
+
+    /// Registers the predicate `SAME_VENUE_AS(venue)` lowers to.
+    pub fn insert_same_venue(&mut self, venue: impl Into<String>, predicate: Predicate) {
+        self.venues.insert(venue.into(), predicate);
+    }
+
+    /// The predicate for `COAUTHOR_OF(author)`, if registered.
+    pub fn coauthor(&self, author: &str) -> Option<&Predicate> {
+        self.coauthors.get(author)
+    }
+
+    /// The predicate for `SAME_VENUE_AS(venue)`, if registered.
+    pub fn same_venue(&self, venue: &str) -> Option<&Predicate> {
+        self.venues.get(venue)
+    }
+
+    /// Total registered entries across both kinds.
+    pub fn len(&self) -> usize {
+        self.coauthors.len() + self.venues.len()
+    }
+
+    /// True when no entries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.coauthors.is_empty() && self.venues.is_empty()
+    }
+}
+
+/// One replayed profile-construction step, in hand-built order.
+#[derive(Debug, Clone)]
+pub enum ProfileOp {
+    /// An `add_quantitative` call.
+    Quant(QuantitativePref),
+    /// An `add_qualitative` call.
+    Qual(QualitativePref),
+}
+
+/// A DSL profile lowered to concrete preferences, ready to drive a
+/// [`HypreGraph`] (and through it the executor, caches and scheduler)
+/// exactly like a hand-built profile.
+#[derive(Debug, Clone)]
+pub struct CompiledProfile {
+    /// The profile's declared name.
+    pub name: String,
+    /// The user the preferences belong to.
+    pub user: UserId,
+    ops: Vec<ProfileOp>,
+}
+
+impl CompiledProfile {
+    /// The replayed construction steps, in order.
+    pub fn ops(&self) -> &[ProfileOp] {
+        &self.ops
+    }
+
+    /// The quantitative preferences, in registration order.
+    pub fn quantitative(&self) -> Vec<&QuantitativePref> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                ProfileOp::Quant(q) => Some(q),
+                ProfileOp::Qual(_) => None,
+            })
+            .collect()
+    }
+
+    /// The qualitative preferences, in registration order.
+    pub fn qualitative(&self) -> Vec<&QualitativePref> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                ProfileOp::Qual(q) => Some(q),
+                ProfileOp::Quant(_) => None,
+            })
+            .collect()
+    }
+
+    /// Replays the profile into `graph` in hand-built order.
+    pub fn apply_to(&self, graph: &mut HypreGraph) -> crate::Result<()> {
+        for op in &self.ops {
+            match op {
+                ProfileOp::Quant(q) => {
+                    graph.add_quantitative(q);
+                }
+                ProfileOp::Qual(q) => {
+                    graph.add_qualitative(q)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a fresh graph holding just this profile.
+    pub fn build_graph(&self) -> crate::Result<HypreGraph> {
+        let mut graph = HypreGraph::new();
+        self.apply_to(&mut graph)?;
+        Ok(graph)
+    }
+
+    /// The positive profile atoms after propagation — the executor's
+    /// input, directly comparable to a hand-built profile's.
+    pub fn atoms(&self) -> crate::Result<Vec<crate::combine::PrefAtom>> {
+        Ok(self.build_graph()?.positive_profile(self.user))
+    }
+}
+
+impl ProfileAst {
+    /// Lowers the AST for `user`, resolving derived atoms against
+    /// `catalog`. All remaining semantic checks (unknown derived names,
+    /// conflicting explicit intensities, self-preferences) surface here
+    /// as typed [`DslError`]s.
+    pub fn compile(
+        &self,
+        user: UserId,
+        catalog: &DerivedCatalog,
+    ) -> Result<CompiledProfile, DslError> {
+        let mut c = Compiler {
+            user,
+            catalog,
+            explicit: BTreeMap::new(),
+            ops: Vec::new(),
+        };
+        for stmt in &self.statements {
+            c.register_atoms(stmt)?;
+            c.add_edges(stmt)?;
+        }
+        Ok(CompiledProfile {
+            name: self.name.clone(),
+            user,
+            ops: c.ops,
+        })
+    }
+}
+
+struct Compiler<'a> {
+    user: UserId,
+    catalog: &'a DerivedCatalog,
+    /// Canonical predicate text → explicit intensity already registered.
+    explicit: BTreeMap<String, f64>,
+    ops: Vec<ProfileOp>,
+}
+
+impl Compiler<'_> {
+    fn resolve(&self, atom: &AtomAst) -> Result<Predicate, DslError> {
+        match &atom.kind {
+            AtomKind::Predicate(p) => Ok(p.clone()),
+            AtomKind::CoauthorOf(name) => self.catalog.coauthor(name).cloned().ok_or_else(|| {
+                DslError::new(atom.pos, DslErrorKind::UnknownCoauthor(name.clone()))
+            }),
+            AtomKind::SameVenueAs(name) => {
+                self.catalog.same_venue(name).cloned().ok_or_else(|| {
+                    DslError::new(atom.pos, DslErrorKind::UnknownVenue(name.clone()))
+                })
+            }
+        }
+    }
+
+    /// Depth-first left-to-right: every atom with an explicit `@ w`
+    /// becomes one `add_quantitative` step. The same predicate may be
+    /// mentioned twice with the same intensity (registered once); two
+    /// different explicit intensities conflict.
+    fn register_atoms(&mut self, expr: &PrefExpr) -> Result<(), DslError> {
+        match expr {
+            PrefExpr::Atom(atom) => {
+                // Resolve unconditionally so an unknown derived name is an
+                // error even when the atom carries no intensity.
+                let predicate = self.resolve(atom)?;
+                let Some(w) = atom.intensity else {
+                    return Ok(());
+                };
+                let key = predicate.canonical();
+                if let Some(&first) = self.explicit.get(&key) {
+                    if first.to_bits() != w.to_bits() {
+                        return Err(DslError::new(
+                            atom.pos,
+                            DslErrorKind::ConflictingIntensity {
+                                predicate: key,
+                                first,
+                                second: w,
+                            },
+                        ));
+                    }
+                    return Ok(());
+                }
+                let intensity = Intensity::new(w)
+                    .map_err(|_| DslError::new(atom.pos, DslErrorKind::IntensityOutOfRange(w)))?;
+                self.explicit.insert(key, w);
+                self.ops.push(ProfileOp::Quant(QuantitativePref::new(
+                    self.user, predicate, intensity,
+                )));
+                Ok(())
+            }
+            PrefExpr::Prior { left, right, .. } | PrefExpr::Pareto { left, right } => {
+                self.register_atoms(left)?;
+                self.register_atoms(right)
+            }
+        }
+    }
+
+    /// Post-order: inner compositions add their edges before the
+    /// enclosing `PRIOR` cross-products its operands' leaves. `PARETO`
+    /// adds no edge of its own.
+    fn add_edges(&mut self, expr: &PrefExpr) -> Result<(), DslError> {
+        match expr {
+            PrefExpr::Atom(_) => Ok(()),
+            PrefExpr::Pareto { left, right } => {
+                self.add_edges(left)?;
+                self.add_edges(right)
+            }
+            PrefExpr::Prior {
+                strength,
+                left,
+                right,
+                pos,
+            } => {
+                self.add_edges(left)?;
+                self.add_edges(right)?;
+                let qi = QualIntensity::new(*strength).map_err(|_| {
+                    DslError::new(*pos, DslErrorKind::StrengthOutOfRange(*strength))
+                })?;
+                for la in left.leaves() {
+                    for ra in right.leaves() {
+                        let lp = self.resolve(la)?;
+                        let rp = self.resolve(ra)?;
+                        self.push_edge(lp, rp, qi, *pos)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn push_edge(
+        &mut self,
+        left: Predicate,
+        right: Predicate,
+        strength: QualIntensity,
+        pos: Pos,
+    ) -> Result<(), DslError> {
+        let canonical = left.canonical();
+        let pref = QualitativePref::new(self.user, left, right, strength)
+            .map_err(|_| DslError::new(pos, DslErrorKind::SelfPreference(canonical)))?;
+        self.ops.push(ProfileOp::Qual(pref));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use relstore::parse_predicate;
+
+    use super::super::parser::parse_profile;
+    use super::*;
+    use crate::graph::HypreGraph;
+
+    fn compile(src: &str) -> CompiledProfile {
+        parse_profile(src)
+            .unwrap()
+            .compile(UserId(1), &DerivedCatalog::new())
+            .unwrap()
+    }
+
+    #[test]
+    fn replays_hand_built_sequence() {
+        // The quickstart profile, as DSL.
+        let profile = compile(
+            "PROFILE fan OVER movie {
+                genre = 'comedy' @ 0.9;
+                genre = 'drama' @ 0.4;
+                (year >= 2000) PRIOR @ 0.5 (genre = 'drama');
+            }",
+        );
+        assert_eq!(profile.quantitative().len(), 2);
+        assert_eq!(profile.qualitative().len(), 1);
+
+        // Hand-built twin.
+        let mut hand = HypreGraph::new();
+        hand.add_quantitative(&QuantitativePref::new(
+            UserId(1),
+            parse_predicate("movie.genre='comedy'").unwrap(),
+            Intensity::new(0.9).unwrap(),
+        ));
+        hand.add_quantitative(&QuantitativePref::new(
+            UserId(1),
+            parse_predicate("movie.genre='drama'").unwrap(),
+            Intensity::new(0.4).unwrap(),
+        ));
+        hand.add_qualitative(
+            &QualitativePref::new(
+                UserId(1),
+                parse_predicate("movie.year>=2000").unwrap(),
+                parse_predicate("movie.genre='drama'").unwrap(),
+                QualIntensity::new(0.5).unwrap(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+
+        let dsl_atoms = profile.atoms().unwrap();
+        let hand_atoms = hand.positive_profile(UserId(1));
+        assert_eq!(dsl_atoms, hand_atoms);
+    }
+
+    #[test]
+    fn prior_cross_products_leaves() {
+        let profile = compile(
+            "PROFILE p OVER t {
+                (a = 1 PARETO b = 2) PRIOR c = 3;
+            }",
+        );
+        let quals = profile.qualitative();
+        assert_eq!(quals.len(), 2);
+        assert_eq!(quals[0].left.canonical(), "t.a=1");
+        assert_eq!(quals[0].right.canonical(), "t.c=3");
+        assert_eq!(quals[1].left.canonical(), "t.b=2");
+        assert_eq!(quals[1].right.canonical(), "t.c=3");
+    }
+
+    #[test]
+    fn nested_prior_edges_inner_first() {
+        let profile = compile("PROFILE p OVER t { (a = 1 PRIOR b = 2) PRIOR c = 3; }");
+        let quals = profile.qualitative();
+        // Inner a≻b first, then the outer cross product {a,b}×{c}.
+        let pairs: Vec<(String, String)> = quals
+            .iter()
+            .map(|q| (q.left.canonical(), q.right.canonical()))
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                ("t.a=1".into(), "t.b=2".into()),
+                ("t.a=1".into(), "t.c=3".into()),
+                ("t.b=2".into(), "t.c=3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_same_intensity_registers_once() {
+        let profile = compile(
+            "PROFILE p OVER t {
+                a = 1 @ 0.5;
+                a = 1 @ 0.5 PRIOR b = 2;
+            }",
+        );
+        assert_eq!(profile.quantitative().len(), 1);
+    }
+
+    #[test]
+    fn conflicting_intensity_is_an_error() {
+        let err = parse_profile("PROFILE p OVER t { a = 1 @ 0.5; a = 1 @ 0.6; }")
+            .unwrap()
+            .compile(UserId(1), &DerivedCatalog::new())
+            .unwrap_err();
+        match err.kind {
+            DslErrorKind::ConflictingIntensity { first, second, .. } => {
+                assert_eq!((first, second), (0.5, 0.6));
+            }
+            other => panic!("expected ConflictingIntensity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_preference_is_an_error() {
+        let err = parse_profile("PROFILE p OVER t { a = 1 PRIOR a = 1; }")
+            .unwrap()
+            .compile(UserId(1), &DerivedCatalog::new())
+            .unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::SelfPreference("t.a=1".into()));
+    }
+
+    #[test]
+    fn derived_atoms_resolve_through_catalog() {
+        let mut catalog = DerivedCatalog::new();
+        catalog.insert_coauthor("Jane", parse_predicate("dblp.aid IN (2, 5)").unwrap());
+        catalog.insert_same_venue("VLDB", parse_predicate("dblp.venue='PVLDB'").unwrap());
+        assert_eq!(catalog.len(), 2);
+
+        let profile = parse_profile(
+            "PROFILE p OVER dblp {
+                COAUTHOR_OF('Jane') @ 0.7 PRIOR SAME_VENUE_AS('VLDB');
+            }",
+        )
+        .unwrap()
+        .compile(UserId(3), &catalog)
+        .unwrap();
+        let quants = profile.quantitative();
+        assert_eq!(quants.len(), 1);
+        assert_eq!(quants[0].predicate.canonical(), "dblp.aid IN (2, 5)");
+        let quals = profile.qualitative();
+        assert_eq!(quals.len(), 1);
+        assert_eq!(quals[0].right.canonical(), "dblp.venue='PVLDB'");
+
+        let err = parse_profile("PROFILE p OVER dblp { COAUTHOR_OF('Nobody') @ 0.1; }")
+            .unwrap()
+            .compile(UserId(3), &catalog)
+            .unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::UnknownCoauthor("Nobody".into()));
+        let err = parse_profile("PROFILE p OVER dblp { SAME_VENUE_AS('Nowhere'); }")
+            .unwrap()
+            .compile(UserId(3), &catalog)
+            .unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::UnknownVenue("Nowhere".into()));
+    }
+}

@@ -1,0 +1,438 @@
+//! Hand-rolled lexer for the profile DSL: tracks 1-based line/column on
+//! every token so parse errors point at source positions, not byte
+//! offsets.
+
+use super::ast::Pos;
+use super::{DslError, DslErrorKind};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    /// An identifier, possibly dotted (`movie.genre`). Keywords are lexed
+    /// into their own variants.
+    Ident(String),
+    /// A quoted string with quoting resolved.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal (had a `.` or exponent).
+    Float(f64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    At,
+    Minus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    // Keywords (case-insensitive in source).
+    Profile,
+    Over,
+    Prior,
+    Pareto,
+    And,
+    Or,
+    Not,
+    Between,
+    In,
+    True,
+    False,
+    CoauthorOf,
+    SameVenueAs,
+}
+
+impl Tok {
+    /// Human rendering for "found …" error messages.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier '{s}'"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::Int(v) => format!("number {v}"),
+            Tok::Float(v) => format!("number {v}"),
+            Tok::LBrace => "'{'".to_owned(),
+            Tok::RBrace => "'}'".to_owned(),
+            Tok::LParen => "'('".to_owned(),
+            Tok::RParen => "')'".to_owned(),
+            Tok::Semi => "';'".to_owned(),
+            Tok::Comma => "','".to_owned(),
+            Tok::At => "'@'".to_owned(),
+            Tok::Minus => "'-'".to_owned(),
+            Tok::Eq => "'='".to_owned(),
+            Tok::Ne => "'<>'".to_owned(),
+            Tok::Lt => "'<'".to_owned(),
+            Tok::Le => "'<='".to_owned(),
+            Tok::Gt => "'>'".to_owned(),
+            Tok::Ge => "'>='".to_owned(),
+            Tok::Profile => "keyword PROFILE".to_owned(),
+            Tok::Over => "keyword OVER".to_owned(),
+            Tok::Prior => "keyword PRIOR".to_owned(),
+            Tok::Pareto => "keyword PARETO".to_owned(),
+            Tok::And => "keyword AND".to_owned(),
+            Tok::Or => "keyword OR".to_owned(),
+            Tok::Not => "keyword NOT".to_owned(),
+            Tok::Between => "keyword BETWEEN".to_owned(),
+            Tok::In => "keyword IN".to_owned(),
+            Tok::True => "keyword TRUE".to_owned(),
+            Tok::False => "keyword FALSE".to_owned(),
+            Tok::CoauthorOf => "keyword COAUTHOR_OF".to_owned(),
+            Tok::SameVenueAs => "keyword SAME_VENUE_AS".to_owned(),
+        }
+    }
+}
+
+/// A token plus the position of its first character.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub(crate) tok: Tok,
+    pub(crate) pos: Pos,
+}
+
+/// Resolves an identifier to a keyword token, case-insensitively.
+fn keyword(word: &str) -> Option<Tok> {
+    match word.to_ascii_uppercase().as_str() {
+        "PROFILE" => Some(Tok::Profile),
+        "OVER" => Some(Tok::Over),
+        "PRIOR" => Some(Tok::Prior),
+        "PARETO" => Some(Tok::Pareto),
+        "AND" => Some(Tok::And),
+        "OR" => Some(Tok::Or),
+        "NOT" => Some(Tok::Not),
+        "BETWEEN" => Some(Tok::Between),
+        "IN" => Some(Tok::In),
+        "TRUE" => Some(Tok::True),
+        "FALSE" => Some(Tok::False),
+        "COAUTHOR_OF" => Some(Tok::CoauthorOf),
+        "SAME_VENUE_AS" => Some(Tok::SameVenueAs),
+        _ => None,
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    column: u32,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('-') if self.peek2() == Some('-') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_string(&mut self, quote: char, start: Pos) -> Result<Token, DslError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(DslError::new(start, DslErrorKind::UnterminatedString)),
+                Some(c) if c == quote => {
+                    // SQL-style doubled quote = escaped quote.
+                    if self.peek() == Some(quote) {
+                        self.bump();
+                        out.push(quote);
+                    } else {
+                        return Ok(Token {
+                            tok: Tok::Str(out),
+                            pos: start,
+                        });
+                    }
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: Pos) -> Result<Token, DslError> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-')
+            {
+                is_float = true;
+                text.push(c);
+                self.bump();
+                // optional sign
+                if let Some(s) = self.peek() {
+                    if s == '+' || s == '-' {
+                        text.push(s);
+                        self.bump();
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let tok = if is_float {
+            match text.parse::<f64>() {
+                Ok(v) if v.is_finite() => Tok::Float(v),
+                _ => return Err(DslError::new(start, DslErrorKind::InvalidNumber(text))),
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => Tok::Int(v),
+                Err(_) => return Err(DslError::new(start, DslErrorKind::InvalidNumber(text))),
+            }
+        };
+        Ok(Token { tok, pos: start })
+    }
+
+    fn lex_ident(&mut self, start: Pos) -> Token {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if let Some(tok) = keyword(&word) {
+            return Token { tok, pos: start };
+        }
+        // A dotted column reference lexes as one identifier: `movie.genre`.
+        if self.peek() == Some('.')
+            && self
+                .peek2()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        {
+            word.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    word.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        Token {
+            tok: Tok::Ident(word),
+            pos: start,
+        }
+    }
+}
+
+/// Lexes `src` into tokens, or the first lexical error. The returned
+/// position vector is what the parser walks; the final source position is
+/// reported separately so "unexpected end of input" can point past the
+/// last token.
+pub(crate) fn lex(src: &str) -> Result<(Vec<Token>, Pos), DslError> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        column: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia();
+        let start = lx.pos();
+        let Some(c) = lx.peek() else {
+            return Ok((out, start));
+        };
+        let token = match c {
+            '\'' | '"' => lx.lex_string(c, start)?,
+            '0'..='9' => lx.lex_number(start)?,
+            c if c.is_ascii_alphabetic() || c == '_' => lx.lex_ident(start),
+            _ => {
+                lx.bump();
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '@' => Tok::At,
+                    '-' => Tok::Minus,
+                    '=' => Tok::Eq,
+                    '<' => match lx.peek() {
+                        Some('=') => {
+                            lx.bump();
+                            Tok::Le
+                        }
+                        Some('>') => {
+                            lx.bump();
+                            Tok::Ne
+                        }
+                        _ => Tok::Lt,
+                    },
+                    '>' => {
+                        if lx.peek() == Some('=') {
+                            lx.bump();
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    '!' => {
+                        if lx.peek() == Some('=') {
+                            lx.bump();
+                            Tok::Ne
+                        } else {
+                            return Err(DslError::new(start, DslErrorKind::UnexpectedChar('!')));
+                        }
+                    }
+                    other => return Err(DslError::new(start, DslErrorKind::UnexpectedChar(other))),
+                };
+                Token { tok, pos: start }
+            }
+        };
+        out.push(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().0.into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_atoms_and_operators() {
+        assert_eq!(
+            toks("venue = 'SIGMOD' @ 0.9"),
+            vec![
+                Tok::Ident("venue".into()),
+                Tok::Eq,
+                Tok::Str("SIGMOD".into()),
+                Tok::At,
+                Tok::Float(0.9),
+            ]
+        );
+        assert_eq!(
+            toks("a <= 1 b >= 2 c <> 3 d != 4"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Int(1),
+                Tok::Ident("b".into()),
+                Tok::Ge,
+                Tok::Int(2),
+                Tok::Ident("c".into()),
+                Tok::Ne,
+                Tok::Int(3),
+                Tok::Ident("d".into()),
+                Tok::Ne,
+                Tok::Int(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_identifiers_lex_as_one_token() {
+        assert_eq!(toks("movie.genre"), vec![Tok::Ident("movie.genre".into())]);
+        // A keyword never absorbs a dot, and a bare dot has no rule.
+        assert!(matches!(
+            lex("IN.x").unwrap_err().kind,
+            DslErrorKind::UnexpectedChar('.')
+        ));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            toks("profile Prior PARETO between"),
+            vec![Tok::Profile, Tok::Prior, Tok::Pareto, Tok::Between]
+        );
+    }
+
+    #[test]
+    fn sql_quote_escaping() {
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+        assert_eq!(toks("\"a\"\"b\""), vec![Tok::Str("a\"b".into())]);
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let (tokens, _) = lex("-- header\n  x = 1").unwrap();
+        assert_eq!(tokens[0].pos, Pos { line: 2, column: 3 });
+        assert_eq!(tokens[1].pos, Pos { line: 2, column: 5 });
+    }
+
+    #[test]
+    fn float_forms() {
+        assert_eq!(
+            toks("1.5 2e-3 7"),
+            vec![Tok::Float(1.5), Tok::Float(2e-3), Tok::Int(7),]
+        );
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("x = 'open").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::UnterminatedString);
+        assert_eq!(err.pos, Pos { line: 1, column: 5 });
+        let err = lex("a $ b").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::UnexpectedChar('$'));
+    }
+
+    #[test]
+    fn unterminated_eof_and_bang() {
+        assert!(matches!(
+            lex("!x").unwrap_err().kind,
+            DslErrorKind::UnexpectedChar('!')
+        ));
+    }
+}

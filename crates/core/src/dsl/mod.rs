@@ -1,0 +1,232 @@
+//! The preference-profile DSL: a text front door for HYPRE profiles.
+//!
+//! Profiles in this repo were historically assembled in Rust by hand —
+//! `add_quantitative` / `add_qualitative` calls against a
+//! [`HypreGraph`](crate::graph::HypreGraph).
+//! This module adds the declarative front door the ROADMAP's "scenario
+//! diversity" item calls for: a small hand-rolled grammar (no external
+//! parser dependencies) covering
+//!
+//! * **quantitative atoms with intensities** — `movie.genre='comedy' @ 0.9`,
+//! * **qualitative composition** — Chomicki's prioritized (`PRIOR`) and
+//!   Pareto (`PARETO`) operators with parentheses, the operator algebra the
+//!   SPARQL-preferences extension surfaces as query syntax,
+//! * **graph-derived atoms** — `COAUTHOR_OF('…')` / `SAME_VENUE_AS('…')`
+//!   resolved against a [`DerivedCatalog`] of preference predicates lowered
+//!   from materialised co-occurrence edges, and
+//! * **named profiles** — `PROFILE name OVER table { … }`.
+//!
+//! A parsed profile compiles to the *existing* preference structures
+//! ([`QuantitativePref`](crate::preference::QuantitativePref) /
+//! [`QualitativePref`](crate::preference::QualitativePref)), so a DSL
+//! profile drives [`Executor`](crate::exec::Executor),
+//! [`ProfileCache`](crate::exec::ProfileCache),
+//! [`BatchScheduler`](crate::sched::BatchScheduler) and the wire protocol
+//! unchanged — and, because it lowers to the same canonical
+//! [`Predicate`](relstore::Predicate)s, a DSL profile resolves to
+//! pointer-identical tuple-set `Arc`s and batches together with its
+//! hand-built twin (`tests/dsl_equivalence.rs` pins this byte-identically).
+//!
+//! ## Grammar (EBNF)
+//!
+//! ```text
+//! profiles   = profile* ;
+//! profile    = "PROFILE" ident "OVER" ident "{" statement* "}" ;
+//! statement  = expr ";" ;
+//! expr       = prior { "PARETO" prior } ;
+//! prior      = primary { "PRIOR" [ "@" number ] primary } ;
+//! primary    = group | atom ;
+//! group      = "(" expr ")" ;                    (* composition grouping *)
+//! atom       = ( derived | predicate ) [ "@" number ] ;
+//! derived    = ( "COAUTHOR_OF" | "SAME_VENUE_AS" ) "(" string ")" ;
+//! predicate  = pred-or ;
+//! pred-or    = pred-and { "OR" pred-and } ;
+//! pred-and   = pred-not { "AND" pred-not } ;
+//! pred-not   = "NOT" pred-not | pred-atom ;
+//! pred-atom  = "(" pred-or ")" | "TRUE" | "FALSE"
+//!            | colref cmp literal
+//!            | colref "BETWEEN" literal "AND" literal
+//!            | colref "IN" "(" literal { "," literal } ")" ;
+//! cmp        = "=" | "<>" | "!=" | "<" | "<=" | ">" | ">=" ;
+//! colref     = ident [ "." ident ] ;             (* bare → qualified by OVER *)
+//! literal    = string | [ "-" ] number ;
+//! ```
+//!
+//! Keywords are case-insensitive; identifiers are case-sensitive. Strings
+//! use SQL quoting (`'it''s'`) — double quotes work too. `--` starts a
+//! comment to end of line. A number with a `.` or exponent is a float,
+//! otherwise an integer (the distinction matters: `2005` and `2005.0` are
+//! different SQL literals).
+//!
+//! ## Semantics
+//!
+//! * An atom with `@ w` contributes a quantitative preference with
+//!   intensity `w ∈ [-1, 1]`; an atom without `@` is only mentioned
+//!   qualitatively and gets its score from Eq. 4.1/4.2 propagation.
+//! * `A PRIOR @ s B` adds one qualitative edge `a ≻ b` (strength
+//!   `s ∈ [0, 1]`, default `0.5`) for every atom `a` of `A` and `b` of
+//!   `B` — prioritized composition distributes over its operands.
+//! * `A PARETO B` composes without priority: both sides' atoms join the
+//!   profile as equals, exactly Chomicki's symmetric Pareto composition —
+//!   no qualitative edge is added.
+//! * Statements apply in source order, and within a statement atoms
+//!   register left-to-right before edges — so a DSL profile replays the
+//!   same `add_quantitative`/`add_qualitative` sequence a hand-built
+//!   equivalent would, and the resulting graphs match node for node.
+//!
+//! ## Round-trip
+//!
+//! [`ProfileAst`] implements `Display`; `parse_profile(ast.to_string())`
+//! returns a structurally equal AST (positions excluded), which the
+//! property suite in `tests/properties.rs` pins on random ASTs.
+//!
+//! ## Example
+//!
+//! ```
+//! use hypre_core::dsl::{parse_profile, DerivedCatalog};
+//! use hypre_core::preference::UserId;
+//!
+//! let src = "
+//!     PROFILE movie_fan OVER movie {
+//!         genre = 'comedy' @ 0.9;
+//!         genre = 'drama'  @ 0.4;
+//!         (year >= 2000) PRIOR @ 0.5 (genre = 'drama');
+//!     }";
+//! let ast = parse_profile(src).unwrap();
+//! assert_eq!(ast.name, "movie_fan");
+//! let profile = ast.compile(UserId(1), &DerivedCatalog::new()).unwrap();
+//! let atoms = profile.atoms().unwrap();
+//! assert_eq!(atoms.len(), 3); // comedy, drama, propagated year>=2000
+//! ```
+
+mod ast;
+mod compile;
+mod lexer;
+mod parser;
+
+pub use ast::{AtomAst, AtomKind, Pos, PrefExpr, ProfileAst};
+pub use compile::{CompiledProfile, DerivedCatalog};
+pub use parser::{parse_profile, parse_profiles};
+
+use std::fmt;
+
+/// A typed DSL failure, carrying the 1-based line/column it was detected
+/// at and what the parser was looking for. Never a panic: every malformed
+/// input maps to one of these (the malformed-input property test pins it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DslError {
+    /// Where the error was detected (1-based line and column).
+    pub pos: Pos,
+    /// What went wrong.
+    pub kind: DslErrorKind,
+}
+
+impl DslError {
+    pub(crate) fn new(pos: Pos, kind: DslErrorKind) -> Self {
+        DslError { pos, kind }
+    }
+}
+
+/// The failure classes the lexer, parser and compiler can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DslErrorKind {
+    /// A character the lexer has no rule for.
+    UnexpectedChar(char),
+    /// A string literal with no closing quote.
+    UnterminatedString,
+    /// A numeric literal that does not parse (`1.2.3`, overflow, …).
+    InvalidNumber(String),
+    /// The parser found one token while expecting another.
+    UnexpectedToken {
+        /// Rendering of the token actually found.
+        found: String,
+        /// Human description of what would have been accepted.
+        expected: &'static str,
+    },
+    /// Input ended mid-construct.
+    UnexpectedEof {
+        /// Human description of what would have been accepted.
+        expected: &'static str,
+    },
+    /// An atom intensity outside `[-1, 1]`.
+    IntensityOutOfRange(f64),
+    /// A `PRIOR @ s` strength outside `[0, 1]`.
+    StrengthOutOfRange(f64),
+    /// `COAUTHOR_OF` named an author the [`DerivedCatalog`] has no
+    /// derived edges for.
+    UnknownCoauthor(String),
+    /// `SAME_VENUE_AS` named a venue the [`DerivedCatalog`] has no
+    /// derived edges for.
+    UnknownVenue(String),
+    /// The same predicate was given two different explicit intensities.
+    ConflictingIntensity {
+        /// Canonical predicate text.
+        predicate: String,
+        /// Intensity from the earlier mention.
+        first: f64,
+        /// Conflicting intensity from this mention.
+        second: f64,
+    },
+    /// A `PRIOR` would relate a predicate to itself (graph edges must
+    /// connect two different nodes).
+    SelfPreference(String),
+    /// Two profiles in one source share a name.
+    DuplicateProfile(String),
+    /// A profile with no statements — nothing to rank by.
+    EmptyProfile,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.pos.line, self.pos.column, self.kind
+        )
+    }
+}
+
+impl fmt::Display for DslErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            DslErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            DslErrorKind::InvalidNumber(s) => write!(f, "invalid number {s:?}"),
+            DslErrorKind::UnexpectedToken { found, expected } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            DslErrorKind::UnexpectedEof { expected } => {
+                write!(f, "expected {expected}, found end of input")
+            }
+            DslErrorKind::IntensityOutOfRange(v) => {
+                write!(f, "intensity {v} outside [-1, 1]")
+            }
+            DslErrorKind::StrengthOutOfRange(v) => {
+                write!(f, "PRIOR strength {v} outside [0, 1]")
+            }
+            DslErrorKind::UnknownCoauthor(name) => {
+                write!(f, "no derived co-author edges for author '{name}'")
+            }
+            DslErrorKind::UnknownVenue(name) => {
+                write!(f, "no derived venue co-occurrence edges for venue '{name}'")
+            }
+            DslErrorKind::ConflictingIntensity {
+                predicate,
+                first,
+                second,
+            } => write!(
+                f,
+                "predicate '{predicate}' given conflicting intensities {first} and {second}"
+            ),
+            DslErrorKind::SelfPreference(p) => {
+                write!(f, "PRIOR relates predicate '{p}' to itself")
+            }
+            DslErrorKind::DuplicateProfile(name) => {
+                write!(f, "duplicate profile name '{name}'")
+            }
+            DslErrorKind::EmptyProfile => write!(f, "profile has no statements"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}

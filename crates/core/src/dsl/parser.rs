@@ -1,0 +1,660 @@
+//! Recursive-descent parser for the profile DSL.
+//!
+//! One token of lookahead everywhere except the `(`-disambiguation:
+//! a parenthesis may open either a composition group (`(a PRIOR b)`)
+//! or a predicate group (`(a=1 OR b=2) AND c=3`). The parser scans
+//! ahead to the matching close; if a `PRIOR`, `PARETO` or `@` occurs
+//! inside, the group is a composition, otherwise the whole thing is
+//! handed to the predicate sub-parser (predicates never contain `@`
+//! or composition keywords).
+
+use relstore::{CmpOp, ColRef, Predicate, Value};
+
+use super::ast::{AtomAst, AtomKind, Pos, PrefExpr, ProfileAst};
+use super::lexer::{lex, Tok, Token};
+use super::{DslError, DslErrorKind};
+
+/// The `PRIOR` edge strength used when no explicit `@ s` is written.
+pub(crate) const DEFAULT_STRENGTH: f64 = 0.5;
+
+/// Parses a source containing exactly one `PROFILE` block.
+pub fn parse_profile(src: &str) -> Result<ProfileAst, DslError> {
+    let (tokens, eof) = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        i: 0,
+        eof,
+        table: String::new(),
+    };
+    let (profile, _) = p.profile()?;
+    if let Some(t) = p.peek() {
+        return Err(DslError::new(
+            t.pos,
+            DslErrorKind::UnexpectedToken {
+                found: t.tok.describe(),
+                expected: "end of input",
+            },
+        ));
+    }
+    Ok(profile)
+}
+
+/// Parses a source containing any number of `PROFILE` blocks, rejecting
+/// duplicate names.
+pub fn parse_profiles(src: &str) -> Result<Vec<ProfileAst>, DslError> {
+    let (tokens, eof) = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        i: 0,
+        eof,
+        table: String::new(),
+    };
+    let mut out: Vec<ProfileAst> = Vec::new();
+    while p.peek().is_some() {
+        let (profile, name_pos) = p.profile()?;
+        if out.iter().any(|q| q.name == profile.name) {
+            return Err(DslError::new(
+                name_pos,
+                DslErrorKind::DuplicateProfile(profile.name),
+            ));
+        }
+        out.push(profile);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+    /// Position just past the last token, for end-of-input errors.
+    eof: Pos,
+    /// The current profile's `OVER` table; qualifies bare column refs.
+    table: String,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.i)
+    }
+
+    fn peek_tok(&self) -> Option<&Tok> {
+        self.peek().map(|t| &t.tok)
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().map_or(self.eof, |t| t.pos)
+    }
+
+    fn err_expected(&self, expected: &'static str) -> DslError {
+        match self.peek() {
+            Some(t) => DslError::new(
+                t.pos,
+                DslErrorKind::UnexpectedToken {
+                    found: t.tok.describe(),
+                    expected,
+                },
+            ),
+            None => DslError::new(self.eof, DslErrorKind::UnexpectedEof { expected }),
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, expected: &'static str) -> Result<Pos, DslError> {
+        match self.peek() {
+            Some(t) if t.tok == *tok => {
+                let pos = t.pos;
+                self.i += 1;
+                Ok(pos)
+            }
+            _ => Err(self.err_expected(expected)),
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek_tok() == Some(tok) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, expected: &'static str) -> Result<(String, Pos), DslError> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::Ident(name),
+                pos,
+            }) => {
+                let out = (name.clone(), *pos);
+                self.i += 1;
+                Ok(out)
+            }
+            _ => Err(self.err_expected(expected)),
+        }
+    }
+
+    /// `PROFILE name OVER table { statement* }` — also returns the name's
+    /// position so callers can report duplicate names there.
+    fn profile(&mut self) -> Result<(ProfileAst, Pos), DslError> {
+        self.expect(&Tok::Profile, "keyword PROFILE")?;
+        let (name, name_pos) = self.ident("a profile name")?;
+        self.expect(&Tok::Over, "keyword OVER")?;
+        let (table, _) = self.ident("a table name")?;
+        self.table = table.clone();
+        let lbrace = self.expect(&Tok::LBrace, "'{'")?;
+        let mut statements = Vec::new();
+        while self.peek_tok() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err_expected("a preference statement or '}'"));
+            }
+            let stmt = self.expr()?;
+            self.expect(&Tok::Semi, "';'")?;
+            statements.push(stmt);
+        }
+        self.expect(&Tok::RBrace, "'}'")?;
+        if statements.is_empty() {
+            return Err(DslError::new(lbrace, DslErrorKind::EmptyProfile));
+        }
+        Ok((
+            ProfileAst {
+                name,
+                table,
+                statements,
+            },
+            name_pos,
+        ))
+    }
+
+    /// `expr = prior { PARETO prior }` — left-associative.
+    fn expr(&mut self) -> Result<PrefExpr, DslError> {
+        let mut left = self.prior()?;
+        while self.eat(&Tok::Pareto) {
+            let right = self.prior()?;
+            left = PrefExpr::Pareto {
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    /// `prior = primary { PRIOR [ "@" number ] primary }` — left-associative.
+    fn prior(&mut self) -> Result<PrefExpr, DslError> {
+        let mut left = self.primary()?;
+        while self.peek_tok() == Some(&Tok::Prior) {
+            let op_pos = self.pos();
+            self.i += 1;
+            let strength = if self.eat(&Tok::At) {
+                let (v, vpos) = self.signed_number("a PRIOR strength")?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(DslError::new(vpos, DslErrorKind::StrengthOutOfRange(v)));
+                }
+                v
+            } else {
+                DEFAULT_STRENGTH
+            };
+            let right = self.primary()?;
+            left = PrefExpr::Prior {
+                strength,
+                left: Box::new(left),
+                right: Box::new(right),
+                pos: op_pos,
+            };
+        }
+        Ok(left)
+    }
+
+    /// `primary = group | atom`, with the scan-ahead `(` disambiguation.
+    fn primary(&mut self) -> Result<PrefExpr, DslError> {
+        if self.peek_tok() == Some(&Tok::LParen) && self.paren_opens_group() {
+            self.i += 1;
+            let inner = self.expr()?;
+            self.expect(&Tok::RParen, "')'")?;
+            Ok(inner)
+        } else {
+            Ok(PrefExpr::Atom(self.atom()?))
+        }
+    }
+
+    /// With the cursor on a `(`: does this parenthesis open a composition
+    /// group rather than a predicate group? True iff a composition token
+    /// (`PRIOR`, `PARETO`, `@`) occurs before the matching close.
+    fn paren_opens_group(&self) -> bool {
+        let mut depth = 0usize;
+        for t in &self.tokens[self.i..] {
+            match t.tok {
+                Tok::LParen => depth += 1,
+                Tok::RParen => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                Tok::Prior | Tok::Pareto | Tok::At if depth >= 1 => return true,
+                _ => {}
+            }
+        }
+        // Unbalanced parens: treat as a predicate so the predicate
+        // sub-parser reports the error at the right spot.
+        false
+    }
+
+    /// `atom = ( derived | predicate ) [ "@" number ]`.
+    fn atom(&mut self) -> Result<AtomAst, DslError> {
+        let pos = self.pos();
+        let kind = match self.peek_tok() {
+            Some(Tok::CoauthorOf) => {
+                self.i += 1;
+                AtomKind::CoauthorOf(self.derived_arg()?)
+            }
+            Some(Tok::SameVenueAs) => {
+                self.i += 1;
+                AtomKind::SameVenueAs(self.derived_arg()?)
+            }
+            _ => AtomKind::Predicate(self.pred_or()?),
+        };
+        let intensity = if self.eat(&Tok::At) {
+            let (v, vpos) = self.signed_number("an intensity")?;
+            if !(-1.0..=1.0).contains(&v) {
+                return Err(DslError::new(vpos, DslErrorKind::IntensityOutOfRange(v)));
+            }
+            Some(v)
+        } else {
+            None
+        };
+        Ok(AtomAst {
+            kind,
+            intensity,
+            pos,
+        })
+    }
+
+    /// The `('string')` argument of a derived atom.
+    fn derived_arg(&mut self) -> Result<String, DslError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let arg = match self.peek() {
+            Some(Token {
+                tok: Tok::Str(s), ..
+            }) => {
+                let s = s.clone();
+                self.i += 1;
+                s
+            }
+            _ => return Err(self.err_expected("a quoted name")),
+        };
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(arg)
+    }
+
+    /// `[ "-" ] number` as `f64`, returning the position of the sign or
+    /// digit it starts at.
+    fn signed_number(&mut self, expected: &'static str) -> Result<(f64, Pos), DslError> {
+        let start = self.pos();
+        let neg = self.eat(&Tok::Minus);
+        let v = match self.peek_tok() {
+            Some(Tok::Int(v)) => {
+                let v = *v as f64;
+                self.i += 1;
+                v
+            }
+            Some(Tok::Float(v)) => {
+                let v = *v;
+                self.i += 1;
+                v
+            }
+            _ => return Err(self.err_expected(expected)),
+        };
+        Ok((if neg { -v } else { v }, start))
+    }
+
+    // ---- predicate sub-parser ------------------------------------------
+
+    fn pred_or(&mut self) -> Result<Predicate, DslError> {
+        let mut p = self.pred_and()?;
+        while self.eat(&Tok::Or) {
+            p = p.or(self.pred_and()?);
+        }
+        Ok(p)
+    }
+
+    fn pred_and(&mut self) -> Result<Predicate, DslError> {
+        let mut p = self.pred_not()?;
+        while self.eat(&Tok::And) {
+            p = p.and(self.pred_not()?);
+        }
+        Ok(p)
+    }
+
+    fn pred_not(&mut self) -> Result<Predicate, DslError> {
+        if self.eat(&Tok::Not) {
+            Ok(self.pred_not()?.not())
+        } else {
+            self.pred_atom()
+        }
+    }
+
+    fn pred_atom(&mut self) -> Result<Predicate, DslError> {
+        match self.peek_tok() {
+            Some(Tok::LParen) => {
+                self.i += 1;
+                let p = self.pred_or()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(p)
+            }
+            Some(Tok::True) => {
+                self.i += 1;
+                Ok(Predicate::True)
+            }
+            Some(Tok::False) => {
+                self.i += 1;
+                Ok(Predicate::False)
+            }
+            Some(Tok::Ident(_)) => {
+                let (name, _) = self.ident("a column reference")?;
+                let col = self.qualify(&name);
+                match self.peek_tok() {
+                    Some(Tok::Eq) => self.cmp_rest(col, CmpOp::Eq),
+                    Some(Tok::Ne) => self.cmp_rest(col, CmpOp::Ne),
+                    Some(Tok::Lt) => self.cmp_rest(col, CmpOp::Lt),
+                    Some(Tok::Le) => self.cmp_rest(col, CmpOp::Le),
+                    Some(Tok::Gt) => self.cmp_rest(col, CmpOp::Gt),
+                    Some(Tok::Ge) => self.cmp_rest(col, CmpOp::Ge),
+                    Some(Tok::Between) => {
+                        self.i += 1;
+                        let lo = self.literal()?;
+                        self.expect(&Tok::And, "keyword AND")?;
+                        let hi = self.literal()?;
+                        Ok(Predicate::between(col, lo, hi))
+                    }
+                    Some(Tok::In) => {
+                        self.i += 1;
+                        self.expect(&Tok::LParen, "'('")?;
+                        let mut vals = vec![self.literal()?];
+                        while self.eat(&Tok::Comma) {
+                            vals.push(self.literal()?);
+                        }
+                        self.expect(&Tok::RParen, "')'")?;
+                        Ok(Predicate::in_list(col, vals))
+                    }
+                    _ => Err(self.err_expected("a comparison operator, BETWEEN or IN")),
+                }
+            }
+            _ => Err(self.err_expected("a predicate")),
+        }
+    }
+
+    fn cmp_rest(&mut self, col: ColRef, op: CmpOp) -> Result<Predicate, DslError> {
+        self.i += 1;
+        let v = self.literal()?;
+        Ok(Predicate::cmp(col, op, v))
+    }
+
+    /// `literal = string | [ "-" ] number` — integers stay integers
+    /// (`2005` and `2005.0` are different SQL literals).
+    fn literal(&mut self) -> Result<Value, DslError> {
+        match self.peek_tok() {
+            Some(Tok::Str(s)) => {
+                let v = Value::str(s.clone());
+                self.i += 1;
+                Ok(v)
+            }
+            Some(Tok::Minus) => {
+                self.i += 1;
+                match self.peek_tok() {
+                    Some(Tok::Int(v)) => {
+                        let v = Value::from(-*v);
+                        self.i += 1;
+                        Ok(v)
+                    }
+                    Some(Tok::Float(v)) => {
+                        let v = Value::from(-*v);
+                        self.i += 1;
+                        Ok(v)
+                    }
+                    _ => Err(self.err_expected("a number after '-'")),
+                }
+            }
+            Some(Tok::Int(v)) => {
+                let v = Value::from(*v);
+                self.i += 1;
+                Ok(v)
+            }
+            Some(Tok::Float(v)) => {
+                let v = Value::from(*v);
+                self.i += 1;
+                Ok(v)
+            }
+            _ => Err(self.err_expected("a literal (string or number)")),
+        }
+    }
+
+    /// Qualifies a bare column name with the profile's `OVER` table;
+    /// dotted references pass through unchanged.
+    fn qualify(&self, name: &str) -> ColRef {
+        if name.contains('.') {
+            ColRef::parse(name)
+        } else {
+            ColRef::qualified(self.table.clone(), name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ast::{AtomKind, PrefExpr};
+    use super::super::DslErrorKind;
+    use super::{parse_profile, parse_profiles};
+
+    fn canon(e: &PrefExpr) -> String {
+        match e {
+            PrefExpr::Atom(a) => match &a.kind {
+                AtomKind::Predicate(p) => p.canonical(),
+                other => format!("{other:?}"),
+            },
+            other => format!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantitative_atoms_with_qualification() {
+        let ast = parse_profile(
+            "PROFILE fan OVER movie {
+                genre = 'comedy' @ 0.9;
+                movie.year >= 2000;
+            }",
+        )
+        .unwrap();
+        assert_eq!(ast.name, "fan");
+        assert_eq!(ast.table, "movie");
+        assert_eq!(ast.statements.len(), 2);
+        assert_eq!(canon(&ast.statements[0]), "movie.genre='comedy'");
+        match &ast.statements[0] {
+            PrefExpr::Atom(a) => assert_eq!(a.intensity, Some(0.9)),
+            other => panic!("expected atom, got {other:?}"),
+        }
+        assert_eq!(canon(&ast.statements[1]), "movie.year>=2000");
+    }
+
+    #[test]
+    fn prior_defaults_and_explicit_strength() {
+        let ast = parse_profile(
+            "PROFILE p OVER t {
+                a = 1 PRIOR b = 2;
+                a = 1 PRIOR @ 0.8 b = 2;
+            }",
+        )
+        .unwrap();
+        match &ast.statements[0] {
+            PrefExpr::Prior { strength, .. } => assert_eq!(*strength, 0.5),
+            other => panic!("expected PRIOR, got {other:?}"),
+        }
+        match &ast.statements[1] {
+            PrefExpr::Prior { strength, .. } => assert_eq!(*strength, 0.8),
+            other => panic!("expected PRIOR, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paren_disambiguation() {
+        // Predicate grouping: the whole statement is ONE atom.
+        let ast = parse_profile(
+            "PROFILE p OVER t {
+                (x = 1 OR y = 2) AND z = 3 @ 0.5;
+            }",
+        )
+        .unwrap();
+        match &ast.statements[0] {
+            PrefExpr::Atom(a) => {
+                assert_eq!(a.intensity, Some(0.5));
+                match &a.kind {
+                    AtomKind::Predicate(p) => {
+                        assert_eq!(p.canonical(), "(t.x=1 OR t.y=2) AND t.z=3")
+                    }
+                    other => panic!("expected predicate, got {other:?}"),
+                }
+            }
+            other => panic!("expected atom, got {other:?}"),
+        }
+
+        // Composition grouping: PRIOR inside parens.
+        let ast = parse_profile(
+            "PROFILE p OVER t {
+                (x = 1 PRIOR y = 2) PARETO z = 3;
+            }",
+        )
+        .unwrap();
+        match &ast.statements[0] {
+            PrefExpr::Pareto { left, .. } => {
+                assert!(matches!(**left, PrefExpr::Prior { .. }))
+            }
+            other => panic!("expected PARETO, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_prior_binds_tighter_than_pareto() {
+        let ast = parse_profile("PROFILE p OVER t { a=1 PRIOR b=2 PARETO c=3; }").unwrap();
+        match &ast.statements[0] {
+            PrefExpr::Pareto { left, right } => {
+                assert!(matches!(**left, PrefExpr::Prior { .. }));
+                assert!(matches!(**right, PrefExpr::Atom(_)));
+            }
+            other => panic!("expected PARETO at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicate_forms() {
+        let ast = parse_profile(
+            "PROFILE p OVER t {
+                NOT v = 'X';
+                y BETWEEN 1 AND 2;
+                c IN (1, 2, 3);
+                price <= -1.5;
+                TRUE AND x = 1;
+            }",
+        )
+        .unwrap();
+        let canons: Vec<String> = ast.statements.iter().map(canon).collect();
+        assert_eq!(
+            canons,
+            vec![
+                "NOT t.v='X'",
+                "t.y BETWEEN 1 AND 2",
+                "t.c IN (1, 2, 3)",
+                "t.price<=-1.5",
+                "t.x=1", // TRUE absorbed by the AND builder
+            ]
+        );
+    }
+
+    #[test]
+    fn derived_atoms() {
+        let ast = parse_profile(
+            "PROFILE p OVER dblp {
+                COAUTHOR_OF('Jane O''Neil') @ 0.7;
+                SAME_VENUE_AS('SIGMOD');
+            }",
+        )
+        .unwrap();
+        match &ast.statements[0] {
+            PrefExpr::Atom(a) => {
+                assert_eq!(a.kind, AtomKind::CoauthorOf("Jane O'Neil".into()));
+                assert_eq!(a.intensity, Some(0.7));
+            }
+            other => panic!("expected atom, got {other:?}"),
+        }
+        match &ast.statements[1] {
+            PrefExpr::Atom(a) => {
+                assert_eq!(a.kind, AtomKind::SameVenueAs("SIGMOD".into()));
+                assert_eq!(a.intensity, None);
+            }
+            other => panic!("expected atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_structurally() {
+        let sources = [
+            "PROFILE fan OVER movie {
+                genre = 'comedy' @ 0.9;
+                genre = 'drama' @ 0.4;
+                (year >= 2000) PRIOR @ 0.5 (genre = 'drama');
+            }",
+            "PROFILE g OVER dblp {
+                COAUTHOR_OF('A') @ 0.25 PRIOR (venue IN ('VLDB', 'SIGMOD') PARETO year BETWEEN 2000 AND 2010);
+                NOT venue = 'X' @ -0.5;
+            }",
+        ];
+        for src in sources {
+            let ast = parse_profile(src).unwrap();
+            let printed = ast.to_string();
+            let reparsed = parse_profile(&printed).unwrap_or_else(|e| {
+                panic!("reprint failed to parse: {e}\n--- printed ---\n{printed}")
+            });
+            assert_eq!(ast, reparsed, "round-trip mismatch for:\n{printed}");
+        }
+    }
+
+    #[test]
+    fn errors_are_typed_and_positioned() {
+        // Intensity out of range, position at the number.
+        let err = parse_profile("PROFILE p OVER t { a=1 @ 1.5; }").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::IntensityOutOfRange(1.5));
+        assert_eq!((err.pos.line, err.pos.column), (1, 26));
+
+        let err = parse_profile("PROFILE p OVER t { a=1 PRIOR @ 2 b=2; }").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::StrengthOutOfRange(2.0));
+
+        let err = parse_profile("PROFILE p OVER t { }").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::EmptyProfile);
+
+        let err = parse_profile("PROFILE p OVER t { a=1").unwrap_err();
+        assert!(matches!(err.kind, DslErrorKind::UnexpectedEof { .. }));
+
+        let err = parse_profile("PROFILE p OVER t { a=1; } extra").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            DslErrorKind::UnexpectedToken {
+                expected: "end of input",
+                ..
+            }
+        ));
+
+        let err =
+            parse_profiles("PROFILE p OVER t { a=1; } PROFILE p OVER t { a=1; }").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::DuplicateProfile("p".into()));
+    }
+
+    #[test]
+    fn parse_profiles_returns_all() {
+        let profiles = parse_profiles(
+            "-- two profiles
+             PROFILE a OVER t { x=1; }
+             PROFILE b OVER u { y=2; }",
+        )
+        .unwrap();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].name, "a");
+        assert_eq!(profiles[1].table, "u");
+    }
+}

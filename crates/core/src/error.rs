@@ -70,6 +70,8 @@ pub enum HypreError {
         /// What failed to parse, and where.
         detail: String,
     },
+    /// A preference-DSL lex, parse or compile failure.
+    Dsl(crate::dsl::DslError),
 }
 
 impl fmt::Display for HypreError {
@@ -129,6 +131,7 @@ impl fmt::Display for HypreError {
             HypreError::SnapshotCorrupt { detail } => {
                 write!(f, "snapshot corrupt: {detail}")
             }
+            HypreError::Dsl(e) => write!(f, "preference DSL: {e}"),
         }
     }
 }
@@ -139,6 +142,7 @@ impl std::error::Error for HypreError {
             HypreError::Rel(e) => Some(e),
             HypreError::Graph(e) => Some(e),
             HypreError::WarmUpFailed { last, .. } => Some(last.as_ref()),
+            HypreError::Dsl(e) => Some(e),
             _ => None,
         }
     }
@@ -153,6 +157,12 @@ impl From<RelError> for HypreError {
 impl From<GraphError> for HypreError {
     fn from(e: GraphError) -> Self {
         HypreError::Graph(e)
+    }
+}
+
+impl From<crate::dsl::DslError> for HypreError {
+    fn from(e: crate::dsl::DslError) -> Self {
+        HypreError::Dsl(e)
     }
 }
 

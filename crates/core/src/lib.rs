@@ -14,6 +14,10 @@
 //! * **[`combine`]** — the combined-intensity algebra: inflationary `f∧`
 //!   (Eq. 4.3), reserved `f∨` (Eq. 4.4), mixed-clause construction, and
 //!   the Proposition 1–4 facts the algorithms rely on.
+//! * **[`dsl`]** — a declarative preference-profile language:
+//!   quantitative atoms with intensities, Chomicki-style `PRIOR` /
+//!   `PARETO` composition and graph-derived atoms, compiled onto the
+//!   structures above so a parsed profile drives the executor unchanged.
 //! * **[`enhance`]** — preference-aware query enhancement (§4.6) and
 //!   per-tuple combined-intensity scoring (§4.6.1).
 //! * **[`exec`]** — applicability checking (Definition 15) with memoised
@@ -72,6 +76,7 @@
 pub mod algo;
 pub mod bitset;
 pub mod combine;
+pub mod dsl;
 pub mod enhance;
 pub mod error;
 pub mod exec;
@@ -98,6 +103,9 @@ pub mod prelude {
     pub use crate::combine::{
         combine_pair, f_and, f_and_all, f_or, f_or_fold, mixed_clause, Combination,
         CombineSemantics, PrefAtom,
+    };
+    pub use crate::dsl::{
+        parse_profile, parse_profiles, CompiledProfile, DerivedCatalog, DslError, ProfileAst,
     };
     pub use crate::enhance::{enhance_query, score_tuples, EnhancedQuery, ScoredTuple};
     pub use crate::error::{HypreError, Result};

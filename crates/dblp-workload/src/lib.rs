@@ -14,6 +14,9 @@
 //! * **[`mod@extract`]** — the verbatim §6.2 extraction pipeline (top-5 venue
 //!   shares, citation ratios with the 0.1 cut, negative-venue products,
 //!   consecutive-difference qualitative preferences);
+//! * **[`mod@graph`]** — the corpus as a `graphstore` property graph with
+//!   derived `COAUTHOR` / `CO_VENUE` co-occurrence edges, lowered into
+//!   the preference-DSL catalog (`COAUTHOR_OF`, `SAME_VENUE_AS`);
 //! * **[`stats`]** — the Table 10 summary;
 //! * **[`tsv`]** — TSV export/import for reproducible corpora.
 //!
@@ -32,6 +35,7 @@
 
 pub mod extract;
 pub mod gen;
+pub mod graph;
 pub mod load;
 pub mod model;
 pub mod stats;
@@ -39,6 +43,7 @@ pub mod tsv;
 
 pub use extract::{extract, ExtractedWorkload, ExtractionConfig};
 pub use gen::{generate, GeneratorConfig, PaperStream};
+pub use graph::PaperGraph;
 pub use load::{load, load_streamed};
 pub use model::{Author, Citation, DblpDataset, Paper, PaperAuthor};
 pub use stats::{table10, StatRow};

@@ -1,0 +1,340 @@
+//! Co-occurrence edge derivation — the `SimilarTo`/`CoOccursWith` idiom.
+//!
+//! Two *entities* co-occur when they are incident to the same *hub*
+//! through edges of one label: two authors co-occur on a paper they both
+//! `WROTE` (the hub is the shared edge **target**), two venues co-occur
+//! through an author who `PUBLISHED_IN` both (the hub is the shared edge
+//! **source**). Derivation materialises one edge per ordered entity pair,
+//! carrying the shared-hub count as a `weight` property — downstream
+//! consumers (the preference DSL's `COAUTHOR_OF` / `SAME_VENUE_AS` atoms)
+//! read neighbourhoods straight off the graph.
+//!
+//! Derivation is deterministic by construction: pair counts are
+//! accumulated into ordered maps and materialised in sorted order, and
+//! the sharded parallel path merges per-worker maps by summation, so any
+//! worker count produces the identical edge list (pinned by tests at
+//! 1/2/8 workers).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::{NodeId, PropertyGraph};
+use crate::prop::PropValue;
+use crate::Result;
+
+/// Which endpoint of the via-edges is the shared hub.
+///
+/// This is *not* [`crate::Dir`] — that enum orders query results; this one
+/// picks the co-occurrence topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HubSide {
+    /// Entities are edge **sources** sharing a target: co-authors share a
+    /// paper they both point at via `WROTE`.
+    Target,
+    /// Entities are edge **targets** sharing a source: venues share an
+    /// author who points at both via `PUBLISHED_IN`.
+    Source,
+}
+
+/// What a derivation pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeriveReport {
+    /// Hubs that connected at least one entity.
+    pub hubs: usize,
+    /// Distinct unordered entity pairs found.
+    pub pairs: usize,
+    /// Edges materialised (two per pair, one each direction).
+    pub edges_created: usize,
+}
+
+/// Derives co-occurrence edges labelled `out_label` from the `via_label`
+/// edges of `graph`, sharding pair counting across `workers` threads.
+///
+/// For every unordered entity pair sharing at least one hub, two directed
+/// edges are created (both orientations) with an integer `weight`
+/// property holding the shared-hub count. The result is independent of
+/// `workers`.
+pub fn derive_co_occurrence(
+    graph: &mut PropertyGraph,
+    via_label: &str,
+    hub: HubSide,
+    out_label: &str,
+    workers: usize,
+) -> Result<DeriveReport> {
+    // Bucket entities by hub. BTree containers keep hub iteration order
+    // and per-bucket entity order fixed regardless of insert order.
+    let mut buckets: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for edge in graph.edges().filter(|e| e.label() == via_label) {
+        let (hub_node, entity) = match hub {
+            HubSide::Target => (edge.to(), edge.from()),
+            HubSide::Source => (edge.from(), edge.to()),
+        };
+        buckets.entry(hub_node.0).or_default().insert(entity.0);
+    }
+    let hubs = buckets.len();
+    let bucket_list: Vec<Vec<u64>> = buckets
+        .into_values()
+        .map(|set| set.into_iter().collect())
+        .filter(|b: &Vec<u64>| b.len() >= 2)
+        .collect();
+
+    let counts = count_pairs(&bucket_list, workers.max(1));
+
+    let pairs = counts.len();
+    let mut edges_created = 0usize;
+    for (&(a, b), &weight) in &counts {
+        graph.create_edge(
+            NodeId(a),
+            NodeId(b),
+            out_label,
+            [("weight", PropValue::Int(weight))],
+        )?;
+        graph.create_edge(
+            NodeId(b),
+            NodeId(a),
+            out_label,
+            [("weight", PropValue::Int(weight))],
+        )?;
+        edges_created += 2;
+    }
+    Ok(DeriveReport {
+        hubs,
+        pairs,
+        edges_created,
+    })
+}
+
+/// Counts unordered pairs per bucket, sharding buckets across workers and
+/// merging the per-worker maps by summation.
+fn count_pairs(buckets: &[Vec<u64>], workers: usize) -> BTreeMap<(u64, u64), i64> {
+    let count_chunk = |chunk: &[Vec<u64>]| {
+        let mut local: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+        for bucket in chunk {
+            for (i, &a) in bucket.iter().enumerate() {
+                for &b in &bucket[i + 1..] {
+                    *local.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        local
+    };
+
+    if workers <= 1 || buckets.len() < 2 {
+        return count_chunk(buckets);
+    }
+
+    let chunk_size = buckets.len().div_ceil(workers);
+    let partials: Vec<BTreeMap<(u64, u64), i64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(move || count_chunk(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            // A counting worker has no code path that panics; an empty
+            // shard contributes nothing and keeps the merge total.
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    let mut merged: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+    for partial in partials {
+        for (pair, n) in partial {
+            *merged.entry(pair).or_insert(0) += n;
+        }
+    }
+    merged
+}
+
+/// The co-occurring neighbours of `entity` over previously derived
+/// `out_label` edges, as `(neighbour, weight)` sorted by node id.
+pub fn co_neighbours(graph: &PropertyGraph, entity: NodeId, out_label: &str) -> Vec<(NodeId, i64)> {
+    let mut out: Vec<(NodeId, i64)> = graph
+        .out_edges(entity, Some(out_label))
+        .map(|e| {
+            let w = match e.prop("weight") {
+                Some(PropValue::Int(w)) => *w,
+                _ => 0,
+            };
+            (e.to(), w)
+        })
+        .collect();
+    out.sort_unstable_by_key(|(n, _)| n.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse;
+
+    /// paper graph: authors a0..a3, papers p0..p2.
+    /// p0 written by {a0,a1}, p1 by {a1,a2}, p2 by {a0,a1}.
+    fn author_graph() -> (PropertyGraph, Vec<NodeId>, Vec<NodeId>) {
+        let mut g = PropertyGraph::new();
+        let authors: Vec<NodeId> = (0..4)
+            .map(|i| g.create_node(["author"], [("aid", PropValue::Int(i))]))
+            .collect();
+        let papers: Vec<NodeId> = (0..3)
+            .map(|i| g.create_node(["paper"], [("pid", PropValue::Int(i))]))
+            .collect();
+        for (paper, who) in [(0, vec![0, 1]), (1, vec![1, 2]), (2, vec![0, 1])] {
+            for a in who {
+                g.create_edge(
+                    authors[a],
+                    papers[paper],
+                    "WROTE",
+                    [("order", PropValue::Int(0))],
+                )
+                .unwrap();
+            }
+        }
+        (g, authors, papers)
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        let (mut g, authors, _) = author_graph();
+        let report = derive_co_occurrence(&mut g, "WROTE", HubSide::Target, "COAUTHOR", 1).unwrap();
+        // pairs: (a0,a1) weight 2 (p0, p2), (a1,a2) weight 1 (p1).
+        assert_eq!(report.hubs, 3);
+        assert_eq!(report.pairs, 2);
+        assert_eq!(report.edges_created, 4);
+        assert_eq!(
+            co_neighbours(&g, authors[0], "COAUTHOR"),
+            vec![(authors[1], 2)]
+        );
+        assert_eq!(
+            co_neighbours(&g, authors[1], "COAUTHOR"),
+            vec![(authors[0], 2), (authors[2], 1)]
+        );
+        assert_eq!(co_neighbours(&g, authors[3], "COAUTHOR"), vec![]);
+    }
+
+    #[test]
+    fn shared_source_side() {
+        // author -> venue PUBLISHED_IN; venues sharing an author co-occur.
+        let mut g = PropertyGraph::new();
+        let a = g.create_node(["author"], [("aid", PropValue::Int(0))]);
+        let b = g.create_node(["author"], [("aid", PropValue::Int(1))]);
+        let v1 = g.create_node(["venue"], [("name", PropValue::str("VLDB"))]);
+        let v2 = g.create_node(["venue"], [("name", PropValue::str("SIGMOD"))]);
+        let v3 = g.create_node(["venue"], [("name", PropValue::str("CHI"))]);
+        for (who, venue) in [(a, v1), (a, v2), (b, v2), (b, v3)] {
+            g.create_edge(who, venue, "PUBLISHED_IN", [("n", PropValue::Int(1))])
+                .unwrap();
+        }
+        let report =
+            derive_co_occurrence(&mut g, "PUBLISHED_IN", HubSide::Source, "CO_VENUE", 1).unwrap();
+        assert_eq!(report.pairs, 2); // (v1,v2) via a, (v2,v3) via b
+        assert_eq!(co_neighbours(&g, v2, "CO_VENUE"), vec![(v1, 1), (v3, 1)]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let edge_list = |workers: usize| {
+            let (mut g, _, _) = author_graph();
+            // A second derivation family in the same pass keeps the
+            // determinism bar honest.
+            derive_co_occurrence(&mut g, "WROTE", HubSide::Target, "COAUTHOR", workers).unwrap();
+            let mut edges: Vec<(u64, u64, String, i64)> = g
+                .edges()
+                .filter(|e| e.label() == "COAUTHOR")
+                .map(|e| {
+                    let w = match e.prop("weight") {
+                        Some(PropValue::Int(w)) => *w,
+                        _ => -1,
+                    };
+                    (e.from().0, e.to().0, e.label().to_owned(), w)
+                })
+                .collect();
+            edges.sort();
+            edges
+        };
+        let one = edge_list(1);
+        assert_eq!(one, edge_list(2));
+        assert_eq!(one, edge_list(8));
+        assert!(!one.is_empty());
+    }
+
+    #[test]
+    fn big_random_ish_corpus_matches_brute_force_at_all_widths() {
+        // Deterministic pseudo-random bipartite graph, no RNG dependency.
+        let mut g = PropertyGraph::new();
+        let entities: Vec<NodeId> = (0..40)
+            .map(|i| g.create_node(["e"], [("id", PropValue::Int(i))]))
+            .collect();
+        let hubs: Vec<NodeId> = (0..60)
+            .map(|i| g.create_node(["h"], [("id", PropValue::Int(i))]))
+            .collect();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut membership: Vec<Vec<usize>> = vec![Vec::new(); hubs.len()];
+        for (hi, hub) in hubs.iter().enumerate() {
+            for (ei, entity) in entities.iter().enumerate() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if state >> 60 < 2 {
+                    g.create_edge(*entity, *hub, "VIA", [("n", PropValue::Int(1))])
+                        .unwrap();
+                    membership[hi].push(ei);
+                }
+            }
+        }
+        // Brute-force reference counts.
+        let mut expected: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+        for bucket in &membership {
+            for (i, &a) in bucket.iter().enumerate() {
+                for &b in &bucket[i + 1..] {
+                    *expected.entry((entities[a].0, entities[b].0)).or_insert(0) += 1;
+                }
+            }
+        }
+        for workers in [1usize, 2, 8] {
+            let mut g2 = PropertyGraph::new();
+            let entities2: Vec<NodeId> = (0..40)
+                .map(|i| g2.create_node(["e"], [("id", PropValue::Int(i))]))
+                .collect();
+            let hubs2: Vec<NodeId> = (0..60)
+                .map(|i| g2.create_node(["h"], [("id", PropValue::Int(i))]))
+                .collect();
+            for (hi, bucket) in membership.iter().enumerate() {
+                for &ei in bucket {
+                    g2.create_edge(entities2[ei], hubs2[hi], "VIA", [("n", PropValue::Int(1))])
+                        .unwrap();
+                }
+            }
+            let report =
+                derive_co_occurrence(&mut g2, "VIA", HubSide::Target, "CO", workers).unwrap();
+            assert_eq!(report.pairs, expected.len(), "workers={workers}");
+            let mut got: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+            for e in g2.edges().filter(|e| e.label() == "CO") {
+                if e.from().0 < e.to().0 {
+                    let w = match e.prop("weight") {
+                        Some(PropValue::Int(w)) => *w,
+                        _ => -1,
+                    };
+                    got.insert((e.from().0, e.to().0), w);
+                }
+            }
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn derived_edges_are_traversable() {
+        let (mut g, authors, _) = author_graph();
+        derive_co_occurrence(&mut g, "WROTE", HubSide::Target, "COAUTHOR", 2).unwrap();
+        // a0 -COAUTHOR- a1 -COAUTHOR- a2: transitive collaboration reach.
+        assert!(traverse::has_path(
+            &g,
+            authors[0],
+            authors[2],
+            Some("COAUTHOR")
+        ));
+        let reach = traverse::reachable_set(&g, authors[0], Some("COAUTHOR"));
+        assert!(reach.contains(&authors[1]) && reach.contains(&authors[2]));
+        assert!(!reach.contains(&authors[3]));
+        let path = traverse::shortest_path(&g, authors[0], authors[2], Some("COAUTHOR")).unwrap();
+        assert_eq!(path, vec![authors[0], authors[1], authors[2]]);
+    }
+}

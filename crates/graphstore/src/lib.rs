@@ -11,6 +11,9 @@
 //!   Algorithm 1),
 //! * traversals: BFS reachability, shortest paths, cycle guards and
 //!   topological sorting ([`traverse`]),
+//! * deterministic co-occurrence edge derivation ([`mod@derive`]) — the
+//!   `SimilarTo`/`CoOccursWith` materialisation the preference DSL's
+//!   graph-derived atoms are lowered from,
 //! * batched insertion with per-batch timing ([`BatchInserter`]) mirroring
 //!   the 100 k-node Neo4j transactions of §6.3, and
 //! * a fluent query layer ([`NodeQuery`]) standing in for the Cypher
@@ -41,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod derive;
 pub mod error;
 pub mod graph;
 pub mod prop;
@@ -48,6 +52,7 @@ pub mod query;
 pub mod traverse;
 
 pub use batch::{BatchInserter, BatchStat};
+pub use derive::{co_neighbours, derive_co_occurrence, DeriveReport, HubSide};
 pub use error::{GraphError, Result};
 pub use graph::{Edge, EdgeId, Node, NodeId, PropertyGraph};
 pub use prop::PropValue;

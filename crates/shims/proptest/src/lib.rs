@@ -37,6 +37,21 @@ impl TestRng {
         TestRng { state: h }
     }
 
+    /// Rebuilds a generator from a state snapshot previously reported by
+    /// [`TestRng::state`] — the deterministic-reproduction hook: seeding
+    /// from the state a failing case started at replays exactly that
+    /// case's draws without re-running the cases before it.
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// The current generator state. Captured before each property case
+    /// so a failure can be replayed in isolation via
+    /// [`TestRng::from_state`] (or `PROPTEST_SHIM_STATE`).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
     /// The next 64 uniformly random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -311,6 +326,74 @@ pub mod prop {
     }
 }
 
+// ---------------------------------------------------------------------
+// failure reporting
+// ---------------------------------------------------------------------
+
+/// Armed before each property case; if the case body panics, the guard's
+/// `Drop` (running during unwind) prints the test name, the case index
+/// and the generator state the case started from — enough to replay
+/// exactly that case with `PROPTEST_SHIM_STATE=<state>`. Disarmed when
+/// the case completes, so passing cases print nothing.
+#[doc(hidden)]
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    cases: u32,
+    state: u64,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(name: &'static str, case: u32, cases: u32, state: u64) -> Self {
+        CaseGuard {
+            name,
+            case,
+            cases,
+            state,
+            armed: true,
+        }
+    }
+
+    /// The case finished without panicking; stay silent.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: property `{}` failed at case {}/{} \
+                 (rng state {:#018x}); replay just this case with \
+                 PROPTEST_SHIM_STATE={:#x}",
+                self.name, self.case, self.cases, self.state, self.state,
+            );
+        }
+    }
+}
+
+/// Reads the `PROPTEST_SHIM_STATE` override (hex with `0x` prefix, or
+/// decimal). When set, each property runs exactly one case from that
+/// generator state — the deterministic replay of a reported failure.
+#[doc(hidden)]
+pub fn replay_state_from_env() -> Option<u64> {
+    let raw = std::env::var("PROPTEST_SHIM_STATE").ok()?;
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    match parsed {
+        Ok(state) => Some(state),
+        Err(_) => {
+            eprintln!("proptest shim: ignoring unparsable PROPTEST_SHIM_STATE={raw:?}");
+            None
+        }
+    }
+}
+
 /// Per-block configuration (only `cases` is honoured).
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
@@ -406,11 +489,25 @@ macro_rules! __proptest_params {
         #[test]
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
+            // PROPTEST_SHIM_STATE replays exactly one reported case.
+            if let Some(state) = $crate::replay_state_from_env() {
+                let mut rng = $crate::TestRng::from_state(state);
+                $( let $p = $crate::Strategy::generate(&($($s)*), &mut rng); )*
+                $body
+                return;
+            }
             let mut rng =
                 $crate::TestRng::from_name(&format!("{}::{}", module_path!(), stringify!($name)));
             for __case in 0..config.cases {
+                let mut __guard = $crate::CaseGuard::new(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                    config.cases,
+                    rng.state(),
+                );
                 $( let $p = $crate::Strategy::generate(&($($s)*), &mut rng); )*
                 $body
+                __guard.disarm();
             }
         }
     };
@@ -450,6 +547,17 @@ mod tests {
             assert!(!xs.is_empty() && xs.len() < 7);
             assert!(xs.iter().all(|&x| x < 5));
         }
+    }
+
+    #[test]
+    fn state_snapshot_replays_the_same_draws() {
+        let mut a = crate::TestRng::from_name("snap");
+        a.next_u64();
+        let snap = a.state();
+        let draws: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let mut b = crate::TestRng::from_state(snap);
+        let replay: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_eq!(draws, replay, "from_state must resume the exact stream");
     }
 
     #[test]

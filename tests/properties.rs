@@ -1,10 +1,12 @@
 //! Property-based tests (proptest) for the model's invariants, run across
 //! crates: intensity algebra, propagation axioms, graph invariants under
 //! random preference streams, PEPS-vs-brute-force ranking equality, TA
-//! correctness, parser round-trips and skyline dominance.
+//! correctness, parser round-trips (predicate and preference-DSL) and
+//! skyline dominance.
 
 use proptest::prelude::*;
 
+use hypre_repro::core::dsl::{AtomAst, AtomKind, Pos, PrefExpr, ProfileAst};
 use hypre_repro::prelude::*;
 use hypre_repro::relstore::{
     parse_predicate, ColRef, DataType, Database, Predicate, Schema, Value,
@@ -56,7 +58,7 @@ fn event() -> impl Strategy<Value = Event> {
 // ---------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(192))]
 
     /// Proposition 1: f∧ is order-independent and matches its closed form.
     #[test]
@@ -134,7 +136,7 @@ proptest! {
 // ---------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// Any interleaving of preference insertions keeps the two structural
     /// invariants: acyclic PREFERS subgraph and left ≥ right on every
@@ -239,7 +241,7 @@ fn micro_db(venues: &[u8], authors: &[(u8, u8)]) -> Database {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Complete PEPS reproduces the brute-force f∧ ranking exactly on any
     /// random micro-workload.
@@ -278,7 +280,7 @@ proptest! {
 // ---------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(96))]
 
     #[test]
     fn prop_ta_matches_bruteforce(
@@ -336,7 +338,7 @@ fn rt_predicate(depth: u32) -> BoxedStrategy<Predicate> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(192))]
 
     /// Display → parse is the identity on the AST.
     #[test]
@@ -350,11 +352,171 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// preference-DSL round-trip and error hygiene
+// ---------------------------------------------------------------------
+
+/// A random DSL atom. Predicates come from [`rt_predicate`] — fully
+/// qualified column references only, because the parser qualifies bare
+/// columns against the `OVER` table and a bare-column AST would not
+/// round-trip structurally. Derived names include embedded quotes to
+/// exercise the `''` escaping.
+fn dsl_atom() -> impl Strategy<Value = AtomAst> {
+    let kind = prop_oneof![
+        rt_predicate(2).prop_map(AtomKind::Predicate),
+        (0u8..4).prop_map(|i| {
+            let names = ["Jim Gray", "Grace O'Brien", "A. N. Author", "D'Arcy d'If"];
+            AtomKind::CoauthorOf(names[i as usize].to_string())
+        }),
+        (0u8..3).prop_map(|i| {
+            let venues = ["SIGMOD", "VLDB '05", "J. o' Irrepr. Results"];
+            AtomKind::SameVenueAs(venues[i as usize].to_string())
+        }),
+    ];
+    let intensity = prop_oneof![
+        Just(None),
+        intensity_value().prop_map(Some),
+        Just(Some(1.0)),
+        Just(Some(-1.0)),
+    ];
+    (kind, intensity).prop_map(|(kind, intensity)| AtomAst {
+        kind,
+        intensity,
+        pos: Pos::start(),
+    })
+}
+
+/// A random composition expression over DSL atoms.
+fn dsl_expr(depth: u32) -> BoxedStrategy<PrefExpr> {
+    dsl_atom()
+        .prop_map(PrefExpr::Atom)
+        .prop_recursive(depth, 16, 2, |inner| {
+            prop_oneof![
+                (qual_strength(), inner.clone(), inner.clone()).prop_map(|(s, l, r)| {
+                    PrefExpr::Prior {
+                        strength: s,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        pos: Pos::start(),
+                    }
+                }),
+                (inner.clone(), inner).prop_map(|(l, r)| PrefExpr::Pareto {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }),
+            ]
+        })
+}
+
+/// A random profile AST.
+fn dsl_profile() -> impl Strategy<Value = ProfileAst> {
+    (0u8..3, prop::collection::vec(dsl_expr(2), 1..6)).prop_map(|(n, statements)| ProfileAst {
+        name: ["p", "rich_user", "q2"][n as usize].to_string(),
+        table: "dblp".to_string(),
+        statements,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// parse → Display → parse is the identity on random profile ASTs:
+    /// intensities and strengths re-parse bit-identically, derived-name
+    /// quoting is lossless, and composition parenthesisation is
+    /// unambiguous at any nesting.
+    #[test]
+    fn prop_dsl_roundtrip(ast in dsl_profile()) {
+        let printed = ast.to_string();
+        let reparsed = match parse_profile(&printed) {
+            Ok(p) => p,
+            Err(e) => {
+                prop_assert!(false, "pretty-printed source failed to parse: {e}\n{printed}");
+                unreachable!()
+            }
+        };
+        prop_assert_eq!(&ast, &reparsed, "round-trip changed the AST:\n{}", printed);
+        // And printing is a fixpoint: the second print matches the first.
+        prop_assert_eq!(printed, reparsed.to_string());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Mutilated profile sources never panic the parser: every outcome is
+    /// `Ok` or a typed [`DslError`] whose position lies inside the input
+    /// (1-based line within the source's line count, column ≥ 1) and
+    /// whose `Display` renders.
+    #[test]
+    fn prop_dsl_malformed_inputs_yield_typed_errors(
+        ast in dsl_profile(),
+        kind in 0u8..4,
+        at in 0.0f64..1.0,
+        garbage in 0u8..12,
+    ) {
+        let src = ast.to_string();
+        let chars: Vec<char> = src.chars().collect();
+        let idx = ((chars.len() as f64) * at) as usize;
+        let junk = [
+            "@", "@ 2.0", "PRIOR", "PARETO", "(", ")", "'", "\"",
+            "0.5.5", "&", "!", "\u{3b1}\u{3b2}",
+        ][garbage as usize];
+        let mutated: String = match kind {
+            // truncate
+            0 => chars[..idx].iter().collect(),
+            // insert a junk token
+            1 => {
+                let mut s: String = chars[..idx].iter().collect();
+                s.push_str(junk);
+                s.extend(&chars[idx..]);
+                s
+            }
+            // replace one character
+            2 if !chars.is_empty() => {
+                let i = idx.min(chars.len() - 1);
+                let mut s: String = chars[..i].iter().collect();
+                s.push_str(junk);
+                s.extend(&chars[i + 1..]);
+                s
+            }
+            // delete one character
+            _ if !chars.is_empty() => {
+                let i = idx.min(chars.len() - 1);
+                let mut s: String = chars[..i].iter().collect();
+                s.extend(&chars[i + 1..]);
+                s
+            }
+            _ => String::new(),
+        };
+        match parse_profile(&mutated) {
+            Ok(_) => {} // the mutation happened to stay well-formed
+            Err(e) => {
+                // A source ending in '\n' reports EOF errors on the line
+                // *after* the last textual one, hence the +1.
+                let lines = mutated.lines().count().max(1) as u32 + 1;
+                prop_assert!(e.pos.line >= 1, "line 0 in: {e}");
+                prop_assert!(
+                    e.pos.line <= lines,
+                    "error line {} beyond the {}-line input: {e}",
+                    e.pos.line,
+                    lines
+                );
+                prop_assert!(e.pos.column >= 1, "column 0 in: {e}");
+                let rendered = e.to_string();
+                prop_assert!(
+                    rendered.starts_with(&format!("line {}, column {}", e.pos.line, e.pos.column)),
+                    "Display lost the position: {rendered}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // skyline dominance
 // ---------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// Every skyline member is non-dominated and every non-member is
     /// dominated (checked against the brute-force oracle).
@@ -398,7 +560,7 @@ proptest! {
 // ---------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    #![proptest_config(ProptestConfig::with_cases(192))]
 
     /// relstore's Value total order is antisymmetric and transitive over a
     /// random sample, and Eq implies identical sort position behaviour.
